@@ -1,0 +1,59 @@
+//! Fig. 12 — Eco-Old / Eco-New: EcoLife's machinery restricted to a
+//! single hardware generation, against the multi-generation Oracle.
+//!
+//! Paper shape: Eco-Old pays in service time, Eco-New pays in carbon;
+//! full EcoLife (multi-generation) is closest to the Oracle on both
+//! axes, but the single-generation variants remain viable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolife_bench::EvalSetup;
+use ecolife_core::{compare, EcoLifeConfig};
+use ecolife_hw::Generation;
+use std::hint::black_box;
+
+fn print_fig12() {
+    let setup = EvalSetup::standard();
+    let oracle = setup.run(&mut setup.oracle());
+    let eco = setup.run(&mut setup.ecolife());
+    let eco_old =
+        setup.run(&mut setup.ecolife_with(EcoLifeConfig::default().restricted_to(Generation::Old)));
+    let eco_new =
+        setup.run(&mut setup.ecolife_with(EcoLifeConfig::default().restricted_to(Generation::New)));
+
+    println!("\n=== Fig. 12: single-generation EcoLife vs the multi-generation Oracle ===");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "scheme", "svc vs Oracle", "CO2 vs Oracle"
+    );
+    for (label, s) in [
+        ("EcoLife", &eco),
+        ("Eco-Old", &eco_old),
+        ("Eco-New", &eco_new),
+    ] {
+        let c = compare(s, &oracle, &oracle);
+        println!(
+            "{:<10} {:>15.1}% {:>15.1}%",
+            label, c.service_increase_pct, c.carbon_increase_pct
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig12();
+    let setup = EvalSetup::quick();
+    c.bench_function("fig12/eco_old_quick", |b| {
+        b.iter(|| {
+            black_box(setup.run(
+                &mut setup.ecolife_with(EcoLifeConfig::default().restricted_to(Generation::Old)),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

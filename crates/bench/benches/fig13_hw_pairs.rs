@@ -1,0 +1,58 @@
+//! Fig. 13 — EcoLife across the three Table I hardware pairs.
+//!
+//! Paper shape: EcoLife stays within a 7.5% margin of the Oracle on both
+//! service time and carbon for every pair — the benefit is not an
+//! artifact of one particular generation gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolife_bench::EvalSetup;
+use ecolife_core::{compare, runner::parallel_map};
+use ecolife_hw::skus;
+use std::hint::black_box;
+
+fn print_fig13() {
+    println!("\n=== Fig. 13: EcoLife vs Oracle across hardware pairs ===");
+    println!(
+        "{:<8} {:>16} {:>16}",
+        "pair", "svc vs Oracle", "CO2 vs Oracle"
+    );
+    let rows = parallel_map(skus::all_pairs(), |pair| {
+        let id = pair.id;
+        let setup = EvalSetup::sized(
+            48,
+            1_440,
+            pair.with_keepalive_budgets_mib(15 * 1024, 15 * 1024),
+        );
+        let oracle = setup.run(&mut setup.oracle());
+        let eco = setup.run(&mut setup.ecolife());
+        (id, compare(&eco, &oracle, &oracle))
+    });
+    for (id, c) in rows {
+        println!(
+            "{:<8} {:>15.1}% {:>15.1}%",
+            id.to_string(),
+            c.service_increase_pct,
+            c.carbon_increase_pct
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig13();
+    let setup = EvalSetup::sized(
+        16,
+        180,
+        skus::pair_b().with_keepalive_budgets_mib(6 * 1024, 6 * 1024),
+    );
+    c.bench_function("fig13/pair_b_quick", |b| {
+        b.iter(|| black_box(setup.run(&mut setup.ecolife())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 4 — CO2-Opt, Oracle, Service-Time-Opt, and Energy-Opt placements
+//! in the (% CO2 increase w.r.t. CO2-Opt, % service increase w.r.t.
+//! Service-Time-Opt) plane.
+//!
+//! Paper shape: the three single-objective optima sit far from each
+//! other, Energy-Opt is visibly away from CO2-Opt (it ignores embodied
+//! carbon and CI variation), and even the Oracle is >7% from both axes —
+//! the joint optimum genuinely trades.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolife_bench::{fmt_placement, EvalSetup};
+use std::hint::black_box;
+
+fn print_fig4() {
+    let setup = EvalSetup::standard();
+    let summaries = vec![
+        setup.run(&mut setup.co2_opt()),
+        setup.run(&mut setup.oracle()),
+        setup.run(&mut setup.service_time_opt()),
+        setup.run(&mut setup.energy_opt()),
+    ];
+    println!("\n=== Fig. 4: single-objective optima vs the Oracle ===");
+    for c in setup.placements(&summaries) {
+        println!("{}", fmt_placement(&c));
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig4();
+    let setup = EvalSetup::quick();
+    c.bench_function("fig4/oracle_run_quick", |b| {
+        b.iter(|| black_box(setup.run(&mut setup.oracle())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

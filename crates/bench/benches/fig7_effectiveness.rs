@@ -1,0 +1,48 @@
+//! Fig. 7 — EcoLife is the closest practical scheme to the Oracle.
+//!
+//! Paper numbers: EcoLife lands within 7.7% (service time) and 5.5%
+//! (carbon) of the Oracle; CO2-Opt / Service-Time-Opt / Energy-Opt each
+//! collapse one dimension; New-Only / Old-Only (Fig. 9 companions) pin
+//! themselves to a single generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolife_bench::{fmt_placement, EvalSetup};
+use std::hint::black_box;
+
+fn print_fig7() {
+    let setup = EvalSetup::standard();
+    let summaries = vec![
+        setup.run(&mut setup.co2_opt()),
+        setup.run(&mut setup.oracle()),
+        setup.run(&mut setup.ecolife()),
+        setup.run(&mut setup.service_time_opt()),
+        setup.run(&mut setup.energy_opt()),
+    ];
+    println!("\n=== Fig. 7: EcoLife vs Oracle and single-objective optima ===");
+    let placements = setup.placements(&summaries);
+    for c in &placements {
+        println!("{}", fmt_placement(c));
+    }
+    let oracle = &placements[1];
+    let ecolife = &placements[2];
+    println!(
+        "\nEcoLife-to-Oracle gap: service {:+.2} points, carbon {:+.2} points (paper: 7.7 / 5.5)\n",
+        ecolife.service_increase_pct - oracle.service_increase_pct,
+        ecolife.carbon_increase_pct - oracle.carbon_increase_pct
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig7();
+    let setup = EvalSetup::quick();
+    c.bench_function("fig7/ecolife_run_quick", |b| {
+        b.iter(|| black_box(setup.run(&mut setup.ecolife())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

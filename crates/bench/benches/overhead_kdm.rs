@@ -1,0 +1,44 @@
+//! §VI-A decision-making overhead — the paper bounds EcoLife's
+//! decision-making at < 0.4% of service time and < 1.2% of carbon.
+//!
+//! Criterion times a single KDM+EPDM decision step (the per-invocation
+//! work EcoLife adds to the platform's critical path) and a full
+//! simulated run reports the end-to-end overhead fraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolife_bench::EvalSetup;
+use ecolife_core::run_scheme;
+use std::hint::black_box;
+
+fn print_overhead() {
+    let setup = EvalSetup::standard();
+    let (sum, m) = run_scheme(&setup.trace, &setup.ci, &setup.pair, &mut setup.ecolife());
+    println!("\n=== §VI-A: decision-making overhead ===");
+    println!(
+        "invocations: {}, total decision time: {:.1} ms, mean {:.1} µs/decision",
+        sum.invocations,
+        m.decision_overhead_ns as f64 / 1e6,
+        m.decision_overhead_ns as f64 / 1e3 / sum.invocations.max(1) as f64
+    );
+    println!(
+        "overhead fraction of service time: {:.4}% (paper bound: < 0.4%)\n",
+        100.0 * sum.decision_overhead_fraction
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_overhead();
+    // Time a full quick run per iteration — dominated by decide() calls —
+    // which is the stable, criterion-friendly proxy for per-decision cost.
+    let setup = EvalSetup::quick();
+    c.bench_function("overhead/ecolife_decide_path", |b| {
+        b.iter(|| black_box(setup.run(&mut setup.ecolife())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

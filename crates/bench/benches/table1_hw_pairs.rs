@@ -1,0 +1,48 @@
+//! Table I — multi-generation hardware pair examples.
+//!
+//! Prints the pair catalog with the calibrated embodied-carbon and power
+//! attributions, then times pair construction (a pure-data operation the
+//! experiment harness performs constantly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecolife_hw::skus;
+use std::hint::black_box;
+
+fn print_table1() {
+    println!("\n=== Table I: Multi-generation Hardware Pairs ===");
+    println!(
+        "{:<7} {:<5} {:<28} {:>5} {:>6} {:>9} {:>11} {:<14} {:>10}",
+        "Pair", "Role", "CPU (year)", "cores", "act W", "idle W/c", "CPU EC kg", "DRAM (year)", "EC g/GiB"
+    );
+    for pair in skus::all_pairs() {
+        for node in [&pair.old, &pair.new] {
+            println!(
+                "{:<7} {:<5} {:<28} {:>5} {:>6.0} {:>9.1} {:>11.0} {:<14} {:>10.0}",
+                pair.id.to_string(),
+                node.generation.to_string(),
+                format!("{} ({})", node.cpu.name, node.cpu.year),
+                node.cpu.cores,
+                node.cpu.active_power_w,
+                node.cpu.idle_core_power_w,
+                node.cpu.embodied_g / 1000.0,
+                format!("{} ({})", node.dram.name, node.dram.year),
+                node.dram.embodied_per_gib_g(),
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    c.bench_function("table1/pair_construction", |b| {
+        b.iter(|| black_box(skus::all_pairs()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Shared experiment harness for the figure-regeneration benches.
+//!
+//! Every bench in `benches/` reproduces one table or figure of the paper.
+//! This library centralizes the default evaluation setup (Sec. V): the
+//! Azure-like trace, the CISO carbon-intensity feed, hardware pair A, and
+//! constructors for every scheme, so that all figures are computed under
+//! identical conditions.
+
+use ecolife_carbon::{CarbonIntensityTrace, Region};
+use ecolife_core::{
+    compare, run_scheme, BruteForce, Comparison, EcoLife, EcoLifeConfig, FixedPolicy, RunSummary,
+};
+use ecolife_hw::HardwarePair;
+use ecolife_sim::Scheduler;
+use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
+
+/// The default evaluation seed. Changing it shifts every stochastic
+/// component coherently.
+pub const EVAL_SEED: u64 = 0x5C24_EC0;
+
+/// The default evaluation environment: trace, CI feed, hardware pair.
+pub struct EvalSetup {
+    pub trace: Trace,
+    pub ci: CarbonIntensityTrace,
+    pub pair: HardwarePair,
+}
+
+impl EvalSetup {
+    /// Full-size setup (Sec. V defaults): 48 trace functions over 24
+    /// hours (a full diurnal carbon-intensity cycle), CISO intensity,
+    /// pair A with 15/15 GiB keep-alive pools (the middle point of the
+    /// paper's Fig. 11 memory sweep — the regime where keep-alive
+    /// placement actually competes for memory).
+    pub fn standard() -> Self {
+        Self::sized(
+            48,
+            1_440,
+            ecolife_hw::skus::pair_a().with_keepalive_budgets_mib(15 * 1024, 15 * 1024),
+        )
+    }
+
+    /// Small setup for fast criterion iterations: 3 hours, tighter pools.
+    pub fn quick() -> Self {
+        Self::sized(
+            16,
+            180,
+            ecolife_hw::skus::pair_a().with_keepalive_budgets_mib(6 * 1024, 6 * 1024),
+        )
+    }
+
+    /// Parameterized setup.
+    pub fn sized(n_functions: usize, duration_min: u64, pair: HardwarePair) -> Self {
+        let trace = SynthTraceConfig {
+            n_functions,
+            duration_min,
+            seed: EVAL_SEED,
+            ..Default::default()
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::synthetic(Region::Caiso, duration_min as usize + 30, EVAL_SEED);
+        EvalSetup { trace, ci, pair }
+    }
+
+    /// Swap the carbon-intensity region (Fig. 14).
+    pub fn with_region(mut self, region: Region) -> Self {
+        let minutes = self.ci.len_minutes();
+        self.ci = CarbonIntensityTrace::synthetic(region, minutes, EVAL_SEED);
+        self
+    }
+
+    /// Run a scheduler and summarize.
+    pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunSummary {
+        run_scheme(&self.trace, &self.ci, &self.pair, scheduler).0
+    }
+
+    // ---- scheme constructors bound to this environment ----
+
+    pub fn ecolife(&self) -> EcoLife {
+        EcoLife::new(self.pair.clone(), EcoLifeConfig::default())
+    }
+
+    pub fn ecolife_with(&self, config: EcoLifeConfig) -> EcoLife {
+        EcoLife::new(self.pair.clone(), config)
+    }
+
+    pub fn oracle(&self) -> BruteForce {
+        BruteForce::oracle(self.pair.clone(), self.ci.clone())
+    }
+
+    pub fn co2_opt(&self) -> BruteForce {
+        BruteForce::co2_opt(self.pair.clone(), self.ci.clone())
+    }
+
+    pub fn service_time_opt(&self) -> BruteForce {
+        BruteForce::service_time_opt(self.pair.clone(), self.ci.clone())
+    }
+
+    pub fn energy_opt(&self) -> BruteForce {
+        BruteForce::energy_opt(self.pair.clone(), self.ci.clone())
+    }
+
+    pub fn new_only(&self) -> FixedPolicy {
+        FixedPolicy::new_only()
+    }
+
+    pub fn old_only(&self) -> FixedPolicy {
+        FixedPolicy::old_only()
+    }
+
+    /// The two anchors plus the placement of each given scheme against
+    /// them, in one shot.
+    pub fn placements(&self, summaries: &[RunSummary]) -> Vec<Comparison> {
+        let st = self.run(&mut self.service_time_opt());
+        let co2 = self.run(&mut self.co2_opt());
+        summaries.iter().map(|s| compare(s, &st, &co2)).collect()
+    }
+}
+
+/// Render one figure row: `label  service+X.X%  carbon+Y.Y%`.
+pub fn fmt_placement(c: &Comparison) -> String {
+    format!(
+        "{:<22} service +{:>6.2}%   carbon +{:>6.2}%",
+        c.name, c.service_increase_pct, c.carbon_increase_pct
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_setup_is_consistent() {
+        let s = EvalSetup::quick();
+        assert!(!s.trace.is_empty());
+        assert!(s.ci.len_ms() >= s.trace.horizon_ms());
+    }
+
+    #[test]
+    fn schemes_carry_expected_names() {
+        let s = EvalSetup::quick();
+        assert_eq!(s.ecolife().name(), "EcoLife");
+        assert_eq!(s.oracle().name(), "Oracle");
+        assert_eq!(s.new_only().name(), "New-Only");
+    }
+}

@@ -1,0 +1,144 @@
+//! The embodied/operational carbon decomposition every estimate in the
+//! system is expressed in.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A carbon footprint split into its two constituents (both gCO2e).
+///
+/// * `operational_g` — grid-electricity emissions: `energy(kWh) × CI`.
+/// * `embodied_g` — manufacturing emissions amortized over hardware
+///   lifetime and attributed by resource share.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CarbonFootprint {
+    pub operational_g: f64,
+    pub embodied_g: f64,
+}
+
+impl CarbonFootprint {
+    pub const ZERO: CarbonFootprint = CarbonFootprint {
+        operational_g: 0.0,
+        embodied_g: 0.0,
+    };
+
+    pub fn new(operational_g: f64, embodied_g: f64) -> Self {
+        CarbonFootprint {
+            operational_g,
+            embodied_g,
+        }
+    }
+
+    /// Total footprint in grams.
+    #[inline]
+    pub fn total_g(&self) -> f64 {
+        self.operational_g + self.embodied_g
+    }
+
+    /// Fraction of the total that is embodied (0 when total is 0).
+    pub fn embodied_fraction(&self) -> f64 {
+        let t = self.total_g();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.embodied_g / t
+        }
+    }
+
+    /// Scale only the embodied component — the Sec. VI-C "±10% estimation
+    /// flexibility" robustness knob.
+    pub fn with_embodied_scaled(self, scale: f64) -> Self {
+        CarbonFootprint {
+            operational_g: self.operational_g,
+            embodied_g: self.embodied_g * scale,
+        }
+    }
+}
+
+impl Add for CarbonFootprint {
+    type Output = CarbonFootprint;
+    fn add(self, rhs: CarbonFootprint) -> CarbonFootprint {
+        CarbonFootprint {
+            operational_g: self.operational_g + rhs.operational_g,
+            embodied_g: self.embodied_g + rhs.embodied_g,
+        }
+    }
+}
+
+impl AddAssign for CarbonFootprint {
+    fn add_assign(&mut self, rhs: CarbonFootprint) {
+        self.operational_g += rhs.operational_g;
+        self.embodied_g += rhs.embodied_g;
+    }
+}
+
+impl Mul<f64> for CarbonFootprint {
+    type Output = CarbonFootprint;
+    fn mul(self, rhs: f64) -> CarbonFootprint {
+        CarbonFootprint {
+            operational_g: self.operational_g * rhs,
+            embodied_g: self.embodied_g * rhs,
+        }
+    }
+}
+
+impl Sum for CarbonFootprint {
+    fn sum<I: Iterator<Item = CarbonFootprint>>(iter: I) -> CarbonFootprint {
+        iter.fold(CarbonFootprint::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_components() {
+        let f = CarbonFootprint::new(1.5, 0.5);
+        assert_eq!(f.total_g(), 2.0);
+    }
+
+    #[test]
+    fn zero_footprint() {
+        assert_eq!(CarbonFootprint::ZERO.total_g(), 0.0);
+        assert_eq!(CarbonFootprint::ZERO.embodied_fraction(), 0.0);
+    }
+
+    #[test]
+    fn embodied_fraction() {
+        let f = CarbonFootprint::new(3.0, 1.0);
+        assert_eq!(f.embodied_fraction(), 0.25);
+    }
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = CarbonFootprint::new(1.0, 2.0);
+        let b = CarbonFootprint::new(0.5, 0.25);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(c.total_g(), 3.75);
+    }
+
+    #[test]
+    fn scalar_multiply() {
+        let f = CarbonFootprint::new(1.0, 2.0) * 3.0;
+        assert_eq!(f.operational_g, 3.0);
+        assert_eq!(f.embodied_g, 6.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: CarbonFootprint = (0..4)
+            .map(|i| CarbonFootprint::new(i as f64, 1.0))
+            .sum();
+        assert_eq!(total.operational_g, 6.0);
+        assert_eq!(total.embodied_g, 4.0);
+    }
+
+    #[test]
+    fn embodied_scaling_leaves_operational_untouched() {
+        let f = CarbonFootprint::new(2.0, 1.0).with_embodied_scaled(1.1);
+        assert_eq!(f.operational_g, 2.0);
+        assert!((f.embodied_g - 1.1).abs() < 1e-12);
+    }
+}

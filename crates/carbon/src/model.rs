@@ -1,0 +1,318 @@
+//! The serverless carbon-footprint model of Sec. II.
+//!
+//! For a function `f` with memory `M_f`, serviced for `S_f` and kept alive
+//! for `k` on a node with lifetime `LT`:
+//!
+//! ```text
+//! DRAM embodied      = (S_f + k)/LT_DRAM · M_f/M_DRAM · EC_DRAM
+//! CPU  embodied      = S_f/LT_CPU · EC_CPU  +  k/LT_CPU · EC_CPU/Core_num
+//! DRAM operational   = M_f/M_DRAM · (E_service_DRAM + E_keepalive_DRAM) · CI
+//! CPU  operational   = (E_service_CPU + E_keepalive_CPU/Core_num·…) · CI
+//! ```
+//!
+//! The whole CPU package is attributed during service (cold start +
+//! execution); one reserved core is attributed during keep-alive. The
+//! energy terms come from the calibrated power model in `ecolife-hw`
+//! (`PowerDraw`), standing in for the paper's RAPL measurements.
+
+use crate::footprint::CarbonFootprint;
+use ecolife_hw::{HardwareNode, PowerDraw};
+
+/// Model configuration knobs for the robustness studies (Sec. VI-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarbonModelConfig {
+    /// Multiplier on every embodied term — the "±10% estimation
+    /// flexibility" sweep uses 0.9..=1.1.
+    pub embodied_scale: f64,
+    /// Include the embodied carbon of other platform components (storage,
+    /// motherboard, power unit). Modeled as a platform overhead factor on
+    /// the per-node embodied attribution, following the Boavizta server
+    /// decomposition where non-CPU/DRAM components contribute roughly an
+    /// extra 30% on top of CPU and 20% on top of DRAM shares.
+    pub include_platform_components: bool,
+}
+
+impl Default for CarbonModelConfig {
+    fn default() -> Self {
+        CarbonModelConfig {
+            embodied_scale: 1.0,
+            include_platform_components: false,
+        }
+    }
+}
+
+/// Platform (storage + motherboard + PSU) embodied overheads relative to
+/// the CPU and DRAM attributions, applied when
+/// [`CarbonModelConfig::include_platform_components`] is set.
+const PLATFORM_CPU_OVERHEAD: f64 = 0.30;
+const PLATFORM_DRAM_OVERHEAD: f64 = 0.20;
+
+/// Carbon-footprint calculator for serverless phases on a node.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CarbonModel {
+    pub config: CarbonModelConfig,
+}
+
+impl CarbonModel {
+    pub fn new(config: CarbonModelConfig) -> Self {
+        CarbonModel { config }
+    }
+
+    fn embodied_factor_cpu(&self) -> f64 {
+        let platform = if self.config.include_platform_components {
+            1.0 + PLATFORM_CPU_OVERHEAD
+        } else {
+            1.0
+        };
+        self.config.embodied_scale * platform
+    }
+
+    fn embodied_factor_dram(&self) -> f64 {
+        let platform = if self.config.include_platform_components {
+            1.0 + PLATFORM_DRAM_OVERHEAD
+        } else {
+            1.0
+        };
+        self.config.embodied_scale * platform
+    }
+
+    /// Footprint of an *active* phase (execution, or cold start — both
+    /// assign the full CPU package and active DRAM) lasting `duration_ms`
+    /// under average carbon intensity `ci_g_per_kwh`.
+    pub fn active_phase(
+        &self,
+        node: &HardwareNode,
+        func_mem_mib: u64,
+        duration_ms: u64,
+        ci_g_per_kwh: f64,
+    ) -> CarbonFootprint {
+        let energy_kwh = PowerDraw::executing(node, func_mem_mib).energy_kwh(duration_ms);
+        let operational_g = energy_kwh * ci_g_per_kwh;
+        let embodied_g = node
+            .cpu
+            .embodied_for_full_package_g(duration_ms, node.lifetime_ms)
+            * self.embodied_factor_cpu()
+            + node
+                .dram
+                .embodied_for_share_g(func_mem_mib, duration_ms, node.lifetime_ms)
+                * self.embodied_factor_dram();
+        CarbonFootprint::new(operational_g, embodied_g)
+    }
+
+    /// Footprint of a keep-alive phase: one reserved core plus the warm
+    /// container's memory share, lasting `duration_ms`.
+    pub fn keepalive_phase(
+        &self,
+        node: &HardwareNode,
+        func_mem_mib: u64,
+        duration_ms: u64,
+        ci_g_per_kwh: f64,
+    ) -> CarbonFootprint {
+        let energy_kwh = PowerDraw::keepalive(node, func_mem_mib).energy_kwh(duration_ms);
+        let operational_g = energy_kwh * ci_g_per_kwh;
+        let embodied_g = node
+            .cpu
+            .embodied_for_one_core_g(duration_ms, node.lifetime_ms)
+            * self.embodied_factor_cpu()
+            + node
+                .dram
+                .embodied_for_share_g(func_mem_mib, duration_ms, node.lifetime_ms)
+                * self.embodied_factor_dram();
+        CarbonFootprint::new(operational_g, embodied_g)
+    }
+
+    /// Energy (kWh) of an active phase — the quantity the Energy-Opt
+    /// baseline minimizes.
+    pub fn active_energy_kwh(
+        &self,
+        node: &HardwareNode,
+        func_mem_mib: u64,
+        duration_ms: u64,
+    ) -> f64 {
+        PowerDraw::executing(node, func_mem_mib).energy_kwh(duration_ms)
+    }
+
+    /// Energy (kWh) of a keep-alive phase.
+    pub fn keepalive_energy_kwh(
+        &self,
+        node: &HardwareNode,
+        func_mem_mib: u64,
+        duration_ms: u64,
+    ) -> f64 {
+        PowerDraw::keepalive(node, func_mem_mib).energy_kwh(duration_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolife_hw::skus;
+
+    fn model() -> CarbonModel {
+        CarbonModel::default()
+    }
+
+    #[test]
+    fn active_phase_scales_linearly_in_duration() {
+        let p = skus::pair_a();
+        let m = model();
+        let one = m.active_phase(&p.new, 512, 1_000, 300.0);
+        let five = m.active_phase(&p.new, 512, 5_000, 300.0);
+        assert!((five.total_g() - 5.0 * one.total_g()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operational_scales_with_ci_embodied_does_not() {
+        let p = skus::pair_a();
+        let m = model();
+        let lo = m.active_phase(&p.new, 512, 1_000, 50.0);
+        let hi = m.active_phase(&p.new, 512, 1_000, 300.0);
+        assert!((hi.operational_g / lo.operational_g - 6.0).abs() < 1e-9);
+        assert_eq!(hi.embodied_g, lo.embodied_g);
+    }
+
+    #[test]
+    fn keepalive_phase_far_cheaper_than_active_per_unit_time() {
+        let p = skus::pair_a();
+        let m = model();
+        for node in [&p.old, &p.new] {
+            let active = m.active_phase(node, 512, 60_000, 300.0);
+            let warm = m.keepalive_phase(node, 512, 60_000, 300.0);
+            assert!(warm.total_g() < active.total_g() / 10.0);
+        }
+    }
+
+    #[test]
+    fn keepalive_cheaper_on_old_hardware_pair_a() {
+        // The core motivation (Sec. III): keep-alive carbon per minute is
+        // lower on the older generation.
+        let p = skus::pair_a();
+        let m = model();
+        for ci in [50.0, 150.0, 300.0] {
+            let old = m.keepalive_phase(&p.old, 512, 600_000, ci);
+            let new = m.keepalive_phase(&p.new, 512, 600_000, ci);
+            assert!(
+                old.total_g() < new.total_g(),
+                "ci={ci}: old {} vs new {}",
+                old.total_g(),
+                new.total_g()
+            );
+        }
+    }
+
+    #[test]
+    fn old_execution_trades_time_for_carbon() {
+        // The Fig. 2 trade-off: for the same work, the old node takes
+        // longer (slowdown) but its lower package power keeps the
+        // operational carbon at or below the new node's.
+        let p = skus::pair_a();
+        let m = model();
+        let base = 2_000u64;
+        let old_ms = (base as f64 * p.old.cpu.slowdown()).round() as u64;
+        assert!(old_ms > base, "old must be slower");
+        let old = m.active_phase(&p.old, 512, old_ms, 300.0);
+        let new = m.active_phase(&p.new, 512, base, 300.0);
+        assert!(
+            old.total_g() < new.total_g(),
+            "old {} vs new {}",
+            old.total_g(),
+            new.total_g()
+        );
+    }
+
+    #[test]
+    fn embodied_scale_multiplies_embodied_only() {
+        let p = skus::pair_a();
+        let base = CarbonModel::default().active_phase(&p.new, 512, 1_000, 300.0);
+        let scaled = CarbonModel::new(CarbonModelConfig {
+            embodied_scale: 1.1,
+            include_platform_components: false,
+        })
+        .active_phase(&p.new, 512, 1_000, 300.0);
+        assert_eq!(scaled.operational_g, base.operational_g);
+        assert!((scaled.embodied_g / base.embodied_g - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn platform_components_increase_embodied() {
+        let p = skus::pair_a();
+        let base = CarbonModel::default().keepalive_phase(&p.new, 512, 60_000, 300.0);
+        let plat = CarbonModel::new(CarbonModelConfig {
+            embodied_scale: 1.0,
+            include_platform_components: true,
+        })
+        .keepalive_phase(&p.new, 512, 60_000, 300.0);
+        assert!(plat.embodied_g > base.embodied_g);
+        assert_eq!(plat.operational_g, base.operational_g);
+    }
+
+    #[test]
+    fn energy_accessors_match_power_model() {
+        let p = skus::pair_a();
+        let m = model();
+        let e = m.active_energy_kwh(&p.new, 1024, 3_600_000);
+        // Active package + 1 GiB DRAM at active power, for one hour.
+        let exp_active = (p.new.cpu.active_power_w + p.new.dram.active_w_per_gib) / 1000.0;
+        assert!((e - exp_active).abs() < 1e-9);
+        let k = m.keepalive_energy_kwh(&p.new, 1024, 3_600_000);
+        let exp_idle = (p.new.cpu.idle_core_power_w + p.new.dram.idle_w_per_gib) / 1000.0;
+        assert!((k - exp_idle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig1_shape_keepalive_share_grows_with_k() {
+        // Fig. 1: as the keep-alive period grows 2→10 min, the keep-alive
+        // share of the total footprint grows substantially (Graph-BFS goes
+        // 18% → 52% in the paper).
+        let p = skus::pair_a();
+        let m = model();
+        let ci = 300.0;
+        // Graph-BFS-like cold service: ~6 s execution + ~2 s cold start.
+        let service = m.active_phase(&p.new, 256, 8_000, ci);
+        let share = |k_min: u64| {
+            let ka = m.keepalive_phase(&p.new, 256, k_min * 60_000, ci);
+            ka.total_g() / (ka.total_g() + service.total_g())
+        };
+        let s2 = share(2);
+        let s10 = share(10);
+        assert!(s2 < 0.40, "share at 2 min = {s2:.2}");
+        assert!(s10 > 0.50, "share at 10 min = {s10:.2}");
+        assert!(s10 > 1.5 * s2, "share must grow strongly with k");
+    }
+
+    #[test]
+    fn carbon_saving_shrinks_at_low_ci() {
+        // Fig. 3: "the magnitude of this benefit can be reduced or absent
+        // in some cases when the carbon intensity is very low". In this
+        // calibration Case A (warm on old) keeps a positive saving at low
+        // CI (the embodied gap persists), but the absolute saving shrinks
+        // because the avoided cold-start *operational* carbon collapses —
+        // see EXPERIMENTS.md for the deviation note on the full inversion.
+        let p = skus::pair_a();
+        let m = model();
+        let mem = 4_096;
+        let exec_new = 12_000u64;
+        let exec_old = (exec_new as f64 * (1.0 + 0.25 * 0.3)).round() as u64;
+        let cold_new = 5_000u64;
+
+        let case = |ci: f64, ka_old_min: u64, ka_new_min: u64| {
+            // Case A: warm on old after ka_old_min of keep-alive.
+            let a = m.keepalive_phase(&p.old, mem, ka_old_min * 60_000, ci)
+                + m.active_phase(&p.old, mem, exec_old, ci);
+            // Case B: cold on new after ka_new_min of (expired) keep-alive.
+            let b = m.keepalive_phase(&p.new, mem, ka_new_min * 60_000, ci)
+                + m.active_phase(&p.new, mem, cold_new + exec_new, ci);
+            (a.total_g(), b.total_g())
+        };
+
+        let (a_hi, b_hi) = case(300.0, 15, 10);
+        assert!(a_hi < b_hi, "high CI: case A should save carbon");
+        let (a_lo, b_lo) = case(50.0, 15, 10);
+        let abs_saving_hi = b_hi - a_hi;
+        let abs_saving_lo = b_lo - a_lo;
+        assert!(
+            abs_saving_lo < abs_saving_hi,
+            "saving at CI=50 ({abs_saving_lo:.4} g) should shrink vs CI=300 ({abs_saving_hi:.4} g)"
+        );
+    }
+}

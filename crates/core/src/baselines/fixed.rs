@@ -1,0 +1,102 @@
+//! `New-Only` / `Old-Only`: single-generation execution with the
+//! OpenWhisk-style fixed 10-minute keep-alive (Sec. V).
+//!
+//! "Utilizing multi-generation hardware to keep functions alive is not a
+//! feature introduced in either the New-Only or Old-Only scheme" — these
+//! policies never look at the other generation and never adjust the warm
+//! pool (overflows simply drop the keep-alive).
+
+use ecolife_hw::Generation;
+use ecolife_sim::{Decision, InvocationCtx, KeepAliveChoice, Scheduler, MINUTE_MS};
+
+/// A fixed single-generation policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy {
+    generation: Generation,
+    keepalive_min: u64,
+}
+
+impl FixedPolicy {
+    pub fn new(generation: Generation, keepalive_min: u64) -> Self {
+        FixedPolicy {
+            generation,
+            keepalive_min,
+        }
+    }
+
+    /// The paper's `New-Only` scheme: new hardware, 10-minute keep-alive.
+    pub fn new_only() -> Self {
+        FixedPolicy::new(Generation::New, 10)
+    }
+
+    /// The paper's `Old-Only` scheme.
+    pub fn old_only() -> Self {
+        FixedPolicy::new(Generation::Old, 10)
+    }
+
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+}
+
+impl Scheduler for FixedPolicy {
+    fn name(&self) -> &'static str {
+        match self.generation {
+            Generation::New => "New-Only",
+            Generation::Old => "Old-Only",
+        }
+    }
+
+    fn decide(&mut self, _ctx: &InvocationCtx<'_>) -> Decision {
+        Decision {
+            exec: self.generation,
+            keepalive: (self.keepalive_min > 0).then_some(KeepAliveChoice {
+                location: self.generation,
+                duration_ms: self.keepalive_min * MINUTE_MS,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolife_carbon::CarbonIntensityTrace;
+    use ecolife_hw::skus;
+    use ecolife_sim::Simulation;
+    use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
+
+    #[test]
+    fn names_and_generations() {
+        assert_eq!(FixedPolicy::new_only().name(), "New-Only");
+        assert_eq!(FixedPolicy::old_only().name(), "Old-Only");
+        assert_eq!(FixedPolicy::new_only().generation(), Generation::New);
+    }
+
+    #[test]
+    fn old_only_never_touches_new_hardware() {
+        let trace = SynthTraceConfig::small(3).generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::constant(200.0, 120);
+        let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut FixedPolicy::old_only());
+        assert!(m.records.iter().all(|r| r.exec_location == Generation::Old));
+    }
+
+    #[test]
+    fn new_only_is_faster_but_dirtier_than_old_only() {
+        // The Fig. 9 relationship: Old-Only saves carbon at a service-time
+        // cost; New-Only is fast but pays keep-alive carbon on new silicon.
+        let trace = SynthTraceConfig {
+            n_functions: 16,
+            duration_min: 120,
+            ..SynthTraceConfig::small(5)
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::constant(300.0, 180);
+        let m_new =
+            Simulation::new(&trace, &ci, skus::pair_a()).run(&mut FixedPolicy::new_only());
+        let m_old =
+            Simulation::new(&trace, &ci, skus::pair_a()).run(&mut FixedPolicy::old_only());
+        assert!(m_new.total_service_ms() < m_old.total_service_ms());
+        assert!(m_new.total_carbon_g() > m_old.total_carbon_g());
+    }
+}

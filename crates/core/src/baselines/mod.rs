@@ -1,0 +1,4 @@
+//! The comparison schemes of Sec. V.
+
+pub mod fixed;
+pub mod oracle;

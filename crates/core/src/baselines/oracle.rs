@@ -1,0 +1,470 @@
+//! The infeasible brute-force baselines: `Oracle`, `CO2-Opt`,
+//! `Service-Time-Opt`, and `Energy-Opt` (Sec. V).
+//!
+//! "These solutions utilize heterogeneous hardware and present the
+//! theoretical upper bounds, which are computed via brute-forcing every
+//! possible scheduling option for each function invocation." Concretely:
+//! the baseline is granted the next-arrival gap of every invocation (from
+//! the trace) and the full carbon-intensity series, and per invocation it
+//! enumerates every (location, keep-alive) choice, scoring each with
+//! exact future knowledge:
+//!
+//! * the next invocation is warm iff the gap lands inside the keep-alive
+//!   window;
+//! * the keep-alive is charged for exactly `min(gap_after_service, k)`;
+//! * `Oracle` minimizes the joint λs/λc objective, `CO2-Opt` raw grams,
+//!   `Service-Time-Opt` raw milliseconds, `Energy-Opt` raw kWh.
+//!
+//! Under memory pressure the brute-force baselines also use the priority
+//! warm-pool adjustment (they are upper bounds; handicapping them with
+//! naive drops would flatter EcoLife).
+
+use crate::objective::CostModel;
+use crate::warmpool::priority_adjustment;
+use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
+use ecolife_hw::{Generation, HardwarePair};
+use ecolife_sim::{
+    Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler, MINUTE_MS,
+};
+use ecolife_trace::{Trace, WorkloadCatalog};
+
+/// What a brute-force baseline minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptTarget {
+    /// λs/λc joint objective — the `Oracle`.
+    Joint,
+    /// Total carbon (g) — `CO2-Opt`.
+    Carbon,
+    /// Total service time (ms) — `Service-Time-Opt`.
+    ServiceTime,
+    /// Total energy (kWh) — `Energy-Opt`.
+    Energy,
+}
+
+/// A brute-force baseline scheduler.
+pub struct BruteForce {
+    target: OptTarget,
+    cost: CostModel,
+    ci: CarbonIntensityTrace,
+    grid_min: Vec<u64>,
+    /// Next-arrival gap per invocation index (filled in `prepare`).
+    gaps: Vec<Option<u64>>,
+    catalog: WorkloadCatalog,
+    restrict: Option<Generation>,
+}
+
+impl BruteForce {
+    pub fn new(
+        target: OptTarget,
+        pair: HardwarePair,
+        ci: CarbonIntensityTrace,
+        grid_min: Vec<u64>,
+    ) -> Self {
+        assert!(grid_min.len() >= 2 && grid_min[0] == 0);
+        let max_k_ms = *grid_min.last().unwrap() * MINUTE_MS;
+        let cost = CostModel::new(
+            pair,
+            CarbonModel::default(),
+            0.5,
+            0.5,
+            ecolife_sim::SimConfig::default().setup_delay_ms,
+            max_k_ms,
+        );
+        BruteForce {
+            target,
+            cost,
+            ci,
+            grid_min,
+            gaps: Vec::new(),
+            catalog: WorkloadCatalog::default(),
+            restrict: None,
+        }
+    }
+
+    /// Use a non-default carbon model (robustness studies).
+    pub fn with_carbon_model(mut self, carbon: CarbonModel) -> Self {
+        let pair = self.cost.pair().clone();
+        let max_k_ms = *self.grid_min.last().unwrap() * MINUTE_MS;
+        self.cost = CostModel::new(
+            pair,
+            carbon,
+            0.5,
+            0.5,
+            ecolife_sim::SimConfig::default().setup_delay_ms,
+            max_k_ms,
+        );
+        self
+    }
+
+    /// Restrict to one generation (used for sanity experiments).
+    pub fn restricted_to(mut self, generation: Generation) -> Self {
+        self.restrict = Some(generation);
+        self
+    }
+
+    /// The Oracle with the default 0–10-minute grid.
+    pub fn oracle(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::Joint, pair, ci, (0..=10).collect())
+    }
+
+    pub fn co2_opt(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::Carbon, pair, ci, (0..=10).collect())
+    }
+
+    pub fn service_time_opt(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::ServiceTime, pair, ci, (0..=10).collect())
+    }
+
+    pub fn energy_opt(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::Energy, pair, ci, (0..=10).collect())
+    }
+
+    fn allowed_locations(&self) -> &[Generation] {
+        match self.restrict {
+            Some(Generation::Old) => &[Generation::Old],
+            Some(Generation::New) => &[Generation::New],
+            None => &Generation::ALL,
+        }
+    }
+
+    /// Pick the execution location for a cold start under this target.
+    fn exec_choice(&self, ctx: &InvocationCtx<'_>) -> Generation {
+        let f = ctx.profile;
+        let ci = ctx.ci_now;
+        let score = |r: Generation| -> f64 {
+            match self.target {
+                OptTarget::Joint => self.cost.epdm_score(r, f, ci),
+                OptTarget::Carbon => self.cost.cold_service_carbon_g(r, f, ci),
+                OptTarget::ServiceTime => self.cost.cold_service_ms(r, f) as f64,
+                OptTarget::Energy => self.cost.service_energy_kwh(r, f, false),
+            }
+        };
+        *self
+            .allowed_locations()
+            .iter()
+            .min_by(|a, b| score(**a).partial_cmp(&score(**b)).unwrap())
+            .unwrap()
+    }
+
+    /// Score a keep-alive option with exact future knowledge.
+    ///
+    /// `service_end` is when the container would become warm; `gap` the
+    /// exact time to this function's next arrival (from the current
+    /// arrival), `None` for the last occurrence.
+    fn keepalive_score(
+        &self,
+        ctx: &InvocationCtx<'_>,
+        service_end: u64,
+        gap: Option<u64>,
+        l: Generation,
+        k_ms: u64,
+    ) -> f64 {
+        let f = ctx.profile;
+        // How long would the container actually sit warm?
+        let (resident_ms, warm_next) = match gap {
+            None => (k_ms, false),
+            Some(g) => {
+                let next_t = ctx.t_ms + g;
+                if next_t < service_end {
+                    // Next arrival lands during our own service: the
+                    // container is not warm yet, the start is cold, and
+                    // the keep-alive then runs its full course.
+                    (k_ms, false)
+                } else {
+                    let gap_from_end = next_t - service_end;
+                    if k_ms > 0 && gap_from_end < k_ms {
+                        (gap_from_end, true)
+                    } else {
+                        (k_ms, false)
+                    }
+                }
+            }
+        };
+
+        let ci_ka = if resident_ms > 0 {
+            self.ci.average_over(service_end, service_end + resident_ms)
+        } else {
+            ctx.ci_now
+        };
+        let ci_next = match gap {
+            Some(g) => self.ci.at(ctx.t_ms + g),
+            None => ctx.ci_now,
+        };
+
+        let kc_g = self.cost.keepalive_carbon_g(l, f, resident_ms, ci_ka);
+        let ka_energy = self.cost.keepalive_energy_kwh(l, f, resident_ms);
+
+        // Next invocation's service under this choice.
+        let (s_next_ms, sc_next_g, e_next_kwh) = if gap.is_none() {
+            (0.0, 0.0, 0.0)
+        } else if warm_next {
+            (
+                self.cost.warm_service_ms(l, f) as f64,
+                self.cost.warm_service_carbon_g(l, f, ci_next),
+                self.cost.service_energy_kwh(l, f, true),
+            )
+        } else {
+            // Cold next start: it will execute wherever this target's
+            // placement rule puts it.
+            let r = {
+                let score = |r: Generation| -> f64 {
+                    match self.target {
+                        OptTarget::Joint => self.cost.epdm_score(r, f, ci_next),
+                        OptTarget::Carbon => self.cost.cold_service_carbon_g(r, f, ci_next),
+                        OptTarget::ServiceTime => self.cost.cold_service_ms(r, f) as f64,
+                        OptTarget::Energy => self.cost.service_energy_kwh(r, f, false),
+                    }
+                };
+                *self
+                    .allowed_locations()
+                    .iter()
+                    .min_by(|a, b| score(**a).partial_cmp(&score(**b)).unwrap())
+                    .unwrap()
+            };
+            (
+                self.cost.cold_service_ms(r, f) as f64,
+                self.cost.cold_service_carbon_g(r, f, ci_next),
+                self.cost.service_energy_kwh(r, f, false),
+            )
+        };
+
+        match self.target {
+            OptTarget::Joint => {
+                self.cost.lambda_s * s_next_ms / self.cost.s_max(f)
+                    + self.cost.lambda_c * sc_next_g / self.cost.sc_max(f, ctx.ci_now)
+                    + self.cost.lambda_c * kc_g / self.cost.kc_max(f, ctx.ci_now)
+            }
+            OptTarget::Carbon => sc_next_g + kc_g,
+            OptTarget::ServiceTime => {
+                // Pure service time, with an infinitesimal carbon
+                // tie-break so equal-service options don't burn pool
+                // memory arbitrarily.
+                s_next_ms + 1e-9 * (sc_next_g + kc_g)
+            }
+            OptTarget::Energy => e_next_kwh + ka_energy,
+        }
+    }
+}
+
+impl Scheduler for BruteForce {
+    fn name(&self) -> &'static str {
+        match self.target {
+            OptTarget::Joint => "Oracle",
+            OptTarget::Carbon => "CO2-Opt",
+            OptTarget::ServiceTime => "Service-Time-Opt",
+            OptTarget::Energy => "Energy-Opt",
+        }
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        self.gaps = trace.next_arrival_gaps();
+        self.catalog = trace.catalog().clone();
+    }
+
+    fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+        let exec = self.exec_choice(ctx);
+        let gap = self.gaps.get(ctx.index).copied().flatten();
+
+        // Exact service duration of *this* invocation (mirrors the
+        // engine's computation) to anchor the keep-alive window.
+        let service_ms = match ctx.warm_at {
+            Some(l) => self.cost.warm_service_ms(l, ctx.profile),
+            None => self.cost.cold_service_ms(exec, ctx.profile),
+        };
+        let service_end = ctx.t_ms + service_ms;
+
+        // Brute-force every (location, period) choice.
+        let mut best: Option<(f64, Generation, u64)> = None;
+        for &l in self.allowed_locations() {
+            for &k_min in &self.grid_min {
+                let k_ms = k_min * MINUTE_MS;
+                let score = self.keepalive_score(ctx, service_end, gap, l, k_ms);
+                if best.map(|(s, _, _)| score < s).unwrap_or(true) {
+                    best = Some((score, l, k_ms));
+                }
+            }
+        }
+        let (_, ka_loc, ka_ms) = best.expect("non-empty choice grid");
+
+        Decision {
+            exec,
+            keepalive: (ka_ms > 0).then_some(KeepAliveChoice {
+                location: ka_loc,
+                duration_ms: ka_ms,
+            }),
+        }
+    }
+
+    fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
+        OverflowAction::Adjust(priority_adjustment(&self.cost, &self.catalog, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolife_sim::Simulation;
+    use ecolife_trace::{FunctionId, Invocation, SynthTraceConfig};
+
+    use ecolife_hw::skus;
+
+    fn trace() -> Trace {
+        SynthTraceConfig {
+            n_functions: 12,
+            duration_min: 90,
+            ..SynthTraceConfig::small(21)
+        }
+        .generate(&WorkloadCatalog::sebs())
+    }
+
+    fn ci() -> CarbonIntensityTrace {
+        CarbonIntensityTrace::synthetic(ecolife_carbon::Region::Caiso, 180, 5)
+    }
+
+    fn run(target: OptTarget, trace: &Trace, ci: &CarbonIntensityTrace) -> ecolife_sim::RunMetrics {
+        let pair = skus::pair_a();
+        let mut s = BruteForce::new(target, pair.clone(), ci.clone(), (0..=10).collect());
+        Simulation::new(trace, ci, pair).run(&mut s)
+    }
+
+    #[test]
+    fn names() {
+        let pair = skus::pair_a();
+        let c = CarbonIntensityTrace::constant(100.0, 10);
+        assert_eq!(BruteForce::oracle(pair.clone(), c.clone()).name(), "Oracle");
+        assert_eq!(BruteForce::co2_opt(pair.clone(), c.clone()).name(), "CO2-Opt");
+        assert_eq!(
+            BruteForce::service_time_opt(pair.clone(), c.clone()).name(),
+            "Service-Time-Opt"
+        );
+        assert_eq!(BruteForce::energy_opt(pair, c).name(), "Energy-Opt");
+    }
+
+    #[test]
+    fn service_time_opt_dominates_service_time() {
+        let t = trace();
+        let c = ci();
+        let st = run(OptTarget::ServiceTime, &t, &c);
+        for target in [OptTarget::Joint, OptTarget::Carbon, OptTarget::Energy] {
+            let other = run(target, &t, &c);
+            assert!(
+                st.total_service_ms() <= other.total_service_ms(),
+                "{target:?} beat Service-Time-Opt on service time"
+            );
+        }
+    }
+
+    #[test]
+    fn co2_opt_dominates_carbon() {
+        let t = trace();
+        let c = ci();
+        let co2 = run(OptTarget::Carbon, &t, &c);
+        for target in [OptTarget::Joint, OptTarget::ServiceTime, OptTarget::Energy] {
+            let other = run(target, &t, &c);
+            assert!(
+                co2.total_carbon_g() <= other.total_carbon_g() * 1.001,
+                "{target:?} beat CO2-Opt on carbon: {} vs {}",
+                other.total_carbon_g(),
+                co2.total_carbon_g()
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_sits_between_the_single_objective_opts() {
+        let t = trace();
+        let c = ci();
+        let oracle = run(OptTarget::Joint, &t, &c);
+        let st = run(OptTarget::ServiceTime, &t, &c);
+        let co2 = run(OptTarget::Carbon, &t, &c);
+        assert!(oracle.total_service_ms() >= st.total_service_ms());
+        assert!(oracle.total_carbon_g() >= co2.total_carbon_g() * 0.999);
+    }
+
+    #[test]
+    fn energy_opt_is_not_carbon_opt() {
+        // Fig. 4's point: Energy-Opt overlooks embodied carbon and CI
+        // variation, landing away from CO2-Opt.
+        let t = trace();
+        let c = ci();
+        let energy = run(OptTarget::Energy, &t, &c);
+        let co2 = run(OptTarget::Carbon, &t, &c);
+        assert!(energy.total_carbon_g() >= co2.total_carbon_g());
+        assert!(energy.total_energy_kwh() <= co2.total_energy_kwh() * 1.001);
+    }
+
+    #[test]
+    fn oracle_converts_known_regular_arrivals_into_warm_starts() {
+        let catalog = WorkloadCatalog::sebs();
+        let (vid, _) = catalog.by_name("220.video-processing").unwrap();
+        let invocations: Vec<Invocation> = (0..20)
+            .map(|i| Invocation {
+                func: vid,
+                t_ms: i * 3 * MINUTE_MS,
+            })
+            .collect();
+        let t = Trace::new(catalog, invocations);
+        let c = CarbonIntensityTrace::constant(300.0, 120);
+        let m = run(OptTarget::Joint, &t, &c);
+        // Every re-invocation (19 of 20) must be warm: the oracle knows
+        // the 3-minute gap and the grid offers 3+ minutes.
+        assert_eq!(m.warm_starts(), 19);
+    }
+
+    #[test]
+    fn last_invocation_gets_no_keepalive_from_carbon_opt() {
+        // With no future arrival, any keep-alive is pure carbon waste —
+        // CO2-Opt must choose none.
+        let catalog = WorkloadCatalog::sebs();
+        let (vid, _) = catalog.by_name("220.video-processing").unwrap();
+        let t = Trace::new(
+            catalog,
+            vec![Invocation {
+                func: vid,
+                t_ms: 0,
+            }],
+        );
+        let c = CarbonIntensityTrace::constant(300.0, 60);
+        let m = run(OptTarget::Carbon, &t, &c);
+        assert_eq!(m.total_keepalive_carbon_g(), 0.0);
+    }
+
+    #[test]
+    fn restriction_is_respected() {
+        let t = trace();
+        let c = ci();
+        let pair = skus::pair_a();
+        let mut s = BruteForce::oracle(pair.clone(), c.clone()).restricted_to(Generation::Old);
+        let m = Simulation::new(&t, &c, pair).run(&mut s);
+        assert!(m
+            .records
+            .iter()
+            .all(|r| r.exec_location == Generation::Old));
+    }
+
+    #[test]
+    fn gap_indexing_matches_trace_positions() {
+        // Two interleaved functions: gaps must be per-function, not global.
+        let catalog = WorkloadCatalog::sebs();
+        let a = FunctionId(0);
+        let b = FunctionId(1);
+        let t = Trace::new(
+            catalog,
+            vec![
+                Invocation { func: a, t_ms: 0 },
+                Invocation {
+                    func: b,
+                    t_ms: 1_000,
+                },
+                Invocation {
+                    func: a,
+                    t_ms: 4 * MINUTE_MS,
+                },
+            ],
+        );
+        let c = CarbonIntensityTrace::constant(300.0, 60);
+        let m = run(OptTarget::Joint, &t, &c);
+        // Function a's second start must be warm (gap 4 min ≤ 10-min max).
+        assert!(m.records[2].warm);
+    }
+}

@@ -1,0 +1,147 @@
+//! EcoLife configuration.
+
+use ecolife_hw::Generation;
+use ecolife_pso::DpsoConfig;
+
+/// All knobs of the EcoLife scheduler. Defaults reproduce the paper's
+/// setup (Sec. V): λs = λc = 0.5, 15 particles, ω ∈ [0.5, 1],
+/// c1, c2 ∈ [0.3, 1], keep-alive grid 0–10 minutes.
+#[derive(Debug, Clone)]
+pub struct EcoLifeConfig {
+    /// Service-time weight λs.
+    pub lambda_s: f64,
+    /// Carbon weight λc.
+    pub lambda_c: f64,
+    /// Keep-alive period choices, in minutes; must start with 0
+    /// ("no keep-alive") and be strictly increasing.
+    pub keepalive_grid_min: Vec<u64>,
+    /// PSO iterations run per keep-alive decision.
+    pub pso_iters: usize,
+    /// Dynamic-PSO (adaptive weights + perception–response). Disabling
+    /// this is the Fig. 10 ablation ("EcoLife w/o DPSO").
+    pub dynamic_pso: bool,
+    /// Warm-pool adjustment (priority eviction + cross-pool transfer).
+    /// Disabling this is the Fig. 11 ablation.
+    pub warm_pool_adjustment: bool,
+    /// Restrict to a single generation: `Some(Old)` = Eco-Old,
+    /// `Some(New)` = Eco-New (Fig. 12).
+    pub restrict_to: Option<Generation>,
+    /// Underlying (D)PSO parameters.
+    pub dpso: DpsoConfig,
+    /// ΔF observation window (ms).
+    pub delta_f_window_ms: u64,
+    /// Base RNG seed; each function's swarm derives its own.
+    pub seed: u64,
+}
+
+impl Default for EcoLifeConfig {
+    fn default() -> Self {
+        EcoLifeConfig {
+            lambda_s: 0.5,
+            lambda_c: 0.5,
+            keepalive_grid_min: (0..=10).collect(),
+            pso_iters: 8,
+            dynamic_pso: true,
+            warm_pool_adjustment: true,
+            restrict_to: None,
+            dpso: DpsoConfig::default(),
+            delta_f_window_ms: 5 * 60_000,
+            seed: 0xEC0_11FE,
+        }
+    }
+}
+
+impl EcoLifeConfig {
+    /// Validate invariants; called by the scheduler constructor.
+    pub fn validate(&self) {
+        assert!(self.lambda_s >= 0.0 && self.lambda_c >= 0.0);
+        assert!(
+            self.lambda_s + self.lambda_c > 0.0,
+            "at least one optimization weight must be positive"
+        );
+        assert!(
+            self.keepalive_grid_min.len() >= 2,
+            "keep-alive grid needs ≥2 entries"
+        );
+        assert_eq!(
+            self.keepalive_grid_min[0], 0,
+            "grid must include the no-keep-alive choice"
+        );
+        assert!(
+            self.keepalive_grid_min.windows(2).all(|w| w[0] < w[1]),
+            "grid must be strictly increasing"
+        );
+        assert!(self.pso_iters > 0);
+    }
+
+    /// The Fig. 10 ablation variant.
+    pub fn without_dynamic_pso(mut self) -> Self {
+        self.dynamic_pso = false;
+        self
+    }
+
+    /// The Fig. 11 ablation variant.
+    pub fn without_warm_pool_adjustment(mut self) -> Self {
+        self.warm_pool_adjustment = false;
+        self
+    }
+
+    /// The Fig. 12 single-generation variants.
+    pub fn restricted_to(mut self, generation: Generation) -> Self {
+        self.restrict_to = Some(generation);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = EcoLifeConfig::default();
+        assert_eq!(c.lambda_s, 0.5);
+        assert_eq!(c.lambda_c, 0.5);
+        assert_eq!(c.keepalive_grid_min, (0..=10).collect::<Vec<_>>());
+        assert_eq!(c.dpso.base.n_particles, 15);
+        assert!(c.dynamic_pso);
+        assert!(c.warm_pool_adjustment);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_builders() {
+        assert!(!EcoLifeConfig::default().without_dynamic_pso().dynamic_pso);
+        assert!(
+            !EcoLifeConfig::default()
+                .without_warm_pool_adjustment()
+                .warm_pool_adjustment
+        );
+        assert_eq!(
+            EcoLifeConfig::default()
+                .restricted_to(Generation::Old)
+                .restrict_to,
+            Some(Generation::Old)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no-keep-alive")]
+    fn grid_must_start_at_zero() {
+        let c = EcoLifeConfig {
+            keepalive_grid_min: vec![1, 2, 3],
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn grid_must_increase() {
+        let c = EcoLifeConfig {
+            keepalive_grid_min: vec![0, 5, 5],
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

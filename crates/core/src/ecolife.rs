@@ -1,0 +1,387 @@
+//! The EcoLife scheduler (Sec. IV, Algorithm 1).
+//!
+//! Per invocation:
+//!
+//! 1. **EPDM** picks the execution location (forced to the warm location
+//!    when a warm container exists; otherwise the `fscore`-minimizing
+//!    generation).
+//! 2. The per-function predictor is updated with the arrival, producing
+//!    the ΔF signal; the global carbon-intensity delta produces ΔCI.
+//! 3. **KDM**: the function's Dynamic PSO perceives (ΔF, ΔCI) — adapting
+//!    its weights and redistributing half the swarm on change — then runs
+//!    a few iterations of the expected-objective fitness and emits the
+//!    keep-alive (location, period) from its global best.
+//! 4. On pool overflow, the **warm-pool adjustment** ranks residents and
+//!    the incoming container by keep-alive benefit density and displaces
+//!    the losers toward the other generation.
+
+use crate::config::EcoLifeConfig;
+use crate::objective::CostModel;
+use crate::predictor::FunctionPredictor;
+use crate::warmpool::priority_adjustment_weighted;
+use ecolife_carbon::CarbonModel;
+use ecolife_hw::{Generation, HardwarePair};
+use ecolife_pso::space::decode;
+use ecolife_pso::{DpsoConfig, DynamicPso, Optimizer, PsoConfig, SearchSpace};
+use ecolife_sim::{
+    Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler, MINUTE_MS,
+};
+use ecolife_trace::stats::SignalDelta;
+use ecolife_trace::{FunctionId, Trace, WorkloadCatalog};
+use std::collections::HashMap;
+
+/// Per-function KDM state: the preserved optimizer plus the predictor.
+struct FunctionState {
+    swarm: DynamicPso,
+    predictor: FunctionPredictor,
+}
+
+/// The EcoLife scheduler.
+pub struct EcoLife {
+    config: EcoLifeConfig,
+    cost: CostModel,
+    catalog: WorkloadCatalog,
+    states: HashMap<FunctionId, FunctionState>,
+    ci_delta: SignalDelta,
+    last_ci_observation_t: Option<u64>,
+}
+
+impl EcoLife {
+    /// Build the scheduler for a hardware pair. `catalog` must be the
+    /// trace's catalog (needed for warm-pool ranking of resident
+    /// containers); `prepare` re-captures it from the trace as a guard.
+    pub fn new(pair: HardwarePair, config: EcoLifeConfig) -> Self {
+        Self::with_carbon_model(pair, config, CarbonModel::default())
+    }
+
+    /// Variant with an explicit carbon model (robustness studies).
+    pub fn with_carbon_model(
+        pair: HardwarePair,
+        config: EcoLifeConfig,
+        carbon: CarbonModel,
+    ) -> Self {
+        config.validate();
+        let max_k_ms = *config.keepalive_grid_min.last().unwrap() * MINUTE_MS;
+        let cost = CostModel::new(
+            pair,
+            carbon,
+            config.lambda_s,
+            config.lambda_c,
+            ecolife_sim::SimConfig::default().setup_delay_ms,
+            max_k_ms,
+        );
+        EcoLife {
+            config,
+            cost,
+            catalog: WorkloadCatalog::default(),
+            states: HashMap::new(),
+            ci_delta: SignalDelta::new(),
+            last_ci_observation_t: None,
+        }
+    }
+
+    /// The cost model in use (exposed for the benches' analysis).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of per-function optimizers currently alive.
+    pub fn tracked_functions(&self) -> usize {
+        self.states.len()
+    }
+
+    fn state_for(&mut self, func: FunctionId) -> &mut FunctionState {
+        let config = &self.config;
+        self.states.entry(func).or_insert_with(|| {
+            let dpso_cfg = DpsoConfig {
+                base: PsoConfig {
+                    // Independent, deterministic swarm per function.
+                    seed: config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(func.0 as u64 + 1)),
+                    ..config.dpso.base
+                },
+                ..config.dpso
+            };
+            FunctionState {
+                swarm: DynamicPso::new(
+                    SearchSpace::ecolife(config.keepalive_grid_min.len()),
+                    dpso_cfg,
+                ),
+                predictor: FunctionPredictor::new(config.delta_f_window_ms),
+            }
+        })
+    }
+
+    fn decode_choice(&self, x: &[f64]) -> (Generation, u64) {
+        let l = match self.config.restrict_to {
+            Some(g) => g,
+            None => {
+                if decode::location_is_new(x[0]) {
+                    Generation::New
+                } else {
+                    Generation::Old
+                }
+            }
+        };
+        let idx = decode::period_index(x[1], self.config.keepalive_grid_min.len());
+        (l, self.config.keepalive_grid_min[idx] * MINUTE_MS)
+    }
+}
+
+impl Scheduler for EcoLife {
+    fn name(&self) -> &'static str {
+        "EcoLife"
+    }
+
+    fn prepare(&mut self, trace: &Trace) {
+        self.catalog = trace.catalog().clone();
+        self.states.clear();
+        self.ci_delta = SignalDelta::new();
+        self.last_ci_observation_t = None;
+    }
+
+    fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+        // Global ΔCI perception: one observation per minute of simulated
+        // time (carbon intensity is a minute-resolution signal).
+        let minute = ctx.t_ms / MINUTE_MS;
+        if self.last_ci_observation_t != Some(minute) {
+            self.ci_delta.observe(ctx.ci_now);
+            self.last_ci_observation_t = Some(minute);
+        }
+        let dci = self.ci_delta.normalized_delta();
+
+        let restrict = self.config.restrict_to;
+        let exec = self.cost.epdm_choice(ctx.profile, ctx.ci_now, restrict);
+
+        // Update the arrival model *before* optimizing: the gap that just
+        // closed is the freshest evidence about this function's rhythm.
+        let dynamic = self.config.dynamic_pso;
+        let iters = self.config.pso_iters;
+        let grid_len = self.config.keepalive_grid_min.len();
+        let grid = self.config.keepalive_grid_min.clone();
+        let cost = self.cost.clone();
+        let profile = ctx.profile.clone();
+        let ci_now = ctx.ci_now;
+
+        let state = self.state_for(ctx.func);
+        state.predictor.record_arrival(ctx.t_ms);
+        let df = state.predictor.delta_f();
+
+        // Snapshot the predictor's answers over the whole grid so the
+        // fitness closure has no borrow of `state`.
+        let p_warm: Vec<f64> = grid
+            .iter()
+            .map(|&m| state.predictor.p_warm(m * MINUTE_MS))
+            .collect();
+        let resident: Vec<f64> = grid
+            .iter()
+            .map(|&m| state.predictor.expected_resident_ms(m * MINUTE_MS))
+            .collect();
+
+        let fitness = move |x: &[f64]| -> f64 {
+            let l = match restrict {
+                Some(g) => g,
+                None => {
+                    if decode::location_is_new(x[0]) {
+                        Generation::New
+                    } else {
+                        Generation::Old
+                    }
+                }
+            };
+            let idx = decode::period_index(x[1], grid_len);
+            let k_ms = grid[idx] * MINUTE_MS;
+            cost.expected_objective(
+                &profile,
+                l,
+                k_ms,
+                p_warm[idx],
+                resident[idx],
+                ci_now,
+                restrict,
+            )
+        };
+
+        if dynamic {
+            state.swarm.perceive(df, dci);
+            // Perception-response includes re-anchoring: the environment
+            // (CI, arrival stats) moved since the last invocation, so the
+            // recorded global best is re-evaluated under today's fitness.
+            // A vanilla swarm (the Fig. 10 ablation) keeps its stale
+            // anchor — exactly why it gets stuck when the optimum moves.
+            state.swarm.refresh_gbest(&fitness);
+        }
+        for _ in 0..iters {
+            state.swarm.step(&fitness);
+        }
+
+        let best = state.swarm.best_position().to_vec();
+        let (ka_loc, ka_ms) = self.decode_choice(&best);
+
+        Decision {
+            exec,
+            keepalive: (ka_ms > 0).then_some(KeepAliveChoice {
+                location: ka_loc,
+                duration_ms: ka_ms,
+            }),
+        }
+    }
+
+    fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
+        if !self.config.warm_pool_adjustment {
+            return OverflowAction::Drop;
+        }
+        // Rank candidates by benefit × P(reuse within 5 minutes): the
+        // online predictor distinguishes drumbeat functions from ones
+        // that have gone quiet.
+        let states = &self.states;
+        let weight = |func: FunctionId| -> f64 {
+            states
+                .get(&func)
+                .map(|s| s.predictor.p_warm(5 * MINUTE_MS))
+                .unwrap_or(0.75)
+        };
+        OverflowAction::Adjust(priority_adjustment_weighted(
+            &self.cost,
+            &self.catalog,
+            ctx,
+            &weight,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolife_carbon::CarbonIntensityTrace;
+    use ecolife_hw::skus;
+    use ecolife_sim::Simulation;
+    use ecolife_trace::{Invocation, SynthTraceConfig};
+
+    fn small_trace() -> Trace {
+        SynthTraceConfig::small(7).generate(&WorkloadCatalog::sebs())
+    }
+
+    #[test]
+    fn runs_end_to_end_on_synthetic_trace() {
+        let trace = small_trace();
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        let mut eco = EcoLife::new(skus::pair_a(), EcoLifeConfig::default());
+        let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut eco);
+        assert_eq!(m.invocations(), trace.len());
+        assert!(m.total_carbon_g() > 0.0);
+        assert!(eco.tracked_functions() > 0);
+    }
+
+    #[test]
+    fn repeated_invocations_earn_warm_starts() {
+        // A function invoked every 2 minutes: EcoLife must learn to keep
+        // it alive and convert most starts to warm.
+        let catalog = WorkloadCatalog::sebs();
+        let (vid, _) = catalog.by_name("220.video-processing").unwrap();
+        let invocations: Vec<Invocation> = (0..30)
+            .map(|i| Invocation {
+                func: vid,
+                t_ms: i * 2 * MINUTE_MS,
+            })
+            .collect();
+        let trace = Trace::new(catalog, invocations);
+        let ci = CarbonIntensityTrace::constant(300.0, 120);
+        let mut eco = EcoLife::new(skus::pair_a(), EcoLifeConfig::default());
+        let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut eco);
+        assert!(
+            m.warm_rate() > 0.6,
+            "warm rate {} too low for a regular function",
+            m.warm_rate()
+        );
+    }
+
+    #[test]
+    fn restriction_pins_both_exec_and_keepalive() {
+        let trace = small_trace();
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        for g in Generation::ALL {
+            let mut eco = EcoLife::new(
+                skus::pair_a(),
+                EcoLifeConfig::default().restricted_to(g),
+            );
+            let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut eco);
+            assert!(
+                m.records.iter().all(|r| r.exec_location == g),
+                "restricted run leaked to the other generation"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = small_trace();
+        let ci = CarbonIntensityTrace::synthetic(ecolife_carbon::Region::Caiso, 120, 3);
+        let run = || {
+            let mut eco = EcoLife::new(skus::pair_a(), EcoLifeConfig::default());
+            Simulation::new(&trace, &ci, skus::pair_a()).run(&mut eco)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn ablation_configs_still_run() {
+        let trace = small_trace();
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        for cfg in [
+            EcoLifeConfig::default().without_dynamic_pso(),
+            EcoLifeConfig::default().without_warm_pool_adjustment(),
+        ] {
+            let mut eco = EcoLife::new(skus::pair_a(), cfg);
+            let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut eco);
+            assert_eq!(m.invocations(), trace.len());
+        }
+    }
+
+    #[test]
+    fn warm_pool_adjustment_reduces_evictions_under_pressure() {
+        // Tiny pools: without adjustment, overflows drop keep-alives;
+        // with adjustment, containers are ranked/transferred instead.
+        let trace = SynthTraceConfig {
+            n_functions: 24,
+            duration_min: 90,
+            ..SynthTraceConfig::small(11)
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        // Pools sized so that ranking matters: large enough to hold the
+        // valuable part of the working set, small enough to overflow.
+        let pair = skus::pair_a().with_keepalive_budgets_mib(6 * 1024, 6 * 1024);
+
+        let mut with = EcoLife::new(pair.clone(), EcoLifeConfig::default());
+        let m_with = Simulation::new(&trace, &ci, pair.clone()).run(&mut with);
+        let mut without = EcoLife::new(
+            pair.clone(),
+            EcoLifeConfig::default().without_warm_pool_adjustment(),
+        );
+        let m_without = Simulation::new(&trace, &ci, pair).run(&mut without);
+
+        // The adjustment must engage (cross-pool transfers), cut the
+        // number of functions dropped from the warm pools, and not pay
+        // for it in service time or more than marginal keep-alive carbon
+        // (it deliberately keeps more containers warm).
+        assert!(m_with.transfers > 0, "adjustment never engaged");
+        assert!(
+            m_with.evicted_functions < m_without.evicted_functions,
+            "adjustment did not reduce evictions: {} vs {}",
+            m_with.evicted_functions,
+            m_without.evicted_functions
+        );
+        assert!(
+            m_with.total_service_ms() as f64 <= 1.02 * m_without.total_service_ms() as f64,
+            "adjustment degraded service: {} vs {}",
+            m_with.total_service_ms(),
+            m_without.total_service_ms()
+        );
+        assert!(
+            m_with.total_carbon_g() <= 1.05 * m_without.total_carbon_g(),
+            "adjustment degraded carbon badly"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # ecolife-core — the EcoLife scheduler and its baselines
+//!
+//! The paper's primary contribution (Sec. IV): a carbon-aware serverless
+//! scheduler that co-optimizes service time and carbon footprint on
+//! multi-generation hardware by choosing, per function, a **keep-alive
+//! location** and **keep-alive period** with a per-function Dynamic PSO.
+//!
+//! Components:
+//!
+//! * [`objective`] — the Sec. IV-A objective function and its
+//!   normalization constants, shared by EcoLife's fitness, the EPDM
+//!   score, the warm-pool priority ranking, and the Oracle brute force;
+//! * [`predictor`] — the online inter-arrival model giving `P(warm | k)`
+//!   and `E[min(gap, k)]` without future knowledge;
+//! * [`warmpool`] — the priority-eviction warm-pool adjustment
+//!   (Sec. IV-C, Fig. 6);
+//! * [`ecolife`] — the full scheduler: KDM (one Dynamic PSO per
+//!   function), EPDM, perception–response wiring, Algorithm 1;
+//! * [`baselines`] — every comparison scheme of Sec. V: `Oracle`,
+//!   `CO2-Opt`, `Service-Time-Opt`, `Energy-Opt` (per-invocation brute
+//!   force with future knowledge), `New-Only` / `Old-Only` (fixed 10-min
+//!   OpenWhisk policy), and the `Eco-Old` / `Eco-New` single-generation
+//!   variants;
+//! * [`runner`] — experiment harness: run a scheme, summarize, compare
+//!   against the *-Opt anchors, and fan sweeps out over threads.
+
+pub mod baselines;
+pub mod config;
+pub mod ecolife;
+pub mod objective;
+pub mod predictor;
+pub mod report;
+pub mod runner;
+pub mod warmpool;
+
+pub use baselines::fixed::FixedPolicy;
+pub use baselines::oracle::{BruteForce, OptTarget};
+pub use config::EcoLifeConfig;
+pub use ecolife::EcoLife;
+pub use objective::CostModel;
+pub use predictor::FunctionPredictor;
+pub use runner::{compare, run_scheme, Comparison, RunSummary};

@@ -1,0 +1,161 @@
+//! Result rendering: turn [`RunSummary`]/[`Comparison`] rows into CSV or
+//! Markdown, so experiment sweeps can be diffed, archived, and pasted
+//! into papers without extra tooling (and without a serialization
+//! dependency — both formats are trivial to emit by hand).
+
+use crate::runner::{Comparison, RunSummary};
+
+/// CSV header matching [`summary_csv_row`].
+pub const SUMMARY_CSV_HEADER: &str = "name,invocations,total_service_ms,mean_service_ms,\
+p95_service_ms,total_carbon_g,operational_g,embodied_g,keepalive_carbon_g,\
+total_energy_kwh,warm_rate,evicted_functions,transfers";
+
+/// One CSV row for a run summary (no trailing newline).
+pub fn summary_csv_row(s: &RunSummary) -> String {
+    format!(
+        "{},{},{},{:.3},{},{:.6},{:.6},{:.6},{:.6},{:.9},{:.4},{},{}",
+        csv_escape(&s.name),
+        s.invocations,
+        s.total_service_ms,
+        s.mean_service_ms,
+        s.p95_service_ms,
+        s.total_carbon_g,
+        s.operational_g,
+        s.embodied_g,
+        s.keepalive_carbon_g,
+        s.total_energy_kwh,
+        s.warm_rate,
+        s.evicted_functions,
+        s.transfers,
+    )
+}
+
+/// Render a full CSV document for a set of summaries.
+pub fn summaries_to_csv(rows: &[RunSummary]) -> String {
+    let mut out = String::with_capacity(128 * (rows.len() + 1));
+    out.push_str(SUMMARY_CSV_HEADER);
+    out.push('\n');
+    for r in rows {
+        out.push_str(&summary_csv_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the Fig. 4/7-style placement table as Markdown.
+pub fn placements_to_markdown(placements: &[Comparison]) -> String {
+    let mut out = String::from(
+        "| scheme | service (% vs Service-Time-Opt) | carbon (% vs CO2-Opt) |\n\
+         |---|---:|---:|\n",
+    );
+    for p in placements {
+        out.push_str(&format!(
+            "| {} | {:+.2} | {:+.2} |\n",
+            p.name, p.service_increase_pct, p.carbon_increase_pct
+        ));
+    }
+    out
+}
+
+/// Render summaries as a Markdown table (the headline columns).
+pub fn summaries_to_markdown(rows: &[RunSummary]) -> String {
+    let mut out = String::from(
+        "| scheme | service (ms) | P95 (ms) | carbon (g) | warm rate | evicted |\n\
+         |---|---:|---:|---:|---:|---:|\n",
+    );
+    for s in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} | {:.3} | {} |\n",
+            s.name,
+            s.total_service_ms,
+            s.p95_service_ms,
+            s.total_carbon_g,
+            s.warm_rate,
+            s.evicted_functions
+        ));
+    }
+    out
+}
+
+/// Quote a CSV field when needed (commas, quotes, newlines).
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(name: &str) -> RunSummary {
+        RunSummary {
+            name: name.to_string(),
+            invocations: 10,
+            total_service_ms: 12_345,
+            mean_service_ms: 1_234.5,
+            p95_service_ms: 3_000,
+            total_carbon_g: 1.25,
+            operational_g: 1.0,
+            embodied_g: 0.25,
+            keepalive_carbon_g: 0.5,
+            total_energy_kwh: 0.004,
+            warm_rate: 0.8,
+            evicted_functions: 2,
+            transfers: 1,
+            decision_overhead_fraction: 0.001,
+        }
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let row = summary_csv_row(&summary("EcoLife"));
+        assert_eq!(
+            row.split(',').count(),
+            SUMMARY_CSV_HEADER.split(',').count()
+        );
+    }
+
+    #[test]
+    fn csv_document_has_header_and_rows() {
+        let doc = summaries_to_csv(&[summary("a"), summary("b")]);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("name,"));
+        assert!(lines[1].starts_with("a,"));
+    }
+
+    #[test]
+    fn csv_escaping_quotes_commas() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let row = summary_csv_row(&summary("x,y"));
+        assert!(row.starts_with("\"x,y\","));
+    }
+
+    #[test]
+    fn markdown_tables_render_every_row() {
+        let md = summaries_to_markdown(&[summary("EcoLife"), summary("Oracle")]);
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.contains("| EcoLife |"));
+        assert!(md.contains("| Oracle |"));
+
+        let placements = vec![
+            Comparison {
+                name: "EcoLife".into(),
+                service_increase_pct: 9.5,
+                carbon_increase_pct: 31.7,
+            },
+            Comparison {
+                name: "Oracle".into(),
+                service_increase_pct: 7.0,
+                carbon_increase_pct: 19.4,
+            },
+        ];
+        let md = placements_to_markdown(&placements);
+        assert!(md.contains("| EcoLife | +9.50 | +31.70 |"));
+    }
+}

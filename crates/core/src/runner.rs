@@ -1,0 +1,216 @@
+//! Experiment harness: run schemes, summarize, and compare — the
+//! machinery every figure reproduction is built from.
+
+use ecolife_carbon::CarbonIntensityTrace;
+use ecolife_hw::HardwarePair;
+use ecolife_sim::metrics::percent_increase;
+use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation};
+use ecolife_trace::Trace;
+
+/// Headline numbers of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    pub name: String,
+    pub invocations: usize,
+    pub total_service_ms: u64,
+    pub mean_service_ms: f64,
+    pub p95_service_ms: u64,
+    pub total_carbon_g: f64,
+    pub operational_g: f64,
+    pub embodied_g: f64,
+    pub keepalive_carbon_g: f64,
+    pub total_energy_kwh: f64,
+    pub warm_rate: f64,
+    pub evicted_functions: u64,
+    pub transfers: u64,
+    pub decision_overhead_fraction: f64,
+}
+
+impl RunSummary {
+    pub fn from_metrics(name: &str, m: &RunMetrics) -> Self {
+        let split = m.carbon_split();
+        RunSummary {
+            name: name.to_string(),
+            invocations: m.invocations(),
+            total_service_ms: m.total_service_ms(),
+            mean_service_ms: m.mean_service_ms(),
+            p95_service_ms: m.service_percentile_ms(0.95),
+            total_carbon_g: m.total_carbon_g(),
+            operational_g: split.operational_g,
+            embodied_g: split.embodied_g,
+            keepalive_carbon_g: m.total_keepalive_carbon_g(),
+            total_energy_kwh: m.total_energy_kwh(),
+            warm_rate: m.warm_rate(),
+            evicted_functions: m.evicted_functions,
+            transfers: m.transfers,
+            decision_overhead_fraction: m.decision_overhead_fraction(),
+        }
+    }
+}
+
+/// Run one scheduler over (trace, CI, pair) with default engine config.
+pub fn run_scheme<S: Scheduler>(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    pair: &HardwarePair,
+    scheduler: &mut S,
+) -> (RunSummary, RunMetrics) {
+    run_scheme_with(trace, ci, pair, scheduler, SimConfig::default())
+}
+
+/// Run with an explicit engine config (robustness studies use non-default
+/// carbon models).
+pub fn run_scheme_with<S: Scheduler>(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    pair: &HardwarePair,
+    scheduler: &mut S,
+    config: SimConfig,
+) -> (RunSummary, RunMetrics) {
+    let metrics = Simulation::new(trace, ci, pair.clone())
+        .with_config(config)
+        .run(scheduler);
+    (RunSummary::from_metrics(scheduler.name(), &metrics), metrics)
+}
+
+/// A scheme's position relative to the two *-Opt anchors — the axes of
+/// Figs. 4, 7, 9: "% increase w.r.t. Service-Time-Opt" and "% increase
+/// w.r.t. CO2-Opt".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub name: String,
+    /// Service-time increase (%) w.r.t. the service anchor.
+    pub service_increase_pct: f64,
+    /// Carbon increase (%) w.r.t. the carbon anchor.
+    pub carbon_increase_pct: f64,
+}
+
+/// Place `scheme` against the service-time and carbon anchors.
+pub fn compare(
+    scheme: &RunSummary,
+    service_anchor: &RunSummary,
+    carbon_anchor: &RunSummary,
+) -> Comparison {
+    Comparison {
+        name: scheme.name.clone(),
+        service_increase_pct: percent_increase(
+            scheme.total_service_ms as f64,
+            service_anchor.total_service_ms as f64,
+        ),
+        carbon_increase_pct: percent_increase(scheme.total_carbon_g, carbon_anchor.total_carbon_g),
+    }
+}
+
+/// Fan independent jobs out over scoped threads and collect results in
+/// input order. Simulations are single-threaded and deterministic; sweeps
+/// (hardware pairs, regions, memory budgets) are embarrassingly parallel.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(inputs.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, input) in results.iter_mut().zip(inputs) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(input));
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::fixed::FixedPolicy;
+    use crate::baselines::oracle::BruteForce;
+    use ecolife_hw::skus;
+    use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
+
+    fn setup() -> (Trace, CarbonIntensityTrace, HardwarePair) {
+        let trace = SynthTraceConfig::small(9).generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        (trace, ci, skus::pair_a())
+    }
+
+    #[test]
+    fn summary_captures_metrics() {
+        let (trace, ci, pair) = setup();
+        let (summary, metrics) = run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only());
+        assert_eq!(summary.name, "New-Only");
+        assert_eq!(summary.invocations, metrics.invocations());
+        assert_eq!(summary.total_service_ms, metrics.total_service_ms());
+        assert!((summary.total_carbon_g - metrics.total_carbon_g()).abs() < 1e-9);
+        assert!(summary.p95_service_ms >= summary.mean_service_ms as u64 / 2);
+        assert!(
+            (summary.operational_g + summary.embodied_g - summary.total_carbon_g).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn comparison_is_zero_against_self() {
+        let (trace, ci, pair) = setup();
+        let (summary, _) = run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only());
+        let c = compare(&summary, &summary, &summary);
+        assert_eq!(c.service_increase_pct, 0.0);
+        assert_eq!(c.carbon_increase_pct, 0.0);
+    }
+
+    #[test]
+    fn anchors_give_nonnegative_increases() {
+        let (trace, ci, pair) = setup();
+        let (st, _) = run_scheme(
+            &trace,
+            &ci,
+            &pair,
+            &mut BruteForce::service_time_opt(pair.clone(), ci.clone()),
+        );
+        let (co2, _) = run_scheme(
+            &trace,
+            &ci,
+            &pair,
+            &mut BruteForce::co2_opt(pair.clone(), ci.clone()),
+        );
+        let (oracle, _) = run_scheme(
+            &trace,
+            &ci,
+            &pair,
+            &mut BruteForce::oracle(pair.clone(), ci.clone()),
+        );
+        let c = compare(&oracle, &st, &co2);
+        assert!(c.service_increase_pct >= -1e-9, "{c:?}");
+        assert!(c.carbon_increase_pct >= -0.1, "{c:?}");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..32).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_runs() {
+        let (trace, ci, pair) = setup();
+        // Wall-clock decision overhead is inherently non-deterministic;
+        // blank it before comparing.
+        let normalize = |mut s: RunSummary| {
+            s.decision_overhead_fraction = 0.0;
+            s
+        };
+        let seq: Vec<RunSummary> = (0..3)
+            .map(|k| {
+                let mut s = FixedPolicy::new(ecolife_hw::Generation::New, k * 5);
+                normalize(run_scheme(&trace, &ci, &pair, &mut s).0)
+            })
+            .collect();
+        let par = parallel_map((0..3).collect(), |k: u64| {
+            let mut s = FixedPolicy::new(ecolife_hw::Generation::New, k * 5);
+            normalize(run_scheme(&trace, &ci, &pair, &mut s).0)
+        });
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,129 @@
+//! DRAM module model: capacity, power, and embodied carbon.
+//!
+//! The paper's carbon model charges a function `f` the `M_f / M_DRAM` share
+//! of both the DRAM's embodied carbon and its operational energy, so the
+//! quantity that actually matters downstream is the *per-GiB* embodied
+//! carbon and the *per-GiB* power draw; both are exposed here.
+
+/// A DRAM configuration attached to a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramModel {
+    /// Vendor-capacity label used by the paper, e.g. `"Micron-512"`.
+    pub name: &'static str,
+    /// Release year of the module generation.
+    pub year: u16,
+    /// Total installed capacity in MiB.
+    pub capacity_mib: u64,
+    /// Power per GiB while a function is actively executing against it (W).
+    pub active_w_per_gib: f64,
+    /// Power per GiB for memory held by a warm (kept-alive) container (W).
+    pub idle_w_per_gib: f64,
+    /// Total embodied carbon of the full module set (gCO2e).
+    pub embodied_g: f64,
+}
+
+impl DramModel {
+    /// Capacity in GiB.
+    #[inline]
+    pub fn capacity_gib(&self) -> f64 {
+        self.capacity_mib as f64 / 1024.0
+    }
+
+    /// Embodied carbon per GiB (gCO2e/GiB). Older DDR generations were
+    /// manufactured on less advanced nodes and carry less embodied carbon
+    /// per gigabyte.
+    #[inline]
+    pub fn embodied_per_gib_g(&self) -> f64 {
+        self.embodied_g / self.capacity_gib()
+    }
+
+    /// The `M_f / M_DRAM` usage share for a function occupying
+    /// `func_mem_mib` MiB.
+    #[inline]
+    pub fn usage_share(&self, func_mem_mib: u64) -> f64 {
+        func_mem_mib as f64 / self.capacity_mib as f64
+    }
+
+    /// Embodied carbon accrued by a function occupying `func_mem_mib` for
+    /// `duration_ms`, amortized over `lifetime_ms` (Sec. II DRAM embodied
+    /// formula: `(S_f + k)/LT * M_f/M_DRAM * EC_DRAM`).
+    #[inline]
+    pub fn embodied_for_share_g(
+        &self,
+        func_mem_mib: u64,
+        duration_ms: u64,
+        lifetime_ms: u64,
+    ) -> f64 {
+        self.embodied_g * self.usage_share(func_mem_mib) * duration_ms as f64
+            / lifetime_ms as f64
+    }
+
+    /// Energy (kWh) drawn by the function's memory share while executing.
+    #[inline]
+    pub fn active_energy_kwh(&self, func_mem_mib: u64, duration_ms: u64) -> f64 {
+        let gib = func_mem_mib as f64 / 1024.0;
+        crate::cpu::watts_ms_to_kwh(self.active_w_per_gib * gib, duration_ms)
+    }
+
+    /// Energy (kWh) drawn by the function's memory share while warm.
+    #[inline]
+    pub fn idle_energy_kwh(&self, func_mem_mib: u64, duration_ms: u64) -> f64 {
+        let gib = func_mem_mib as f64 / 1024.0;
+        crate::cpu::watts_ms_to_kwh(self.idle_w_per_gib * gib, duration_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DramModel {
+        DramModel {
+            name: "Test-256",
+            year: 2018,
+            capacity_mib: 256 * 1024,
+            active_w_per_gib: 0.4,
+            idle_w_per_gib: 0.1,
+            embodied_g: 80_000.0,
+        }
+    }
+
+    #[test]
+    fn capacity_gib_converts_mib() {
+        assert_eq!(sample().capacity_gib(), 256.0);
+    }
+
+    #[test]
+    fn embodied_per_gib() {
+        assert!((sample().embodied_per_gib_g() - 312.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_share_is_fraction_of_total() {
+        let d = sample();
+        assert!((d.usage_share(256) - 256.0 / (256.0 * 1024.0)).abs() < 1e-15);
+        assert_eq!(d.usage_share(d.capacity_mib), 1.0);
+    }
+
+    #[test]
+    fn embodied_share_scales_with_memory_and_time() {
+        let d = sample();
+        let lt = crate::DEFAULT_LIFETIME_MS;
+        let base = d.embodied_for_share_g(512, 60_000, lt);
+        assert!((d.embodied_for_share_g(1024, 60_000, lt) - 2.0 * base).abs() < 1e-12);
+        assert!((d.embodied_for_share_g(512, 120_000, lt) - 2.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_energy_for_one_gib_one_hour() {
+        // 0.4 W/GiB * 1 GiB * 1 h = 0.0004 kWh.
+        let d = sample();
+        assert!((d.active_energy_kwh(1024, 3_600_000) - 0.0004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_energy_less_than_active() {
+        let d = sample();
+        assert!(d.idle_energy_kwh(2048, 60_000) < d.active_energy_kwh(2048, 60_000));
+    }
+}

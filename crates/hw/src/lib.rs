@@ -1,0 +1,64 @@
+//! # ecolife-hw — multi-generation hardware substrate
+//!
+//! This crate models the datacenter hardware that EcoLife schedules over:
+//! CPUs and DRAM modules from different generations, their embodied carbon
+//! footprints, their power draw, and their relative performance.
+//!
+//! The paper (Sec. II, Table I) evaluates three old/new hardware pairs:
+//!
+//! | Pair | Old CPU (year)              | New CPU (year)                | Old DRAM          | New DRAM           |
+//! |------|-----------------------------|-------------------------------|-------------------|--------------------|
+//! | A    | Xeon E5-2686 (2016)         | Xeon Platinum 8252C (2020)    | Micron-512 (2018) | Samsung-192 (2019) |
+//! | B    | Xeon Platinum 8124M (2017)  | Xeon Platinum 8252C (2020)    | Micron-192 (2018) | Samsung-192 (2019) |
+//! | C    | Xeon Platinum 8275L (2019)  | Xeon Platinum 8252C (2020)    | Samsung-192 (2019)| Samsung-192 (2019) |
+//!
+//! The key physical trade-off EcoLife exploits is encoded here:
+//!
+//! * **older hardware** → lower embodied carbon (smaller dies, older
+//!   lithography, already amortized designs) and lower *per-core* idle power
+//!   (more cores per package), but slower execution and worse energy
+//!   efficiency per unit of work;
+//! * **newer hardware** → higher embodied carbon but faster execution and
+//!   lower operational energy per unit of work.
+//!
+//! All carbon quantities are in **grams of CO2e**, power in **watts**,
+//! memory in **MiB**, and time in **milliseconds** unless a name says
+//! otherwise.
+
+pub mod cpu;
+pub mod dram;
+pub mod node;
+pub mod pair;
+pub mod perf;
+pub mod power;
+pub mod skus;
+
+pub use cpu::CpuModel;
+pub use dram::DramModel;
+pub use node::{Generation, HardwareNode, NodeId};
+pub use pair::{HardwarePair, PairId};
+pub use perf::PerfModel;
+pub use power::PowerDraw;
+
+/// Default hardware lifetime used to amortize embodied carbon:
+/// four years, per the paper (Sec. V, "a typical four-year lifetime
+/// [35], [36] for DRAM and CPU").
+pub const DEFAULT_LIFETIME_MS: u64 = 4 * 365 * 24 * 3600 * 1000;
+
+/// Milliseconds per hour, used when converting power x time to kWh.
+pub const MS_PER_HOUR: f64 = 3_600_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_is_four_years() {
+        assert_eq!(DEFAULT_LIFETIME_MS, 126_144_000_000);
+    }
+
+    #[test]
+    fn ms_per_hour_consistent() {
+        assert_eq!(MS_PER_HOUR, 3600.0 * 1000.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! A schedulable hardware node: one CPU package plus its DRAM, tagged with
+//! the generation it belongs to.
+
+use crate::{CpuModel, DramModel};
+
+/// Which side of a multi-generation pair a node belongs to.
+///
+/// The entire EcoLife decision space is two-valued in this dimension
+/// (Sec. IV-A: "keep-alive locations l (older-generation hardware or
+/// newer-generation hardware)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Generation {
+    /// Older-generation hardware: lower embodied carbon, slower.
+    Old,
+    /// Newer-generation hardware: faster, lower operational carbon per
+    /// unit of work, higher embodied carbon.
+    New,
+}
+
+impl Generation {
+    /// The other generation of the pair.
+    #[inline]
+    pub fn other(self) -> Generation {
+        match self {
+            Generation::Old => Generation::New,
+            Generation::New => Generation::Old,
+        }
+    }
+
+    /// Both generations, old first (indexing matches `HardwarePair`).
+    pub const ALL: [Generation; 2] = [Generation::Old, Generation::New];
+
+    /// Stable index for array-backed per-generation state.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Generation::Old => 0,
+            Generation::New => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Generation::Old => write!(f, "old"),
+            Generation::New => write!(f, "new"),
+        }
+    }
+}
+
+/// Identifier of a node inside a cluster description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One bare-metal node (CPU + DRAM) from a given generation.
+///
+/// `keepalive_mem_mib` bounds the warm pool hosted on this node — the paper
+/// varies this independently of the physical DRAM size in the Fig. 11
+/// memory-pressure study ("old/new" GiB combinations), so it is a separate
+/// knob rather than `dram.capacity_mib`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareNode {
+    pub id: NodeId,
+    pub generation: Generation,
+    pub cpu: CpuModel,
+    pub dram: DramModel,
+    /// Memory budget available for keeping functions warm (MiB).
+    pub keepalive_mem_mib: u64,
+    /// Embodied-carbon amortization horizon (ms); defaults to 4 years.
+    pub lifetime_ms: u64,
+}
+
+impl HardwareNode {
+    /// Build a node with the default four-year lifetime and the full DRAM
+    /// capacity available for keep-alive.
+    pub fn new(id: NodeId, generation: Generation, cpu: CpuModel, dram: DramModel) -> Self {
+        let keepalive_mem_mib = dram.capacity_mib;
+        HardwareNode {
+            id,
+            generation,
+            cpu,
+            dram,
+            keepalive_mem_mib,
+            lifetime_ms: crate::DEFAULT_LIFETIME_MS,
+        }
+    }
+
+    /// Restrict the warm-pool budget (used by the Fig. 11 sweep).
+    pub fn with_keepalive_budget_mib(mut self, mib: u64) -> Self {
+        self.keepalive_mem_mib = mib;
+        self
+    }
+
+    /// Override the amortization lifetime (used by sensitivity studies).
+    pub fn with_lifetime_ms(mut self, lifetime_ms: u64) -> Self {
+        self.lifetime_ms = lifetime_ms;
+        self
+    }
+
+    /// Hardware age gap in years relative to another node.
+    pub fn year_gap(&self, other: &HardwareNode) -> i32 {
+        self.cpu.year as i32 - other.cpu.year as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skus;
+
+    #[test]
+    fn generation_other_is_involutive() {
+        assert_eq!(Generation::Old.other(), Generation::New);
+        assert_eq!(Generation::New.other(), Generation::Old);
+        for g in Generation::ALL {
+            assert_eq!(g.other().other(), g);
+        }
+    }
+
+    #[test]
+    fn generation_indices_are_distinct_and_stable() {
+        assert_eq!(Generation::Old.index(), 0);
+        assert_eq!(Generation::New.index(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Generation::Old.to_string(), "old");
+        assert_eq!(Generation::New.to_string(), "new");
+    }
+
+    #[test]
+    fn new_node_defaults_keepalive_budget_to_dram_capacity() {
+        let n = HardwareNode::new(
+            NodeId(0),
+            Generation::Old,
+            skus::xeon_e5_2686(),
+            skus::micron_512(),
+        );
+        assert_eq!(n.keepalive_mem_mib, n.dram.capacity_mib);
+        assert_eq!(n.lifetime_ms, crate::DEFAULT_LIFETIME_MS);
+    }
+
+    #[test]
+    fn budget_and_lifetime_builders() {
+        let n = HardwareNode::new(
+            NodeId(1),
+            Generation::New,
+            skus::xeon_platinum_8252c(),
+            skus::samsung_192(),
+        )
+        .with_keepalive_budget_mib(15 * 1024)
+        .with_lifetime_ms(1_000);
+        assert_eq!(n.keepalive_mem_mib, 15 * 1024);
+        assert_eq!(n.lifetime_ms, 1_000);
+    }
+
+    #[test]
+    fn year_gap_signed() {
+        let old = HardwareNode::new(
+            NodeId(0),
+            Generation::Old,
+            skus::xeon_e5_2686(),
+            skus::micron_512(),
+        );
+        let new = HardwareNode::new(
+            NodeId(1),
+            Generation::New,
+            skus::xeon_platinum_8252c(),
+            skus::samsung_192(),
+        );
+        assert_eq!(new.year_gap(&old), 4);
+        assert_eq!(old.year_gap(&new), -4);
+    }
+}

@@ -1,0 +1,137 @@
+//! An old/new hardware pair — the unit of deployment EcoLife schedules over.
+
+use crate::{Generation, HardwareNode};
+
+/// Identifier of one of the Table I multi-generation pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairId {
+    A,
+    B,
+    C,
+}
+
+impl std::fmt::Display for PairId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PairId::A => write!(f, "Pair A"),
+            PairId::B => write!(f, "Pair B"),
+            PairId::C => write!(f, "Pair C"),
+        }
+    }
+}
+
+/// One old-generation node plus one new-generation node.
+///
+/// The paper's evaluation (and this reproduction) deploys one node of each
+/// generation; Sec. VI-C notes EcoLife generalizes to multiple pairs by
+/// maintaining multiple warm pools — the cluster abstraction in
+/// `ecolife-sim` is keyed by [`Generation`] so that extension stays open.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwarePair {
+    pub id: PairId,
+    pub old: HardwareNode,
+    pub new: HardwareNode,
+}
+
+impl HardwarePair {
+    /// Construct a pair, validating the generation tags.
+    ///
+    /// # Panics
+    /// Panics if `old`/`new` carry the wrong [`Generation`] tag — a pair
+    /// with swapped roles would silently invert every trade-off downstream.
+    pub fn new(id: PairId, old: HardwareNode, new: HardwareNode) -> Self {
+        assert_eq!(old.generation, Generation::Old, "old node mis-tagged");
+        assert_eq!(new.generation, Generation::New, "new node mis-tagged");
+        HardwarePair { id, old, new }
+    }
+
+    /// Node for a generation.
+    #[inline]
+    pub fn node(&self, generation: Generation) -> &HardwareNode {
+        match generation {
+            Generation::Old => &self.old,
+            Generation::New => &self.new,
+        }
+    }
+
+    /// Mutable node accessor (used by memory-budget sweeps).
+    #[inline]
+    pub fn node_mut(&mut self, generation: Generation) -> &mut HardwareNode {
+        match generation {
+            Generation::Old => &mut self.old,
+            Generation::New => &mut self.new,
+        }
+    }
+
+    /// Apply keep-alive memory budgets (MiB) to both nodes — the Fig. 11
+    /// "old/new" memory sweep knob.
+    pub fn with_keepalive_budgets_mib(mut self, old_mib: u64, new_mib: u64) -> Self {
+        self.old.keepalive_mem_mib = old_mib;
+        self.new.keepalive_mem_mib = new_mib;
+        self
+    }
+
+    /// Collapse the pair to a single generation (both slots host the same
+    /// hardware) — used by the Eco-Old / Eco-New robustness baselines
+    /// (Fig. 12), which run EcoLife's machinery on homogeneous hardware.
+    pub fn homogeneous(&self, generation: Generation) -> HardwarePair {
+        let src = self.node(generation).clone();
+        let mut old = src.clone();
+        old.generation = Generation::Old;
+        let mut new = src;
+        new.generation = Generation::New;
+        HardwarePair {
+            id: self.id,
+            old,
+            new,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skus;
+
+    #[test]
+    fn node_accessor_routes_by_generation() {
+        let p = skus::pair_a();
+        assert_eq!(p.node(Generation::Old).cpu.name, "Intel Xeon E5-2686");
+        assert_eq!(
+            p.node(Generation::New).cpu.name,
+            "Intel Xeon Platinum 8252C"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "old node mis-tagged")]
+    fn constructor_rejects_swapped_generations() {
+        let p = skus::pair_a();
+        let mut old = p.new.clone();
+        old.generation = Generation::New;
+        HardwarePair::new(PairId::A, old, p.old);
+    }
+
+    #[test]
+    fn budgets_apply_to_both_nodes() {
+        let p = skus::pair_a().with_keepalive_budgets_mib(15 * 1024, 20 * 1024);
+        assert_eq!(p.old.keepalive_mem_mib, 15 * 1024);
+        assert_eq!(p.new.keepalive_mem_mib, 20 * 1024);
+    }
+
+    #[test]
+    fn homogeneous_duplicates_one_generation() {
+        let p = skus::pair_a().homogeneous(Generation::New);
+        assert_eq!(p.old.cpu.name, p.new.cpu.name);
+        assert_eq!(p.old.generation, Generation::Old);
+        assert_eq!(p.new.generation, Generation::New);
+        assert_eq!(p.old.cpu.name, "Intel Xeon Platinum 8252C");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PairId::A.to_string(), "Pair A");
+        assert_eq!(PairId::B.to_string(), "Pair B");
+        assert_eq!(PairId::C.to_string(), "Pair C");
+    }
+}

@@ -1,0 +1,304 @@
+//! Concrete SKU catalog matching Table I of the paper, with embodied-carbon
+//! and power values calibrated from the Boavizta methodology [25] and the
+//! Teads AWS EC2 dataset [34].
+//!
+//! Calibration rationale (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! * CPU embodied carbon grows with die size / core complexity / process
+//!   recency. Values are *compute-subsystem* attributions per the Teads
+//!   AWS dataset [34]: the server-level manufacturing footprint
+//!   (package, motherboard, PSU, chassis share — ~0.5-0.7 tCO2e per
+//!   socket) is carried by the CPU term, exactly as the paper routes all
+//!   embodied carbon through its CPU and DRAM terms. 2016-era E5 ≈ 500 kg,
+//!   2020-era Platinum ≈ 900 kg.
+//! * DRAM embodied carbon per GiB *shrinks* with density generation (more
+//!   bits per wafer): 2018 Micron DDR4 ≈ 620 g/GiB, 2019 Samsung ≈ 530
+//!   g/GiB (memory-subsystem attribution, Boavizta methodology). This asymmetry (old CPU cheap per core, old DRAM expensive per
+//!   GiB) is what makes the keep-alive trade-off function-dependent: small
+//!   functions are cheap to keep warm on old hardware (the reserved-core
+//!   term dominates), while large-memory functions erode the advantage —
+//!   the paper's Fig. 3 "inverted case".
+//! * Newer packages are more energy-efficient per unit of work (Sec. II:
+//!   "Newer hardware is usually more energy efficient, and hence, results
+//!   in lower operational carbon") — the per-work energy of each old part
+//!   sits 10-25% above the reference. But older parts carry much lower
+//!   embodied attributions and, with more cores per package, a cheaper
+//!   reserved idle core — so keep-alive and embodied-heavy phases favor
+//!   old while execution favors new. That is precisely the trade-off the
+//!   paper measures (Fig. 2: A_OLD saves 23.8% total carbon over a
+//!   10-minute keep-alive episode while costing 15.9% execution time).
+
+use crate::{CpuModel, DramModel, Generation, HardwareNode, HardwarePair, NodeId, PairId};
+
+// ---------------------------------------------------------------------------
+// CPU SKUs (Table I)
+// ---------------------------------------------------------------------------
+
+/// Intel Xeon E5-2686 (2016), the `i3.metal` part: A_OLD.
+pub fn xeon_e5_2686() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon E5-2686",
+        year: 2016,
+        cores: 36,
+        active_power_w: 145.0,
+        idle_core_power_w: 2.2,
+        embodied_g: 500_000.0,
+        perf_index: 0.80,
+    }
+}
+
+/// Intel Xeon Platinum 8124M (2017): B_OLD.
+pub fn xeon_platinum_8124m() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Platinum 8124M",
+        year: 2017,
+        cores: 18,
+        active_power_w: 170.0,
+        idle_core_power_w: 2.6,
+        embodied_g: 600_000.0,
+        perf_index: 0.87,
+    }
+}
+
+/// Intel Xeon Platinum 8275L (2019): C_OLD (one-year gap to the reference).
+pub fn xeon_platinum_8275l() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Platinum 8275L",
+        year: 2019,
+        cores: 24,
+        active_power_w: 185.0,
+        idle_core_power_w: 2.8,
+        embodied_g: 780_000.0,
+        perf_index: 0.95,
+    }
+}
+
+/// Intel Xeon Platinum 8252C (2020), the `m5zn.metal` part and the
+/// reference "new" generation for all three pairs.
+pub fn xeon_platinum_8252c() -> CpuModel {
+    CpuModel {
+        name: "Intel Xeon Platinum 8252C",
+        year: 2020,
+        cores: 24,
+        active_power_w: 160.0,
+        idle_core_power_w: 3.0,
+        embodied_g: 900_000.0,
+        perf_index: 1.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRAM SKUs (Table I)
+// ---------------------------------------------------------------------------
+
+/// Micron 512 GiB kit (2018): A_OLD memory.
+pub fn micron_512() -> DramModel {
+    DramModel {
+        name: "Micron-512",
+        year: 2018,
+        capacity_mib: 512 * 1024,
+        active_w_per_gib: 0.38,
+        idle_w_per_gib: 0.09,
+        embodied_g: 620.0 * 512.0,
+    }
+}
+
+/// Micron 192 GiB kit (2018): B_OLD memory.
+pub fn micron_192() -> DramModel {
+    DramModel {
+        name: "Micron-192",
+        year: 2018,
+        capacity_mib: 192 * 1024,
+        active_w_per_gib: 0.38,
+        idle_w_per_gib: 0.09,
+        embodied_g: 620.0 * 192.0,
+    }
+}
+
+/// Samsung 192 GiB kit (2019): the "new" memory for all pairs and C_OLD's.
+pub fn samsung_192() -> DramModel {
+    DramModel {
+        name: "Samsung-192",
+        year: 2019,
+        capacity_mib: 192 * 1024,
+        active_w_per_gib: 0.34,
+        idle_w_per_gib: 0.11,
+        embodied_g: 530.0 * 192.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pairs
+// ---------------------------------------------------------------------------
+
+/// Pair A (default evaluation configuration, Sec. V): four-year gap.
+pub fn pair_a() -> HardwarePair {
+    HardwarePair::new(
+        PairId::A,
+        HardwareNode::new(NodeId(0), Generation::Old, xeon_e5_2686(), micron_512()),
+        HardwareNode::new(
+            NodeId(1),
+            Generation::New,
+            xeon_platinum_8252c(),
+            samsung_192(),
+        ),
+    )
+}
+
+/// Pair B: three-year gap.
+pub fn pair_b() -> HardwarePair {
+    HardwarePair::new(
+        PairId::B,
+        HardwareNode::new(
+            NodeId(0),
+            Generation::Old,
+            xeon_platinum_8124m(),
+            micron_192(),
+        ),
+        HardwareNode::new(
+            NodeId(1),
+            Generation::New,
+            xeon_platinum_8252c(),
+            samsung_192(),
+        ),
+    )
+}
+
+/// Pair C: one-year gap (old and new are closest here; the carbon gap is
+/// the smallest and the performance gap nearly vanishes, which is what
+/// makes the Graph-BFS example in Fig. 2 interesting).
+pub fn pair_c() -> HardwarePair {
+    HardwarePair::new(
+        PairId::C,
+        HardwareNode::new(
+            NodeId(0),
+            Generation::Old,
+            xeon_platinum_8275l(),
+            samsung_192(),
+        ),
+        HardwareNode::new(
+            NodeId(1),
+            Generation::New,
+            xeon_platinum_8252c(),
+            samsung_192(),
+        ),
+    )
+}
+
+/// Look a pair up by id.
+pub fn pair(id: PairId) -> HardwarePair {
+    match id {
+        PairId::A => pair_a(),
+        PairId::B => pair_b(),
+        PairId::C => pair_c(),
+    }
+}
+
+/// All three pairs, in Table I order.
+pub fn all_pairs() -> Vec<HardwarePair> {
+    vec![pair_a(), pair_b(), pair_c()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_cpu_has_unit_perf_index() {
+        assert_eq!(xeon_platinum_8252c().perf_index, 1.0);
+    }
+
+    #[test]
+    fn older_cpus_are_slower() {
+        let new = xeon_platinum_8252c();
+        for old in [xeon_e5_2686(), xeon_platinum_8124m(), xeon_platinum_8275l()] {
+            assert!(old.perf_index < new.perf_index, "{} not slower", old.name);
+        }
+    }
+
+    #[test]
+    fn older_cpus_have_lower_embodied_carbon() {
+        let new = xeon_platinum_8252c();
+        for old in [xeon_e5_2686(), xeon_platinum_8124m(), xeon_platinum_8275l()] {
+            assert!(old.embodied_g < new.embodied_g, "{} not lower EC", old.name);
+        }
+    }
+
+    #[test]
+    fn older_cpus_have_lower_per_core_idle_power() {
+        // The keep-alive advantage of older hardware requires the reserved
+        // core to be cheaper to keep powered.
+        let new = xeon_platinum_8252c();
+        for old in [xeon_e5_2686(), xeon_platinum_8124m(), xeon_platinum_8275l()] {
+            assert!(old.idle_core_power_w < new.idle_core_power_w);
+        }
+    }
+
+    #[test]
+    fn newer_hw_is_more_energy_efficient_per_unit_of_work() {
+        // Sec. II: newer hardware has lower operational energy for the
+        // same work. Energy per unit of work = P_active × slowdown.
+        let new = xeon_platinum_8252c();
+        let new_energy = new.active_power_w * new.slowdown();
+        for old in [xeon_e5_2686(), xeon_platinum_8124m(), xeon_platinum_8275l()] {
+            let ratio = old.active_power_w * old.slowdown() / new_energy;
+            assert!(
+                (1.0..=1.3).contains(&ratio),
+                "{}: per-work ratio {ratio:.2} outside (1.0, 1.3]",
+                old.name
+            );
+        }
+    }
+
+    #[test]
+    fn older_dram_has_higher_embodied_per_gib() {
+        // DRAM density improves each generation, so embodied carbon per
+        // GiB falls over time — old modules cost more per GiB.
+        assert!(micron_512().embodied_per_gib_g() > samsung_192().embodied_per_gib_g());
+        assert!(micron_192().embodied_per_gib_g() > samsung_192().embodied_per_gib_g());
+    }
+
+    #[test]
+    fn pair_year_gaps_match_table1() {
+        assert_eq!(pair_a().new.cpu.year - pair_a().old.cpu.year, 4);
+        assert_eq!(pair_b().new.cpu.year - pair_b().old.cpu.year, 3);
+        assert_eq!(pair_c().new.cpu.year - pair_c().old.cpu.year, 1);
+    }
+
+    #[test]
+    fn pair_lookup_matches_constructors() {
+        assert_eq!(pair(PairId::A), pair_a());
+        assert_eq!(pair(PairId::B), pair_b());
+        assert_eq!(pair(PairId::C), pair_c());
+        assert_eq!(all_pairs().len(), 3);
+    }
+
+    #[test]
+    fn pair_a_matches_aws_instance_specs() {
+        let p = pair_a();
+        // i3.metal: 36-core E5-2686, 512 GiB.
+        assert_eq!(p.old.cpu.cores, 36);
+        assert_eq!(p.old.dram.capacity_mib, 512 * 1024);
+        // m5zn.metal: 24-core 8252C, 192 GiB.
+        assert_eq!(p.new.cpu.cores, 24);
+        assert_eq!(p.new.dram.capacity_mib, 192 * 1024);
+    }
+
+    #[test]
+    fn keepalive_is_cheaper_per_minute_on_old_for_pair_a() {
+        // One warm 512-MiB container for one minute: reserved core power +
+        // idle DRAM power + per-core & per-GiB embodied shares. Computed
+        // here with raw model pieces; the carbon crate owns the full model.
+        let p = pair_a();
+        let minute = 60_000u64;
+        let per_min = |n: &crate::HardwareNode| {
+            let op_kwh =
+                n.cpu.idle_core_energy_kwh(minute) + n.dram.idle_energy_kwh(512, minute);
+            let emb = n.cpu.embodied_for_one_core_g(minute, n.lifetime_ms)
+                + n.dram.embodied_for_share_g(512, minute, n.lifetime_ms);
+            // Assume a mid-range carbon intensity of 300 g/kWh.
+            op_kwh * 300.0 + emb
+        };
+        assert!(per_min(&p.old) < per_min(&p.new));
+    }
+}

@@ -1,0 +1,262 @@
+//! EcoLife's Dynamic PSO (Sec. IV-C, Fig. 5).
+//!
+//! Two mechanisms on top of the vanilla swarm:
+//!
+//! * **Adaptive weights** driven by the normalized environment deltas
+//!   `δF = ΔF/ΔF_max` and `δCI = ΔCI/ΔCI_max`:
+//!
+//!   ```text
+//!   ω       = ω_max · (δF + δCI)           (clamped to [ω_min, ω_max])
+//!   c1 = c2 = c_max · (1 − δF − δCI)       (clamped to [c_min, c_max])
+//!   ```
+//!
+//!   Large environment change → high inertia (keep moving, explore);
+//!   stable environment → strong cognitive/social pull (exploit).
+//!
+//! * **Perception–response**: when a change is perceived (δF + δCI above
+//!   a small threshold), half of the swarm is redistributed uniformly at
+//!   random over the search space while the other half retains position —
+//!   "providing the PSO optimizer with a level of memory".
+
+use crate::pso::{Pso, PsoConfig};
+use crate::space::SearchSpace;
+use crate::Optimizer;
+
+/// Weight ranges, matching Sec. V: ω ∈ [0.5, 1.0], c ∈ [0.3, 1.0].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpsoConfig {
+    pub base: PsoConfig,
+    pub omega_min: f64,
+    pub omega_max: f64,
+    pub c_min: f64,
+    pub c_max: f64,
+    /// Perceived-change threshold on `δF + δCI` that triggers the
+    /// half-swarm redistribution.
+    pub perception_threshold: f64,
+}
+
+impl Default for DpsoConfig {
+    fn default() -> Self {
+        DpsoConfig {
+            base: PsoConfig::default(),
+            omega_min: 0.5,
+            omega_max: 1.0,
+            c_min: 0.3,
+            c_max: 1.0,
+            perception_threshold: 0.05,
+        }
+    }
+}
+
+/// The dynamic swarm. Construct once per serverless function and keep it
+/// alive across invocations ("For each new invocation of a serverless
+/// function, EcoLife assigns a PSO optimizer and preserves it").
+#[derive(Debug, Clone)]
+pub struct DynamicPso {
+    inner: Pso,
+    config: DpsoConfig,
+    redistributions: u64,
+}
+
+impl DynamicPso {
+    pub fn new(space: SearchSpace, config: DpsoConfig) -> Self {
+        DynamicPso {
+            inner: Pso::new(space, config.base),
+            config,
+            redistributions: 0,
+        }
+    }
+
+    /// Number of perception-triggered half-swarm redistributions so far.
+    pub fn redistributions(&self) -> u64 {
+        self.redistributions
+    }
+
+    /// Current (ω, c1=c2) weights.
+    pub fn weights(&self) -> (f64, f64) {
+        (self.inner.inertia, self.inner.cognitive)
+    }
+
+    /// Access the underlying swarm (read-only).
+    pub fn swarm(&self) -> &Pso {
+        &self.inner
+    }
+
+    /// Feed the normalized environment deltas (`δF`, `δCI` ∈ [0, 1]):
+    /// recompute the weights and, if the perceived change exceeds the
+    /// threshold, redistribute half the swarm.
+    pub fn perceive(&mut self, delta_f: f64, delta_ci: f64) {
+        let df = delta_f.clamp(0.0, 1.0);
+        let dci = delta_ci.clamp(0.0, 1.0);
+        let change = df + dci;
+
+        let omega = (self.config.omega_max * change)
+            .clamp(self.config.omega_min, self.config.omega_max);
+        let c = (self.config.c_max * (1.0 - change)).clamp(self.config.c_min, self.config.c_max);
+        self.inner.inertia = omega;
+        self.inner.cognitive = c;
+        self.inner.social = c;
+
+        if change > self.config.perception_threshold {
+            self.redistribute_half();
+        }
+    }
+
+    /// Randomly redistribute the first half of the swarm; reset the
+    /// redistributed particles' personal bests (their old memories refer
+    /// to a stale environment) but keep the global best as an anchor.
+    fn redistribute_half(&mut self) {
+        let half = self.inner.particles.len() / 2;
+        let space = self.inner.space.clone();
+        for p in self.inner.particles.iter_mut().take(half) {
+            p.position = space.sample(&mut self.inner.rng);
+            p.velocity = vec![0.0; space.dims()];
+            p.best_position.clone_from(&p.position);
+            p.best_fitness = f64::INFINITY;
+        }
+        self.redistributions += 1;
+    }
+
+    /// When the environment changed, the previous global best fitness may
+    /// be stale; callers re-anchor it by re-evaluating under the current
+    /// fitness before stepping.
+    pub fn refresh_gbest<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        self.inner.gbest_fitness = fitness(&self.inner.gbest_position);
+    }
+}
+
+impl Optimizer for DynamicPso {
+    fn step<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        self.inner.step(fitness);
+    }
+
+    fn best_position(&self) -> &[f64] {
+        self.inner.best_position()
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.inner.best_fitness()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![(-10.0, 10.0); 2])
+    }
+
+    #[test]
+    fn weights_respond_to_environment_change() {
+        let mut d = DynamicPso::new(space(), DpsoConfig::default());
+        // Stable environment → minimal inertia, maximal exploitation.
+        d.perceive(0.0, 0.0);
+        let (w, c) = d.weights();
+        assert_eq!(w, 0.5);
+        assert_eq!(c, 1.0);
+        // Full change → maximal inertia, minimal exploitation.
+        d.perceive(1.0, 1.0);
+        let (w, c) = d.weights();
+        assert_eq!(w, 1.0);
+        assert_eq!(c, 0.3);
+        // Mid change.
+        d.perceive(0.35, 0.35);
+        let (w, c) = d.weights();
+        assert!((w - 0.7).abs() < 1e-12);
+        assert!((c - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perception_triggers_redistribution_only_above_threshold() {
+        let mut d = DynamicPso::new(space(), DpsoConfig::default());
+        d.perceive(0.0, 0.0);
+        assert_eq!(d.redistributions(), 0);
+        d.perceive(0.01, 0.02);
+        assert_eq!(d.redistributions(), 0);
+        d.perceive(0.5, 0.0);
+        assert_eq!(d.redistributions(), 1);
+        d.perceive(0.0, 0.9);
+        assert_eq!(d.redistributions(), 2);
+    }
+
+    #[test]
+    fn half_swarm_retains_positions_on_redistribution() {
+        let mut d = DynamicPso::new(space(), DpsoConfig::default());
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        d.run(&f, 5);
+        let before: Vec<Vec<f64>> = d.swarm().particles.iter().map(|p| p.position.clone()).collect();
+        d.perceive(1.0, 1.0);
+        let after: Vec<Vec<f64>> = d.swarm().particles.iter().map(|p| p.position.clone()).collect();
+        let n = before.len();
+        // Second half untouched.
+        for i in n / 2..n {
+            assert_eq!(before[i], after[i], "particle {i} should retain position");
+        }
+        // First half moved (probability of an exact collision is 0).
+        let moved = (0..n / 2).filter(|&i| before[i] != after[i]).count();
+        assert!(moved >= n / 2 - 1);
+    }
+
+    #[test]
+    fn tracks_moving_optimum_better_than_frozen_swarm() {
+        // Converge to one optimum, shift it, and verify the perception
+        // response lets DPSO re-converge while a weight-frozen swarm with
+        // no redistribution stays trapped near its stale gbest.
+        let f1 = |x: &[f64]| (x[0] - 5.0).powi(2) + (x[1] - 5.0).powi(2);
+        let f2 = |x: &[f64]| (x[0] + 6.0).powi(2) + (x[1] + 6.0).powi(2);
+
+        let mut dpso = DynamicPso::new(space(), DpsoConfig::default());
+        dpso.run(&f1, 60);
+        dpso.perceive(1.0, 0.8);
+        dpso.refresh_gbest(&f2);
+        dpso.run(&f2, 60);
+
+        let mut frozen = DynamicPso::new(space(), DpsoConfig::default());
+        frozen.run(&f1, 60);
+        // No perceive() call: stale gbest fitness anchors the swarm.
+        frozen.run(&f2, 60);
+
+        assert!(
+            dpso.best_fitness() < 1e-2,
+            "dpso stuck at {}",
+            dpso.best_fitness()
+        );
+        // Frozen swarm keeps reporting the stale optimum (its recorded best
+        // fitness refers to f1's basin) — its position stays near (5, 5).
+        let fp = frozen.best_position();
+        assert!(
+            (fp[0] - 5.0).abs() < 1.0 && (fp[1] - 5.0).abs() < 1.0,
+            "frozen swarm unexpectedly escaped: {fp:?}"
+        );
+    }
+
+    #[test]
+    fn refresh_gbest_reanchors_fitness() {
+        let mut d = DynamicPso::new(space(), DpsoConfig::default());
+        let f1 = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        d.run(&f1, 20);
+        let f2 = |x: &[f64]| f1(x) + 100.0;
+        d.refresh_gbest(&f2);
+        assert!(d.best_fitness() >= 100.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let cfg = DpsoConfig {
+                base: PsoConfig {
+                    seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mut d = DynamicPso::new(space(), cfg);
+            let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+            d.run(&f, 10);
+            d.perceive(0.6, 0.1);
+            d.run(&f, 10)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

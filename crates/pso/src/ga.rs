@@ -1,0 +1,210 @@
+//! Genetic Algorithm comparator (Sec. IV-C: "the Genetic Algorithm …
+//! with crossover probability of 0.6, mutation probability of 0.01, and
+//! population size of 15").
+//!
+//! Real-valued GA: tournament selection (k=2), uniform crossover with the
+//! configured probability, per-gene Gaussian mutation, and elitism of one.
+
+use crate::space::SearchSpace;
+use crate::Optimizer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyper-parameters; defaults match the paper's comparison setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    pub population: usize,
+    pub crossover_prob: f64,
+    pub mutation_prob: f64,
+    /// Gaussian mutation σ as a fraction of each dimension's extent.
+    pub mutation_sigma_frac: f64,
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 15,
+            crossover_prob: 0.6,
+            mutation_prob: 0.01,
+            mutation_sigma_frac: 0.1,
+            seed: 0x6a_5eed,
+        }
+    }
+}
+
+/// The GA population.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    space: SearchSpace,
+    config: GaConfig,
+    population: Vec<Vec<f64>>,
+    fitnesses: Vec<f64>,
+    best_position: Vec<f64>,
+    best_fitness: f64,
+    rng: SmallRng,
+    generations: u64,
+}
+
+impl GeneticAlgorithm {
+    pub fn new(space: SearchSpace, config: GaConfig) -> Self {
+        assert!(config.population >= 2, "population must be ≥2");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let population: Vec<Vec<f64>> = (0..config.population)
+            .map(|_| space.sample(&mut rng))
+            .collect();
+        let best_position = population[0].clone();
+        GeneticAlgorithm {
+            fitnesses: vec![f64::INFINITY; config.population],
+            space,
+            config,
+            population,
+            best_position,
+            best_fitness: f64::INFINITY,
+            rng,
+            generations: 0,
+        }
+    }
+
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+
+    fn tournament(&mut self) -> usize {
+        let a = self.rng.gen_range(0..self.population.len());
+        let b = self.rng.gen_range(0..self.population.len());
+        if self.fitnesses[a] <= self.fitnesses[b] {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn step<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        // Evaluate.
+        for (i, ind) in self.population.iter().enumerate() {
+            let f = fitness(ind);
+            self.fitnesses[i] = f;
+            if f < self.best_fitness {
+                self.best_fitness = f;
+                self.best_position.clone_from(ind);
+            }
+        }
+
+        // Breed the next generation, keeping the elite.
+        let dims = self.space.dims();
+        let mut next = Vec::with_capacity(self.population.len());
+        next.push(self.best_position.clone());
+        while next.len() < self.population.len() {
+            let pa = self.tournament();
+            let pb = self.tournament();
+            let mut child = self.population[pa].clone();
+            if self.rng.gen::<f64>() < self.config.crossover_prob {
+                for d in 0..dims {
+                    if self.rng.gen::<bool>() {
+                        child[d] = self.population[pb][d];
+                    }
+                }
+            }
+            for d in 0..dims {
+                if self.rng.gen::<f64>() < self.config.mutation_prob {
+                    let sigma = self.space.extent(d) * self.config.mutation_sigma_frac;
+                    // Box-Muller.
+                    let u1: f64 = self.rng.gen_range(1e-12..1.0);
+                    let u2: f64 = self.rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    child[d] += sigma * z;
+                }
+            }
+            self.space.clamp(&mut child);
+            next.push(child);
+        }
+        self.population = next;
+        self.generations += 1;
+    }
+
+    fn best_position(&self) -> &[f64] {
+        &self.best_position
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best_fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn improves_on_sphere() {
+        let space = SearchSpace::new(vec![(-10.0, 10.0); 3]);
+        let mut ga = GeneticAlgorithm::new(space, GaConfig::default());
+        ga.step(&sphere);
+        let initial = ga.best_fitness();
+        ga.run(&sphere, 100);
+        assert!(ga.best_fitness() < initial, "no improvement");
+        assert!(ga.best_fitness() < 5.0, "fitness {}", ga.best_fitness());
+    }
+
+    #[test]
+    fn monotone_best() {
+        let space = SearchSpace::new(vec![(-5.0, 5.0); 2]);
+        let mut ga = GeneticAlgorithm::new(space, GaConfig::default());
+        let mut last = f64::INFINITY;
+        for _ in 0..40 {
+            ga.step(&sphere);
+            assert!(ga.best_fitness() <= last);
+            last = ga.best_fitness();
+        }
+        assert_eq!(ga.generations(), 40);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = SearchSpace::new(vec![(-5.0, 5.0); 2]);
+        let run = |seed| {
+            let mut ga = GeneticAlgorithm::new(
+                space.clone(),
+                GaConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            ga.run(&sphere, 25)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn children_stay_in_space() {
+        let space = SearchSpace::new(vec![(0.0, 1.0), (0.0, 10.0)]);
+        let mut ga = GeneticAlgorithm::new(
+            space.clone(),
+            GaConfig {
+                mutation_prob: 0.9, // stress the mutation path
+                ..Default::default()
+            },
+        );
+        for _ in 0..30 {
+            ga.step(&sphere);
+            for ind in &ga.population {
+                assert!(space.contains(ind));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = GaConfig::default();
+        assert_eq!(c.population, 15);
+        assert_eq!(c.crossover_prob, 0.6);
+        assert_eq!(c.mutation_prob, 0.01);
+    }
+}

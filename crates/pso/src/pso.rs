@@ -1,0 +1,255 @@
+//! Vanilla Particle Swarm Optimization (Sec. IV-C "Basics of Particle
+//! Swarm Optimization").
+//!
+//! Update rules, per particle and iteration:
+//!
+//! ```text
+//! V_{t+1} = ω·V_t + c1·r1·(X_pbest − X_t) + c2·r2·(X_gbest − X_t)
+//! X_{t+1} = X_t + V_{t+1}
+//! ```
+//!
+//! with `r1, r2 ~ U(0,1)` drawn per dimension, positions clamped to the
+//! search space, and velocities clamped to half the per-dimension extent
+//! (standard practice to avoid swarm explosion).
+
+use crate::space::SearchSpace;
+use crate::Optimizer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// PSO hyper-parameters. The paper uses 15 particles, ω ∈ [0.5, 1],
+/// c1, c2 ∈ [0.3, 1] (Sec. V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsoConfig {
+    pub n_particles: usize,
+    pub inertia: f64,
+    pub cognitive: f64,
+    pub social: f64,
+    pub seed: u64,
+}
+
+impl Default for PsoConfig {
+    fn default() -> Self {
+        PsoConfig {
+            n_particles: 15,
+            inertia: 0.75,
+            cognitive: 0.65,
+            social: 0.65,
+            seed: 0x9504_1f0e,
+        }
+    }
+}
+
+/// One massless particle.
+#[derive(Debug, Clone)]
+pub(crate) struct Particle {
+    pub position: Vec<f64>,
+    pub velocity: Vec<f64>,
+    pub best_position: Vec<f64>,
+    pub best_fitness: f64,
+}
+
+/// The swarm.
+#[derive(Debug, Clone)]
+pub struct Pso {
+    pub(crate) space: SearchSpace,
+    pub(crate) particles: Vec<Particle>,
+    pub(crate) gbest_position: Vec<f64>,
+    pub(crate) gbest_fitness: f64,
+    pub(crate) rng: SmallRng,
+    pub inertia: f64,
+    pub cognitive: f64,
+    pub social: f64,
+    iterations: u64,
+}
+
+impl Pso {
+    /// Initialize `config.n_particles` particles uniformly over `space`.
+    /// Fitness is lazily evaluated on the first [`Optimizer::step`].
+    pub fn new(space: SearchSpace, config: PsoConfig) -> Self {
+        assert!(config.n_particles >= 2, "a swarm needs ≥2 particles");
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let particles: Vec<Particle> = (0..config.n_particles)
+            .map(|_| {
+                let position = space.sample(&mut rng);
+                let velocity = vec![0.0; space.dims()];
+                Particle {
+                    best_position: position.clone(),
+                    best_fitness: f64::INFINITY,
+                    position,
+                    velocity,
+                }
+            })
+            .collect();
+        let gbest_position = particles[0].position.clone();
+        Pso {
+            space,
+            particles,
+            gbest_position,
+            gbest_fitness: f64::INFINITY,
+            rng,
+            inertia: config.inertia,
+            cognitive: config.cognitive,
+            social: config.social,
+            iterations: 0,
+        }
+    }
+
+    /// Number of completed iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Number of particles.
+    pub fn n_particles(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Evaluate fitness at every particle, updating pbest/gbest.
+    pub(crate) fn evaluate<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        for p in &mut self.particles {
+            let f = fitness(&p.position);
+            if f < p.best_fitness {
+                p.best_fitness = f;
+                p.best_position.clone_from(&p.position);
+            }
+            if f < self.gbest_fitness {
+                self.gbest_fitness = f;
+                self.gbest_position.clone_from(&p.position);
+            }
+        }
+    }
+
+    /// Move every particle per the velocity/position update rules.
+    pub(crate) fn move_particles(&mut self) {
+        let dims = self.space.dims();
+        for p in &mut self.particles {
+            for d in 0..dims {
+                let r1: f64 = self.rng.gen();
+                let r2: f64 = self.rng.gen();
+                let v = self.inertia * p.velocity[d]
+                    + self.cognitive * r1 * (p.best_position[d] - p.position[d])
+                    + self.social * r2 * (self.gbest_position[d] - p.position[d]);
+                // Velocity clamp at half the dimension extent.
+                let vmax = self.space.extent(d) * 0.5;
+                p.velocity[d] = v.clamp(-vmax, vmax);
+                p.position[d] += p.velocity[d];
+            }
+            self.space.clamp(&mut p.position);
+        }
+    }
+}
+
+impl Optimizer for Pso {
+    fn step<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        self.evaluate(fitness);
+        self.move_particles();
+        self.iterations += 1;
+    }
+
+    fn best_position(&self) -> &[f64] {
+        &self.gbest_position
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.gbest_fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn space3() -> SearchSpace {
+        SearchSpace::new(vec![(-10.0, 10.0); 3])
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let mut pso = Pso::new(space3(), PsoConfig::default());
+        let (best, f) = pso.run(&sphere, 120);
+        assert!(f < 1e-3, "fitness {f}");
+        assert!(best.iter().all(|v| v.abs() < 0.1), "{best:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = Pso::new(
+                space3(),
+                PsoConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            p.run(&sphere, 30)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0);
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_nonincreasing() {
+        let mut pso = Pso::new(space3(), PsoConfig::default());
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            pso.step(&sphere);
+            assert!(pso.best_fitness() <= last);
+            last = pso.best_fitness();
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_space() {
+        let space = SearchSpace::new(vec![(0.0, 1.0), (0.0, 10.0)]);
+        let mut pso = Pso::new(space.clone(), PsoConfig::default());
+        let shifted = |x: &[f64]| (x[0] - 0.3).powi(2) + (x[1] - 7.0).powi(2);
+        for _ in 0..40 {
+            pso.step(&shifted);
+            for p in &pso.particles {
+                assert!(space.contains(&p.position), "{:?}", p.position);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_offset_optimum_in_ecolife_like_space() {
+        let space = SearchSpace::ecolife(11);
+        let mut pso = Pso::new(space, PsoConfig::default());
+        // Optimum at (old hardware, period index 8).
+        let f = |x: &[f64]| (x[0] - 0.2).powi(2) + ((x[1] - 8.0) / 10.0).powi(2);
+        let (best, _) = pso.run(&f, 80);
+        assert!(best[0] < 0.5);
+        assert!((best[1] - 8.0).abs() < 1.0, "{best:?}");
+    }
+
+    #[test]
+    fn iteration_counter_advances() {
+        let mut pso = Pso::new(space3(), PsoConfig::default());
+        assert_eq!(pso.iterations(), 0);
+        pso.run(&sphere, 7);
+        assert_eq!(pso.iterations(), 7);
+        assert_eq!(pso.n_particles(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥2 particles")]
+    fn rejects_tiny_swarm() {
+        Pso::new(
+            space3(),
+            PsoConfig {
+                n_particles: 1,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Simulated Annealing comparator (Sec. IV-C: "initial temperature of
+//! 100, a stop temperature of 1, and a temperature reduction factor of
+//! 0.9").
+//!
+//! Each [`Optimizer::step`] performs one temperature epoch: a batch of
+//! neighbour proposals at the current temperature followed by geometric
+//! cooling. Once the stop temperature is reached the walk keeps proposing
+//! at the floor temperature (pure hill-climbing), so `step` stays safe to
+//! call in an online loop.
+
+use crate::space::SearchSpace;
+use crate::Optimizer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SA hyper-parameters; defaults match the paper's comparison setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaConfig {
+    pub initial_temp: f64,
+    pub stop_temp: f64,
+    pub cooling_factor: f64,
+    /// Proposals per temperature epoch.
+    pub moves_per_epoch: usize,
+    /// Neighbour step σ as a fraction of each dimension's extent.
+    pub step_sigma_frac: f64,
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temp: 100.0,
+            stop_temp: 1.0,
+            cooling_factor: 0.9,
+            moves_per_epoch: 15,
+            step_sigma_frac: 0.15,
+            seed: 0x5a_5eed,
+        }
+    }
+}
+
+/// The annealing walk.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    space: SearchSpace,
+    config: SaConfig,
+    current: Vec<f64>,
+    current_fitness: f64,
+    best_position: Vec<f64>,
+    best_fitness: f64,
+    temperature: f64,
+    rng: SmallRng,
+    epochs: u64,
+}
+
+impl SimulatedAnnealing {
+    pub fn new(space: SearchSpace, config: SaConfig) -> Self {
+        assert!(config.initial_temp > config.stop_temp);
+        assert!((0.0..1.0).contains(&config.cooling_factor));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let current = space.sample(&mut rng);
+        SimulatedAnnealing {
+            best_position: current.clone(),
+            best_fitness: f64::INFINITY,
+            current_fitness: f64::INFINITY,
+            temperature: config.initial_temp,
+            space,
+            config,
+            current,
+            rng,
+            epochs: 0,
+        }
+    }
+
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    fn propose(&mut self) -> Vec<f64> {
+        let mut cand = self.current.clone();
+        for d in 0..self.space.dims() {
+            let sigma = self.space.extent(d) * self.config.step_sigma_frac;
+            let u1: f64 = self.rng.gen_range(1e-12..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            cand[d] += sigma * z;
+        }
+        self.space.clamp(&mut cand);
+        cand
+    }
+}
+
+impl Optimizer for SimulatedAnnealing {
+    fn step<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        if self.current_fitness.is_infinite() {
+            self.current_fitness = fitness(&self.current);
+            if self.current_fitness < self.best_fitness {
+                self.best_fitness = self.current_fitness;
+                self.best_position.clone_from(&self.current);
+            }
+        }
+        for _ in 0..self.config.moves_per_epoch {
+            let cand = self.propose();
+            let f = fitness(&cand);
+            let delta = f - self.current_fitness;
+            let accept = delta <= 0.0 || {
+                let p = (-delta / self.temperature.max(1e-12)).exp();
+                self.rng.gen::<f64>() < p
+            };
+            if accept {
+                self.current = cand;
+                self.current_fitness = f;
+                if f < self.best_fitness {
+                    self.best_fitness = f;
+                    self.best_position.clone_from(&self.current);
+                }
+            }
+        }
+        // Geometric cooling down to the stop temperature.
+        self.temperature = (self.temperature * self.config.cooling_factor)
+            .max(self.config.stop_temp);
+        self.epochs += 1;
+    }
+
+    fn best_position(&self) -> &[f64] {
+        &self.best_position
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best_fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn improves_on_sphere() {
+        let space = SearchSpace::new(vec![(-10.0, 10.0); 3]);
+        let mut sa = SimulatedAnnealing::new(space, SaConfig::default());
+        sa.run(&sphere, 80);
+        assert!(sa.best_fitness() < 1.0, "fitness {}", sa.best_fitness());
+    }
+
+    #[test]
+    fn temperature_cools_geometrically_to_floor() {
+        let space = SearchSpace::new(vec![(-1.0, 1.0)]);
+        let mut sa = SimulatedAnnealing::new(space, SaConfig::default());
+        assert_eq!(sa.temperature(), 100.0);
+        sa.step(&sphere);
+        assert!((sa.temperature() - 90.0).abs() < 1e-9);
+        // ~44 epochs reach the floor of 1.0 (0.9^44 ≈ 0.0097).
+        sa.run(&sphere, 60);
+        assert_eq!(sa.temperature(), 1.0);
+    }
+
+    #[test]
+    fn monotone_best() {
+        let space = SearchSpace::new(vec![(-5.0, 5.0); 2]);
+        let mut sa = SimulatedAnnealing::new(space, SaConfig::default());
+        let mut last = f64::INFINITY;
+        for _ in 0..30 {
+            sa.step(&sphere);
+            assert!(sa.best_fitness() <= last);
+            last = sa.best_fitness();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = SearchSpace::new(vec![(-5.0, 5.0); 2]);
+        let run = |seed| {
+            let mut sa = SimulatedAnnealing::new(
+                space.clone(),
+                SaConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            sa.run(&sphere, 20)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn stays_in_space() {
+        let space = SearchSpace::new(vec![(0.0, 1.0), (0.0, 10.0)]);
+        let mut sa = SimulatedAnnealing::new(space.clone(), SaConfig::default());
+        for _ in 0..40 {
+            sa.step(&sphere);
+            assert!(space.contains(&sa.current));
+        }
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = SaConfig::default();
+        assert_eq!(c.initial_temp, 100.0);
+        assert_eq!(c.stop_temp, 1.0);
+        assert_eq!(c.cooling_factor, 0.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_temperatures() {
+        SimulatedAnnealing::new(
+            SearchSpace::new(vec![(0.0, 1.0)]),
+            SaConfig {
+                initial_temp: 1.0,
+                stop_temp: 10.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Bounded continuous search spaces.
+//!
+//! EcoLife constructs "a two-dimensional search space for each serverless
+//! function": one dimension for the keep-alive location (old/new) and one
+//! for the keep-alive time (a discrete grid of periods). Optimizers work
+//! in the continuous box; decoding to discrete choices happens at the
+//! call site (see `ecolife-core::kdm`).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// An axis-aligned box in R^d.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Per-dimension `(min, max)` bounds, inclusive.
+    bounds: Vec<(f64, f64)>,
+}
+
+impl SearchSpace {
+    pub fn new(bounds: Vec<(f64, f64)>) -> Self {
+        assert!(!bounds.is_empty(), "search space needs ≥1 dimension");
+        for (i, (lo, hi)) in bounds.iter().enumerate() {
+            assert!(lo.is_finite() && hi.is_finite(), "dim {i}: non-finite bound");
+            assert!(lo < hi, "dim {i}: empty interval [{lo}, {hi}]");
+        }
+        SearchSpace { bounds }
+    }
+
+    /// The standard EcoLife space: dimension 0 is the keep-alive location
+    /// in `[0, 1]` (decoded by rounding: `< 0.5` → old, else new);
+    /// dimension 1 is the keep-alive period index in `[0, n_periods-1]`.
+    pub fn ecolife(n_periods: usize) -> Self {
+        assert!(n_periods >= 2, "need at least two keep-alive choices");
+        SearchSpace::new(vec![(0.0, 1.0), (0.0, (n_periods - 1) as f64)])
+    }
+
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.bounds.len()
+    }
+
+    #[inline]
+    pub fn bounds(&self) -> &[(f64, f64)] {
+        &self.bounds
+    }
+
+    /// Clamp a position into the box, in place.
+    pub fn clamp(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dims());
+        for (xi, (lo, hi)) in x.iter_mut().zip(&self.bounds) {
+            *xi = xi.clamp(*lo, *hi);
+        }
+    }
+
+    /// Sample a uniform random position.
+    pub fn sample(&self, rng: &mut SmallRng) -> Vec<f64> {
+        self.bounds
+            .iter()
+            .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
+            .collect()
+    }
+
+    /// Per-dimension extent (hi − lo).
+    pub fn extent(&self, dim: usize) -> f64 {
+        let (lo, hi) = self.bounds[dim];
+        hi - lo
+    }
+
+    /// Whether `x` lies inside the box (inclusive).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dims()
+            && x.iter()
+                .zip(&self.bounds)
+                .all(|(xi, (lo, hi))| *xi >= *lo && *xi <= *hi)
+    }
+}
+
+/// Decode helpers for the EcoLife space.
+pub mod decode {
+    /// Dimension-0 decode: `< 0.5` → old (false), else new (true).
+    #[inline]
+    pub fn location_is_new(x0: f64) -> bool {
+        x0 >= 0.5
+    }
+
+    /// Dimension-1 decode: nearest keep-alive period index, clamped.
+    #[inline]
+    pub fn period_index(x1: f64, n_periods: usize) -> usize {
+        (x1.round().max(0.0) as usize).min(n_periods - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ecolife_space_shape() {
+        let s = SearchSpace::ecolife(11);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.bounds()[0], (0.0, 1.0));
+        assert_eq!(s.bounds()[1], (0.0, 10.0));
+        assert_eq!(s.extent(1), 10.0);
+    }
+
+    #[test]
+    fn clamp_pulls_into_box() {
+        let s = SearchSpace::ecolife(11);
+        let mut x = vec![-3.0, 42.0];
+        s.clamp(&mut x);
+        assert_eq!(x, vec![0.0, 10.0]);
+        assert!(s.contains(&x));
+    }
+
+    #[test]
+    fn sample_stays_in_bounds() {
+        let s = SearchSpace::new(vec![(-5.0, 5.0), (0.0, 1.0), (100.0, 200.0)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = s.sample(&mut rng);
+            assert!(s.contains(&x), "{x:?} escaped");
+        }
+    }
+
+    #[test]
+    fn decode_location() {
+        assert!(!decode::location_is_new(0.0));
+        assert!(!decode::location_is_new(0.49));
+        assert!(decode::location_is_new(0.5));
+        assert!(decode::location_is_new(1.0));
+    }
+
+    #[test]
+    fn decode_period_rounds_and_clamps() {
+        assert_eq!(decode::period_index(3.4, 11), 3);
+        assert_eq!(decode::period_index(3.6, 11), 4);
+        assert_eq!(decode::period_index(-2.0, 11), 0);
+        assert_eq!(decode::period_index(99.0, 11), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn rejects_inverted_bounds() {
+        SearchSpace::new(vec![(1.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥1 dimension")]
+    fn rejects_zero_dims() {
+        SearchSpace::new(vec![]);
+    }
+}

@@ -1,0 +1,115 @@
+//! The two-generation cluster: one node per generation plus its warm pool.
+
+use crate::pool::WarmPool;
+use ecolife_hw::{Generation, HardwareNode, HardwarePair};
+use ecolife_trace::FunctionId;
+
+/// Cluster state during a simulation run.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pair: HardwarePair,
+    pools: [WarmPool; 2],
+}
+
+impl Cluster {
+    /// Build a cluster; pool budgets come from each node's
+    /// `keepalive_mem_mib`.
+    pub fn new(pair: HardwarePair) -> Self {
+        let pools = [
+            WarmPool::new(pair.old.keepalive_mem_mib),
+            WarmPool::new(pair.new.keepalive_mem_mib),
+        ];
+        Cluster { pair, pools }
+    }
+
+    #[inline]
+    pub fn pair(&self) -> &HardwarePair {
+        &self.pair
+    }
+
+    #[inline]
+    pub fn node(&self, generation: Generation) -> &HardwareNode {
+        self.pair.node(generation)
+    }
+
+    #[inline]
+    pub fn pool(&self, generation: Generation) -> &WarmPool {
+        &self.pools[generation.index()]
+    }
+
+    #[inline]
+    pub fn pool_mut(&mut self, generation: Generation) -> &mut WarmPool {
+        &mut self.pools[generation.index()]
+    }
+
+    /// Where `func` is currently warm at time `t_ms`, if anywhere.
+    /// If warm on both generations (possible after a cross-pool transfer
+    /// races a fresh keep-alive), the newer generation wins — it serves
+    /// the faster warm start.
+    pub fn warm_location(&self, func: FunctionId, t_ms: u64) -> Option<Generation> {
+        for generation in [Generation::New, Generation::Old] {
+            if let Some(c) = self.pool(generation).get(func) {
+                if c.is_warm_at(t_ms) {
+                    return Some(generation);
+                }
+            }
+        }
+        None
+    }
+
+    /// Total warm containers across both pools.
+    pub fn total_warm(&self) -> usize {
+        self.pools.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::WarmContainer;
+    use ecolife_hw::skus;
+
+    fn warm(f: u32, since: u64, expiry: u64) -> WarmContainer {
+        WarmContainer {
+            func: FunctionId(f),
+            memory_mib: 128,
+            warm_since_ms: since,
+            expiry_ms: expiry,
+            origin_record: 0,
+        }
+    }
+
+    #[test]
+    fn pools_take_budgets_from_nodes() {
+        let pair = skus::pair_a().with_keepalive_budgets_mib(1_000, 2_000);
+        let c = Cluster::new(pair);
+        assert_eq!(c.pool(Generation::Old).capacity_mib(), 1_000);
+        assert_eq!(c.pool(Generation::New).capacity_mib(), 2_000);
+    }
+
+    #[test]
+    fn warm_location_finds_container() {
+        let mut c = Cluster::new(skus::pair_a());
+        c.pool_mut(Generation::Old).insert(warm(3, 0, 100)).unwrap();
+        assert_eq!(c.warm_location(FunctionId(3), 50), Some(Generation::Old));
+        assert_eq!(c.warm_location(FunctionId(3), 100), None); // expired
+        assert_eq!(c.warm_location(FunctionId(4), 50), None);
+    }
+
+    #[test]
+    fn warm_on_both_prefers_new() {
+        let mut c = Cluster::new(skus::pair_a());
+        c.pool_mut(Generation::Old).insert(warm(1, 0, 100)).unwrap();
+        c.pool_mut(Generation::New).insert(warm(1, 0, 100)).unwrap();
+        assert_eq!(c.warm_location(FunctionId(1), 10), Some(Generation::New));
+        assert_eq!(c.total_warm(), 2);
+    }
+
+    #[test]
+    fn future_container_is_not_warm_yet() {
+        let mut c = Cluster::new(skus::pair_a());
+        c.pool_mut(Generation::New).insert(warm(2, 500, 900)).unwrap();
+        assert_eq!(c.warm_location(FunctionId(2), 100), None);
+        assert_eq!(c.warm_location(FunctionId(2), 600), Some(Generation::New));
+    }
+}

@@ -1,0 +1,577 @@
+//! The trace replay engine.
+//!
+//! One pass over the invocation stream; for every invocation:
+//!
+//! 1. lapse expired containers (settling their keep-alive carbon against
+//!    the invocation that scheduled them);
+//! 2. classify warm/cold (a warm container is consumed by the start);
+//! 3. ask the [`Scheduler`] for execution placement and keep-alive
+//!    (execution is forced to the warm location when one exists —
+//!    Sec. IV-D);
+//! 4. account service time (setup + cold start + execution on the chosen
+//!    generation) and service carbon (Sec. II model, time-averaged CI);
+//! 5. install the keep-alive container, running the scheduler's warm-pool
+//!    adjustment on overflow.
+//!
+//! At end of trace, still-warm containers are settled at their expiry —
+//! every scheduled keep-alive is fully charged, so schedulers cannot game
+//! the horizon.
+
+use crate::cluster::Cluster;
+use crate::container::WarmContainer;
+use crate::metrics::{InvocationRecord, RunMetrics};
+use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
+use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
+use ecolife_hw::{Generation, HardwareNode, HardwarePair, PerfModel};
+use ecolife_trace::Trace;
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Fixed platform overhead added to every service time (queuing +
+    /// setup delay; the paper's service time "includes queuing delay,
+    /// setup delay, cold start (if applicable), and execution time").
+    pub setup_delay_ms: u64,
+    /// The carbon model (embodied scaling etc.).
+    pub carbon_model: CarbonModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            setup_delay_ms: 50,
+            carbon_model: CarbonModel::default(),
+        }
+    }
+}
+
+/// A configured simulation, ready to run against any scheduler.
+pub struct Simulation<'a> {
+    trace: &'a Trace,
+    ci: &'a CarbonIntensityTrace,
+    pair: HardwarePair,
+    config: SimConfig,
+}
+
+impl<'a> Simulation<'a> {
+    pub fn new(trace: &'a Trace, ci: &'a CarbonIntensityTrace, pair: HardwarePair) -> Self {
+        Simulation {
+            trace,
+            ci,
+            pair,
+            config: SimConfig::default(),
+        }
+    }
+
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Run `scheduler` over the trace, producing the full metrics.
+    pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunMetrics {
+        let mut cluster = Cluster::new(self.pair.clone());
+        let mut metrics = RunMetrics::default();
+        metrics.records.reserve(self.trace.len());
+        scheduler.prepare(self.trace);
+
+        for (index, inv) in self.trace.invocations().iter().enumerate() {
+            let t = inv.t_ms;
+            let profile = self.trace.catalog().profile(inv.func);
+
+            // (1) Lapse expired containers.
+            for generation in Generation::ALL {
+                let expired = cluster.pool_mut(generation).expire_until(t);
+                for c in expired {
+                    self.settle(&c, cluster.node(generation), c.expiry_ms, &mut metrics);
+                }
+            }
+
+            // (2) Warm or cold?
+            let warm_at = cluster.warm_location(inv.func, t);
+
+            // (3) Scheduler decision (timed: this is the paper's
+            // decision-making overhead).
+            let decision = {
+                let ctx = InvocationCtx {
+                    index,
+                    func: inv.func,
+                    profile,
+                    t_ms: t,
+                    warm_at,
+                    ci_now: self.ci.at(t),
+                    cluster: &cluster,
+                };
+                let started = std::time::Instant::now();
+                let d = scheduler.decide(&ctx);
+                metrics.decision_overhead_ns += started.elapsed().as_nanos() as u64;
+                d
+            };
+
+            let exec_loc = warm_at.unwrap_or(decision.exec);
+            let warm = warm_at.is_some();
+
+            // A consumed warm container is settled up to the reuse instant.
+            if warm {
+                if let Some(c) = cluster.pool_mut(exec_loc).remove(inv.func) {
+                    self.settle(&c, cluster.node(exec_loc), t, &mut metrics);
+                }
+            }
+
+            // (4) Service time and carbon.
+            let node = cluster.node(exec_loc);
+            let work_ms = if warm {
+                PerfModel::warm_service_ms(node, profile.base_exec_ms, profile.cpu_sensitivity)
+            } else {
+                PerfModel::cold_service_ms(
+                    node,
+                    profile.base_exec_ms,
+                    profile.base_cold_ms,
+                    profile.cpu_sensitivity,
+                )
+            };
+            let service_ms = work_ms + self.config.setup_delay_ms;
+            let ci_avg = self.ci.average_over(t, t + service_ms);
+            let service_carbon = self.config.carbon_model.active_phase(
+                node,
+                profile.memory_mib,
+                service_ms,
+                ci_avg,
+            );
+            let energy_kwh =
+                self.config
+                    .carbon_model
+                    .active_energy_kwh(node, profile.memory_mib, service_ms);
+
+            metrics.records.push(InvocationRecord {
+                func: inv.func,
+                t_ms: t,
+                exec_location: exec_loc,
+                warm,
+                service_ms,
+                service_carbon,
+                keepalive_carbon: ecolife_carbon::CarbonFootprint::ZERO,
+                energy_kwh,
+            });
+
+            // (5) Install the keep-alive.
+            if let Some(ka) = decision.keepalive {
+                if ka.duration_ms > 0 {
+                    let end_of_service = t + service_ms;
+                    let container = WarmContainer {
+                        func: inv.func,
+                        memory_mib: profile.memory_mib,
+                        warm_since_ms: end_of_service,
+                        expiry_ms: end_of_service + ka.duration_ms,
+                        origin_record: index,
+                    };
+                    self.install_keepalive(
+                        container,
+                        ka.location,
+                        t,
+                        scheduler,
+                        &mut cluster,
+                        &mut metrics,
+                    );
+                }
+            }
+
+            // Let online schedulers learn from the outcome.
+            let ctx = InvocationCtx {
+                index,
+                func: inv.func,
+                profile,
+                t_ms: t,
+                warm_at,
+                ci_now: self.ci.at(t),
+                cluster: &cluster,
+            };
+            scheduler.observe(&ctx, service_ms, warm);
+        }
+
+        // End-of-run settlement: every live keep-alive is charged in full.
+        for generation in Generation::ALL {
+            let remaining = cluster.pool_mut(generation).drain_all();
+            for c in remaining {
+                self.settle(&c, self.pair.node(generation), c.expiry_ms, &mut metrics);
+            }
+        }
+
+        metrics
+    }
+
+    /// Insert `container` into `location`'s pool, running the scheduler's
+    /// warm-pool adjustment when it does not fit.
+    fn install_keepalive<S: Scheduler>(
+        &self,
+        container: WarmContainer,
+        location: Generation,
+        t: u64,
+        scheduler: &mut S,
+        cluster: &mut Cluster,
+        metrics: &mut RunMetrics,
+    ) {
+        // Settle a replaced container of the same function (its keep-alive
+        // ends now).
+        if cluster.pool(location).get(container.func).is_some() {
+            if let Some(old) = cluster.pool_mut(location).remove(container.func) {
+                self.settle(&old, cluster.node(location), t, metrics);
+            }
+        }
+
+        let container = match cluster.pool_mut(location).insert(container) {
+            Ok(_) => return,
+            Err(c) => c,
+        };
+
+        // Overflow: ask the scheduler.
+        let action = {
+            let ctx = OverflowCtx {
+                location,
+                incoming_func: container.func,
+                incoming_memory_mib: container.memory_mib,
+                t_ms: t,
+                ci_now: self.ci.at(t),
+                cluster,
+            };
+            scheduler.on_pool_overflow(&ctx)
+        };
+
+        match action {
+            OverflowAction::Drop => {
+                metrics.evicted_functions += 1;
+            }
+            OverflowAction::Adjust(plan) => {
+                let other = location.other();
+                for func in plan.displace {
+                    let Some(mut displaced) = cluster.pool_mut(location).remove(func) else {
+                        continue; // plan referenced a non-resident function
+                    };
+                    // Its stay on this generation ends now.
+                    self.settle(&displaced, cluster.node(location), t, metrics);
+                    // Restart the remaining keep-alive on the other node.
+                    displaced.warm_since_ms = t;
+                    if displaced.expiry_ms > t
+                        && cluster.pool_mut(other).insert(displaced).is_ok()
+                    {
+                        metrics.transfers += 1;
+                    } else {
+                        metrics.evicted_functions += 1;
+                    }
+                }
+                if plan.place_incoming {
+                    if cluster.pool_mut(location).insert(container).is_err() {
+                        metrics.evicted_functions += 1;
+                    }
+                } else {
+                    metrics.evicted_functions += 1;
+                }
+            }
+        }
+    }
+
+    /// Charge a container's keep-alive period `[warm_since, end)` to its
+    /// origin record.
+    fn settle(
+        &self,
+        container: &WarmContainer,
+        node: &HardwareNode,
+        end_ms: u64,
+        metrics: &mut RunMetrics,
+    ) {
+        let duration = container.resident_ms(end_ms);
+        if duration == 0 {
+            return;
+        }
+        let ci_avg = self
+            .ci
+            .average_over(container.warm_since_ms, container.warm_since_ms + duration);
+        let fp = self.config.carbon_model.keepalive_phase(
+            node,
+            container.memory_mib,
+            duration,
+            ci_avg,
+        );
+        let rec = &mut metrics.records[container.origin_record];
+        rec.keepalive_carbon += fp;
+        rec.energy_kwh += self.config.carbon_model.keepalive_energy_kwh(
+            node,
+            container.memory_mib,
+            duration,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{AdjustPlan, Decision, KeepAliveChoice};
+    use crate::MINUTE_MS;
+    use ecolife_hw::skus;
+    use ecolife_trace::{FunctionId, FunctionProfile, Invocation, WorkloadCatalog};
+
+    /// Fixed policy: execute on `exec`, keep alive `ka_min` minutes on
+    /// `ka_loc`.
+    struct Fixed {
+        exec: Generation,
+        ka_loc: Generation,
+        ka_min: u64,
+        overflow: OverflowAction,
+    }
+
+    impl Fixed {
+        fn new(exec: Generation, ka_loc: Generation, ka_min: u64) -> Self {
+            Fixed {
+                exec,
+                ka_loc,
+                ka_min,
+                overflow: OverflowAction::Drop,
+            }
+        }
+    }
+
+    impl Scheduler for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn decide(&mut self, _ctx: &InvocationCtx<'_>) -> Decision {
+            Decision {
+                exec: self.exec,
+                keepalive: (self.ka_min > 0).then_some(KeepAliveChoice {
+                    location: self.ka_loc,
+                    duration_ms: self.ka_min * MINUTE_MS,
+                }),
+            }
+        }
+        fn on_pool_overflow(&mut self, _ctx: &OverflowCtx<'_>) -> OverflowAction {
+            self.overflow.clone()
+        }
+    }
+
+    fn one_func_catalog() -> WorkloadCatalog {
+        WorkloadCatalog::new(vec![FunctionProfile::new("f", 1_000, 2_000, 512, 0.64)])
+    }
+
+    fn trace_of(times: &[u64]) -> Trace {
+        Trace::new(
+            one_func_catalog(),
+            times
+                .iter()
+                .map(|&t| Invocation {
+                    func: FunctionId(0),
+                    t_ms: t,
+                })
+                .collect(),
+        )
+    }
+
+    fn ci300() -> CarbonIntensityTrace {
+        CarbonIntensityTrace::constant(300.0, 600)
+    }
+
+    #[test]
+    fn first_invocation_is_cold_second_is_warm_within_keepalive() {
+        let trace = trace_of(&[0, 2 * MINUTE_MS]);
+        let ci = ci300();
+        let sim = Simulation::new(&trace, &ci, skus::pair_a());
+        let m = sim.run(&mut Fixed::new(Generation::New, Generation::New, 10));
+        assert_eq!(m.invocations(), 2);
+        assert!(!m.records[0].warm);
+        assert!(m.records[1].warm);
+        // Warm service = exec only + setup; cold includes the cold start.
+        assert!(m.records[1].service_ms < m.records[0].service_ms);
+        assert_eq!(m.records[1].service_ms, 1_000 + 50);
+        assert_eq!(m.records[0].service_ms, 2_000 + 1_000 + 50);
+    }
+
+    #[test]
+    fn reinvocation_after_expiry_is_cold() {
+        let trace = trace_of(&[0, 15 * MINUTE_MS]);
+        let ci = ci300();
+        let sim = Simulation::new(&trace, &ci, skus::pair_a());
+        let m = sim.run(&mut Fixed::new(Generation::New, Generation::New, 10));
+        assert!(!m.records[1].warm);
+        assert_eq!(m.warm_starts(), 0);
+    }
+
+    #[test]
+    fn keepalive_carbon_attributed_to_scheduling_invocation() {
+        let trace = trace_of(&[0]);
+        let ci = ci300();
+        let sim = Simulation::new(&trace, &ci, skus::pair_a());
+        let m = sim.run(&mut Fixed::new(Generation::New, Generation::New, 10));
+        // The sole record carries its own 10-minute keep-alive.
+        assert!(m.records[0].keepalive_carbon.total_g() > 0.0);
+        // Order of magnitude: ~2 W for 600 s at 300 g/kWh ≈ 0.1 g plus
+        // embodied.
+        let ka = m.records[0].keepalive_carbon.total_g();
+        assert!((0.02..1.0).contains(&ka), "keep-alive carbon {ka}");
+    }
+
+    #[test]
+    fn warm_reuse_truncates_keepalive_charge() {
+        let ci = ci300();
+        let pair = skus::pair_a();
+        // Reuse after 2 of 10 scheduled minutes…
+        let t_short = trace_of(&[0, 2 * MINUTE_MS]);
+        let m_short =
+            Simulation::new(&t_short, &ci, pair.clone()).run(&mut Fixed::new(
+                Generation::New,
+                Generation::New,
+                10,
+            ));
+        // …must charge less than lapsing the full 10 minutes.
+        let t_lapse = trace_of(&[0]);
+        let m_lapse = Simulation::new(&t_lapse, &ci, pair).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            10,
+        ));
+        let short_ka = m_short.records[0].keepalive_carbon.total_g();
+        let lapse_ka = m_lapse.records[0].keepalive_carbon.total_g();
+        assert!(short_ka < 0.5 * lapse_ka, "{short_ka} vs {lapse_ka}");
+    }
+
+    #[test]
+    fn warm_location_overrides_exec_decision() {
+        // Keep alive on OLD but the policy wants to execute on NEW: the
+        // engine must execute the warm start on OLD (Sec. IV-D).
+        let trace = trace_of(&[0, MINUTE_MS]);
+        let ci = ci300();
+        let sim = Simulation::new(&trace, &ci, skus::pair_a());
+        let m = sim.run(&mut Fixed::new(Generation::New, Generation::Old, 10));
+        assert_eq!(m.records[1].exec_location, Generation::Old);
+        assert!(m.records[1].warm);
+    }
+
+    #[test]
+    fn execution_on_old_is_slower() {
+        let trace = trace_of(&[0]);
+        let ci = ci300();
+        let pair = skus::pair_a();
+        let m_old = Simulation::new(&trace, &ci, pair.clone())
+            .run(&mut Fixed::new(Generation::Old, Generation::Old, 0));
+        let m_new = Simulation::new(&trace, &ci, pair)
+            .run(&mut Fixed::new(Generation::New, Generation::New, 0));
+        assert!(m_old.records[0].service_ms > m_new.records[0].service_ms);
+    }
+
+    #[test]
+    fn overflow_drop_counts_eviction() {
+        // Pool too small for the 512-MiB container.
+        let pair = skus::pair_a().with_keepalive_budgets_mib(256, 256);
+        let trace = trace_of(&[0]);
+        let ci = ci300();
+        let m = Simulation::new(&trace, &ci, pair).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            10,
+        ));
+        assert_eq!(m.evicted_functions, 1);
+        assert_eq!(m.records[0].keepalive_carbon.total_g(), 0.0);
+    }
+
+    #[test]
+    fn overflow_adjust_transfers_to_other_pool() {
+        // Two functions of 512 MiB each; the new pool only fits one.
+        let catalog = WorkloadCatalog::new(vec![
+            FunctionProfile::new("a", 1_000, 2_000, 512, 0.5),
+            FunctionProfile::new("b", 1_000, 2_000, 512, 0.5),
+        ]);
+        let trace = Trace::new(
+            catalog,
+            vec![
+                Invocation {
+                    func: FunctionId(0),
+                    t_ms: 0,
+                },
+                Invocation {
+                    func: FunctionId(1),
+                    t_ms: 10_000,
+                },
+            ],
+        );
+        let ci = ci300();
+        let pair = skus::pair_a().with_keepalive_budgets_mib(512, 512);
+
+        struct Adjusting;
+        impl Scheduler for Adjusting {
+            fn name(&self) -> &'static str {
+                "adjusting"
+            }
+            fn decide(&mut self, _ctx: &InvocationCtx<'_>) -> Decision {
+                Decision {
+                    exec: Generation::New,
+                    keepalive: Some(KeepAliveChoice {
+                        location: Generation::New,
+                        duration_ms: 10 * MINUTE_MS,
+                    }),
+                }
+            }
+            fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
+                // Displace whatever is resident; place the incoming.
+                let resident: Vec<_> =
+                    ctx.cluster.pool(ctx.location).iter().map(|c| c.func).collect();
+                OverflowAction::Adjust(AdjustPlan {
+                    displace: resident,
+                    place_incoming: true,
+                })
+            }
+        }
+
+        let m = Simulation::new(&trace, &ci, pair).run(&mut Adjusting);
+        assert_eq!(m.transfers, 1);
+        assert_eq!(m.evicted_functions, 0);
+        // Both invocations still carry keep-alive carbon: one on new, the
+        // transferred one split across generations.
+        assert!(m.records[0].keepalive_carbon.total_g() > 0.0);
+        assert!(m.records[1].keepalive_carbon.total_g() > 0.0);
+    }
+
+    #[test]
+    fn no_keepalive_means_no_keepalive_carbon() {
+        let trace = trace_of(&[0, MINUTE_MS]);
+        let ci = ci300();
+        let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            0,
+        ));
+        assert_eq!(m.total_keepalive_carbon_g(), 0.0);
+        assert_eq!(m.warm_starts(), 0);
+    }
+
+    #[test]
+    fn energy_accumulates_service_and_keepalive() {
+        let trace = trace_of(&[0]);
+        let ci = ci300();
+        let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            10,
+        ));
+        let service_only = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            0,
+        ));
+        assert!(m.total_energy_kwh() > service_only.total_energy_kwh());
+    }
+
+    #[test]
+    fn deterministic_run() {
+        let trace = trace_of(&[0, 30_000, 90_000, 200_000]);
+        let ci = ci300();
+        let run = || {
+            Simulation::new(&trace, &ci, skus::pair_a()).run(&mut Fixed::new(
+                Generation::New,
+                Generation::New,
+                5,
+            ))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.evicted_functions, b.evicted_functions);
+    }
+}

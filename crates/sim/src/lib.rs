@@ -1,0 +1,38 @@
+//! # ecolife-sim — discrete-event serverless cluster simulator
+//!
+//! Replays an invocation [`Trace`](ecolife_trace::Trace) against a
+//! two-generation hardware pair under a pluggable [`Scheduler`]:
+//!
+//! * **warm pools** ([`pool`]) — one per generation, memory-bounded,
+//!   holding the containers kept alive between invocations;
+//! * **engine** ([`engine`]) — advances invocation by invocation,
+//!   expiring containers, classifying warm/cold starts, computing service
+//!   time via the generation performance model and carbon via the Sec. II
+//!   footprint model, and invoking the scheduler's overflow handling when
+//!   a keep-alive does not fit;
+//! * **metrics** ([`metrics`]) — per-invocation records (service time,
+//!   carbon breakdown, energy), aggregate totals, CDFs, and P95s — the
+//!   quantities every figure of the paper is computed from.
+//!
+//! The simulator is single-threaded and deterministic; parallelism lives
+//! one level up (experiment sweeps fan out over independent simulations).
+
+pub mod cluster;
+pub mod container;
+pub mod engine;
+pub mod metrics;
+pub mod pool;
+pub mod scheduler;
+
+pub use cluster::Cluster;
+pub use container::WarmContainer;
+pub use engine::{SimConfig, Simulation};
+pub use metrics::{InvocationRecord, RunMetrics};
+pub use pool::WarmPool;
+pub use scheduler::{
+    AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler,
+};
+
+/// Milliseconds per minute; keep-alive periods are quoted in minutes
+/// throughout the paper.
+pub const MINUTE_MS: u64 = 60_000;

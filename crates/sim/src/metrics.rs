@@ -1,0 +1,258 @@
+//! Per-invocation records and run-level aggregates.
+//!
+//! Every figure in the paper reduces to these quantities: total/average
+//! service time, total carbon footprint (service + keep-alive, embodied +
+//! operational), per-invocation CDFs (Fig. 8), P95 latency, warm-start
+//! rates, and eviction counts (Fig. 11).
+
+use ecolife_carbon::CarbonFootprint;
+use ecolife_hw::Generation;
+use ecolife_trace::FunctionId;
+
+/// Outcome of one invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationRecord {
+    pub func: FunctionId,
+    /// Arrival time (ms).
+    pub t_ms: u64,
+    /// Where it executed.
+    pub exec_location: Generation,
+    /// Warm start?
+    pub warm: bool,
+    /// Service time: setup + cold start (if any) + execution (ms).
+    pub service_ms: u64,
+    /// Carbon emitted during the service period.
+    pub service_carbon: CarbonFootprint,
+    /// Carbon emitted keeping the function warm *after* this invocation
+    /// (attributed when the container dies or is reused).
+    pub keepalive_carbon: CarbonFootprint,
+    /// Energy (kWh) over service + keep-alive (Energy-Opt's objective).
+    pub energy_kwh: f64,
+}
+
+impl InvocationRecord {
+    /// Total carbon attributed to this invocation (g).
+    #[inline]
+    pub fn total_carbon_g(&self) -> f64 {
+        self.service_carbon.total_g() + self.keepalive_carbon.total_g()
+    }
+}
+
+/// Aggregates over one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    pub records: Vec<InvocationRecord>,
+    /// Keep-alives dropped entirely because no pool had room (the paper's
+    /// "evicted functions" in Fig. 11).
+    pub evicted_functions: u64,
+    /// Containers displaced across generations by warm-pool adjustment.
+    pub transfers: u64,
+    /// Total wall-clock nanoseconds spent inside `Scheduler::decide`
+    /// (the decision-making overhead the paper bounds at <0.4% of
+    /// service time).
+    pub decision_overhead_ns: u64,
+}
+
+impl RunMetrics {
+    pub fn invocations(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn warm_starts(&self) -> usize {
+        self.records.iter().filter(|r| r.warm).count()
+    }
+
+    pub fn cold_starts(&self) -> usize {
+        self.records.len() - self.warm_starts()
+    }
+
+    pub fn warm_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.warm_starts() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Sum of service times (ms).
+    pub fn total_service_ms(&self) -> u64 {
+        self.records.iter().map(|r| r.service_ms).sum()
+    }
+
+    /// Mean service time (ms).
+    pub fn mean_service_ms(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_service_ms() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Total carbon footprint (g): service + keep-alive.
+    pub fn total_carbon_g(&self) -> f64 {
+        self.records.iter().map(|r| r.total_carbon_g()).sum()
+    }
+
+    /// Total carbon split (operational, embodied).
+    pub fn carbon_split(&self) -> CarbonFootprint {
+        self.records
+            .iter()
+            .map(|r| r.service_carbon + r.keepalive_carbon)
+            .sum()
+    }
+
+    /// Total keep-alive carbon only (Fig. 1's numerator).
+    pub fn total_keepalive_carbon_g(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.keepalive_carbon.total_g())
+            .sum()
+    }
+
+    /// Total energy (kWh).
+    pub fn total_energy_kwh(&self) -> f64 {
+        self.records.iter().map(|r| r.energy_kwh).sum()
+    }
+
+    /// Service-time percentile (e.g. `0.95` for P95), by nearest-rank.
+    pub fn service_percentile_ms(&self, q: f64) -> u64 {
+        percentile(
+            &mut self.records.iter().map(|r| r.service_ms).collect::<Vec<_>>(),
+            q,
+        )
+    }
+
+    /// Sorted per-invocation service times — CDF x-axis material (Fig. 8).
+    pub fn service_cdf(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.records.iter().map(|r| r.service_ms).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted per-invocation carbon totals (g).
+    pub fn carbon_cdf(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.records.iter().map(|r| r.total_carbon_g()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Decision overhead as a fraction of total service time.
+    pub fn decision_overhead_fraction(&self) -> f64 {
+        let service_ns = self.total_service_ms() as f64 * 1e6;
+        if service_ns == 0.0 {
+            0.0
+        } else {
+            self.decision_overhead_ns as f64 / service_ns
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted slice (sorts in place).
+pub fn percentile(values: &mut [u64], q: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&q));
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+/// `(a - b) / b` as a percentage — the "% increase w.r.t. X-Opt" quantity
+/// every evaluation figure is plotted in.
+pub fn percent_increase(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        100.0 * (a - b) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(service: u64, warm: bool, carbon: f64, ka: f64) -> InvocationRecord {
+        InvocationRecord {
+            func: FunctionId(0),
+            t_ms: 0,
+            exec_location: Generation::New,
+            warm,
+            service_ms: service,
+            service_carbon: CarbonFootprint::new(carbon, 0.0),
+            keepalive_carbon: CarbonFootprint::new(ka, 0.0),
+            energy_kwh: 0.001,
+        }
+    }
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            records: vec![
+                rec(100, true, 0.1, 0.05),
+                rec(300, false, 0.3, 0.0),
+                rec(200, true, 0.2, 0.1),
+                rec(400, false, 0.4, 0.0),
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let m = metrics();
+        assert_eq!(m.invocations(), 4);
+        assert_eq!(m.warm_starts(), 2);
+        assert_eq!(m.cold_starts(), 2);
+        assert_eq!(m.warm_rate(), 0.5);
+    }
+
+    #[test]
+    fn totals() {
+        let m = metrics();
+        assert_eq!(m.total_service_ms(), 1_000);
+        assert_eq!(m.mean_service_ms(), 250.0);
+        assert!((m.total_carbon_g() - 1.15).abs() < 1e-12);
+        assert!((m.total_keepalive_carbon_g() - 0.15).abs() < 1e-12);
+        assert!((m.total_energy_kwh() - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let m = metrics();
+        assert_eq!(m.service_percentile_ms(0.5), 200);
+        assert_eq!(m.service_percentile_ms(0.95), 400);
+        assert_eq!(m.service_percentile_ms(0.0), 100);
+        assert_eq!(percentile(&mut [], 0.5), 0);
+    }
+
+    #[test]
+    fn cdfs_sorted() {
+        let m = metrics();
+        assert_eq!(m.service_cdf(), vec![100, 200, 300, 400]);
+        let cc = m.carbon_cdf();
+        assert!(cc.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn percent_increase_basics() {
+        assert_eq!(percent_increase(110.0, 100.0), 10.0);
+        assert_eq!(percent_increase(100.0, 100.0), 0.0);
+        assert_eq!(percent_increase(50.0, 0.0), 0.0);
+        assert_eq!(percent_increase(90.0, 100.0), -10.0);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let mut m = metrics();
+        m.decision_overhead_ns = 1_000_000; // 1 ms over 1000 ms service
+        assert!((m.decision_overhead_fraction() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::default();
+        assert_eq!(m.mean_service_ms(), 0.0);
+        assert_eq!(m.warm_rate(), 0.0);
+        assert_eq!(m.service_percentile_ms(0.95), 0);
+    }
+}

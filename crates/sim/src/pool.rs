@@ -1,0 +1,221 @@
+//! A memory-bounded warm pool: the set of containers kept alive on one
+//! generation's node.
+
+use crate::container::WarmContainer;
+use ecolife_trace::FunctionId;
+use std::collections::HashMap;
+
+/// Warm pool with a hard memory budget. At most one container per
+/// function per pool (re-keep-alive replaces the entry).
+#[derive(Debug, Clone, Default)]
+pub struct WarmPool {
+    capacity_mib: u64,
+    used_mib: u64,
+    containers: HashMap<FunctionId, WarmContainer>,
+}
+
+impl WarmPool {
+    pub fn new(capacity_mib: u64) -> Self {
+        WarmPool {
+            capacity_mib,
+            used_mib: 0,
+            containers: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    pub fn capacity_mib(&self) -> u64 {
+        self.capacity_mib
+    }
+
+    #[inline]
+    pub fn used_mib(&self) -> u64 {
+        self.used_mib
+    }
+
+    #[inline]
+    pub fn free_mib(&self) -> u64 {
+        self.capacity_mib - self.used_mib
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.containers.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.containers.is_empty()
+    }
+
+    /// Whether `container` fits right now (accounting for an existing
+    /// entry of the same function that would be replaced).
+    pub fn fits(&self, container: &WarmContainer) -> bool {
+        let reclaimed = self
+            .containers
+            .get(&container.func)
+            .map(|c| c.memory_mib)
+            .unwrap_or(0);
+        self.used_mib - reclaimed + container.memory_mib <= self.capacity_mib
+    }
+
+    /// Insert a container. Returns the replaced entry for the same
+    /// function, if any.
+    ///
+    /// # Errors
+    /// Returns `Err(container)` without mutating when it does not fit.
+    pub fn insert(&mut self, container: WarmContainer) -> Result<Option<WarmContainer>, WarmContainer> {
+        if !self.fits(&container) {
+            return Err(container);
+        }
+        let old = self.containers.insert(container.func, container);
+        if let Some(ref o) = old {
+            self.used_mib -= o.memory_mib;
+        }
+        self.used_mib += container.memory_mib;
+        Ok(old)
+    }
+
+    /// Remove and return the container for `func`.
+    pub fn remove(&mut self, func: FunctionId) -> Option<WarmContainer> {
+        let c = self.containers.remove(&func);
+        if let Some(ref c) = c {
+            self.used_mib -= c.memory_mib;
+        }
+        c
+    }
+
+    /// Container for `func`, if resident.
+    pub fn get(&self, func: FunctionId) -> Option<&WarmContainer> {
+        self.containers.get(&func)
+    }
+
+    /// Remove every container with `expiry_ms <= t_ms`, returning them
+    /// (order unspecified) so the engine can settle their carbon.
+    pub fn expire_until(&mut self, t_ms: u64) -> Vec<WarmContainer> {
+        let expired: Vec<FunctionId> = self
+            .containers
+            .values()
+            .filter(|c| c.expiry_ms <= t_ms)
+            .map(|c| c.func)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|f| self.remove(f))
+            .collect()
+    }
+
+    /// Drain every container (end-of-run settlement).
+    pub fn drain_all(&mut self) -> Vec<WarmContainer> {
+        self.used_mib = 0;
+        self.containers.drain().map(|(_, c)| c).collect()
+    }
+
+    /// Iterate resident containers (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &WarmContainer> {
+        self.containers.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(f: u32, mem: u64, since: u64, expiry: u64) -> WarmContainer {
+        WarmContainer {
+            func: FunctionId(f),
+            memory_mib: mem,
+            warm_since_ms: since,
+            expiry_ms: expiry,
+            origin_record: 0,
+        }
+    }
+
+    #[test]
+    fn insert_tracks_memory() {
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 400, 0, 100)).unwrap();
+        p.insert(c(1, 500, 0, 100)).unwrap();
+        assert_eq!(p.used_mib(), 900);
+        assert_eq!(p.free_mib(), 100);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_over_capacity_without_mutation() {
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 800, 0, 100)).unwrap();
+        let rejected = p.insert(c(1, 300, 0, 100));
+        assert!(rejected.is_err());
+        assert_eq!(p.used_mib(), 800);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn replacing_same_function_reclaims_memory() {
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 800, 0, 100)).unwrap();
+        // Same function, smaller footprint: must fit via reclaim.
+        let old = p.insert(c(0, 600, 10, 200)).unwrap();
+        assert_eq!(old.unwrap().memory_mib, 800);
+        assert_eq!(p.used_mib(), 600);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(FunctionId(0)).unwrap().expiry_ms, 200);
+    }
+
+    #[test]
+    fn fits_accounts_for_replacement() {
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 900, 0, 100)).unwrap();
+        assert!(p.fits(&c(0, 1_000, 0, 100)));
+        assert!(!p.fits(&c(1, 200, 0, 100)));
+    }
+
+    #[test]
+    fn expire_until_removes_only_lapsed() {
+        let mut p = WarmPool::new(10_000);
+        p.insert(c(0, 100, 0, 50)).unwrap();
+        p.insert(c(1, 100, 0, 150)).unwrap();
+        p.insert(c(2, 100, 0, 100)).unwrap();
+        let mut dead = p.expire_until(100);
+        dead.sort_by_key(|c| c.func);
+        assert_eq!(dead.len(), 2);
+        assert_eq!(dead[0].func, FunctionId(0));
+        assert_eq!(dead[1].func, FunctionId(2));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.used_mib(), 100);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut p = WarmPool::new(100);
+        assert!(p.remove(FunctionId(9)).is_none());
+    }
+
+    #[test]
+    fn drain_all_resets() {
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 100, 0, 50)).unwrap();
+        p.insert(c(1, 100, 0, 50)).unwrap();
+        let drained = p.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(p.is_empty());
+        assert_eq!(p.used_mib(), 0);
+    }
+
+    #[test]
+    fn memory_invariant_under_churn() {
+        // used_mib must always equal the sum of resident footprints.
+        let mut p = WarmPool::new(5_000);
+        for i in 0..20u32 {
+            let _ = p.insert(c(i % 7, 100 + (i as u64 * 37) % 400, 0, 1 + i as u64 * 10));
+            let expected: u64 = p.iter().map(|c| c.memory_mib).sum();
+            assert_eq!(p.used_mib(), expected);
+            if i % 3 == 0 {
+                p.expire_until(i as u64 * 5);
+                let expected: u64 = p.iter().map(|c| c.memory_mib).sum();
+                assert_eq!(p.used_mib(), expected);
+            }
+        }
+    }
+}

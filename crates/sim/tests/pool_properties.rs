@@ -1,0 +1,80 @@
+//! Property tests on the warm pool: the memory ledger must stay exact
+//! under arbitrary interleavings of insert / remove / expire.
+
+use ecolife_sim::{WarmContainer, WarmPool};
+use ecolife_trace::FunctionId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { func: u32, mem: u64, expiry: u64 },
+    Remove { func: u32 },
+    Expire { t: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..12, 64u64..2_048, 1u64..10_000).prop_map(|(func, mem, expiry)| Op::Insert {
+            func,
+            mem,
+            expiry
+        }),
+        (0u32..12).prop_map(|func| Op::Remove { func }),
+        (0u64..10_000).prop_map(|t| Op::Expire { t }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn memory_ledger_is_exact(capacity in 512u64..8_192, ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut pool = WarmPool::new(capacity);
+        for op in ops {
+            match op {
+                Op::Insert { func, mem, expiry } => {
+                    let _ = pool.insert(WarmContainer {
+                        func: FunctionId(func),
+                        memory_mib: mem,
+                        warm_since_ms: 0,
+                        expiry_ms: expiry,
+                        origin_record: 0,
+                    });
+                }
+                Op::Remove { func } => {
+                    pool.remove(FunctionId(func));
+                }
+                Op::Expire { t } => {
+                    pool.expire_until(t);
+                }
+            }
+            // Invariants after every operation.
+            let actual: u64 = pool.iter().map(|c| c.memory_mib).sum();
+            prop_assert_eq!(pool.used_mib(), actual, "ledger drift");
+            prop_assert!(pool.used_mib() <= pool.capacity_mib(), "over capacity");
+            prop_assert_eq!(pool.len(), pool.iter().count());
+        }
+    }
+
+    #[test]
+    fn expire_until_is_complete_and_minimal(
+        containers in prop::collection::vec((0u32..64, 64u64..256, 1u64..1_000), 1..30),
+        t in 0u64..1_200,
+    ) {
+        let mut pool = WarmPool::new(1 << 30);
+        for (func, mem, expiry) in &containers {
+            let _ = pool.insert(WarmContainer {
+                func: FunctionId(*func),
+                memory_mib: *mem,
+                warm_since_ms: 0,
+                expiry_ms: *expiry,
+                origin_record: 0,
+            });
+        }
+        let dead = pool.expire_until(t);
+        // Everything returned was actually expired…
+        prop_assert!(dead.iter().all(|c| c.expiry_ms <= t));
+        // …and nothing expired remains.
+        prop_assert!(pool.iter().all(|c| c.expiry_ms > t));
+    }
+}

@@ -1,0 +1,168 @@
+//! Invocation events and the trace container.
+
+use crate::workload::{FunctionId, WorkloadCatalog};
+
+/// One function invocation request arriving at the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Invocation {
+    /// Which function is invoked.
+    pub func: FunctionId,
+    /// Arrival time (simulation ms).
+    pub t_ms: u64,
+}
+
+/// A chronologically sorted invocation stream plus the catalog resolving
+/// its function ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    catalog: WorkloadCatalog,
+    invocations: Vec<Invocation>,
+    horizon_ms: u64,
+}
+
+impl Trace {
+    /// Build a trace; invocations are sorted by arrival time (stable, so
+    /// equal-timestamp order is preserved from the input).
+    pub fn new(catalog: WorkloadCatalog, mut invocations: Vec<Invocation>) -> Self {
+        invocations.sort_by_key(|i| i.t_ms);
+        for inv in &invocations {
+            assert!(
+                inv.func.as_usize() < catalog.len(),
+                "invocation references function {} outside catalog (len {})",
+                inv.func,
+                catalog.len()
+            );
+        }
+        let horizon_ms = invocations.last().map(|i| i.t_ms).unwrap_or(0);
+        Trace {
+            catalog,
+            invocations,
+            horizon_ms,
+        }
+    }
+
+    #[inline]
+    pub fn catalog(&self) -> &WorkloadCatalog {
+        &self.catalog
+    }
+
+    #[inline]
+    pub fn invocations(&self) -> &[Invocation] {
+        &self.invocations
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Arrival time of the last invocation.
+    #[inline]
+    pub fn horizon_ms(&self) -> u64 {
+        self.horizon_ms
+    }
+
+    /// For every invocation, the arrival time of the *next* invocation of
+    /// the same function (`None` for the last one). This is the future
+    /// knowledge the Oracle-family baselines are granted; online
+    /// schedulers never see it.
+    pub fn next_arrival_gaps(&self) -> Vec<Option<u64>> {
+        let mut next_seen: Vec<Option<u64>> = vec![None; self.catalog.len()];
+        let mut gaps = vec![None; self.invocations.len()];
+        for (i, inv) in self.invocations.iter().enumerate().rev() {
+            let slot = &mut next_seen[inv.func.as_usize()];
+            gaps[i] = slot.map(|t: u64| t - inv.t_ms);
+            *slot = Some(inv.t_ms);
+        }
+        gaps
+    }
+
+    /// Number of invocations per `window_ms` bucket — the ΔF signal source.
+    pub fn invocations_per_window(&self, window_ms: u64) -> Vec<u32> {
+        assert!(window_ms > 0);
+        let buckets = (self.horizon_ms / window_ms + 1) as usize;
+        let mut counts = vec![0u32; buckets];
+        for inv in &self.invocations {
+            counts[(inv.t_ms / window_ms) as usize] += 1;
+        }
+        counts
+    }
+
+    /// Count invocations of one function.
+    pub fn count_for(&self, func: FunctionId) -> usize {
+        self.invocations.iter().filter(|i| i.func == func).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::FunctionProfile;
+
+    fn catalog2() -> WorkloadCatalog {
+        WorkloadCatalog::new(vec![
+            FunctionProfile::new("a", 100, 100, 128, 0.5),
+            FunctionProfile::new("b", 200, 100, 128, 0.5),
+        ])
+    }
+
+    fn inv(f: u32, t: u64) -> Invocation {
+        Invocation {
+            func: FunctionId(f),
+            t_ms: t,
+        }
+    }
+
+    #[test]
+    fn trace_sorts_by_time() {
+        let t = Trace::new(catalog2(), vec![inv(0, 50), inv(1, 10), inv(0, 30)]);
+        let times: Vec<u64> = t.invocations().iter().map(|i| i.t_ms).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+        assert_eq!(t.horizon_ms(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside catalog")]
+    fn trace_rejects_unknown_function() {
+        Trace::new(catalog2(), vec![inv(7, 0)]);
+    }
+
+    #[test]
+    fn next_arrival_gaps_per_function() {
+        let t = Trace::new(
+            catalog2(),
+            vec![inv(0, 0), inv(1, 5), inv(0, 100), inv(0, 250)],
+        );
+        let gaps = t.next_arrival_gaps();
+        assert_eq!(gaps, vec![Some(100), None, Some(150), None]);
+    }
+
+    #[test]
+    fn invocations_per_window_counts() {
+        let t = Trace::new(
+            catalog2(),
+            vec![inv(0, 0), inv(0, 500), inv(1, 1_200), inv(0, 2_100)],
+        );
+        assert_eq!(t.invocations_per_window(1_000), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn count_for_filters_by_function() {
+        let t = Trace::new(catalog2(), vec![inv(0, 0), inv(1, 1), inv(0, 2)]);
+        assert_eq!(t.count_for(FunctionId(0)), 2);
+        assert_eq!(t.count_for(FunctionId(1)), 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(catalog2(), vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.horizon_ms(), 0);
+        assert!(t.next_arrival_gaps().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # ecolife-trace — serverless workloads and invocation traces
+//!
+//! Three substrates:
+//!
+//! * [`workload`] — a catalog of SeBS-style serverless functions
+//!   (video-processing, graph-bfs, dna-visualization, …) with the
+//!   per-function profile the simulator needs: base execution time on the
+//!   reference hardware generation, cold-start overhead, memory footprint,
+//!   and CPU sensitivity (how much of the runtime scales with single-thread
+//!   speed across generations).
+//! * [`azure`] — a parser for the Microsoft Azure Functions 2019 trace
+//!   CSV schema ("Serverless in the Wild" [26]) plus the trace → catalog
+//!   mapping the paper describes ("EcoLife maps all serverless functions to
+//!   the closest match, considering the memory and execution time").
+//! * [`synth`] — a seeded synthetic Azure-like trace generator matching the
+//!   published marginals (heavy-tailed per-function popularity; a mix of
+//!   Poisson, periodic, and bursty arrival classes), used when the real
+//!   trace files are not available.
+//!
+//! [`stats`] adds the inter-arrival bookkeeping EcoLife's online predictor
+//! is built on.
+
+pub mod azure;
+pub mod invocation;
+pub mod stats;
+pub mod synth;
+pub mod workload;
+
+pub use invocation::{Invocation, Trace};
+pub use stats::InterArrivalStats;
+pub use synth::{ArrivalClass, SynthTraceConfig};
+pub use workload::{FunctionId, FunctionProfile, WorkloadCatalog};

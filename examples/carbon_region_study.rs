@@ -1,0 +1,59 @@
+//! Region study: how the grid's carbon-intensity profile changes what
+//! EcoLife does — and what it saves.
+//!
+//! Replays the same workload under all five evaluated grid regions
+//! (Tennessee, Texas, Florida, New York, California) and reports, per
+//! region, EcoLife vs the fixed New-Only policy and vs the Oracle.
+//!
+//! Run with: `cargo run --release --example carbon_region_study`
+
+use ecolife::core::runner::parallel_map;
+use ecolife::prelude::*;
+
+fn main() {
+    let trace = SynthTraceConfig {
+        n_functions: 32,
+        duration_min: 720, // half a day: covers the solar ramp in CAL
+        seed: 1234,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let pair = skus::pair_a().with_keepalive_budgets_mib(12 * 1024, 12 * 1024);
+
+    println!(
+        "{:<6} {:>9} {:>14} {:>14} {:>16} {:>14}",
+        "region", "mean CI", "EcoLife CO2 g", "NewOnly CO2 g", "saving vs fixed", "gap to Oracle"
+    );
+
+    let rows = parallel_map(Region::ALL.to_vec(), |region| {
+        let ci = CarbonIntensityTrace::synthetic(region, 760, 1234);
+        let mut ecolife = EcoLife::new(pair.clone(), EcoLifeConfig::default());
+        let (eco, _) = run_scheme(&trace, &ci, &pair, &mut ecolife);
+        let (fixed, _) = run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only());
+        let (oracle, _) = run_scheme(
+            &trace,
+            &ci,
+            &pair,
+            &mut BruteForce::oracle(pair.clone(), ci.clone()),
+        );
+        (region, ci.mean(), eco, fixed, oracle)
+    });
+
+    for (region, mean_ci, eco, fixed, oracle) in rows {
+        println!(
+            "{:<6} {:>9.0} {:>14.2} {:>14.2} {:>15.1}% {:>13.1}%",
+            region.label(),
+            mean_ci,
+            eco.total_carbon_g,
+            fixed.total_carbon_g,
+            100.0 * (1.0 - eco.total_carbon_g / fixed.total_carbon_g),
+            100.0 * (eco.total_carbon_g / oracle.total_carbon_g - 1.0),
+        );
+    }
+
+    println!(
+        "\nCarbon-heavy flat grids (FLA, TEN) reward aggressive keep-alive on old\n\
+         hardware; solar-swing grids (CAL) reward re-timing keep-alive against\n\
+         the duck curve. EcoLife adapts per region with no reconfiguration."
+    );
+}

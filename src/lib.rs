@@ -1,0 +1,66 @@
+//! # EcoLife — carbon-aware serverless function scheduling
+//!
+//! A full reproduction of *"EcoLife: Carbon-Aware Serverless Function
+//! Scheduling for Sustainable Computing"* (SC 2024): a scheduler that
+//! co-optimizes service time and carbon footprint by deciding, per
+//! serverless function, **where** (old- vs new-generation hardware) and
+//! **how long** to keep the function warm, using a per-function Dynamic
+//! Particle Swarm Optimizer with a perception–response mechanism and a
+//! priority-eviction warm-pool adjustment.
+//!
+//! This meta-crate re-exports the public API of the workspace:
+//!
+//! * [`hw`] — multi-generation hardware models (Table I pairs, power,
+//!   embodied carbon, performance scaling);
+//! * [`carbon`] — carbon-intensity traces (5 grid regions) and the
+//!   serverless carbon-footprint model;
+//! * [`trace`] — SeBS workload catalog, Azure trace parser, synthetic
+//!   Azure-like trace generator, inter-arrival statistics;
+//! * [`sim`] — the discrete-event serverless cluster simulator;
+//! * [`pso`] — PSO / Dynamic PSO / GA / SA optimizers;
+//! * [`core`] — the EcoLife scheduler, every baseline of the paper's
+//!   evaluation, and the experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ecolife::prelude::*;
+//!
+//! // A synthetic Azure-like trace over the SeBS workload catalog.
+//! let trace = SynthTraceConfig::small(42).generate(&WorkloadCatalog::sebs());
+//! // California carbon intensity, hardware pair A (i3.metal / m5zn.metal).
+//! let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 120, 42);
+//! let pair = skus::pair_a();
+//!
+//! let mut ecolife = EcoLife::new(pair.clone(), EcoLifeConfig::default());
+//! let (summary, _) = run_scheme(&trace, &ci, &pair, &mut ecolife);
+//! assert!(summary.total_carbon_g > 0.0);
+//! ```
+
+pub use ecolife_carbon as carbon;
+pub use ecolife_core as core;
+pub use ecolife_hw as hw;
+pub use ecolife_pso as pso;
+pub use ecolife_sim as sim;
+pub use ecolife_trace as trace;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CarbonModelConfig, Region};
+    pub use ecolife_core::{
+        compare, run_scheme, BruteForce, Comparison, CostModel, EcoLife, EcoLifeConfig,
+        FixedPolicy, OptTarget, RunSummary,
+    };
+    pub use ecolife_core::report::{
+        placements_to_markdown, summaries_to_csv, summaries_to_markdown,
+    };
+    pub use ecolife_hw::{skus, Generation, HardwareNode, HardwarePair, PairId};
+    pub use ecolife_pso::{
+        DpsoConfig, DynamicPso, GaConfig, GeneticAlgorithm, Optimizer, Pso, PsoConfig, SaConfig,
+        SearchSpace, SimulatedAnnealing,
+    };
+    pub use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation, MINUTE_MS};
+    pub use ecolife_trace::{
+        FunctionId, FunctionProfile, Invocation, SynthTraceConfig, Trace, WorkloadCatalog,
+    };
+}

@@ -1,0 +1,86 @@
+//! Integration: the Azure CSV path — parse, map to the SeBS catalog,
+//! replay, account.
+
+use ecolife::prelude::*;
+use ecolife::trace::azure;
+
+fn csv(minutes: usize, rows: &[(&str, &str, u64, u64, &[u32])]) -> String {
+    let mut head = String::from("HashOwner,HashApp,HashFunction,Trigger,duration_ms,memory_mib");
+    for m in 1..=minutes {
+        head.push_str(&format!(",{m}"));
+    }
+    head.push('\n');
+    for (name, trigger, dur, mem, counts) in rows {
+        assert_eq!(counts.len(), minutes);
+        head.push_str(&format!("own,app,{name},{trigger},{dur},{mem}"));
+        for c in *counts {
+            head.push_str(&format!(",{c}"));
+        }
+        head.push('\n');
+    }
+    head
+}
+
+#[test]
+fn parse_map_replay_roundtrip() {
+    let text = csv(
+        10,
+        &[
+            ("hot", "http", 2_000, 512, &[3, 2, 3, 2, 3, 2, 3, 2, 3, 2]),
+            ("timer", "timer", 5_500, 256, &[1, 0, 0, 0, 0, 1, 0, 0, 0, 0]),
+            ("big", "queue", 12_000, 4_000, &[0, 1, 0, 0, 0, 0, 0, 1, 0, 0]),
+        ],
+    );
+    let catalog = WorkloadCatalog::sebs();
+    let trace = azure::parse_trace(&text, &catalog, 5).unwrap();
+
+    // Counts preserved.
+    assert_eq!(trace.len(), 25 + 2 + 2);
+    // Mapping is closest-match: the 12 s / 4 GiB function must resolve to
+    // dna-visualization.
+    let (dna, _) = catalog.by_name("504.dna-visualization").unwrap();
+    assert_eq!(
+        trace.invocations().iter().filter(|i| i.func == dna).count(),
+        2
+    );
+
+    // The replay runs and the hot function converts to warm starts.
+    let ci = CarbonIntensityTrace::constant(250.0, 30);
+    let pair = skus::pair_a();
+    let mut eco = EcoLife::new(pair.clone(), EcoLifeConfig::default());
+    let (summary, metrics) = run_scheme(&trace, &ci, &pair, &mut eco);
+    assert_eq!(summary.invocations, trace.len());
+    assert!(
+        metrics.warm_starts() > trace.len() / 2,
+        "warm {}/{}",
+        metrics.warm_starts(),
+        trace.len()
+    );
+}
+
+#[test]
+fn malformed_csv_is_rejected_loudly() {
+    let catalog = WorkloadCatalog::sebs();
+    for bad in [
+        "",
+        "a,b,c,d\n1,2,3,4",
+        "HashOwner,HashApp,HashFunction,Trigger,1\nx,y,z,t,notanumber",
+        "HashOwner,HashApp,HashFunction,Trigger,1\nx,y,z,t", // short row
+    ] {
+        assert!(
+            azure::parse_trace(bad, &catalog, 0).is_err(),
+            "accepted {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn replay_is_deterministic_per_seed() {
+    let text = csv(5, &[("f", "http", 1_000, 256, &[2, 2, 2, 2, 2])]);
+    let catalog = WorkloadCatalog::sebs();
+    let a = azure::parse_trace(&text, &catalog, 9).unwrap();
+    let b = azure::parse_trace(&text, &catalog, 9).unwrap();
+    assert_eq!(a, b);
+    let c = azure::parse_trace(&text, &catalog, 10).unwrap();
+    assert_ne!(a, c);
+}

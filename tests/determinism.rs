@@ -1,0 +1,78 @@
+//! Cross-crate determinism: every stochastic component is seeded, so the
+//! whole experiment pipeline must be bit-for-bit reproducible.
+
+use ecolife::prelude::*;
+
+fn full_run(seed: u64) -> (Vec<u64>, Vec<String>) {
+    let trace = SynthTraceConfig {
+        n_functions: 12,
+        duration_min: 90,
+        seed,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Texas, 120, seed);
+    let pair = skus::pair_a().with_keepalive_budgets_mib(6 * 1024, 6 * 1024);
+    let mut eco = EcoLife::new(pair.clone(), EcoLifeConfig::default());
+    let (_, metrics) = run_scheme(&trace, &ci, &pair, &mut eco);
+    (
+        metrics.records.iter().map(|r| r.service_ms).collect(),
+        metrics
+            .records
+            .iter()
+            .map(|r| format!("{}:{}:{}", r.func, r.exec_location, r.warm))
+            .collect(),
+    )
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    assert_eq!(full_run(11), full_run(11));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(full_run(11), full_run(12));
+}
+
+#[test]
+fn trace_and_ci_generation_are_independent_of_ambient_state() {
+    // Re-generate in a different order; artifacts must match exactly.
+    let t1 = SynthTraceConfig::small(5).generate(&WorkloadCatalog::sebs());
+    let c1 = CarbonIntensityTrace::synthetic(Region::Caiso, 100, 5);
+    let c2 = CarbonIntensityTrace::synthetic(Region::Caiso, 100, 5);
+    let t2 = SynthTraceConfig::small(5).generate(&WorkloadCatalog::sebs());
+    assert_eq!(t1, t2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn all_schedulers_are_deterministic() {
+    let trace = SynthTraceConfig::small(3).generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 90, 3);
+    let pair = skus::pair_a();
+
+    let run = |mk: &dyn Fn() -> Box<dyn Scheduler>| {
+        let mut s = mk();
+        let (_, m) = run_scheme(&trace, &ci, &pair, &mut s);
+        m.records
+            .iter()
+            .map(|r| (r.service_ms, r.warm))
+            .collect::<Vec<_>>()
+    };
+
+    let factories: Vec<Box<dyn Fn() -> Box<dyn Scheduler>>> = vec![
+        Box::new(|| Box::new(EcoLife::new(skus::pair_a(), EcoLifeConfig::default()))),
+        Box::new(|| {
+            Box::new(BruteForce::oracle(
+                skus::pair_a(),
+                CarbonIntensityTrace::synthetic(Region::Caiso, 90, 3),
+            ))
+        }),
+        Box::new(|| Box::new(FixedPolicy::new_only())),
+        Box::new(|| Box::new(FixedPolicy::old_only())),
+    ];
+    for f in &factories {
+        assert_eq!(run(f.as_ref()), run(f.as_ref()));
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: the full pipeline (trace → simulator →
+//! schedulers → metrics) reproduces the paper's qualitative landscape.
+
+use ecolife::prelude::*;
+
+fn setup() -> (Trace, CarbonIntensityTrace, HardwarePair) {
+    let trace = SynthTraceConfig {
+        n_functions: 24,
+        duration_min: 360,
+        seed: 2024,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 400, 2024);
+    let pair = skus::pair_a().with_keepalive_budgets_mib(10 * 1024, 10 * 1024);
+    (trace, ci, pair)
+}
+
+fn run_all() -> Vec<RunSummary> {
+    let (trace, ci, pair) = setup();
+    let mut out = Vec::new();
+    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::service_time_opt(pair.clone(), ci.clone())).0);
+    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::co2_opt(pair.clone(), ci.clone())).0);
+    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::oracle(pair.clone(), ci.clone())).0);
+    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::energy_opt(pair.clone(), ci.clone())).0);
+    out.push(run_scheme(&trace, &ci, &pair, &mut EcoLife::new(pair.clone(), EcoLifeConfig::default())).0);
+    out.push(run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only()).0);
+    out.push(run_scheme(&trace, &ci, &pair, &mut FixedPolicy::old_only()).0);
+    out
+}
+
+#[test]
+fn the_evaluation_landscape_holds() {
+    let s = run_all();
+    let (st, co2, oracle, energy, eco, new_only, old_only) =
+        (&s[0], &s[1], &s[2], &s[3], &s[4], &s[5], &s[6]);
+
+    // Anchors anchor.
+    for other in &s {
+        assert!(
+            st.total_service_ms <= other.total_service_ms,
+            "{} beat Service-Time-Opt",
+            other.name
+        );
+        assert!(
+            co2.total_carbon_g <= other.total_carbon_g * 1.001,
+            "{} beat CO2-Opt",
+            other.name
+        );
+    }
+    // Energy-Opt minimizes energy.
+    for other in &s {
+        assert!(
+            energy.total_energy_kwh <= other.total_energy_kwh * 1.001,
+            "{} beat Energy-Opt on energy",
+            other.name
+        );
+    }
+
+    // Fig. 7: EcoLife within a modest band of the Oracle on both axes.
+    let svc_gap = eco.total_service_ms as f64 / oracle.total_service_ms as f64 - 1.0;
+    let co2_gap = eco.total_carbon_g / oracle.total_carbon_g - 1.0;
+    assert!(svc_gap < 0.15, "service gap to Oracle {:.1}%", 100.0 * svc_gap);
+    assert!(co2_gap < 0.20, "carbon gap to Oracle {:.1}%", 100.0 * co2_gap);
+
+    // Fig. 9: the single-generation trade-off.
+    assert!(new_only.total_service_ms < old_only.total_service_ms);
+    assert!(new_only.total_carbon_g > old_only.total_carbon_g);
+    // EcoLife saves carbon against New-Only and service against Old-Only.
+    assert!(eco.total_carbon_g < new_only.total_carbon_g);
+    assert!(eco.total_service_ms < old_only.total_service_ms);
+}
+
+#[test]
+fn decision_overhead_is_bounded() {
+    let (trace, ci, pair) = setup();
+    let (summary, _) = run_scheme(
+        &trace,
+        &ci,
+        &pair,
+        &mut EcoLife::new(pair.clone(), EcoLifeConfig::default()),
+    );
+    // Paper: < 0.4% of service time. Allow 2% headroom for debug builds
+    // and noisy CI machines.
+    assert!(
+        summary.decision_overhead_fraction < 0.02,
+        "overhead {:.3}%",
+        100.0 * summary.decision_overhead_fraction
+    );
+}
+
+#[test]
+fn every_scheme_accounts_all_invocations() {
+    let (trace, _, _) = setup();
+    for s in run_all() {
+        assert_eq!(s.invocations, trace.len(), "{} lost invocations", s.name);
+        assert!(s.total_carbon_g > 0.0);
+        assert!(s.total_service_ms > 0);
+        assert!(
+            (s.operational_g + s.embodied_g - s.total_carbon_g).abs() < 1e-6,
+            "{}: carbon split does not add up",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn ecolife_beats_fixed_policies_jointly() {
+    // The headline value proposition: against each fixed policy, EcoLife
+    // is better on at least one axis without being much worse on the
+    // other — and against New-Only it must win carbon outright.
+    let s = run_all();
+    let (eco, new_only) = (&s[4], &s[5]);
+    assert!(eco.total_carbon_g < 0.9 * new_only.total_carbon_g);
+    assert!(eco.total_service_ms as f64 <= 1.15 * new_only.total_service_ms as f64);
+}
