@@ -19,13 +19,15 @@ fn print_fig11() {
         "old/new", "adjust", "service ms", "carbon g", "evicted", "transfers"
     );
     for (old_gib, new_gib) in [(10u64, 10u64), (15, 15), (20, 20)] {
-        let pair = skus::pair_a()
-            .with_keepalive_budgets_mib(old_gib * 1024, new_gib * 1024);
+        let pair = skus::pair_a().with_keepalive_budgets_mib(old_gib * 1024, new_gib * 1024);
         let setup = EvalSetup::sized(48, 1_440, pair);
         let mut rows = Vec::new();
         for (label, cfg) in [
             ("yes", EcoLifeConfig::default()),
-            ("no", EcoLifeConfig::default().without_warm_pool_adjustment()),
+            (
+                "no",
+                EcoLifeConfig::default().without_warm_pool_adjustment(),
+            ),
         ] {
             let s = setup.run(&mut setup.ecolife_with(cfg));
             println!(

@@ -49,7 +49,9 @@ fn case(
 
 fn print_fig3() {
     let catalog = WorkloadCatalog::sebs();
-    println!("\n=== Fig. 3: Case A (15 min on OLD, warm) vs Case B (10 min on NEW, cold) — pair A ===");
+    println!(
+        "\n=== Fig. 3: Case A (15 min on OLD, warm) vs Case B (10 min on NEW, cold) — pair A ==="
+    );
     println!(
         "{:<24} {:>5} {:>11} {:>11} {:>10} {:>10} {:>9} {:>9}",
         "function", "CI", "A svc ms", "B svc ms", "A CO2 g", "B CO2 g", "svc sav", "CO2 sav"

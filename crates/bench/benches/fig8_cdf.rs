@@ -12,8 +12,8 @@ use std::hint::black_box;
 
 fn print_fig8() {
     let setup = EvalSetup::standard();
-    let (eco_sum, eco) = run_scheme(&setup.trace, &setup.ci, &setup.pair, &mut setup.ecolife());
-    let (_, oracle) = run_scheme(&setup.trace, &setup.ci, &setup.pair, &mut setup.oracle());
+    let (eco_sum, eco) = run_scheme(&setup.trace, &setup.ci, &setup.fleet, &mut setup.ecolife());
+    let (_, oracle) = run_scheme(&setup.trace, &setup.ci, &setup.fleet, &mut setup.oracle());
 
     println!("\n=== Fig. 8: per-invocation CDFs, EcoLife vs Oracle ===");
     println!(
@@ -48,7 +48,7 @@ fn print_fig8() {
 fn bench(c: &mut Criterion) {
     print_fig8();
     let setup = EvalSetup::quick();
-    let (_, m) = run_scheme(&setup.trace, &setup.ci, &setup.pair, &mut setup.ecolife());
+    let (_, m) = run_scheme(&setup.trace, &setup.ci, &setup.fleet, &mut setup.ecolife());
     c.bench_function("fig8/cdf_extraction", |b| {
         b.iter(|| (black_box(m.service_cdf()), black_box(m.carbon_cdf())))
     });

@@ -92,7 +92,10 @@ fn print_comparison() {
     let space = SearchSpace::ecolife(11);
 
     let pso_score = seq.run_through(&mut Pso::new(space.clone(), PsoConfig::default()));
-    let ga_score = seq.run_through(&mut GeneticAlgorithm::new(space.clone(), GaConfig::default()));
+    let ga_score = seq.run_through(&mut GeneticAlgorithm::new(
+        space.clone(),
+        GaConfig::default(),
+    ));
     let sa_score = seq.run_through(&mut SimulatedAnnealing::new(space, SaConfig::default()));
 
     println!("\n=== §IV-C: optimizer comparison on the dynamic keep-alive objective ===");

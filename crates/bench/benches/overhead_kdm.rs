@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 fn print_overhead() {
     let setup = EvalSetup::standard();
-    let (sum, m) = run_scheme(&setup.trace, &setup.ci, &setup.pair, &mut setup.ecolife());
+    let (sum, m) = run_scheme(&setup.trace, &setup.ci, &setup.fleet, &mut setup.ecolife());
     println!("\n=== §VI-A: decision-making overhead ===");
     println!(
         "invocations: {}, total decision time: {:.1} ms, mean {:.1} µs/decision",

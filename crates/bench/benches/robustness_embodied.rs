@@ -21,12 +21,12 @@ fn run_with_model(setup: &EvalSetup, model: CarbonModel) -> (f64, f64) {
         carbon_model: model,
         ..SimConfig::default()
     };
-    let mut eco = EcoLife::with_carbon_model(setup.pair.clone(), EcoLifeConfig::default(), model);
-    let (eco_sum, _) = run_scheme_with(&setup.trace, &setup.ci, &setup.pair, &mut eco, sim_cfg);
-    let mut oracle = BruteForce::oracle(setup.pair.clone(), setup.ci.clone())
-        .with_carbon_model(model);
+    let mut eco = EcoLife::with_carbon_model(setup.fleet.clone(), EcoLifeConfig::default(), model);
+    let (eco_sum, _) = run_scheme_with(&setup.trace, &setup.ci, &setup.fleet, &mut eco, sim_cfg);
+    let mut oracle =
+        BruteForce::oracle(setup.fleet.clone(), setup.ci.clone()).with_carbon_model(model);
     let (oracle_sum, _) =
-        run_scheme_with(&setup.trace, &setup.ci, &setup.pair, &mut oracle, sim_cfg);
+        run_scheme_with(&setup.trace, &setup.ci, &setup.fleet, &mut oracle, sim_cfg);
     let c = compare(&eco_sum, &oracle_sum, &oracle_sum);
     (c.service_increase_pct, c.carbon_increase_pct)
 }
@@ -34,7 +34,10 @@ fn run_with_model(setup: &EvalSetup, model: CarbonModel) -> (f64, f64) {
 fn print_robustness() {
     let setup = EvalSetup::standard();
     println!("\n=== §VI-C: embodied-carbon estimation robustness ===");
-    println!("{:<28} {:>16} {:>16}", "model", "svc vs Oracle", "CO2 vs Oracle");
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "model", "svc vs Oracle", "CO2 vs Oracle"
+    );
     for scale in [0.9, 1.0, 1.1] {
         let model = CarbonModel::new(CarbonModelConfig {
             embodied_scale: scale,

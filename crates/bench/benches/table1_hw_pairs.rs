@@ -12,7 +12,15 @@ fn print_table1() {
     println!("\n=== Table I: Multi-generation Hardware Pairs ===");
     println!(
         "{:<7} {:<5} {:<28} {:>5} {:>6} {:>9} {:>11} {:<14} {:>10}",
-        "Pair", "Role", "CPU (year)", "cores", "act W", "idle W/c", "CPU EC kg", "DRAM (year)", "EC g/GiB"
+        "Pair",
+        "Role",
+        "CPU (year)",
+        "cores",
+        "act W",
+        "idle W/c",
+        "CPU EC kg",
+        "DRAM (year)",
+        "EC g/GiB"
     );
     for pair in skus::all_pairs() {
         for node in [&pair.old, &pair.new] {

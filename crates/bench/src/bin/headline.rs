@@ -3,17 +3,29 @@ use ecolife_bench::{fmt_placement, EvalSetup};
 
 fn main() {
     let setup = EvalSetup::standard();
-    let names = ["Oracle", "EcoLife", "Energy-Opt", "New-Only", "Old-Only", "CO2-Opt", "Service-Time-Opt"];
-    let mut summaries = Vec::new();
-    summaries.push(setup.run(&mut setup.oracle()));
-    summaries.push(setup.run(&mut setup.ecolife()));
-    summaries.push(setup.run(&mut setup.energy_opt()));
-    summaries.push(setup.run(&mut setup.new_only()));
-    summaries.push(setup.run(&mut setup.old_only()));
-    summaries.push(setup.run(&mut setup.co2_opt()));
-    summaries.push(setup.run(&mut setup.service_time_opt()));
+    let names = [
+        "Oracle",
+        "EcoLife",
+        "Energy-Opt",
+        "New-Only",
+        "Old-Only",
+        "CO2-Opt",
+        "Service-Time-Opt",
+    ];
+    let summaries = vec![
+        setup.run(&mut setup.oracle()),
+        setup.run(&mut setup.ecolife()),
+        setup.run(&mut setup.energy_opt()),
+        setup.run(&mut setup.new_only()),
+        setup.run(&mut setup.old_only()),
+        setup.run(&mut setup.co2_opt()),
+        setup.run(&mut setup.service_time_opt()),
+    ];
     for (n, s) in names.iter().zip(&summaries) {
-        println!("{:<18} service {:>10} ms  carbon {:>8.2} g  warm {:.2}  ka_carbon {:>7.2} g", n, s.total_service_ms, s.total_carbon_g, s.warm_rate, s.keepalive_carbon_g);
+        println!(
+            "{:<18} service {:>10} ms  carbon {:>8.2} g  warm {:.2}  ka_carbon {:>7.2} g",
+            n, s.total_service_ms, s.total_carbon_g, s.warm_rate, s.keepalive_carbon_g
+        );
     }
     println!();
     for c in setup.placements(&summaries) {

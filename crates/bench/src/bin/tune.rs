@@ -7,9 +7,18 @@ fn main() {
     let mut rows = Vec::new();
     for (name, cfg) in [
         ("EcoLife(iters=8)", EcoLifeConfig::default()),
-        ("EcoLife(iters=14)", EcoLifeConfig { pso_iters: 14, ..Default::default() }),
+        (
+            "EcoLife(iters=14)",
+            EcoLifeConfig {
+                pso_iters: 14,
+                ..Default::default()
+            },
+        ),
         ("w/o DPSO", EcoLifeConfig::default().without_dynamic_pso()),
-        ("w/o warm-adjust", EcoLifeConfig::default().without_warm_pool_adjustment()),
+        (
+            "w/o warm-adjust",
+            EcoLifeConfig::default().without_warm_pool_adjustment(),
+        ),
     ] {
         let s = setup.run(&mut setup.ecolife_with(cfg));
         rows.push((name, s));
@@ -17,6 +26,9 @@ fn main() {
     let oracle = setup.run(&mut setup.oracle());
     rows.push(("Oracle", oracle));
     for (n, s) in &rows {
-        println!("{:<18} service {:>10}  carbon {:>8.2}  warm {:.3} evicted {:>5}", n, s.total_service_ms, s.total_carbon_g, s.warm_rate, s.evicted_functions);
+        println!(
+            "{:<18} service {:>10}  carbon {:>8.2}  warm {:.3} evicted {:>5}",
+            n, s.total_service_ms, s.total_carbon_g, s.warm_rate, s.evicted_functions
+        );
     }
 }

@@ -2,27 +2,29 @@
 //!
 //! Every bench in `benches/` reproduces one table or figure of the paper.
 //! This library centralizes the default evaluation setup (Sec. V): the
-//! Azure-like trace, the CISO carbon-intensity feed, hardware pair A, and
-//! constructors for every scheme, so that all figures are computed under
-//! identical conditions.
+//! Azure-like trace, the CISO carbon-intensity feed, the pair-A two-node
+//! fleet, and constructors for every scheme, so that all figures are
+//! computed under identical conditions. Sweeps over other fleets (pairs
+//! B/C, N-node configurations) go through [`EvalSetup::sized`], which
+//! accepts anything convertible to a [`Fleet`].
 
 use ecolife_carbon::{CarbonIntensityTrace, Region};
 use ecolife_core::{
     compare, run_scheme, BruteForce, Comparison, EcoLife, EcoLifeConfig, FixedPolicy, RunSummary,
 };
-use ecolife_hw::HardwarePair;
+use ecolife_hw::Fleet;
 use ecolife_sim::Scheduler;
 use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
 
 /// The default evaluation seed. Changing it shifts every stochastic
 /// component coherently.
-pub const EVAL_SEED: u64 = 0x5C24_EC0;
+pub const EVAL_SEED: u64 = 0x05C2_4EC0;
 
-/// The default evaluation environment: trace, CI feed, hardware pair.
+/// The default evaluation environment: trace, CI feed, hardware fleet.
 pub struct EvalSetup {
     pub trace: Trace,
     pub ci: CarbonIntensityTrace,
-    pub pair: HardwarePair,
+    pub fleet: Fleet,
 }
 
 impl EvalSetup {
@@ -48,8 +50,8 @@ impl EvalSetup {
         )
     }
 
-    /// Parameterized setup.
-    pub fn sized(n_functions: usize, duration_min: u64, pair: HardwarePair) -> Self {
+    /// Parameterized setup over any fleet (a `HardwarePair` converts).
+    pub fn sized(n_functions: usize, duration_min: u64, fleet: impl Into<Fleet>) -> Self {
         let trace = SynthTraceConfig {
             n_functions,
             duration_min,
@@ -57,8 +59,13 @@ impl EvalSetup {
             ..Default::default()
         }
         .generate(&WorkloadCatalog::sebs());
-        let ci = CarbonIntensityTrace::synthetic(Region::Caiso, duration_min as usize + 30, EVAL_SEED);
-        EvalSetup { trace, ci, pair }
+        let ci =
+            CarbonIntensityTrace::synthetic(Region::Caiso, duration_min as usize + 30, EVAL_SEED);
+        EvalSetup {
+            trace,
+            ci,
+            fleet: fleet.into(),
+        }
     }
 
     /// Swap the carbon-intensity region (Fig. 14).
@@ -70,33 +77,33 @@ impl EvalSetup {
 
     /// Run a scheduler and summarize.
     pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunSummary {
-        run_scheme(&self.trace, &self.ci, &self.pair, scheduler).0
+        run_scheme(&self.trace, &self.ci, &self.fleet, scheduler).0
     }
 
     // ---- scheme constructors bound to this environment ----
 
     pub fn ecolife(&self) -> EcoLife {
-        EcoLife::new(self.pair.clone(), EcoLifeConfig::default())
+        EcoLife::new(self.fleet.clone(), EcoLifeConfig::default())
     }
 
     pub fn ecolife_with(&self, config: EcoLifeConfig) -> EcoLife {
-        EcoLife::new(self.pair.clone(), config)
+        EcoLife::new(self.fleet.clone(), config)
     }
 
     pub fn oracle(&self) -> BruteForce {
-        BruteForce::oracle(self.pair.clone(), self.ci.clone())
+        BruteForce::oracle(self.fleet.clone(), self.ci.clone())
     }
 
     pub fn co2_opt(&self) -> BruteForce {
-        BruteForce::co2_opt(self.pair.clone(), self.ci.clone())
+        BruteForce::co2_opt(self.fleet.clone(), self.ci.clone())
     }
 
     pub fn service_time_opt(&self) -> BruteForce {
-        BruteForce::service_time_opt(self.pair.clone(), self.ci.clone())
+        BruteForce::service_time_opt(self.fleet.clone(), self.ci.clone())
     }
 
     pub fn energy_opt(&self) -> BruteForce {
-        BruteForce::energy_opt(self.pair.clone(), self.ci.clone())
+        BruteForce::energy_opt(self.fleet.clone(), self.ci.clone())
     }
 
     pub fn new_only(&self) -> FixedPolicy {
@@ -133,6 +140,13 @@ mod tests {
         let s = EvalSetup::quick();
         assert!(!s.trace.is_empty());
         assert!(s.ci.len_ms() >= s.trace.horizon_ms());
+        assert_eq!(s.fleet.len(), 2);
+    }
+
+    #[test]
+    fn sized_accepts_fleets_directly() {
+        let s = EvalSetup::sized(4, 30, ecolife_hw::skus::fleet_three_generations());
+        assert_eq!(s.fleet.len(), 3);
     }
 
     #[test]

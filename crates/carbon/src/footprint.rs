@@ -128,9 +128,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let total: CarbonFootprint = (0..4)
-            .map(|i| CarbonFootprint::new(i as f64, 1.0))
-            .sum();
+        let total: CarbonFootprint = (0..4).map(|i| CarbonFootprint::new(i as f64, 1.0)).sum();
         assert_eq!(total.operational_g, 6.0);
         assert_eq!(total.embodied_g, 4.0);
     }

@@ -127,7 +127,10 @@ impl CarbonIntensityTrace {
     /// Wrap an explicit series. Panics on an empty series — a scheduler
     /// with no CI signal is meaningless.
     pub fn from_samples(samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "carbon-intensity trace must be non-empty");
+        assert!(
+            !samples.is_empty(),
+            "carbon-intensity trace must be non-empty"
+        );
         assert!(
             samples.iter().all(|s| s.is_finite() && *s >= 0.0),
             "carbon intensity must be finite and non-negative"
@@ -147,8 +150,8 @@ impl CarbonIntensityTrace {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_c1a0);
         let mut noise = 0.0f64;
         // AR(1) with coefficient 0.92: slow-moving grid-mix drift.
-        let rho = 0.92;
-        let innov_sd = p.noise_sd * (1.0 - rho * rho as f64).sqrt();
+        let rho = 0.92f64;
+        let innov_sd = p.noise_sd * (1.0 - rho * rho).sqrt();
         let samples = (0..minutes.max(1))
             .map(|m| {
                 let t = m as f64;

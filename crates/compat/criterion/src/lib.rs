@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`] with
+//! `sample_size` and `bench_function`, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a simple mean over `sample_size` timed runs after one
+//! warm-up run — good enough to compare schemes and spot regressions, with
+//! none of criterion's statistical machinery. Figure-printing code in the
+//! bench targets is unaffected: it runs before timing either way.
+
+use std::time::Instant;
+
+/// Bench harness configuration and runner (subset of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per bench function.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f` and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed_ns: 0 };
+        // Warm-up run, untimed.
+        f(&mut b);
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed_ns = 0;
+            f(&mut b);
+            samples_ns.push(b.elapsed_ns);
+        }
+        let mean = samples_ns.iter().sum::<u128>() as f64 / samples_ns.len() as f64;
+        let min = *samples_ns.iter().min().unwrap_or(&0);
+        let max = *samples_ns.iter().max().unwrap_or(&0);
+        println!(
+            "bench {id:<40} mean {:>12} min {:>12} max {:>12}  ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(min as f64),
+            fmt_ns(max as f64),
+            samples_ns.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Timing context handed to bench closures (subset of
+/// `criterion::Bencher`).
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run `f` once under the timer.
+    ///
+    /// Criterion iterates adaptively; this stand-in times a single call
+    /// per sample, which keeps total bench time bounded for the heavy
+    /// whole-simulation benches this workspace has.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed_ns += start.elapsed().as_nanos();
+        std::hint::black_box(out);
+    }
+}
+
+/// Re-export for benches importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Subset of `criterion::criterion_group!` (struct form and list form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Subset of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("compat/noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn group_runs_targets() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_accumulates_time() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0;
+        c.bench_function("compat/count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+}

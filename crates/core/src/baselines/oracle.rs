@@ -6,8 +6,8 @@
 //! possible scheduling option for each function invocation." Concretely:
 //! the baseline is granted the next-arrival gap of every invocation (from
 //! the trace) and the full carbon-intensity series, and per invocation it
-//! enumerates every (location, keep-alive) choice, scoring each with
-//! exact future knowledge:
+//! enumerates every (node, keep-alive) choice over the whole fleet,
+//! scoring each with exact future knowledge:
 //!
 //! * the next invocation is warm iff the gap lands inside the keep-alive
 //!   window;
@@ -22,7 +22,7 @@
 use crate::objective::CostModel;
 use crate::warmpool::priority_adjustment;
 use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
-use ecolife_hw::{Generation, HardwarePair};
+use ecolife_hw::{Fleet, NodeId};
 use ecolife_sim::{
     Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler, MINUTE_MS,
 };
@@ -50,20 +50,24 @@ pub struct BruteForce {
     /// Next-arrival gap per invocation index (filled in `prepare`).
     gaps: Vec<Option<u64>>,
     catalog: WorkloadCatalog,
-    restrict: Option<Generation>,
+    /// The node set enumerated per decision: the whole fleet, or the
+    /// restricted node.
+    locations: Vec<NodeId>,
 }
 
 impl BruteForce {
     pub fn new(
         target: OptTarget,
-        pair: HardwarePair,
+        fleet: impl Into<Fleet>,
         ci: CarbonIntensityTrace,
         grid_min: Vec<u64>,
     ) -> Self {
         assert!(grid_min.len() >= 2 && grid_min[0] == 0);
+        let fleet = fleet.into();
+        let locations: Vec<NodeId> = fleet.ids().collect();
         let max_k_ms = *grid_min.last().unwrap() * MINUTE_MS;
         let cost = CostModel::new(
-            pair,
+            fleet,
             CarbonModel::default(),
             0.5,
             0.5,
@@ -77,16 +81,16 @@ impl BruteForce {
             grid_min,
             gaps: Vec::new(),
             catalog: WorkloadCatalog::default(),
-            restrict: None,
+            locations,
         }
     }
 
     /// Use a non-default carbon model (robustness studies).
     pub fn with_carbon_model(mut self, carbon: CarbonModel) -> Self {
-        let pair = self.cost.pair().clone();
+        let fleet = self.cost.fleet().clone();
         let max_k_ms = *self.grid_min.last().unwrap() * MINUTE_MS;
         self.cost = CostModel::new(
-            pair,
+            fleet,
             carbon,
             0.5,
             0.5,
@@ -96,42 +100,38 @@ impl BruteForce {
         self
     }
 
-    /// Restrict to one generation (used for sanity experiments).
-    pub fn restricted_to(mut self, generation: Generation) -> Self {
-        self.restrict = Some(generation);
+    /// Restrict to one fleet node (used for sanity experiments).
+    pub fn restricted_to(mut self, node: impl Into<NodeId>) -> Self {
+        let node = node.into();
+        assert!(
+            self.cost.fleet().contains(node),
+            "restricted to {node:?}, which the fleet does not contain"
+        );
+        self.locations = vec![node];
         self
     }
 
     /// The Oracle with the default 0–10-minute grid.
-    pub fn oracle(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
-        Self::new(OptTarget::Joint, pair, ci, (0..=10).collect())
+    pub fn oracle(fleet: impl Into<Fleet>, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::Joint, fleet, ci, (0..=10).collect())
     }
 
-    pub fn co2_opt(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
-        Self::new(OptTarget::Carbon, pair, ci, (0..=10).collect())
+    pub fn co2_opt(fleet: impl Into<Fleet>, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::Carbon, fleet, ci, (0..=10).collect())
     }
 
-    pub fn service_time_opt(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
-        Self::new(OptTarget::ServiceTime, pair, ci, (0..=10).collect())
+    pub fn service_time_opt(fleet: impl Into<Fleet>, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::ServiceTime, fleet, ci, (0..=10).collect())
     }
 
-    pub fn energy_opt(pair: HardwarePair, ci: CarbonIntensityTrace) -> Self {
-        Self::new(OptTarget::Energy, pair, ci, (0..=10).collect())
+    pub fn energy_opt(fleet: impl Into<Fleet>, ci: CarbonIntensityTrace) -> Self {
+        Self::new(OptTarget::Energy, fleet, ci, (0..=10).collect())
     }
 
-    fn allowed_locations(&self) -> &[Generation] {
-        match self.restrict {
-            Some(Generation::Old) => &[Generation::Old],
-            Some(Generation::New) => &[Generation::New],
-            None => &Generation::ALL,
-        }
-    }
-
-    /// Pick the execution location for a cold start under this target.
-    fn exec_choice(&self, ctx: &InvocationCtx<'_>) -> Generation {
-        let f = ctx.profile;
-        let ci = ctx.ci_now;
-        let score = |r: Generation| -> f64 {
+    /// The cold-execution placement rule of this target at intensity
+    /// `ci`: the first score-minimizing node in id order.
+    fn cold_choice(&self, f: &ecolife_trace::FunctionProfile, ci: f64) -> NodeId {
+        let score = |r: NodeId| -> f64 {
             match self.target {
                 OptTarget::Joint => self.cost.epdm_score(r, f, ci),
                 OptTarget::Carbon => self.cost.cold_service_carbon_g(r, f, ci),
@@ -140,10 +140,10 @@ impl BruteForce {
             }
         };
         *self
-            .allowed_locations()
+            .locations
             .iter()
             .min_by(|a, b| score(**a).partial_cmp(&score(**b)).unwrap())
-            .unwrap()
+            .expect("non-empty location set")
     }
 
     /// Score a keep-alive option with exact future knowledge.
@@ -156,7 +156,7 @@ impl BruteForce {
         ctx: &InvocationCtx<'_>,
         service_end: u64,
         gap: Option<u64>,
-        l: Generation,
+        l: NodeId,
         k_ms: u64,
     ) -> f64 {
         let f = ctx.profile;
@@ -206,21 +206,7 @@ impl BruteForce {
         } else {
             // Cold next start: it will execute wherever this target's
             // placement rule puts it.
-            let r = {
-                let score = |r: Generation| -> f64 {
-                    match self.target {
-                        OptTarget::Joint => self.cost.epdm_score(r, f, ci_next),
-                        OptTarget::Carbon => self.cost.cold_service_carbon_g(r, f, ci_next),
-                        OptTarget::ServiceTime => self.cost.cold_service_ms(r, f) as f64,
-                        OptTarget::Energy => self.cost.service_energy_kwh(r, f, false),
-                    }
-                };
-                *self
-                    .allowed_locations()
-                    .iter()
-                    .min_by(|a, b| score(**a).partial_cmp(&score(**b)).unwrap())
-                    .unwrap()
-            };
+            let r = self.cold_choice(f, ci_next);
             (
                 self.cost.cold_service_ms(r, f) as f64,
                 self.cost.cold_service_carbon_g(r, f, ci_next),
@@ -262,7 +248,7 @@ impl Scheduler for BruteForce {
     }
 
     fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
-        let exec = self.exec_choice(ctx);
+        let exec = self.cold_choice(ctx.profile, ctx.ci_now);
         let gap = self.gaps.get(ctx.index).copied().flatten();
 
         // Exact service duration of *this* invocation (mirrors the
@@ -273,9 +259,9 @@ impl Scheduler for BruteForce {
         };
         let service_end = ctx.t_ms + service_ms;
 
-        // Brute-force every (location, period) choice.
-        let mut best: Option<(f64, Generation, u64)> = None;
-        for &l in self.allowed_locations() {
+        // Brute-force every (node, period) choice.
+        let mut best: Option<(f64, NodeId, u64)> = None;
+        for &l in &self.locations {
             for &k_min in &self.grid_min {
                 let k_ms = k_min * MINUTE_MS;
                 let score = self.keepalive_score(ctx, service_end, gap, l, k_ms);
@@ -296,7 +282,19 @@ impl Scheduler for BruteForce {
     }
 
     fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
-        OverflowAction::Adjust(priority_adjustment(&self.cost, &self.catalog, ctx))
+        let mut plan = priority_adjustment(&self.cost, &self.catalog, ctx);
+        if self.locations.len() < self.cost.fleet().len() {
+            // A restricted baseline never spills onto nodes outside its
+            // allowed set.
+            plan.transfer_targets = Some(
+                self.locations
+                    .iter()
+                    .copied()
+                    .filter(|&l| l != ctx.location)
+                    .collect(),
+            );
+        }
+        OverflowAction::Adjust(plan)
     }
 }
 
@@ -306,7 +304,7 @@ mod tests {
     use ecolife_sim::Simulation;
     use ecolife_trace::{FunctionId, Invocation, SynthTraceConfig};
 
-    use ecolife_hw::skus;
+    use ecolife_hw::{skus, Generation};
 
     fn trace() -> Trace {
         SynthTraceConfig {
@@ -322,22 +320,28 @@ mod tests {
     }
 
     fn run(target: OptTarget, trace: &Trace, ci: &CarbonIntensityTrace) -> ecolife_sim::RunMetrics {
-        let pair = skus::pair_a();
-        let mut s = BruteForce::new(target, pair.clone(), ci.clone(), (0..=10).collect());
-        Simulation::new(trace, ci, pair).run(&mut s)
+        let fleet = skus::fleet_a();
+        let mut s = BruteForce::new(target, fleet.clone(), ci.clone(), (0..=10).collect());
+        Simulation::new(trace, ci, fleet).run(&mut s)
     }
 
     #[test]
     fn names() {
-        let pair = skus::pair_a();
+        let fleet = skus::fleet_a();
         let c = CarbonIntensityTrace::constant(100.0, 10);
-        assert_eq!(BruteForce::oracle(pair.clone(), c.clone()).name(), "Oracle");
-        assert_eq!(BruteForce::co2_opt(pair.clone(), c.clone()).name(), "CO2-Opt");
         assert_eq!(
-            BruteForce::service_time_opt(pair.clone(), c.clone()).name(),
+            BruteForce::oracle(fleet.clone(), c.clone()).name(),
+            "Oracle"
+        );
+        assert_eq!(
+            BruteForce::co2_opt(fleet.clone(), c.clone()).name(),
+            "CO2-Opt"
+        );
+        assert_eq!(
+            BruteForce::service_time_opt(fleet.clone(), c.clone()).name(),
             "Service-Time-Opt"
         );
-        assert_eq!(BruteForce::energy_opt(pair, c).name(), "Energy-Opt");
+        assert_eq!(BruteForce::energy_opt(fleet, c).name(), "Energy-Opt");
     }
 
     #[test]
@@ -417,13 +421,7 @@ mod tests {
         // CO2-Opt must choose none.
         let catalog = WorkloadCatalog::sebs();
         let (vid, _) = catalog.by_name("220.video-processing").unwrap();
-        let t = Trace::new(
-            catalog,
-            vec![Invocation {
-                func: vid,
-                t_ms: 0,
-            }],
-        );
+        let t = Trace::new(catalog, vec![Invocation { func: vid, t_ms: 0 }]);
         let c = CarbonIntensityTrace::constant(300.0, 60);
         let m = run(OptTarget::Carbon, &t, &c);
         assert_eq!(m.total_keepalive_carbon_g(), 0.0);
@@ -433,13 +431,35 @@ mod tests {
     fn restriction_is_respected() {
         let t = trace();
         let c = ci();
-        let pair = skus::pair_a();
-        let mut s = BruteForce::oracle(pair.clone(), c.clone()).restricted_to(Generation::Old);
-        let m = Simulation::new(&t, &c, pair).run(&mut s);
+        let fleet = skus::fleet_a();
+        let mut s = BruteForce::oracle(fleet.clone(), c.clone()).restricted_to(Generation::Old);
+        let m = Simulation::new(&t, &c, fleet).run(&mut s);
         assert!(m
             .records
             .iter()
-            .all(|r| r.exec_location == Generation::Old));
+            .all(|r| r.exec_location == NodeId::from(Generation::Old)));
+    }
+
+    #[test]
+    fn three_node_oracle_uses_the_mid_node_when_it_wins() {
+        // Regular 4-minute drumbeat on the three-generation fleet: the
+        // oracle enumerates all three nodes and must keep every
+        // re-invocation warm somewhere.
+        let catalog = WorkloadCatalog::sebs();
+        let (vid, _) = catalog.by_name("503.graph-bfs").unwrap();
+        let invocations: Vec<Invocation> = (0..20)
+            .map(|i| Invocation {
+                func: vid,
+                t_ms: i * 4 * MINUTE_MS,
+            })
+            .collect();
+        let t = Trace::new(catalog, invocations);
+        let c = CarbonIntensityTrace::constant(300.0, 120);
+        let fleet = skus::fleet_three_generations();
+        let mut s = BruteForce::oracle(fleet.clone(), c.clone());
+        let m = Simulation::new(&t, &c, fleet.clone()).run(&mut s);
+        assert_eq!(m.warm_starts(), 19);
+        assert!(m.records.iter().all(|r| fleet.contains(r.exec_location)));
     }
 
     #[test]

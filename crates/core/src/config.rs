@@ -1,6 +1,6 @@
 //! EcoLife configuration.
 
-use ecolife_hw::Generation;
+use ecolife_hw::NodeId;
 use ecolife_pso::DpsoConfig;
 
 /// All knobs of the EcoLife scheduler. Defaults reproduce the paper's
@@ -23,9 +23,10 @@ pub struct EcoLifeConfig {
     /// Warm-pool adjustment (priority eviction + cross-pool transfer).
     /// Disabling this is the Fig. 11 ablation.
     pub warm_pool_adjustment: bool,
-    /// Restrict to a single generation: `Some(Old)` = Eco-Old,
-    /// `Some(New)` = Eco-New (Fig. 12).
-    pub restrict_to: Option<Generation>,
+    /// Restrict to a single fleet node: on the canonical pair layout,
+    /// `Some(Generation::Old.into())` = Eco-Old,
+    /// `Some(Generation::New.into())` = Eco-New (Fig. 12).
+    pub restrict_to: Option<NodeId>,
     /// Underlying (D)PSO parameters.
     pub dpso: DpsoConfig,
     /// ΔF observation window (ms).
@@ -86,9 +87,10 @@ impl EcoLifeConfig {
         self
     }
 
-    /// The Fig. 12 single-generation variants.
-    pub fn restricted_to(mut self, generation: Generation) -> Self {
-        self.restrict_to = Some(generation);
+    /// The Fig. 12 single-node variants ([`ecolife_hw::Generation`]
+    /// converts for the two-node pair layout).
+    pub fn restricted_to(mut self, node: impl Into<NodeId>) -> Self {
+        self.restrict_to = Some(node.into());
         self
     }
 }
@@ -119,9 +121,15 @@ mod tests {
         );
         assert_eq!(
             EcoLifeConfig::default()
-                .restricted_to(Generation::Old)
+                .restricted_to(ecolife_hw::Generation::Old)
                 .restrict_to,
-            Some(Generation::Old)
+            Some(NodeId(0))
+        );
+        assert_eq!(
+            EcoLifeConfig::default()
+                .restricted_to(NodeId(2))
+                .restrict_to,
+            Some(NodeId(2))
         );
     }
 

@@ -1,26 +1,29 @@
-//! The EcoLife scheduler (Sec. IV, Algorithm 1).
+//! The EcoLife scheduler (Sec. IV, Algorithm 1), generalized to N-node
+//! fleets.
 //!
 //! Per invocation:
 //!
-//! 1. **EPDM** picks the execution location (forced to the warm location
+//! 1. **EPDM** picks the execution node (forced to the warm location
 //!    when a warm container exists; otherwise the `fscore`-minimizing
-//!    generation).
+//!    fleet node).
 //! 2. The per-function predictor is updated with the arrival, producing
 //!    the ΔF signal; the global carbon-intensity delta produces ΔCI.
 //! 3. **KDM**: the function's Dynamic PSO perceives (ΔF, ΔCI) — adapting
 //!    its weights and redistributing half the swarm on change — then runs
 //!    a few iterations of the expected-objective fitness and emits the
-//!    keep-alive (location, period) from its global best.
+//!    keep-alive (node, period) from its global best. The location axis
+//!    of the search space spans the whole fleet
+//!    (`SearchSpace::placement(n_nodes, n_periods)`).
 //! 4. On pool overflow, the **warm-pool adjustment** ranks residents and
 //!    the incoming container by keep-alive benefit density and displaces
-//!    the losers toward the other generation.
+//!    the losers toward the remaining nodes, cheapest keep-alive first.
 
 use crate::config::EcoLifeConfig;
 use crate::objective::CostModel;
 use crate::predictor::FunctionPredictor;
 use crate::warmpool::priority_adjustment_weighted;
 use ecolife_carbon::CarbonModel;
-use ecolife_hw::{Generation, HardwarePair};
+use ecolife_hw::{Fleet, NodeId};
 use ecolife_pso::space::decode;
 use ecolife_pso::{DpsoConfig, DynamicPso, Optimizer, PsoConfig, SearchSpace};
 use ecolife_sim::{
@@ -36,6 +39,24 @@ struct FunctionState {
     predictor: FunctionPredictor,
 }
 
+/// Decode an optimizer position into the keep-alive (node, period-index)
+/// choice — the single decode rule shared by the fitness function and the
+/// emitted decision, so the swarm always optimizes exactly the mapping
+/// its global best is read back through.
+#[inline]
+fn decode_placement(
+    restrict: Option<NodeId>,
+    n_nodes: usize,
+    n_periods: usize,
+    x: &[f64],
+) -> (NodeId, usize) {
+    let l = match restrict {
+        Some(node) => node,
+        None => NodeId(decode::node_index(x[0], n_nodes) as u32),
+    };
+    (l, decode::period_index(x[1], n_periods))
+}
+
 /// The EcoLife scheduler.
 pub struct EcoLife {
     config: EcoLifeConfig,
@@ -47,23 +68,31 @@ pub struct EcoLife {
 }
 
 impl EcoLife {
-    /// Build the scheduler for a hardware pair. `catalog` must be the
-    /// trace's catalog (needed for warm-pool ranking of resident
+    /// Build the scheduler for a hardware fleet (a `HardwarePair`
+    /// converts implicitly into its two-node fleet). `catalog` must be
+    /// the trace's catalog (needed for warm-pool ranking of resident
     /// containers); `prepare` re-captures it from the trace as a guard.
-    pub fn new(pair: HardwarePair, config: EcoLifeConfig) -> Self {
-        Self::with_carbon_model(pair, config, CarbonModel::default())
+    pub fn new(fleet: impl Into<Fleet>, config: EcoLifeConfig) -> Self {
+        Self::with_carbon_model(fleet, config, CarbonModel::default())
     }
 
     /// Variant with an explicit carbon model (robustness studies).
     pub fn with_carbon_model(
-        pair: HardwarePair,
+        fleet: impl Into<Fleet>,
         config: EcoLifeConfig,
         carbon: CarbonModel,
     ) -> Self {
         config.validate();
+        let fleet = fleet.into();
+        if let Some(node) = config.restrict_to {
+            assert!(
+                fleet.contains(node),
+                "restricted to {node:?}, which the fleet does not contain"
+            );
+        }
         let max_k_ms = *config.keepalive_grid_min.last().unwrap() * MINUTE_MS;
         let cost = CostModel::new(
-            pair,
+            fleet,
             carbon,
             config.lambda_s,
             config.lambda_c,
@@ -92,6 +121,7 @@ impl EcoLife {
 
     fn state_for(&mut self, func: FunctionId) -> &mut FunctionState {
         let config = &self.config;
+        let n_nodes = self.cost.fleet().len();
         self.states.entry(func).or_insert_with(|| {
             let dpso_cfg = DpsoConfig {
                 base: PsoConfig {
@@ -103,7 +133,7 @@ impl EcoLife {
             };
             FunctionState {
                 swarm: DynamicPso::new(
-                    SearchSpace::ecolife(config.keepalive_grid_min.len()),
+                    SearchSpace::placement(n_nodes, config.keepalive_grid_min.len()),
                     dpso_cfg,
                 ),
                 predictor: FunctionPredictor::new(config.delta_f_window_ms),
@@ -111,18 +141,13 @@ impl EcoLife {
         })
     }
 
-    fn decode_choice(&self, x: &[f64]) -> (Generation, u64) {
-        let l = match self.config.restrict_to {
-            Some(g) => g,
-            None => {
-                if decode::location_is_new(x[0]) {
-                    Generation::New
-                } else {
-                    Generation::Old
-                }
-            }
-        };
-        let idx = decode::period_index(x[1], self.config.keepalive_grid_min.len());
+    fn decode_choice(&self, x: &[f64]) -> (NodeId, u64) {
+        let (l, idx) = decode_placement(
+            self.config.restrict_to,
+            self.cost.fleet().len(),
+            self.config.keepalive_grid_min.len(),
+            x,
+        );
         (l, self.config.keepalive_grid_min[idx] * MINUTE_MS)
     }
 }
@@ -159,6 +184,7 @@ impl Scheduler for EcoLife {
         let grid_len = self.config.keepalive_grid_min.len();
         let grid = self.config.keepalive_grid_min.clone();
         let cost = self.cost.clone();
+        let n_nodes = cost.fleet().len();
         let profile = ctx.profile.clone();
         let ci_now = ctx.ci_now;
 
@@ -178,17 +204,7 @@ impl Scheduler for EcoLife {
             .collect();
 
         let fitness = move |x: &[f64]| -> f64 {
-            let l = match restrict {
-                Some(g) => g,
-                None => {
-                    if decode::location_is_new(x[0]) {
-                        Generation::New
-                    } else {
-                        Generation::Old
-                    }
-                }
-            };
-            let idx = decode::period_index(x[1], grid_len);
+            let (l, idx) = decode_placement(restrict, n_nodes, grid_len, x);
             let k_ms = grid[idx] * MINUTE_MS;
             cost.expected_objective(
                 &profile,
@@ -240,12 +256,13 @@ impl Scheduler for EcoLife {
                 .map(|s| s.predictor.p_warm(5 * MINUTE_MS))
                 .unwrap_or(0.75)
         };
-        OverflowAction::Adjust(priority_adjustment_weighted(
-            &self.cost,
-            &self.catalog,
-            ctx,
-            &weight,
-        ))
+        let mut plan = priority_adjustment_weighted(&self.cost, &self.catalog, ctx, &weight);
+        if self.config.restrict_to.is_some() {
+            // A single-node variant (Eco-Old / Eco-New) never spills onto
+            // the rest of the fleet: displaced containers are evicted.
+            plan.transfer_targets = Some(vec![]);
+        }
+        OverflowAction::Adjust(plan)
     }
 }
 
@@ -253,7 +270,7 @@ impl Scheduler for EcoLife {
 mod tests {
     use super::*;
     use ecolife_carbon::CarbonIntensityTrace;
-    use ecolife_hw::skus;
+    use ecolife_hw::{skus, Generation};
     use ecolife_sim::Simulation;
     use ecolife_trace::{Invocation, SynthTraceConfig};
 
@@ -300,16 +317,65 @@ mod tests {
         let trace = small_trace();
         let ci = CarbonIntensityTrace::constant(250.0, 120);
         for g in Generation::ALL {
-            let mut eco = EcoLife::new(
-                skus::pair_a(),
-                EcoLifeConfig::default().restricted_to(g),
-            );
+            let mut eco = EcoLife::new(skus::pair_a(), EcoLifeConfig::default().restricted_to(g));
             let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut eco);
             assert!(
-                m.records.iter().all(|r| r.exec_location == g),
-                "restricted run leaked to the other generation"
+                m.records.iter().all(|r| r.exec_location == NodeId::from(g)),
+                "restricted run leaked to another node"
             );
         }
+    }
+
+    #[test]
+    fn restriction_pins_a_mid_fleet_node() {
+        let trace = small_trace();
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        let fleet = skus::fleet_three_generations();
+        let mut eco = EcoLife::new(
+            fleet.clone(),
+            EcoLifeConfig::default().restricted_to(NodeId(1)),
+        );
+        let m = Simulation::new(&trace, &ci, fleet).run(&mut eco);
+        assert!(m.records.iter().all(|r| r.exec_location == NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "which the fleet does not contain")]
+    fn restriction_outside_the_fleet_is_rejected() {
+        EcoLife::new(
+            skus::pair_a(),
+            EcoLifeConfig::default().restricted_to(NodeId(5)),
+        );
+    }
+
+    #[test]
+    fn schedules_over_a_three_node_fleet() {
+        let trace = SynthTraceConfig {
+            n_functions: 16,
+            duration_min: 120,
+            ..SynthTraceConfig::small(7)
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::constant(250.0, 180);
+        let fleet = skus::fleet_three_generations();
+        let mut eco = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+        let m = Simulation::new(&trace, &ci, fleet.clone()).run(&mut eco);
+        assert_eq!(m.invocations(), trace.len());
+        // Every placement names a real fleet node.
+        assert!(m.records.iter().all(|r| fleet.contains(r.exec_location)));
+        assert!(m.warm_starts() > 0);
+    }
+
+    #[test]
+    fn single_node_fleet_schedules_the_period_axis_alone() {
+        let trace = small_trace();
+        let ci = CarbonIntensityTrace::constant(250.0, 120);
+        let solo = skus::fleet_of(&[skus::Sku::M5znMetal]);
+        let mut eco = EcoLife::new(solo.clone(), EcoLifeConfig::default());
+        let m = Simulation::new(&trace, &ci, solo).run(&mut eco);
+        assert_eq!(m.invocations(), trace.len());
+        assert!(m.records.iter().all(|r| r.exec_location == NodeId(0)));
+        assert!(m.warm_starts() > 0);
     }
 
     #[test]
@@ -346,7 +412,7 @@ mod tests {
         let trace = SynthTraceConfig {
             n_functions: 24,
             duration_min: 90,
-            ..SynthTraceConfig::small(11)
+            ..SynthTraceConfig::small(23)
         }
         .generate(&WorkloadCatalog::sebs());
         let ci = CarbonIntensityTrace::constant(250.0, 120);

@@ -2,8 +2,12 @@
 //!
 //! The paper's primary contribution (Sec. IV): a carbon-aware serverless
 //! scheduler that co-optimizes service time and carbon footprint on
-//! multi-generation hardware by choosing, per function, a **keep-alive
+//! heterogeneous hardware by choosing, per function, a **keep-alive
 //! location** and **keep-alive period** with a per-function Dynamic PSO.
+//! Every component operates over an N-node
+//! [`Fleet`](ecolife_hw::Fleet) — the paper's old/new pair is the
+//! two-node special case, reachable through the same constructors via
+//! `From<HardwarePair>`.
 //!
 //! Components:
 //!
@@ -13,14 +17,16 @@
 //! * [`predictor`] — the online inter-arrival model giving `P(warm | k)`
 //!   and `E[min(gap, k)]` without future knowledge;
 //! * [`warmpool`] — the priority-eviction warm-pool adjustment
-//!   (Sec. IV-C, Fig. 6);
+//!   (Sec. IV-C, Fig. 6) with cheapest-first transfer-target ranking;
 //! * [`ecolife`] — the full scheduler: KDM (one Dynamic PSO per
-//!   function), EPDM, perception–response wiring, Algorithm 1;
+//!   function over the fleet-wide placement space), EPDM,
+//!   perception–response wiring, Algorithm 1;
 //! * [`baselines`] — every comparison scheme of Sec. V: `Oracle`,
 //!   `CO2-Opt`, `Service-Time-Opt`, `Energy-Opt` (per-invocation brute
-//!   force with future knowledge), `New-Only` / `Old-Only` (fixed 10-min
-//!   OpenWhisk policy), and the `Eco-Old` / `Eco-New` single-generation
-//!   variants;
+//!   force with future knowledge, enumerating the whole fleet),
+//!   `New-Only` / `Old-Only` (fixed 10-min OpenWhisk policy, plus
+//!   `FixedPolicy::pinned` for arbitrary nodes), and the `Eco-Old` /
+//!   `Eco-New` single-node variants;
 //! * [`runner`] — experiment harness: run a scheme, summarize, compare
 //!   against the *-Opt anchors, and fan sweeps out over threads.
 

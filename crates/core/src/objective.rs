@@ -6,20 +6,22 @@
 //!                      + λc·KC_{f,l,k}/KC_max
 //! ```
 //!
-//! with `S_max` the maximum service time (cold start + execution on the
-//! older generation), `SC_max` the maximum service carbon, and `KC_max`
-//! the carbon of the longest keep-alive on the newer generation. The
-//! same pieces feed the EPDM score (`fscore`), the warm-pool priority
-//! ranking, and the Oracle brute force, so they live in one place.
+//! with `L` the fleet's node set, `S_max` the worst cold service time
+//! across the fleet (the two-node case: cold start + execution on the
+//! older generation), `SC_max` the worst cold-service carbon, and
+//! `KC_max` the worst-case carbon of the longest keep-alive anywhere in
+//! the fleet. The same pieces feed the EPDM score (`fscore`), the
+//! warm-pool priority ranking, and the Oracle brute force, so they live
+//! in one place.
 
 use ecolife_carbon::CarbonModel;
-use ecolife_hw::{Generation, HardwarePair, PerfModel};
+use ecolife_hw::{Fleet, NodeId, PerfModel};
 use ecolife_trace::FunctionProfile;
 
-/// Cost calculator bound to a hardware pair and carbon model.
+/// Cost calculator bound to a hardware fleet and carbon model.
 #[derive(Debug, Clone)]
 pub struct CostModel {
-    pair: HardwarePair,
+    fleet: Fleet,
     carbon: CarbonModel,
     pub lambda_s: f64,
     pub lambda_c: f64,
@@ -31,7 +33,7 @@ pub struct CostModel {
 
 impl CostModel {
     pub fn new(
-        pair: HardwarePair,
+        fleet: impl Into<Fleet>,
         carbon: CarbonModel,
         lambda_s: f64,
         lambda_c: f64,
@@ -40,7 +42,7 @@ impl CostModel {
     ) -> Self {
         assert!(max_keepalive_ms > 0);
         CostModel {
-            pair,
+            fleet: fleet.into(),
             carbon,
             lambda_s,
             lambda_c,
@@ -50,8 +52,8 @@ impl CostModel {
     }
 
     #[inline]
-    pub fn pair(&self) -> &HardwarePair {
-        &self.pair
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
     }
 
     #[inline]
@@ -61,51 +63,58 @@ impl CostModel {
 
     // -- service time ------------------------------------------------------
 
-    /// Warm service time on `l` (ms), setup included.
-    pub fn warm_service_ms(&self, l: Generation, f: &FunctionProfile) -> u64 {
+    /// Warm service time on node `l` (ms), setup included.
+    pub fn warm_service_ms(&self, l: impl Into<NodeId>, f: &FunctionProfile) -> u64 {
         self.setup_delay_ms
-            + PerfModel::warm_service_ms(self.pair.node(l), f.base_exec_ms, f.cpu_sensitivity)
+            + PerfModel::warm_service_ms(self.fleet.node(l), f.base_exec_ms, f.cpu_sensitivity)
     }
 
-    /// Cold service time on `l` (ms), setup included.
-    pub fn cold_service_ms(&self, l: Generation, f: &FunctionProfile) -> u64 {
+    /// Cold service time on node `l` (ms), setup included.
+    pub fn cold_service_ms(&self, l: impl Into<NodeId>, f: &FunctionProfile) -> u64 {
         self.setup_delay_ms
             + PerfModel::cold_service_ms(
-                self.pair.node(l),
+                self.fleet.node(l),
                 f.base_exec_ms,
                 f.base_cold_ms,
                 f.cpu_sensitivity,
             )
     }
 
-    /// `S_max`: cold start + execution on the older generation.
+    /// `S_max`: the worst cold service time anywhere in the fleet (the
+    /// two-node case: cold start + execution on the older generation).
     pub fn s_max(&self, f: &FunctionProfile) -> f64 {
-        self.cold_service_ms(Generation::Old, f) as f64
+        self.fleet
+            .ids()
+            .map(|l| self.cold_service_ms(l, f))
+            .max()
+            .expect("fleet is non-empty") as f64
     }
 
     // -- service carbon ----------------------------------------------------
 
     /// Carbon of a warm service on `l` at intensity `ci` (g).
-    pub fn warm_service_carbon_g(&self, l: Generation, f: &FunctionProfile, ci: f64) -> f64 {
+    pub fn warm_service_carbon_g(&self, l: impl Into<NodeId>, f: &FunctionProfile, ci: f64) -> f64 {
+        let l = l.into();
         let d = self.warm_service_ms(l, f);
         self.carbon
-            .active_phase(self.pair.node(l), f.memory_mib, d, ci)
+            .active_phase(self.fleet.node(l), f.memory_mib, d, ci)
             .total_g()
     }
 
     /// Carbon of a cold service on `l` at intensity `ci` (g).
-    pub fn cold_service_carbon_g(&self, l: Generation, f: &FunctionProfile, ci: f64) -> f64 {
+    pub fn cold_service_carbon_g(&self, l: impl Into<NodeId>, f: &FunctionProfile, ci: f64) -> f64 {
+        let l = l.into();
         let d = self.cold_service_ms(l, f);
         self.carbon
-            .active_phase(self.pair.node(l), f.memory_mib, d, ci)
+            .active_phase(self.fleet.node(l), f.memory_mib, d, ci)
             .total_g()
     }
 
-    /// `SC_max`: the worst cold-service carbon across generations.
+    /// `SC_max`: the worst cold-service carbon across the fleet.
     pub fn sc_max(&self, f: &FunctionProfile, ci: f64) -> f64 {
-        Generation::ALL
-            .iter()
-            .map(|&l| self.cold_service_carbon_g(l, f, ci))
+        self.fleet
+            .ids()
+            .map(|l| self.cold_service_carbon_g(l, f, ci))
             .fold(0.0f64, f64::max)
             .max(1e-12)
     }
@@ -115,7 +124,7 @@ impl CostModel {
     /// Carbon of keeping `f` warm on `l` for `duration_ms` at `ci` (g).
     pub fn keepalive_carbon_g(
         &self,
-        l: Generation,
+        l: impl Into<NodeId>,
         f: &FunctionProfile,
         duration_ms: u64,
         ci: f64,
@@ -124,62 +133,74 @@ impl CostModel {
             return 0.0;
         }
         self.carbon
-            .keepalive_phase(self.pair.node(l), f.memory_mib, duration_ms, ci)
+            .keepalive_phase(self.fleet.node(l), f.memory_mib, duration_ms, ci)
             .total_g()
     }
 
-    /// `KC_max`: the longest keep-alive on the newer generation.
+    /// `KC_max`: the worst-case carbon of the longest keep-alive anywhere
+    /// in the fleet (the two-node case: on the newer generation).
     pub fn kc_max(&self, f: &FunctionProfile, ci: f64) -> f64 {
-        self.keepalive_carbon_g(Generation::New, f, self.max_keepalive_ms, ci)
+        self.fleet
+            .ids()
+            .map(|l| self.keepalive_carbon_g(l, f, self.max_keepalive_ms, ci))
+            .fold(0.0f64, f64::max)
             .max(1e-12)
     }
 
     // -- energy (Energy-Opt) -------------------------------------------------
 
     /// Energy of a (cold or warm) service on `l` (kWh).
-    pub fn service_energy_kwh(&self, l: Generation, f: &FunctionProfile, warm: bool) -> f64 {
+    pub fn service_energy_kwh(&self, l: impl Into<NodeId>, f: &FunctionProfile, warm: bool) -> f64 {
+        let l = l.into();
         let d = if warm {
             self.warm_service_ms(l, f)
         } else {
             self.cold_service_ms(l, f)
         };
         self.carbon
-            .active_energy_kwh(self.pair.node(l), f.memory_mib, d)
+            .active_energy_kwh(self.fleet.node(l), f.memory_mib, d)
     }
 
     /// Energy of a keep-alive on `l` (kWh).
-    pub fn keepalive_energy_kwh(&self, l: Generation, f: &FunctionProfile, duration_ms: u64) -> f64 {
+    pub fn keepalive_energy_kwh(
+        &self,
+        l: impl Into<NodeId>,
+        f: &FunctionProfile,
+        duration_ms: u64,
+    ) -> f64 {
+        let l = l.into();
         self.carbon
-            .keepalive_energy_kwh(self.pair.node(l), f.memory_mib, duration_ms)
+            .keepalive_energy_kwh(self.fleet.node(l), f.memory_mib, duration_ms)
     }
 
     // -- composite scores ----------------------------------------------------
 
     /// The EPDM execution-placement score for a *cold* execution on `r`
     /// (Sec. IV-D): `fscore = λs·S_r/S_max + λc·SC_r/SC_max`.
-    pub fn epdm_score(&self, r: Generation, f: &FunctionProfile, ci: f64) -> f64 {
+    pub fn epdm_score(&self, r: impl Into<NodeId>, f: &FunctionProfile, ci: f64) -> f64 {
+        let r = r.into();
         let s = self.cold_service_ms(r, f) as f64 / self.s_max(f);
         let sc = self.cold_service_carbon_g(r, f, ci) / self.sc_max(f, ci);
         self.lambda_s * s + self.lambda_c * sc
     }
 
-    /// EPDM choice among `allowed` generations for a cold execution.
-    pub fn epdm_choice(
-        &self,
-        f: &FunctionProfile,
-        ci: f64,
-        allowed: Option<Generation>,
-    ) -> Generation {
+    /// EPDM choice for a cold execution: the `fscore`-minimizing fleet
+    /// node (ties resolve to the lowest id — the two-node case: old), or
+    /// `allowed` when the scheduler is restricted to one node.
+    pub fn epdm_choice(&self, f: &FunctionProfile, ci: f64, allowed: Option<NodeId>) -> NodeId {
         match allowed {
-            Some(g) => g,
+            Some(l) => l,
             None => {
-                if self.epdm_score(Generation::Old, f, ci)
-                    <= self.epdm_score(Generation::New, f, ci)
-                {
-                    Generation::Old
-                } else {
-                    Generation::New
+                let mut best = NodeId(0);
+                let mut best_score = self.epdm_score(best, f, ci);
+                for l in self.fleet.ids().skip(1) {
+                    let score = self.epdm_score(l, f, ci);
+                    if score < best_score {
+                        best = l;
+                        best_score = score;
+                    }
                 }
+                best
             }
         }
     }
@@ -194,14 +215,19 @@ impl CostModel {
     pub fn expected_objective(
         &self,
         f: &FunctionProfile,
-        l: Generation,
+        l: impl Into<NodeId>,
         k_ms: u64,
         p_warm: f64,
         expected_resident_ms: f64,
         ci: f64,
-        allowed: Option<Generation>,
+        allowed: Option<NodeId>,
     ) -> f64 {
-        let p_warm = if k_ms == 0 { 0.0 } else { p_warm.clamp(0.0, 1.0) };
+        let l = l.into();
+        let p_warm = if k_ms == 0 {
+            0.0
+        } else {
+            p_warm.clamp(0.0, 1.0)
+        };
         let cold_loc = self.epdm_choice(f, ci, allowed);
 
         // E[S]
@@ -232,7 +258,8 @@ impl CostModel {
     /// over a cold start (Sec. IV-C "calculating the difference in
     /// service time and carbon footprint between cold start and warm
     /// start"). Higher = more valuable to keep.
-    pub fn keepalive_benefit(&self, l: Generation, f: &FunctionProfile, ci: f64) -> f64 {
+    pub fn keepalive_benefit(&self, l: impl Into<NodeId>, f: &FunctionProfile, ci: f64) -> f64 {
+        let l = l.into();
         let cold_loc = self.epdm_choice(f, ci, None);
         let ds = (self.cold_service_ms(cold_loc, f) as f64 - self.warm_service_ms(l, f) as f64)
             / self.s_max(f);
@@ -241,12 +268,36 @@ impl CostModel {
             / self.sc_max(f, ci);
         self.lambda_s * ds + self.lambda_c * dc
     }
+
+    /// Transfer targets for containers displaced from `exclude`, ranked
+    /// cheapest-to-keep-warm first (per-MiB keep-alive carbon of a
+    /// one-minute reference residency at `ci`; ties resolve to the lowest
+    /// id). The engine tries displaced containers against this ranking in
+    /// order.
+    pub fn transfer_ranking(&self, exclude: NodeId, ci: f64) -> Vec<NodeId> {
+        // 1-GiB reference container over one minute: enough to order the
+        // nodes; the ordering is memory-size-independent to first order
+        // because both the power and embodied terms are affine in MiB.
+        let reference = |l: NodeId| -> f64 {
+            self.carbon
+                .keepalive_phase(self.fleet.node(l), 1024, 60_000, ci)
+                .total_g()
+        };
+        let mut targets = self.fleet.transfer_candidates(exclude);
+        targets.sort_by(|a, b| {
+            reference(*a)
+                .partial_cmp(&reference(*b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        targets
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ecolife_hw::skus;
+    use ecolife_hw::{skus, Generation};
     use ecolife_trace::WorkloadCatalog;
 
     fn model() -> CostModel {
@@ -268,18 +319,28 @@ mod tests {
     fn s_max_is_cold_on_old() {
         let m = model();
         let f = profile("220.video-processing");
-        assert_eq!(
-            m.s_max(&f),
-            m.cold_service_ms(Generation::Old, &f) as f64
-        );
+        assert_eq!(m.s_max(&f), m.cold_service_ms(Generation::Old, &f) as f64);
         assert!(m.s_max(&f) > m.cold_service_ms(Generation::New, &f) as f64);
+    }
+
+    #[test]
+    fn kc_max_is_the_worst_node() {
+        // Pair A: keep-alive on the new node is the expensive option, so
+        // the fleet-wide max reproduces the paper's "longest keep-alive
+        // on the newer generation" constant.
+        let m = model();
+        let f = profile("503.graph-bfs");
+        assert_eq!(
+            m.kc_max(&f, 300.0),
+            m.keepalive_carbon_g(Generation::New, &f, m.max_keepalive_ms, 300.0)
+        );
     }
 
     #[test]
     fn warm_is_faster_than_cold_everywhere() {
         let m = model();
         let f = profile("503.graph-bfs");
-        for l in Generation::ALL {
+        for l in m.fleet().ids().collect::<Vec<_>>() {
             assert!(m.warm_service_ms(l, &f) < m.cold_service_ms(l, &f));
         }
     }
@@ -288,7 +349,8 @@ mod tests {
     fn objective_zero_keepalive_has_no_kc_term() {
         let m = model();
         let f = profile("503.graph-bfs");
-        let with_k = m.expected_objective(&f, Generation::Old, 600_000, 0.9, 300_000.0, 300.0, None);
+        let with_k =
+            m.expected_objective(&f, Generation::Old, 600_000, 0.9, 300_000.0, 300.0, None);
         let no_k = m.expected_objective(&f, Generation::Old, 0, 0.9, 0.0, 300.0, None);
         // k = 0 forces the cold branch: that may be better or worse overall,
         // but its KC term must vanish, which we can see by reconstructing:
@@ -324,7 +386,7 @@ mod tests {
             50,
             600_000,
         );
-        assert_eq!(time_only.epdm_choice(&f, 300.0, None), Generation::New);
+        assert_eq!(time_only.epdm_choice(&f, 300.0, None), NodeId(1));
         let carbon_only = CostModel::new(
             skus::pair_a(),
             CarbonModel::default(),
@@ -333,7 +395,7 @@ mod tests {
             50,
             600_000,
         );
-        assert_eq!(carbon_only.epdm_choice(&f, 300.0, None), Generation::Old);
+        assert_eq!(carbon_only.epdm_choice(&f, 300.0, None), NodeId(0));
     }
 
     #[test]
@@ -341,9 +403,22 @@ mod tests {
         let m = model();
         let f = profile("311.compression");
         assert_eq!(
-            m.epdm_choice(&f, 300.0, Some(Generation::Old)),
-            Generation::Old
+            m.epdm_choice(&f, 300.0, Some(Generation::Old.into())),
+            NodeId(0)
         );
+    }
+
+    #[test]
+    fn epdm_scans_the_whole_fleet() {
+        // On the three-generation fleet a pure service-time objective
+        // picks the newest node, a pure carbon objective the oldest.
+        let f = profile("311.compression");
+        let fleet = skus::fleet_three_generations();
+        let time_only =
+            CostModel::new(fleet.clone(), CarbonModel::default(), 1.0, 0.0, 50, 600_000);
+        assert_eq!(time_only.epdm_choice(&f, 300.0, None), NodeId(2));
+        let carbon_only = CostModel::new(fleet, CarbonModel::default(), 0.0, 1.0, 50, 600_000);
+        assert_eq!(carbon_only.epdm_choice(&f, 300.0, None), NodeId(0));
     }
 
     #[test]
@@ -364,7 +439,7 @@ mod tests {
         // warm must look valuable.
         let m = model();
         let f = profile("411.image-recognition");
-        for l in Generation::ALL {
+        for l in m.fleet().ids().collect::<Vec<_>>() {
             assert!(m.keepalive_benefit(l, &f, 300.0) > 0.0);
         }
     }
@@ -385,5 +460,27 @@ mod tests {
         let warm = m.service_energy_kwh(Generation::New, &f, true);
         assert!(cold > warm);
         assert!(m.keepalive_energy_kwh(Generation::Old, &f, 600_000) > 0.0);
+    }
+
+    #[test]
+    fn transfer_ranking_prefers_cheap_keepalive_nodes() {
+        // Two-node fleet: the only candidate is the other node.
+        let m = model();
+        assert_eq!(m.transfer_ranking(NodeId(1), 300.0), vec![NodeId(0)]);
+        assert_eq!(m.transfer_ranking(NodeId(0), 300.0), vec![NodeId(1)]);
+        // Three nodes: displacements from the newest prefer the oldest
+        // (cheapest idle core + embodied attribution), then the mid node.
+        let m3 = CostModel::new(
+            skus::fleet_three_generations(),
+            CarbonModel::default(),
+            0.5,
+            0.5,
+            50,
+            600_000,
+        );
+        assert_eq!(
+            m3.transfer_ranking(NodeId(2), 300.0),
+            vec![NodeId(0), NodeId(1)]
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! machinery every figure reproduction is built from.
 
 use ecolife_carbon::CarbonIntensityTrace;
-use ecolife_hw::HardwarePair;
+use ecolife_hw::Fleet;
 use ecolife_sim::metrics::percent_increase;
 use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation};
 use ecolife_trace::Trace;
@@ -48,14 +48,14 @@ impl RunSummary {
     }
 }
 
-/// Run one scheduler over (trace, CI, pair) with default engine config.
+/// Run one scheduler over (trace, CI, fleet) with default engine config.
 pub fn run_scheme<S: Scheduler>(
     trace: &Trace,
     ci: &CarbonIntensityTrace,
-    pair: &HardwarePair,
+    fleet: &Fleet,
     scheduler: &mut S,
 ) -> (RunSummary, RunMetrics) {
-    run_scheme_with(trace, ci, pair, scheduler, SimConfig::default())
+    run_scheme_with(trace, ci, fleet, scheduler, SimConfig::default())
 }
 
 /// Run with an explicit engine config (robustness studies use non-default
@@ -63,14 +63,17 @@ pub fn run_scheme<S: Scheduler>(
 pub fn run_scheme_with<S: Scheduler>(
     trace: &Trace,
     ci: &CarbonIntensityTrace,
-    pair: &HardwarePair,
+    fleet: &Fleet,
     scheduler: &mut S,
     config: SimConfig,
 ) -> (RunSummary, RunMetrics) {
-    let metrics = Simulation::new(trace, ci, pair.clone())
+    let metrics = Simulation::new(trace, ci, fleet.clone())
         .with_config(config)
         .run(scheduler);
-    (RunSummary::from_metrics(scheduler.name(), &metrics), metrics)
+    (
+        RunSummary::from_metrics(scheduler.name(), &metrics),
+        metrics,
+    )
 }
 
 /// A scheme's position relative to the two *-Opt anchors — the axes of
@@ -101,26 +104,48 @@ pub fn compare(
     }
 }
 
-/// Fan independent jobs out over scoped threads and collect results in
-/// input order. Simulations are single-threaded and deterministic; sweeps
-/// (hardware pairs, regions, memory budgets) are embarrassingly parallel.
+/// Fan independent jobs out over scoped worker threads and collect
+/// results in input order. Simulations are single-threaded and
+/// deterministic; sweeps (fleets, regions, memory budgets) are
+/// embarrassingly parallel.
+///
+/// At most [`std::thread::available_parallelism`] workers are spawned —
+/// a sweep of hundreds of configurations never spawns one OS thread per
+/// job — and they pull from a shared queue, so a few expensive
+/// configurations cannot serialize behind each other while the other
+/// workers idle. The per-job lock cost is irrelevant next to a
+/// simulation run.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(inputs.len(), || None);
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+
+    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let done = std::sync::Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
-        for (slot, input) in results.iter_mut().zip(inputs) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(input));
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").next();
+                let Some((index, input)) = job else { break };
+                let result = f(input);
+                done.lock().expect("results lock").push((index, result));
             });
         }
     });
-    results.into_iter().map(|r| r.expect("job completed")).collect()
+
+    let mut done = done.into_inner().expect("workers joined");
+    done.sort_unstable_by_key(|(index, _)| *index);
+    done.into_iter().map(|(_, result)| result).collect()
 }
 
 #[cfg(test)]
@@ -131,30 +156,28 @@ mod tests {
     use ecolife_hw::skus;
     use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
 
-    fn setup() -> (Trace, CarbonIntensityTrace, HardwarePair) {
+    fn setup() -> (Trace, CarbonIntensityTrace, Fleet) {
         let trace = SynthTraceConfig::small(9).generate(&WorkloadCatalog::sebs());
         let ci = CarbonIntensityTrace::constant(250.0, 120);
-        (trace, ci, skus::pair_a())
+        (trace, ci, skus::fleet_a())
     }
 
     #[test]
     fn summary_captures_metrics() {
-        let (trace, ci, pair) = setup();
-        let (summary, metrics) = run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only());
+        let (trace, ci, fleet) = setup();
+        let (summary, metrics) = run_scheme(&trace, &ci, &fleet, &mut FixedPolicy::new_only());
         assert_eq!(summary.name, "New-Only");
         assert_eq!(summary.invocations, metrics.invocations());
         assert_eq!(summary.total_service_ms, metrics.total_service_ms());
         assert!((summary.total_carbon_g - metrics.total_carbon_g()).abs() < 1e-9);
         assert!(summary.p95_service_ms >= summary.mean_service_ms as u64 / 2);
-        assert!(
-            (summary.operational_g + summary.embodied_g - summary.total_carbon_g).abs() < 1e-9
-        );
+        assert!((summary.operational_g + summary.embodied_g - summary.total_carbon_g).abs() < 1e-9);
     }
 
     #[test]
     fn comparison_is_zero_against_self() {
-        let (trace, ci, pair) = setup();
-        let (summary, _) = run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only());
+        let (trace, ci, fleet) = setup();
+        let (summary, _) = run_scheme(&trace, &ci, &fleet, &mut FixedPolicy::new_only());
         let c = compare(&summary, &summary, &summary);
         assert_eq!(c.service_increase_pct, 0.0);
         assert_eq!(c.carbon_increase_pct, 0.0);
@@ -162,24 +185,24 @@ mod tests {
 
     #[test]
     fn anchors_give_nonnegative_increases() {
-        let (trace, ci, pair) = setup();
+        let (trace, ci, fleet) = setup();
         let (st, _) = run_scheme(
             &trace,
             &ci,
-            &pair,
-            &mut BruteForce::service_time_opt(pair.clone(), ci.clone()),
+            &fleet,
+            &mut BruteForce::service_time_opt(fleet.clone(), ci.clone()),
         );
         let (co2, _) = run_scheme(
             &trace,
             &ci,
-            &pair,
-            &mut BruteForce::co2_opt(pair.clone(), ci.clone()),
+            &fleet,
+            &mut BruteForce::co2_opt(fleet.clone(), ci.clone()),
         );
         let (oracle, _) = run_scheme(
             &trace,
             &ci,
-            &pair,
-            &mut BruteForce::oracle(pair.clone(), ci.clone()),
+            &fleet,
+            &mut BruteForce::oracle(fleet.clone(), ci.clone()),
         );
         let c = compare(&oracle, &st, &co2);
         assert!(c.service_increase_pct >= -1e-9, "{c:?}");
@@ -193,8 +216,19 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_handles_empty_and_oversized_batches() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        // Far more jobs than cores: with one-thread-per-job this would
+        // spawn 2048 OS threads; chunking bounds it at the worker count.
+        let n = 2048u64;
+        let out = parallel_map((0..n).collect(), |i: u64| i + 1);
+        assert_eq!(out.len(), n as usize);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
     fn parallel_sweep_matches_sequential_runs() {
-        let (trace, ci, pair) = setup();
+        let (trace, ci, fleet) = setup();
         // Wall-clock decision overhead is inherently non-deterministic;
         // blank it before comparing.
         let normalize = |mut s: RunSummary| {
@@ -204,12 +238,12 @@ mod tests {
         let seq: Vec<RunSummary> = (0..3)
             .map(|k| {
                 let mut s = FixedPolicy::new(ecolife_hw::Generation::New, k * 5);
-                normalize(run_scheme(&trace, &ci, &pair, &mut s).0)
+                normalize(run_scheme(&trace, &ci, &fleet, &mut s).0)
             })
             .collect();
         let par = parallel_map((0..3).collect(), |k: u64| {
             let mut s = FixedPolicy::new(ecolife_hw::Generation::New, k * 5);
-            normalize(run_scheme(&trace, &ci, &pair, &mut s).0)
+            normalize(run_scheme(&trace, &ci, &fleet, &mut s).0)
         });
         assert_eq!(seq, par);
     }

@@ -5,10 +5,11 @@
 //! resident container *plus the incoming one* by the benefit of keeping
 //! it warm (service-time + carbon difference between a cold and a warm
 //! start, per memory unit), greedily packs the pool by descending
-//! priority, displaces the losers, and lets the engine transfer the
-//! displaced containers to the other generation's pool if there is room
-//! ("evicted function is kept warm in the other generation's memory if
-//! there is enough space").
+//! priority, displaces the losers, and hands the engine an explicit
+//! transfer-target ranking — the remaining fleet nodes, cheapest
+//! keep-alive first — so displaced containers land on the least costly
+//! pool with room (the two-node case: "evicted function is kept warm in
+//! the other generation's memory if there is enough space").
 
 use crate::objective::CostModel;
 use ecolife_sim::{AdjustPlan, OverflowCtx};
@@ -55,8 +56,7 @@ pub fn priority_adjustment_weighted(
             Candidate {
                 func: c.func,
                 memory_mib: c.memory_mib,
-                density: reuse_weight(c.func)
-                    * cost.keepalive_benefit(ctx.location, f, ctx.ci_now)
+                density: reuse_weight(c.func) * cost.keepalive_benefit(ctx.location, f, ctx.ci_now)
                     / c.memory_mib.max(1) as f64,
                 incoming: false,
             }
@@ -99,6 +99,7 @@ pub fn priority_adjustment_weighted(
     AdjustPlan {
         displace,
         place_incoming: keep_incoming,
+        transfer_targets: Some(cost.transfer_ranking(ctx.location, ctx.ci_now)),
     }
 }
 
@@ -150,7 +151,7 @@ mod tests {
             .unwrap();
         let (inc_id, inc_p) = cat.by_name("411.image-recognition").unwrap();
         let ctx = OverflowCtx {
-            location: Generation::New,
+            location: Generation::New.into(),
             incoming_func: inc_id,
             incoming_memory_mib: inc_p.memory_mib,
             t_ms: 1_000,
@@ -176,7 +177,7 @@ mod tests {
             .unwrap();
         let (dna_id, dna_p) = cat.by_name("504.dna-visualization").unwrap();
         let ctx = OverflowCtx {
-            location: Generation::New,
+            location: Generation::New.into(),
             incoming_func: dna_id,
             incoming_memory_mib: dna_p.memory_mib,
             t_ms: 1_000,
@@ -204,7 +205,7 @@ mod tests {
             .unwrap();
         let (inc_id, inc_p) = cat.by_name("311.compression").unwrap();
         let ctx = OverflowCtx {
-            location: Generation::Old,
+            location: Generation::Old.into(),
             incoming_func: inc_id,
             incoming_memory_mib: inc_p.memory_mib,
             t_ms: 0,
@@ -241,7 +242,7 @@ mod tests {
             .unwrap();
         let (inc_id, inc_p) = cat.by_name("220.video-processing").unwrap();
         let ctx = OverflowCtx {
-            location: Generation::New,
+            location: Generation::New.into(),
             incoming_func: inc_id,
             incoming_memory_mib: inc_p.memory_mib,
             t_ms: 0,

@@ -54,8 +54,7 @@ impl DramModel {
         duration_ms: u64,
         lifetime_ms: u64,
     ) -> f64 {
-        self.embodied_g * self.usage_share(func_mem_mib) * duration_ms as f64
-            / lifetime_ms as f64
+        self.embodied_g * self.usage_share(func_mem_mib) * duration_ms as f64 / lifetime_ms as f64
     }
 
     /// Energy (kWh) drawn by the function's memory share while executing.

@@ -1,0 +1,258 @@
+//! An N-node heterogeneous fleet — the unit of deployment the scheduler
+//! operates over.
+//!
+//! The paper evaluates exactly two nodes (one old-generation, one
+//! new-generation: [`HardwarePair`]), and notes in Sec. VI-C that the
+//! approach "generalizes to multiple pairs by maintaining multiple warm
+//! pools". [`Fleet`] is that generalization: an ordered, non-empty set of
+//! [`HardwareNode`]s addressed by [`NodeId`]. Every layer above —
+//! cluster state, engine, schedulers, optimizers — is keyed by `NodeId`,
+//! so a two-node pair is simply the `N = 2` special case
+//! ([`From<HardwarePair>`] preserves the `old = node 0`, `new = node 1`
+//! layout the [`Generation`](crate::Generation) compatibility aliases
+//! rely on).
+
+use crate::{HardwareNode, HardwarePair, NodeId};
+
+/// An ordered, non-empty set of schedulable hardware nodes.
+///
+/// Node `i` carries `NodeId(i)`: the id doubles as the index, which keeps
+/// array-backed per-node state (warm pools, counters) trivially addressable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fleet {
+    nodes: Vec<HardwareNode>,
+}
+
+impl Fleet {
+    /// Build a fleet from nodes.
+    ///
+    /// # Panics
+    /// Panics when `nodes` is empty or when a node's id does not match its
+    /// position — an id/index mismatch would silently misroute every
+    /// placement downstream.
+    pub fn new(nodes: Vec<HardwareNode>) -> Self {
+        assert!(!nodes.is_empty(), "a fleet needs at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(
+                n.id,
+                NodeId(i as u32),
+                "node at position {i} carries id {:?}; fleet ids must equal positions",
+                n.id
+            );
+        }
+        Fleet { nodes }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false` (the constructor rejects empty fleets); present for
+    /// API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node ids in position order.
+    #[inline]
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate nodes in position order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &HardwareNode> {
+        self.nodes.iter()
+    }
+
+    /// The node with `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` names no node of this fleet.
+    #[inline]
+    pub fn node(&self, id: impl Into<NodeId>) -> &HardwareNode {
+        let id = id.into();
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node accessor (used by memory-budget sweeps).
+    #[inline]
+    pub fn node_mut(&mut self, id: impl Into<NodeId>) -> &mut HardwareNode {
+        let id = id.into();
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Whether `id` names a node of this fleet.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        (id.0 as usize) < self.nodes.len()
+    }
+
+    /// Node ids ranked by warm-serving preference: fastest first
+    /// (descending `perf_index`, then descending CPU year, then ascending
+    /// id for determinism).
+    ///
+    /// When a function is warm on several nodes at once, the cluster
+    /// serves from the highest-ranked one — the two-node special case of
+    /// "the newer generation wins; it serves the faster warm start".
+    pub fn warm_preference(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.ids().collect();
+        ids.sort_by(|a, b| {
+            let (na, nb) = (self.node(*a), self.node(*b));
+            nb.cpu
+                .perf_index
+                .partial_cmp(&na.cpu.perf_index)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(nb.cpu.year.cmp(&na.cpu.year))
+                .then(a.cmp(b))
+        });
+        ids
+    }
+
+    /// Every node except `exclude`, in id order — the default set of
+    /// transfer targets when a warm-pool adjustment displaces containers
+    /// and the scheduler supplied no explicit ranking.
+    pub fn transfer_candidates(&self, exclude: NodeId) -> Vec<NodeId> {
+        self.ids().filter(|&id| id != exclude).collect()
+    }
+
+    /// The newest node: highest CPU year, ties broken by `perf_index`,
+    /// then by id. Baselines pin themselves here (`New-Only` on an
+    /// N-node fleet).
+    pub fn newest(&self) -> NodeId {
+        self.extreme(|a, b| {
+            a.cpu.year.cmp(&b.cpu.year).then(
+                a.cpu
+                    .perf_index
+                    .partial_cmp(&b.cpu.perf_index)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        })
+    }
+
+    /// The oldest node (inverse ranking of [`Fleet::newest`]).
+    pub fn oldest(&self) -> NodeId {
+        self.extreme(|a, b| {
+            b.cpu.year.cmp(&a.cpu.year).then(
+                b.cpu
+                    .perf_index
+                    .partial_cmp(&a.cpu.perf_index)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        })
+    }
+
+    fn extreme(&self, cmp: impl Fn(&HardwareNode, &HardwareNode) -> std::cmp::Ordering) -> NodeId {
+        self.ids()
+            .max_by(|a, b| cmp(self.node(*a), self.node(*b)).then(b.cmp(a)))
+            .expect("fleet is non-empty")
+    }
+
+    /// Apply one keep-alive memory budget (MiB) to every node — the
+    /// N-node version of the Fig. 11 memory sweep knob.
+    pub fn with_uniform_keepalive_budget_mib(mut self, mib: u64) -> Self {
+        for n in &mut self.nodes {
+            n.keepalive_mem_mib = mib;
+        }
+        self
+    }
+
+    /// Set one node's keep-alive budget (MiB).
+    pub fn with_keepalive_budget_mib(mut self, id: impl Into<NodeId>, mib: u64) -> Self {
+        self.node_mut(id).keepalive_mem_mib = mib;
+        self
+    }
+}
+
+impl From<HardwarePair> for Fleet {
+    /// The two-node fleet of a Table I pair: `old` becomes node 0, `new`
+    /// node 1 — the layout the [`Generation`](crate::Generation)
+    /// compatibility aliases (`Old -> NodeId(0)`, `New -> NodeId(1)`)
+    /// assume.
+    fn from(pair: HardwarePair) -> Fleet {
+        Fleet::new(vec![pair.old, pair.new])
+    }
+}
+
+impl From<&HardwarePair> for Fleet {
+    fn from(pair: &HardwarePair) -> Fleet {
+        Fleet::from(pair.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{skus, Generation};
+
+    #[test]
+    fn pair_conversion_preserves_old_new_layout() {
+        let pair = skus::pair_a();
+        let fleet = Fleet::from(&pair);
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.node(NodeId(0)), &pair.old);
+        assert_eq!(fleet.node(NodeId(1)), &pair.new);
+        // Generation aliases route to the same nodes.
+        assert_eq!(fleet.node(Generation::Old), &pair.old);
+        assert_eq!(fleet.node(Generation::New), &pair.new);
+    }
+
+    #[test]
+    fn warm_preference_puts_fastest_first() {
+        let fleet = Fleet::from(skus::pair_a());
+        assert_eq!(fleet.warm_preference(), vec![NodeId(1), NodeId(0)]);
+        let three = skus::fleet_of(&[skus::Sku::I3Metal, skus::Sku::M5Metal, skus::Sku::M5znMetal]);
+        assert_eq!(
+            three.warm_preference(),
+            vec![NodeId(2), NodeId(1), NodeId(0)]
+        );
+    }
+
+    #[test]
+    fn newest_and_oldest_rank_by_year() {
+        let three = skus::fleet_of(&[skus::Sku::M5Metal, skus::Sku::M5znMetal, skus::Sku::I3Metal]);
+        assert_eq!(three.newest(), NodeId(1)); // 8252C (2020)
+        assert_eq!(three.oldest(), NodeId(2)); // E5-2686 (2016)
+    }
+
+    #[test]
+    fn ties_on_newest_resolve_to_lowest_id() {
+        let twin = skus::fleet_of(&[skus::Sku::M5znMetal, skus::Sku::M5znMetal]);
+        assert_eq!(twin.newest(), NodeId(0));
+        assert_eq!(twin.oldest(), NodeId(0));
+    }
+
+    #[test]
+    fn transfer_candidates_exclude_the_source() {
+        let three = skus::fleet_of(&[skus::Sku::I3Metal, skus::Sku::M5Metal, skus::Sku::M5znMetal]);
+        assert_eq!(
+            three.transfer_candidates(NodeId(1)),
+            vec![NodeId(0), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn budget_builders() {
+        let fleet = Fleet::from(skus::pair_a())
+            .with_uniform_keepalive_budget_mib(4_096)
+            .with_keepalive_budget_mib(NodeId(1), 8_192);
+        assert_eq!(fleet.node(NodeId(0)).keepalive_mem_mib, 4_096);
+        assert_eq!(fleet.node(NodeId(1)).keepalive_mem_mib, 8_192);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_fleet() {
+        Fleet::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet ids must equal positions")]
+    fn rejects_misnumbered_nodes() {
+        let pair = skus::pair_a();
+        Fleet::new(vec![pair.new, pair.old]);
+    }
+}

@@ -1,8 +1,21 @@
-//! # ecolife-hw — multi-generation hardware substrate
+//! # ecolife-hw — heterogeneous hardware substrate
 //!
 //! This crate models the datacenter hardware that EcoLife schedules over:
-//! CPUs and DRAM modules from different generations, their embodied carbon
-//! footprints, their power draw, and their relative performance.
+//! CPUs and DRAM modules of different generations, their embodied carbon
+//! footprints, their power draw, their relative performance — and the
+//! **fleet** abstraction that composes them into a schedulable cluster.
+//!
+//! ## The fleet model
+//!
+//! The unit of deployment is a [`Fleet`]: an ordered, non-empty set of
+//! [`HardwareNode`]s (CPU package + DRAM kit) addressed by [`NodeId`].
+//! Every layer above — the simulator's cluster state, the scheduler's
+//! decision space, the optimizer's search box — is keyed by `NodeId`, so
+//! the fleet size is a free parameter: two nodes reproduce the paper,
+//! larger fleets model multi-SKU clusters (see [`skus::fleet_of`] and
+//! [`skus::fleet_three_generations`]).
+//!
+//! ## The paper's two-node special case
 //!
 //! The paper (Sec. II, Table I) evaluates three old/new hardware pairs:
 //!
@@ -12,12 +25,20 @@
 //! | B    | Xeon Platinum 8124M (2017)  | Xeon Platinum 8252C (2020)    | Micron-192 (2018) | Samsung-192 (2019) |
 //! | C    | Xeon Platinum 8275L (2019)  | Xeon Platinum 8252C (2020)    | Samsung-192 (2019)| Samsung-192 (2019) |
 //!
-//! The key physical trade-off EcoLife exploits is encoded here:
+//! [`HardwarePair`] survives as a thin two-node constructor for these
+//! configurations, and [`Generation`] as the compatibility alias into the
+//! canonical pair layout (`Old` → node 0, `New` → node 1 via
+//! `From<Generation> for NodeId`), so paper figures keep their Old/New
+//! semantics while everything else speaks fleet.
+//!
+//! ## The physical trade-off
+//!
+//! The key trade-off EcoLife exploits is encoded here:
 //!
 //! * **older hardware** → lower embodied carbon (smaller dies, older
-//!   lithography, already amortized designs) and lower *per-core* idle power
-//!   (more cores per package), but slower execution and worse energy
-//!   efficiency per unit of work;
+//!   lithography, already amortized designs) and lower *per-core* idle
+//!   power (more cores per package), but slower execution and worse
+//!   energy efficiency per unit of work;
 //! * **newer hardware** → higher embodied carbon but faster execution and
 //!   lower operational energy per unit of work.
 //!
@@ -27,6 +48,7 @@
 
 pub mod cpu;
 pub mod dram;
+pub mod fleet;
 pub mod node;
 pub mod pair;
 pub mod perf;
@@ -35,10 +57,12 @@ pub mod skus;
 
 pub use cpu::CpuModel;
 pub use dram::DramModel;
+pub use fleet::Fleet;
 pub use node::{Generation, HardwareNode, NodeId};
 pub use pair::{HardwarePair, PairId};
 pub use perf::PerfModel;
 pub use power::PowerDraw;
+pub use skus::Sku;
 
 /// Default hardware lifetime used to amortize embodied carbon:
 /// four years, per the paper (Sec. V, "a typical four-year lifetime

@@ -3,11 +3,16 @@
 
 use crate::{CpuModel, DramModel};
 
-/// Which side of a multi-generation pair a node belongs to.
+/// Which side of a two-generation pair a node belongs to.
 ///
-/// The entire EcoLife decision space is two-valued in this dimension
+/// The paper's decision space is two-valued in this dimension
 /// (Sec. IV-A: "keep-alive locations l (older-generation hardware or
-/// newer-generation hardware)").
+/// newer-generation hardware)"). The simulator and schedulers have since
+/// been generalized to N-node [`Fleet`](crate::Fleet)s keyed by
+/// [`NodeId`]; `Generation` remains as (a) the era tag carried by each
+/// node for paper-figure labelling and (b) a compatibility alias into the
+/// canonical two-node fleet layout, where `Old` is node 0 and `New` is
+/// node 1 (see the `From<Generation> for NodeId` impl).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Generation {
     /// Older-generation hardware: lower embodied carbon, slower.
@@ -49,9 +54,41 @@ impl std::fmt::Display for Generation {
     }
 }
 
-/// Identifier of a node inside a cluster description.
+/// Identifier of a node inside a fleet: equal to the node's position in
+/// [`Fleet`](crate::Fleet) order, so it doubles as an index for
+/// array-backed per-node state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Stable index for array-backed per-node state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The compatibility bridge from the paper's two-generation vocabulary
+/// into the canonical two-node fleet layout produced by
+/// `Fleet::from(HardwarePair)`: `Old` is node 0, `New` is node 1.
+///
+/// The conversion is positional, so it is only meaningful on fleets
+/// that follow the canonical layout; on other fleets, compare against
+/// the node's own `generation` tag instead. No `PartialEq<Generation>`
+/// sugar is provided for exactly that reason — an equality that ignored
+/// a fleet's actual tags would silently match the wrong node.
+impl From<Generation> for NodeId {
+    #[inline]
+    fn from(generation: Generation) -> NodeId {
+        NodeId(generation.index() as u32)
+    }
+}
 
 /// One bare-metal node (CPU + DRAM) from a given generation.
 ///
@@ -128,6 +165,14 @@ mod tests {
     fn display_formats() {
         assert_eq!(Generation::Old.to_string(), "old");
         assert_eq!(Generation::New.to_string(), "new");
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn generation_maps_to_canonical_pair_slots() {
+        assert_eq!(NodeId::from(Generation::Old), NodeId(0));
+        assert_eq!(NodeId::from(Generation::New), NodeId(1));
+        assert_eq!(NodeId(0).index(), 0);
     }
 
     #[test]

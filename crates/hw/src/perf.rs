@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn partial_sensitivity_interpolates() {
         let cpu = skus::xeon_e5_2686(); // slowdown 1.25
-        // sensitivity 0.64 → 1 + 0.25*0.64 = 1.16 → 1160 ms.
+                                        // sensitivity 0.64 → 1 + 0.25*0.64 = 1.16 → 1160 ms.
         assert_eq!(PerfModel::exec_time_ms(&cpu, 1_000, 0.64), 1_160);
     }
 

@@ -87,7 +87,13 @@ mod tests {
         for node in [&p.old, &p.new] {
             let exec = PowerDraw::executing(node, 512).total_w();
             let warm = PowerDraw::keepalive(node, 512).total_w();
-            assert!(warm < exec / 20.0, "{}: {} vs {}", node.cpu.name, warm, exec);
+            assert!(
+                warm < exec / 20.0,
+                "{}: {} vs {}",
+                node.cpu.name,
+                warm,
+                exec
+            );
         }
     }
 

@@ -28,7 +28,7 @@
 //!   paper measures (Fig. 2: A_OLD saves 23.8% total carbon over a
 //!   10-minute keep-alive episode while costing 15.9% execution time).
 
-use crate::{CpuModel, DramModel, Generation, HardwareNode, HardwarePair, NodeId, PairId};
+use crate::{CpuModel, DramModel, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId};
 
 // ---------------------------------------------------------------------------
 // CPU SKUs (Table I)
@@ -185,6 +185,113 @@ pub fn pair_c() -> HardwarePair {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Node SKUs and fleets
+// ---------------------------------------------------------------------------
+
+/// A deployable bare-metal node SKU: one Table I (CPU, DRAM) combination,
+/// named for the AWS instance class it models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sku {
+    /// `i3.metal`-class: Xeon E5-2686 (2016) + Micron-512 — A_OLD.
+    I3Metal,
+    /// `c5.metal`-class: Xeon Platinum 8124M (2017) + Micron-192 — B_OLD.
+    C5Metal,
+    /// `m5.metal`-class: Xeon Platinum 8275L (2019) + Samsung-192 — C_OLD,
+    /// the mid-generation part.
+    M5Metal,
+    /// `m5zn.metal`-class: Xeon Platinum 8252C (2020) + Samsung-192 — the
+    /// reference "new" node of every pair.
+    M5znMetal,
+}
+
+impl Sku {
+    /// All SKUs, oldest CPU first.
+    pub const ALL: [Sku; 4] = [Sku::I3Metal, Sku::C5Metal, Sku::M5Metal, Sku::M5znMetal];
+
+    /// The SKU's CPU model.
+    pub fn cpu(self) -> CpuModel {
+        match self {
+            Sku::I3Metal => xeon_e5_2686(),
+            Sku::C5Metal => xeon_platinum_8124m(),
+            Sku::M5Metal => xeon_platinum_8275l(),
+            Sku::M5znMetal => xeon_platinum_8252c(),
+        }
+    }
+
+    /// The SKU's DRAM kit.
+    pub fn dram(self) -> DramModel {
+        match self {
+            Sku::I3Metal => micron_512(),
+            Sku::C5Metal => micron_192(),
+            Sku::M5Metal => samsung_192(),
+            Sku::M5znMetal => samsung_192(),
+        }
+    }
+}
+
+impl std::fmt::Display for Sku {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sku::I3Metal => write!(f, "i3.metal"),
+            Sku::C5Metal => write!(f, "c5.metal"),
+            Sku::M5Metal => write!(f, "m5.metal"),
+            Sku::M5znMetal => write!(f, "m5zn.metal"),
+        }
+    }
+}
+
+/// Build a fleet from a SKU list: node `i` gets `NodeId(i)`.
+///
+/// Each node's `Generation` era tag is assigned relative to the fleet:
+/// the newest CPU year present tags `New`, everything older tags `Old`.
+/// Fleet code paths key on `NodeId`; the tag only feeds labels and the
+/// two-node compatibility surface.
+pub fn fleet_of(skus: &[Sku]) -> Fleet {
+    assert!(!skus.is_empty(), "a fleet needs at least one SKU");
+    let newest_year = skus
+        .iter()
+        .map(|s| s.cpu().year)
+        .max()
+        .expect("non-empty SKU list");
+    Fleet::new(
+        skus.iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let tag = if s.cpu().year == newest_year {
+                    Generation::New
+                } else {
+                    Generation::Old
+                };
+                HardwareNode::new(NodeId(i as u32), tag, s.cpu(), s.dram())
+            })
+            .collect(),
+    )
+}
+
+/// Pair A as a two-node fleet (the default evaluation configuration).
+pub fn fleet_a() -> Fleet {
+    Fleet::from(pair_a())
+}
+
+/// Pair B as a two-node fleet.
+pub fn fleet_b() -> Fleet {
+    Fleet::from(pair_b())
+}
+
+/// Pair C as a two-node fleet.
+pub fn fleet_c() -> Fleet {
+    Fleet::from(pair_c())
+}
+
+/// The three-generation demo fleet: A_OLD (2016) + the mid-generation
+/// 8275L (2019) + the reference 8252C (2020). The smallest configuration
+/// where placement is a genuine N-way choice — the mid node trades a mild
+/// slowdown for cheaper keep-alive than the new node.
+pub fn fleet_three_generations() -> Fleet {
+    fleet_of(&[Sku::I3Metal, Sku::M5Metal, Sku::M5znMetal])
+}
+
 /// Look a pair up by id.
 pub fn pair(id: PairId) -> HardwarePair {
     match id {
@@ -274,6 +381,36 @@ mod tests {
     }
 
     #[test]
+    fn fleet_of_matches_pair_layouts() {
+        // A pair-derived fleet and the SKU-built fleet of the same parts
+        // must be indistinguishable: this is what makes the two-node
+        // compatibility path exact.
+        assert_eq!(fleet_of(&[Sku::I3Metal, Sku::M5znMetal]), fleet_a());
+        assert_eq!(fleet_of(&[Sku::C5Metal, Sku::M5znMetal]), fleet_b());
+        assert_eq!(fleet_of(&[Sku::M5Metal, Sku::M5znMetal]), fleet_c());
+    }
+
+    #[test]
+    fn fleet_of_tags_eras_relative_to_the_fleet() {
+        let f = fleet_three_generations();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.node(NodeId(0)).generation, Generation::Old);
+        assert_eq!(f.node(NodeId(1)).generation, Generation::Old);
+        assert_eq!(f.node(NodeId(2)).generation, Generation::New);
+        // A homogeneous fleet is all-New.
+        let twin = fleet_of(&[Sku::M5Metal, Sku::M5Metal]);
+        assert!(twin.iter().all(|n| n.generation == Generation::New));
+    }
+
+    #[test]
+    fn sku_display_and_catalog() {
+        assert_eq!(Sku::ALL.len(), 4);
+        assert_eq!(Sku::I3Metal.to_string(), "i3.metal");
+        assert_eq!(Sku::M5znMetal.cpu().name, "Intel Xeon Platinum 8252C");
+        assert_eq!(Sku::C5Metal.dram().name, "Micron-192");
+    }
+
+    #[test]
     fn pair_a_matches_aws_instance_specs() {
         let p = pair_a();
         // i3.metal: 36-core E5-2686, 512 GiB.
@@ -292,8 +429,7 @@ mod tests {
         let p = pair_a();
         let minute = 60_000u64;
         let per_min = |n: &crate::HardwareNode| {
-            let op_kwh =
-                n.cpu.idle_core_energy_kwh(minute) + n.dram.idle_energy_kwh(512, minute);
+            let op_kwh = n.cpu.idle_core_energy_kwh(minute) + n.dram.idle_energy_kwh(512, minute);
             let emb = n.cpu.embodied_for_one_core_g(minute, n.lifetime_ms)
                 + n.dram.embodied_for_share_g(512, minute, n.lifetime_ms);
             // Assume a mid-range carbon intensity of 300 g/kWh.

@@ -90,8 +90,8 @@ impl DynamicPso {
         let dci = delta_ci.clamp(0.0, 1.0);
         let change = df + dci;
 
-        let omega = (self.config.omega_max * change)
-            .clamp(self.config.omega_min, self.config.omega_max);
+        let omega =
+            (self.config.omega_max * change).clamp(self.config.omega_min, self.config.omega_max);
         let c = (self.config.c_max * (1.0 - change)).clamp(self.config.c_min, self.config.c_max);
         self.inner.inertia = omega;
         self.inner.cognitive = c;
@@ -185,9 +185,19 @@ mod tests {
         let mut d = DynamicPso::new(space(), DpsoConfig::default());
         let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
         d.run(&f, 5);
-        let before: Vec<Vec<f64>> = d.swarm().particles.iter().map(|p| p.position.clone()).collect();
+        let before: Vec<Vec<f64>> = d
+            .swarm()
+            .particles
+            .iter()
+            .map(|p| p.position.clone())
+            .collect();
         d.perceive(1.0, 1.0);
-        let after: Vec<Vec<f64>> = d.swarm().particles.iter().map(|p| p.position.clone()).collect();
+        let after: Vec<Vec<f64>> = d
+            .swarm()
+            .particles
+            .iter()
+            .map(|p| p.position.clone())
+            .collect();
         let n = before.len();
         // Second half untouched.
         for i in n / 2..n {

@@ -102,20 +102,20 @@ impl Optimizer for GeneticAlgorithm {
             let pb = self.tournament();
             let mut child = self.population[pa].clone();
             if self.rng.gen::<f64>() < self.config.crossover_prob {
-                for d in 0..dims {
+                for (d, gene) in child.iter_mut().enumerate().take(dims) {
                     if self.rng.gen::<bool>() {
-                        child[d] = self.population[pb][d];
+                        *gene = self.population[pb][d];
                     }
                 }
             }
-            for d in 0..dims {
+            for (d, gene) in child.iter_mut().enumerate().take(dims) {
                 if self.rng.gen::<f64>() < self.config.mutation_prob {
                     let sigma = self.space.extent(d) * self.config.mutation_sigma_frac;
                     // Box-Muller.
                     let u1: f64 = self.rng.gen_range(1e-12..1.0);
                     let u2: f64 = self.rng.gen_range(0.0..1.0);
                     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                    child[d] += sigma * z;
+                    *gene += sigma * z;
                 }
             }
             self.space.clamp(&mut child);

@@ -82,12 +82,12 @@ impl SimulatedAnnealing {
 
     fn propose(&mut self) -> Vec<f64> {
         let mut cand = self.current.clone();
-        for d in 0..self.space.dims() {
+        for (d, x) in cand.iter_mut().enumerate() {
             let sigma = self.space.extent(d) * self.config.step_sigma_frac;
             let u1: f64 = self.rng.gen_range(1e-12..1.0);
             let u2: f64 = self.rng.gen_range(0.0..1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            cand[d] += sigma * z;
+            *x += sigma * z;
         }
         self.space.clamp(&mut cand);
         cand
@@ -121,8 +121,8 @@ impl Optimizer for SimulatedAnnealing {
             }
         }
         // Geometric cooling down to the stop temperature.
-        self.temperature = (self.temperature * self.config.cooling_factor)
-            .max(self.config.stop_temp);
+        self.temperature =
+            (self.temperature * self.config.cooling_factor).max(self.config.stop_temp);
         self.epochs += 1;
     }
 

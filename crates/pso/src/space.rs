@@ -1,10 +1,13 @@
 //! Bounded continuous search spaces.
 //!
 //! EcoLife constructs "a two-dimensional search space for each serverless
-//! function": one dimension for the keep-alive location (old/new) and one
-//! for the keep-alive time (a discrete grid of periods). Optimizers work
-//! in the continuous box; decoding to discrete choices happens at the
-//! call site (see `ecolife-core::kdm`).
+//! function": one dimension for the keep-alive location and one for the
+//! keep-alive time (a discrete grid of periods). The location axis is
+//! parameterized by fleet size — `[0, n_nodes - 1]`, decoded by rounding
+//! to the nearest node index — so the same optimizer machinery covers the
+//! paper's two-node pair and arbitrary N-node fleets. Optimizers work in
+//! the continuous box; decoding to discrete choices happens at the call
+//! site (see `ecolife-core::ecolife`).
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -20,18 +23,37 @@ impl SearchSpace {
     pub fn new(bounds: Vec<(f64, f64)>) -> Self {
         assert!(!bounds.is_empty(), "search space needs ≥1 dimension");
         for (i, (lo, hi)) in bounds.iter().enumerate() {
-            assert!(lo.is_finite() && hi.is_finite(), "dim {i}: non-finite bound");
+            assert!(
+                lo.is_finite() && hi.is_finite(),
+                "dim {i}: non-finite bound"
+            );
             assert!(lo < hi, "dim {i}: empty interval [{lo}, {hi}]");
         }
         SearchSpace { bounds }
     }
 
-    /// The standard EcoLife space: dimension 0 is the keep-alive location
-    /// in `[0, 1]` (decoded by rounding: `< 0.5` → old, else new);
-    /// dimension 1 is the keep-alive period index in `[0, n_periods-1]`.
-    pub fn ecolife(n_periods: usize) -> Self {
+    /// The placement space over an N-node fleet: dimension 0 is the
+    /// keep-alive location in `[0, n_nodes - 1]` (decoded by rounding to
+    /// the nearest node index, [`decode::node_index`]); dimension 1 is
+    /// the keep-alive period index in `[0, n_periods - 1]`.
+    ///
+    /// A single-node fleet gets a degenerate `[0, 1]` location axis —
+    /// [`decode::node_index`] clamps every sample to node 0, so the
+    /// optimizer effectively searches the period axis alone.
+    pub fn placement(n_nodes: usize, n_periods: usize) -> Self {
+        assert!(n_nodes >= 1, "placement needs at least one node");
         assert!(n_periods >= 2, "need at least two keep-alive choices");
-        SearchSpace::new(vec![(0.0, 1.0), (0.0, (n_periods - 1) as f64)])
+        SearchSpace::new(vec![
+            (0.0, (n_nodes - 1).max(1) as f64),
+            (0.0, (n_periods - 1) as f64),
+        ])
+    }
+
+    /// The paper's two-node space: dimension 0 in `[0, 1]` (`< 0.5` →
+    /// old, else new). Identical to [`SearchSpace::placement`]`(2, _)` —
+    /// kept as the named two-generation special case.
+    pub fn ecolife(n_periods: usize) -> Self {
+        SearchSpace::placement(2, n_periods)
     }
 
     #[inline]
@@ -75,12 +97,20 @@ impl SearchSpace {
     }
 }
 
-/// Decode helpers for the EcoLife space.
+/// Decode helpers for the placement space.
 pub mod decode {
-    /// Dimension-0 decode: `< 0.5` → old (false), else new (true).
+    /// Dimension-0 decode: nearest fleet node index, clamped to
+    /// `[0, n_nodes - 1]`.
+    #[inline]
+    pub fn node_index(x0: f64, n_nodes: usize) -> usize {
+        (x0.round().max(0.0) as usize).min(n_nodes - 1)
+    }
+
+    /// Two-node dimension-0 decode: `< 0.5` → old (false), else new
+    /// (true). Equivalent to `node_index(x0, 2) == 1`.
     #[inline]
     pub fn location_is_new(x0: f64) -> bool {
-        x0 >= 0.5
+        node_index(x0, 2) == 1
     }
 
     /// Dimension-1 decode: nearest keep-alive period index, clamped.
@@ -102,6 +132,35 @@ mod tests {
         assert_eq!(s.bounds()[0], (0.0, 1.0));
         assert_eq!(s.bounds()[1], (0.0, 10.0));
         assert_eq!(s.extent(1), 10.0);
+    }
+
+    #[test]
+    fn placement_space_parameterizes_the_location_axis() {
+        let s = SearchSpace::placement(5, 11);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.bounds()[0], (0.0, 4.0));
+        assert_eq!(s.bounds()[1], (0.0, 10.0));
+        // The two-node special case is exactly the named ecolife space.
+        assert_eq!(SearchSpace::placement(2, 11), SearchSpace::ecolife(11));
+    }
+
+    #[test]
+    fn decode_node_index_rounds_and_clamps() {
+        assert_eq!(decode::node_index(0.0, 3), 0);
+        assert_eq!(decode::node_index(0.49, 3), 0);
+        assert_eq!(decode::node_index(0.5, 3), 1);
+        assert_eq!(decode::node_index(1.6, 3), 2);
+        assert_eq!(decode::node_index(9.0, 3), 2);
+        assert_eq!(decode::node_index(-1.0, 3), 0);
+    }
+
+    #[test]
+    fn single_node_placement_decodes_to_node_zero() {
+        let s = SearchSpace::placement(1, 11);
+        assert_eq!(s.dims(), 2);
+        for x0 in [0.0, 0.3, 0.7, 1.0] {
+            assert_eq!(decode::node_index(x0, 1), 0);
+        }
     }
 
     #[test]

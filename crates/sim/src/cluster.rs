@@ -1,63 +1,75 @@
-//! The two-generation cluster: one node per generation plus its warm pool.
+//! Cluster state: an N-node fleet plus one warm pool per node.
 
 use crate::pool::WarmPool;
-use ecolife_hw::{Generation, HardwareNode, HardwarePair};
+use ecolife_hw::{Fleet, HardwareNode, NodeId};
 use ecolife_trace::FunctionId;
 
-/// Cluster state during a simulation run.
+/// Cluster state during a simulation run: every fleet node hosts one
+/// memory-bounded warm pool (Sec. VI-C: "generalizes to multiple pairs by
+/// maintaining multiple warm pools").
 #[derive(Debug, Clone)]
 pub struct Cluster {
-    pair: HardwarePair,
-    pools: [WarmPool; 2],
+    fleet: Fleet,
+    pools: Vec<WarmPool>,
+    /// Node ids in warm-serving preference order (fastest first), fixed
+    /// at construction so the per-invocation lookup does not re-rank.
+    warm_order: Vec<NodeId>,
 }
 
 impl Cluster {
     /// Build a cluster; pool budgets come from each node's
     /// `keepalive_mem_mib`.
-    pub fn new(pair: HardwarePair) -> Self {
-        let pools = [
-            WarmPool::new(pair.old.keepalive_mem_mib),
-            WarmPool::new(pair.new.keepalive_mem_mib),
-        ];
-        Cluster { pair, pools }
+    pub fn new(fleet: impl Into<Fleet>) -> Self {
+        let fleet = fleet.into();
+        let pools = fleet
+            .iter()
+            .map(|n| WarmPool::new(n.keepalive_mem_mib))
+            .collect();
+        let warm_order = fleet.warm_preference();
+        Cluster {
+            fleet,
+            pools,
+            warm_order,
+        }
     }
 
     #[inline]
-    pub fn pair(&self) -> &HardwarePair {
-        &self.pair
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
     }
 
     #[inline]
-    pub fn node(&self, generation: Generation) -> &HardwareNode {
-        self.pair.node(generation)
+    pub fn node(&self, id: impl Into<NodeId>) -> &HardwareNode {
+        self.fleet.node(id)
     }
 
     #[inline]
-    pub fn pool(&self, generation: Generation) -> &WarmPool {
-        &self.pools[generation.index()]
+    pub fn pool(&self, id: impl Into<NodeId>) -> &WarmPool {
+        &self.pools[id.into().index()]
     }
 
     #[inline]
-    pub fn pool_mut(&mut self, generation: Generation) -> &mut WarmPool {
-        &mut self.pools[generation.index()]
+    pub fn pool_mut(&mut self, id: impl Into<NodeId>) -> &mut WarmPool {
+        &mut self.pools[id.into().index()]
     }
 
     /// Where `func` is currently warm at time `t_ms`, if anywhere.
-    /// If warm on both generations (possible after a cross-pool transfer
-    /// races a fresh keep-alive), the newer generation wins — it serves
-    /// the faster warm start.
-    pub fn warm_location(&self, func: FunctionId, t_ms: u64) -> Option<Generation> {
-        for generation in [Generation::New, Generation::Old] {
-            if let Some(c) = self.pool(generation).get(func) {
+    /// If warm on several nodes (possible after a cross-pool transfer
+    /// races a fresh keep-alive), the highest warm-preference node wins —
+    /// it serves the fastest warm start (the two-node case: "the newer
+    /// generation wins").
+    pub fn warm_location(&self, func: FunctionId, t_ms: u64) -> Option<NodeId> {
+        for &id in &self.warm_order {
+            if let Some(c) = self.pool(id).get(func) {
                 if c.is_warm_at(t_ms) {
-                    return Some(generation);
+                    return Some(id);
                 }
             }
         }
         None
     }
 
-    /// Total warm containers across both pools.
+    /// Total warm containers across all pools.
     pub fn total_warm(&self) -> usize {
         self.pools.iter().map(|p| p.len()).sum()
     }
@@ -67,7 +79,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::container::WarmContainer;
-    use ecolife_hw::skus;
+    use ecolife_hw::{skus, Generation};
 
     fn warm(f: u32, since: u64, expiry: u64) -> WarmContainer {
         WarmContainer {
@@ -83,33 +95,48 @@ mod tests {
     fn pools_take_budgets_from_nodes() {
         let pair = skus::pair_a().with_keepalive_budgets_mib(1_000, 2_000);
         let c = Cluster::new(pair);
+        assert_eq!(c.pool(NodeId(0)).capacity_mib(), 1_000);
+        assert_eq!(c.pool(NodeId(1)).capacity_mib(), 2_000);
+        // Generation aliases still address the same pools.
         assert_eq!(c.pool(Generation::Old).capacity_mib(), 1_000);
         assert_eq!(c.pool(Generation::New).capacity_mib(), 2_000);
     }
 
     #[test]
     fn warm_location_finds_container() {
-        let mut c = Cluster::new(skus::pair_a());
-        c.pool_mut(Generation::Old).insert(warm(3, 0, 100)).unwrap();
-        assert_eq!(c.warm_location(FunctionId(3), 50), Some(Generation::Old));
+        let mut c = Cluster::new(skus::fleet_a());
+        c.pool_mut(NodeId(0)).insert(warm(3, 0, 100)).unwrap();
+        assert_eq!(c.warm_location(FunctionId(3), 50), Some(NodeId(0)));
         assert_eq!(c.warm_location(FunctionId(3), 100), None); // expired
         assert_eq!(c.warm_location(FunctionId(4), 50), None);
     }
 
     #[test]
-    fn warm_on_both_prefers_new() {
-        let mut c = Cluster::new(skus::pair_a());
-        c.pool_mut(Generation::Old).insert(warm(1, 0, 100)).unwrap();
-        c.pool_mut(Generation::New).insert(warm(1, 0, 100)).unwrap();
-        assert_eq!(c.warm_location(FunctionId(1), 10), Some(Generation::New));
+    fn warm_on_several_prefers_fastest() {
+        let mut c = Cluster::new(skus::fleet_a());
+        c.pool_mut(NodeId(0)).insert(warm(1, 0, 100)).unwrap();
+        c.pool_mut(NodeId(1)).insert(warm(1, 0, 100)).unwrap();
+        assert_eq!(c.warm_location(FunctionId(1), 10), Some(NodeId(1)));
         assert_eq!(c.total_warm(), 2);
     }
 
     #[test]
+    fn warm_preference_spans_a_three_node_fleet() {
+        let mut c = Cluster::new(skus::fleet_three_generations());
+        c.pool_mut(NodeId(0)).insert(warm(1, 0, 100)).unwrap();
+        c.pool_mut(NodeId(1)).insert(warm(1, 0, 100)).unwrap();
+        // The mid-generation node beats the oldest…
+        assert_eq!(c.warm_location(FunctionId(1), 10), Some(NodeId(1)));
+        // …and the newest beats both.
+        c.pool_mut(NodeId(2)).insert(warm(1, 0, 100)).unwrap();
+        assert_eq!(c.warm_location(FunctionId(1), 10), Some(NodeId(2)));
+    }
+
+    #[test]
     fn future_container_is_not_warm_yet() {
-        let mut c = Cluster::new(skus::pair_a());
-        c.pool_mut(Generation::New).insert(warm(2, 500, 900)).unwrap();
+        let mut c = Cluster::new(skus::fleet_a());
+        c.pool_mut(NodeId(1)).insert(warm(2, 500, 900)).unwrap();
         assert_eq!(c.warm_location(FunctionId(2), 100), None);
-        assert_eq!(c.warm_location(FunctionId(2), 600), Some(Generation::New));
+        assert_eq!(c.warm_location(FunctionId(2), 600), Some(NodeId(1)));
     }
 }

@@ -2,16 +2,17 @@
 //!
 //! One pass over the invocation stream; for every invocation:
 //!
-//! 1. lapse expired containers (settling their keep-alive carbon against
-//!    the invocation that scheduled them);
+//! 1. lapse expired containers on every fleet node (settling their
+//!    keep-alive carbon against the invocation that scheduled them);
 //! 2. classify warm/cold (a warm container is consumed by the start);
 //! 3. ask the [`Scheduler`] for execution placement and keep-alive
 //!    (execution is forced to the warm location when one exists —
 //!    Sec. IV-D);
 //! 4. account service time (setup + cold start + execution on the chosen
-//!    generation) and service carbon (Sec. II model, time-averaged CI);
+//!    node) and service carbon (Sec. II model, time-averaged CI);
 //! 5. install the keep-alive container, running the scheduler's warm-pool
-//!    adjustment on overflow.
+//!    adjustment on overflow; displaced containers are retried against
+//!    the plan's transfer targets in order (every other node, by default).
 //!
 //! At end of trace, still-warm containers are settled at their expiry —
 //! every scheduled keep-alive is fully charged, so schedulers cannot game
@@ -22,7 +23,7 @@ use crate::container::WarmContainer;
 use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
 use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
-use ecolife_hw::{Generation, HardwareNode, HardwarePair, PerfModel};
+use ecolife_hw::{Fleet, HardwareNode, NodeId, PerfModel};
 use ecolife_trace::Trace;
 
 /// Engine knobs.
@@ -49,16 +50,19 @@ impl Default for SimConfig {
 pub struct Simulation<'a> {
     trace: &'a Trace,
     ci: &'a CarbonIntensityTrace,
-    pair: HardwarePair,
+    fleet: Fleet,
     config: SimConfig,
 }
 
 impl<'a> Simulation<'a> {
-    pub fn new(trace: &'a Trace, ci: &'a CarbonIntensityTrace, pair: HardwarePair) -> Self {
+    /// Build a simulation over a fleet (an
+    /// [`ecolife_hw::HardwarePair`] converts implicitly into its
+    /// two-node fleet).
+    pub fn new(trace: &'a Trace, ci: &'a CarbonIntensityTrace, fleet: impl Into<Fleet>) -> Self {
         Simulation {
             trace,
             ci,
-            pair,
+            fleet: fleet.into(),
             config: SimConfig::default(),
         }
     }
@@ -70,20 +74,22 @@ impl<'a> Simulation<'a> {
 
     /// Run `scheduler` over the trace, producing the full metrics.
     pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunMetrics {
-        let mut cluster = Cluster::new(self.pair.clone());
+        let mut cluster = Cluster::new(self.fleet.clone());
         let mut metrics = RunMetrics::default();
         metrics.records.reserve(self.trace.len());
         scheduler.prepare(self.trace);
+
+        let node_ids: Vec<NodeId> = self.fleet.ids().collect();
 
         for (index, inv) in self.trace.invocations().iter().enumerate() {
             let t = inv.t_ms;
             let profile = self.trace.catalog().profile(inv.func);
 
-            // (1) Lapse expired containers.
-            for generation in Generation::ALL {
-                let expired = cluster.pool_mut(generation).expire_until(t);
+            // (1) Lapse expired containers, node by node in id order.
+            for &id in &node_ids {
+                let expired = cluster.pool_mut(id).expire_until(t);
                 for c in expired {
-                    self.settle(&c, cluster.node(generation), c.expiry_ms, &mut metrics);
+                    self.settle(&c, cluster.node(id), c.expiry_ms, &mut metrics);
                 }
             }
 
@@ -107,6 +113,13 @@ impl<'a> Simulation<'a> {
                 metrics.decision_overhead_ns += started.elapsed().as_nanos() as u64;
                 d
             };
+            assert!(
+                self.fleet.contains(decision.exec),
+                "scheduler '{}' placed execution on {:?}, outside the {}-node fleet",
+                scheduler.name(),
+                decision.exec,
+                self.fleet.len()
+            );
 
             let exec_loc = warm_at.unwrap_or(decision.exec);
             let warm = warm_at.is_some();
@@ -132,12 +145,10 @@ impl<'a> Simulation<'a> {
             };
             let service_ms = work_ms + self.config.setup_delay_ms;
             let ci_avg = self.ci.average_over(t, t + service_ms);
-            let service_carbon = self.config.carbon_model.active_phase(
-                node,
-                profile.memory_mib,
-                service_ms,
-                ci_avg,
-            );
+            let service_carbon =
+                self.config
+                    .carbon_model
+                    .active_phase(node, profile.memory_mib, service_ms, ci_avg);
             let energy_kwh =
                 self.config
                     .carbon_model
@@ -156,6 +167,13 @@ impl<'a> Simulation<'a> {
 
             // (5) Install the keep-alive.
             if let Some(ka) = decision.keepalive {
+                assert!(
+                    self.fleet.contains(ka.location),
+                    "scheduler '{}' placed keep-alive on {:?}, outside the {}-node fleet",
+                    scheduler.name(),
+                    ka.location,
+                    self.fleet.len()
+                );
                 if ka.duration_ms > 0 {
                     let end_of_service = t + service_ms;
                     let container = WarmContainer {
@@ -190,10 +208,10 @@ impl<'a> Simulation<'a> {
         }
 
         // End-of-run settlement: every live keep-alive is charged in full.
-        for generation in Generation::ALL {
-            let remaining = cluster.pool_mut(generation).drain_all();
+        for &id in &node_ids {
+            let remaining = cluster.pool_mut(id).drain_all();
             for c in remaining {
-                self.settle(&c, self.pair.node(generation), c.expiry_ms, &mut metrics);
+                self.settle(&c, self.fleet.node(id), c.expiry_ms, &mut metrics);
             }
         }
 
@@ -205,7 +223,7 @@ impl<'a> Simulation<'a> {
     fn install_keepalive<S: Scheduler>(
         &self,
         container: WarmContainer,
-        location: Generation,
+        location: NodeId,
         t: u64,
         scheduler: &mut S,
         cluster: &mut Cluster,
@@ -242,19 +260,49 @@ impl<'a> Simulation<'a> {
                 metrics.evicted_functions += 1;
             }
             OverflowAction::Adjust(plan) => {
-                let other = location.other();
+                // Transfer targets: the plan's explicit ranking (the
+                // overflowing pool itself is never valid), or every other
+                // node in id order.
+                let targets: Vec<NodeId> = match plan.transfer_targets {
+                    None => self.fleet.transfer_candidates(location),
+                    Some(ref ranked) => ranked
+                        .iter()
+                        .copied()
+                        .filter(|&id| id != location && self.fleet.contains(id))
+                        .collect(),
+                };
                 for func in plan.displace {
                     let Some(mut displaced) = cluster.pool_mut(location).remove(func) else {
                         continue; // plan referenced a non-resident function
                     };
-                    // Its stay on this generation ends now.
+                    // Its stay on this node ends now.
                     self.settle(&displaced, cluster.node(location), t, metrics);
-                    // Restart the remaining keep-alive on the other node.
+                    // Restart the remaining keep-alive on the first
+                    // transfer target with room.
                     displaced.warm_since_ms = t;
-                    if displaced.expiry_ms > t
-                        && cluster.pool_mut(other).insert(displaced).is_ok()
-                    {
-                        metrics.transfers += 1;
+                    if displaced.expiry_ms > t {
+                        let mut pending = displaced;
+                        let mut placed = false;
+                        for &target in &targets {
+                            match cluster.pool_mut(target).insert(pending) {
+                                Ok(replaced) => {
+                                    // The target may already hold a container
+                                    // for this function (installed before our
+                                    // keep-alive became warm): its stay ends
+                                    // here and must still be charged.
+                                    if let Some(old) = replaced {
+                                        self.settle(&old, cluster.node(target), t, metrics);
+                                    }
+                                    metrics.transfers += 1;
+                                    placed = true;
+                                    break;
+                                }
+                                Err(c) => pending = c,
+                            }
+                        }
+                        if !placed {
+                            metrics.evicted_functions += 1;
+                        }
                     } else {
                         metrics.evicted_functions += 1;
                     }
@@ -286,19 +334,16 @@ impl<'a> Simulation<'a> {
         let ci_avg = self
             .ci
             .average_over(container.warm_since_ms, container.warm_since_ms + duration);
-        let fp = self.config.carbon_model.keepalive_phase(
-            node,
-            container.memory_mib,
-            duration,
-            ci_avg,
-        );
+        let fp =
+            self.config
+                .carbon_model
+                .keepalive_phase(node, container.memory_mib, duration, ci_avg);
         let rec = &mut metrics.records[container.origin_record];
         rec.keepalive_carbon += fp;
-        rec.energy_kwh += self.config.carbon_model.keepalive_energy_kwh(
-            node,
-            container.memory_mib,
-            duration,
-        );
+        rec.energy_kwh +=
+            self.config
+                .carbon_model
+                .keepalive_energy_kwh(node, container.memory_mib, duration);
     }
 }
 
@@ -307,23 +352,23 @@ mod tests {
     use super::*;
     use crate::scheduler::{AdjustPlan, Decision, KeepAliveChoice};
     use crate::MINUTE_MS;
-    use ecolife_hw::skus;
+    use ecolife_hw::{skus, Generation};
     use ecolife_trace::{FunctionId, FunctionProfile, Invocation, WorkloadCatalog};
 
     /// Fixed policy: execute on `exec`, keep alive `ka_min` minutes on
     /// `ka_loc`.
     struct Fixed {
-        exec: Generation,
-        ka_loc: Generation,
+        exec: NodeId,
+        ka_loc: NodeId,
         ka_min: u64,
         overflow: OverflowAction,
     }
 
     impl Fixed {
-        fn new(exec: Generation, ka_loc: Generation, ka_min: u64) -> Self {
+        fn new(exec: impl Into<NodeId>, ka_loc: impl Into<NodeId>, ka_min: u64) -> Self {
             Fixed {
-                exec,
-                ka_loc,
+                exec: exec.into(),
+                ka_loc: ka_loc.into(),
                 ka_min,
                 overflow: OverflowAction::Drop,
             }
@@ -411,18 +456,17 @@ mod tests {
     #[test]
     fn warm_reuse_truncates_keepalive_charge() {
         let ci = ci300();
-        let pair = skus::pair_a();
+        let fleet = skus::fleet_a();
         // Reuse after 2 of 10 scheduled minutes…
         let t_short = trace_of(&[0, 2 * MINUTE_MS]);
-        let m_short =
-            Simulation::new(&t_short, &ci, pair.clone()).run(&mut Fixed::new(
-                Generation::New,
-                Generation::New,
-                10,
-            ));
+        let m_short = Simulation::new(&t_short, &ci, fleet.clone()).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            10,
+        ));
         // …must charge less than lapsing the full 10 minutes.
         let t_lapse = trace_of(&[0]);
-        let m_lapse = Simulation::new(&t_lapse, &ci, pair).run(&mut Fixed::new(
+        let m_lapse = Simulation::new(&t_lapse, &ci, fleet).run(&mut Fixed::new(
             Generation::New,
             Generation::New,
             10,
@@ -434,13 +478,13 @@ mod tests {
 
     #[test]
     fn warm_location_overrides_exec_decision() {
-        // Keep alive on OLD but the policy wants to execute on NEW: the
-        // engine must execute the warm start on OLD (Sec. IV-D).
+        // Keep alive on node 0 but the policy wants to execute on node 1:
+        // the engine must execute the warm start on node 0 (Sec. IV-D).
         let trace = trace_of(&[0, MINUTE_MS]);
         let ci = ci300();
         let sim = Simulation::new(&trace, &ci, skus::pair_a());
         let m = sim.run(&mut Fixed::new(Generation::New, Generation::Old, 10));
-        assert_eq!(m.records[1].exec_location, Generation::Old);
+        assert_eq!(m.records[1].exec_location, NodeId(0));
         assert!(m.records[1].warm);
     }
 
@@ -448,11 +492,14 @@ mod tests {
     fn execution_on_old_is_slower() {
         let trace = trace_of(&[0]);
         let ci = ci300();
-        let pair = skus::pair_a();
-        let m_old = Simulation::new(&trace, &ci, pair.clone())
-            .run(&mut Fixed::new(Generation::Old, Generation::Old, 0));
-        let m_new = Simulation::new(&trace, &ci, pair)
-            .run(&mut Fixed::new(Generation::New, Generation::New, 0));
+        let fleet = skus::fleet_a();
+        let m_old = Simulation::new(&trace, &ci, fleet.clone()).run(&mut Fixed::new(
+            NodeId(0),
+            NodeId(0),
+            0,
+        ));
+        let m_new =
+            Simulation::new(&trace, &ci, fleet).run(&mut Fixed::new(NodeId(1), NodeId(1), 0));
         assert!(m_old.records[0].service_ms > m_new.records[0].service_ms);
     }
 
@@ -471,14 +518,45 @@ mod tests {
         assert_eq!(m.records[0].keepalive_carbon.total_g(), 0.0);
     }
 
-    #[test]
-    fn overflow_adjust_transfers_to_other_pool() {
-        // Two functions of 512 MiB each; the new pool only fits one.
+    /// Displace whatever is resident; place the incoming.
+    struct Adjusting {
+        transfer_targets: Option<Vec<NodeId>>,
+    }
+    impl Scheduler for Adjusting {
+        fn name(&self) -> &'static str {
+            "adjusting"
+        }
+        fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+            let newest = ctx.cluster.fleet().newest();
+            Decision {
+                exec: newest,
+                keepalive: Some(KeepAliveChoice {
+                    location: newest,
+                    duration_ms: 10 * MINUTE_MS,
+                }),
+            }
+        }
+        fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
+            let resident: Vec<_> = ctx
+                .cluster
+                .pool(ctx.location)
+                .iter()
+                .map(|c| c.func)
+                .collect();
+            OverflowAction::Adjust(AdjustPlan {
+                displace: resident,
+                place_incoming: true,
+                transfer_targets: self.transfer_targets.clone(),
+            })
+        }
+    }
+
+    fn two_func_trace() -> Trace {
         let catalog = WorkloadCatalog::new(vec![
             FunctionProfile::new("a", 1_000, 2_000, 512, 0.5),
             FunctionProfile::new("b", 1_000, 2_000, 512, 0.5),
         ]);
-        let trace = Trace::new(
+        Trace::new(
             catalog,
             vec![
                 Invocation {
@@ -490,42 +568,158 @@ mod tests {
                     t_ms: 10_000,
                 },
             ],
-        );
+        )
+    }
+
+    #[test]
+    fn overflow_adjust_transfers_to_other_pool() {
+        // Two functions of 512 MiB each; the new pool only fits one.
+        let trace = two_func_trace();
         let ci = ci300();
         let pair = skus::pair_a().with_keepalive_budgets_mib(512, 512);
 
-        struct Adjusting;
-        impl Scheduler for Adjusting {
-            fn name(&self) -> &'static str {
-                "adjusting"
-            }
-            fn decide(&mut self, _ctx: &InvocationCtx<'_>) -> Decision {
-                Decision {
-                    exec: Generation::New,
-                    keepalive: Some(KeepAliveChoice {
-                        location: Generation::New,
-                        duration_ms: 10 * MINUTE_MS,
-                    }),
-                }
-            }
-            fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
-                // Displace whatever is resident; place the incoming.
-                let resident: Vec<_> =
-                    ctx.cluster.pool(ctx.location).iter().map(|c| c.func).collect();
-                OverflowAction::Adjust(AdjustPlan {
-                    displace: resident,
-                    place_incoming: true,
-                })
-            }
-        }
-
-        let m = Simulation::new(&trace, &ci, pair).run(&mut Adjusting);
+        let m = Simulation::new(&trace, &ci, pair).run(&mut Adjusting {
+            transfer_targets: None,
+        });
         assert_eq!(m.transfers, 1);
         assert_eq!(m.evicted_functions, 0);
         // Both invocations still carry keep-alive carbon: one on new, the
-        // transferred one split across generations.
+        // transferred one split across nodes.
         assert!(m.records[0].keepalive_carbon.total_g() > 0.0);
         assert!(m.records[1].keepalive_carbon.total_g() > 0.0);
+    }
+
+    #[test]
+    fn transfer_targets_are_tried_in_plan_order() {
+        // Three nodes; the newest (node 2) pool fits one container. An
+        // explicit ranking steers the displaced container to node 1 even
+        // though default id order would pick node 0.
+        let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(512);
+        let trace = two_func_trace();
+        let ci = ci300();
+
+        let m = Simulation::new(&trace, &ci, fleet.clone()).run(&mut Adjusting {
+            transfer_targets: Some(vec![NodeId(1), NodeId(0)]),
+        });
+        assert_eq!(m.transfers, 1);
+        assert_eq!(m.evicted_functions, 0);
+
+        // Default order: node 0 receives the displaced container instead.
+        let m_default = Simulation::new(&trace, &ci, fleet).run(&mut Adjusting {
+            transfer_targets: None,
+        });
+        assert_eq!(m_default.transfers, 1);
+        // Both runs keep both functions warm; the placement differs, so
+        // the displaced container's keep-alive carbon differs (node 0 is
+        // the cheaper, older node).
+        assert!(
+            m.records[0].keepalive_carbon.total_g()
+                > m_default.records[0].keepalive_carbon.total_g()
+        );
+    }
+
+    /// Replays a fixed decision per invocation index; overflows displace
+    /// function 0 and place the incoming container.
+    struct Scripted {
+        decisions: Vec<Decision>,
+    }
+    impl Scheduler for Scripted {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+        fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+            self.decisions[ctx.index]
+        }
+        fn on_pool_overflow(&mut self, _ctx: &OverflowCtx<'_>) -> OverflowAction {
+            OverflowAction::Adjust(AdjustPlan {
+                displace: vec![FunctionId(0)],
+                place_incoming: true,
+                transfer_targets: None,
+            })
+        }
+    }
+
+    #[test]
+    fn transfer_settles_a_replaced_container_on_the_target() {
+        // Function F ends up resident in BOTH pools: its first keep-alive
+        // goes to the new node, and a re-invocation arriving during that
+        // first service period (container not yet warm → cold start)
+        // schedules a second keep-alive on the old node. When a later
+        // overflow displaces F from the old pool into the new pool, the
+        // insert replaces F's original container there — whose accrued
+        // keep-alive time must still be charged to its origin record.
+        let catalog = WorkloadCatalog::new(vec![
+            FunctionProfile::new("f", 1_000, 2_000, 512, 0.64),
+            FunctionProfile::new("g", 1_000, 2_000, 512, 0.64),
+        ]);
+        let f = FunctionId(0);
+        let g = FunctionId(1);
+        let trace = Trace::new(
+            catalog,
+            vec![
+                Invocation { func: f, t_ms: 0 },
+                Invocation {
+                    func: f,
+                    t_ms: 1_000,
+                },
+                Invocation {
+                    func: g,
+                    t_ms: 20_000,
+                },
+            ],
+        );
+        let ci = ci300();
+        let pair = skus::pair_a().with_keepalive_budgets_mib(512, 512);
+        let ka = |node: NodeId| {
+            Some(KeepAliveChoice {
+                location: node,
+                duration_ms: 10 * MINUTE_MS,
+            })
+        };
+        let m = Simulation::new(&trace, &ci, pair).run(&mut Scripted {
+            decisions: vec![
+                Decision {
+                    exec: NodeId(1),
+                    keepalive: ka(NodeId(1)),
+                },
+                Decision {
+                    exec: NodeId(0),
+                    keepalive: ka(NodeId(0)),
+                },
+                Decision {
+                    exec: NodeId(1),
+                    keepalive: ka(NodeId(0)),
+                },
+            ],
+        });
+        // The overflow displaced F from the old pool into the new pool.
+        assert_eq!(m.transfers, 1);
+        assert_eq!(m.evicted_functions, 0);
+        // Record 0's container on the new node sat warm from the end of
+        // its service until it was replaced by the transfer at t = 20 s —
+        // that stay must be charged, not silently dropped.
+        assert!(
+            m.records[0].keepalive_carbon.total_g() > 0.0,
+            "replaced container's keep-alive was never settled"
+        );
+        // The displaced container's old-node stay is charged to record 1.
+        assert!(m.records[1].keepalive_carbon.total_g() > 0.0);
+    }
+
+    #[test]
+    fn full_fleet_evicts_displaced_containers() {
+        // Every pool fits exactly one 512-MiB container and all are kept
+        // full by the overflowing node's own traffic — a displaced
+        // container has nowhere to go.
+        let trace = two_func_trace();
+        let ci = ci300();
+        let pair = skus::pair_a().with_keepalive_budgets_mib(256, 512);
+        let m = Simulation::new(&trace, &ci, pair).run(&mut Adjusting {
+            transfer_targets: None,
+        });
+        // The displaced container does not fit the 256-MiB old pool.
+        assert_eq!(m.transfers, 0);
+        assert_eq!(m.evicted_functions, 1);
     }
 
     #[test]
@@ -573,5 +767,19 @@ mod tests {
         let b = run();
         assert_eq!(a.records, b.records);
         assert_eq!(a.evicted_functions, b.evicted_functions);
+    }
+
+    #[test]
+    fn three_node_fleet_runs_end_to_end() {
+        let trace = trace_of(&[0, 2 * MINUTE_MS, 4 * MINUTE_MS]);
+        let ci = ci300();
+        let fleet = skus::fleet_three_generations();
+        let m = Simulation::new(&trace, &ci, fleet).run(&mut Fixed::new(NodeId(2), NodeId(1), 10));
+        // Cold on the newest, then warm starts served from the mid node.
+        assert_eq!(m.records[0].exec_location, NodeId(2));
+        assert!(!m.records[0].warm);
+        assert_eq!(m.records[1].exec_location, NodeId(1));
+        assert!(m.records[1].warm);
+        assert_eq!(m.warm_starts(), 2);
     }
 }

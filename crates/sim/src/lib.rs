@@ -1,15 +1,17 @@
 //! # ecolife-sim — discrete-event serverless cluster simulator
 //!
-//! Replays an invocation [`Trace`](ecolife_trace::Trace) against a
-//! two-generation hardware pair under a pluggable [`Scheduler`]:
+//! Replays an invocation [`Trace`](ecolife_trace::Trace) against an
+//! N-node hardware [`Fleet`](ecolife_hw::Fleet) under a pluggable
+//! [`Scheduler`] (the paper's two-generation pair is the `N = 2` case):
 //!
-//! * **warm pools** ([`pool`]) — one per generation, memory-bounded,
+//! * **warm pools** ([`pool`]) — one per fleet node, memory-bounded,
 //!   holding the containers kept alive between invocations;
 //! * **engine** ([`engine`]) — advances invocation by invocation,
 //!   expiring containers, classifying warm/cold starts, computing service
-//!   time via the generation performance model and carbon via the Sec. II
+//!   time via the node performance model and carbon via the Sec. II
 //!   footprint model, and invoking the scheduler's overflow handling when
-//!   a keep-alive does not fit;
+//!   a keep-alive does not fit (displaced containers are retried against
+//!   the plan's ranked transfer targets);
 //! * **metrics** ([`metrics`]) — per-invocation records (service time,
 //!   carbon breakdown, energy), aggregate totals, CDFs, and P95s — the
 //!   quantities every figure of the paper is computed from.

@@ -6,7 +6,7 @@
 //! rates, and eviction counts (Fig. 11).
 
 use ecolife_carbon::CarbonFootprint;
-use ecolife_hw::Generation;
+use ecolife_hw::NodeId;
 use ecolife_trace::FunctionId;
 
 /// Outcome of one invocation.
@@ -15,8 +15,8 @@ pub struct InvocationRecord {
     pub func: FunctionId,
     /// Arrival time (ms).
     pub t_ms: u64,
-    /// Where it executed.
-    pub exec_location: Generation,
+    /// The fleet node it executed on.
+    pub exec_location: NodeId,
     /// Warm start?
     pub warm: bool,
     /// Service time: setup + cold start (if any) + execution (ms).
@@ -45,7 +45,7 @@ pub struct RunMetrics {
     /// Keep-alives dropped entirely because no pool had room (the paper's
     /// "evicted functions" in Fig. 11).
     pub evicted_functions: u64,
-    /// Containers displaced across generations by warm-pool adjustment.
+    /// Containers displaced across fleet nodes by warm-pool adjustment.
     pub transfers: u64,
     /// Total wall-clock nanoseconds spent inside `Scheduler::decide`
     /// (the decision-making overhead the paper bounds at <0.4% of
@@ -117,7 +117,11 @@ impl RunMetrics {
     /// Service-time percentile (e.g. `0.95` for P95), by nearest-rank.
     pub fn service_percentile_ms(&self, q: f64) -> u64 {
         percentile(
-            &mut self.records.iter().map(|r| r.service_ms).collect::<Vec<_>>(),
+            &mut self
+                .records
+                .iter()
+                .map(|r| r.service_ms)
+                .collect::<Vec<_>>(),
             q,
         )
     }
@@ -176,7 +180,7 @@ mod tests {
         InvocationRecord {
             func: FunctionId(0),
             t_ms: 0,
-            exec_location: Generation::New,
+            exec_location: NodeId(1),
             warm,
             service_ms: service,
             service_carbon: CarbonFootprint::new(carbon, 0.0),

@@ -64,7 +64,10 @@ impl WarmPool {
     ///
     /// # Errors
     /// Returns `Err(container)` without mutating when it does not fit.
-    pub fn insert(&mut self, container: WarmContainer) -> Result<Option<WarmContainer>, WarmContainer> {
+    pub fn insert(
+        &mut self,
+        container: WarmContainer,
+    ) -> Result<Option<WarmContainer>, WarmContainer> {
         if !self.fits(&container) {
             return Err(container);
         }
@@ -99,10 +102,7 @@ impl WarmPool {
             .filter(|c| c.expiry_ms <= t_ms)
             .map(|c| c.func)
             .collect();
-        expired
-            .into_iter()
-            .filter_map(|f| self.remove(f))
-            .collect()
+        expired.into_iter().filter_map(|f| self.remove(f)).collect()
     }
 
     /// Drain every container (end-of-run settlement).

@@ -3,7 +3,7 @@
 //! A scheduler makes two decisions per invocation (the paper's EPDM and
 //! KDM respectively):
 //!
-//! 1. **execution placement** — which generation executes the function
+//! 1. **execution placement** — which fleet node executes the function
 //!    (forced to the warm location when a warm container exists; the
 //!    engine enforces this, per Sec. IV-D);
 //! 2. **keep-alive** — where and for how long to keep the function warm
@@ -12,17 +12,20 @@
 //! When a keep-alive does not fit its target pool, the engine calls
 //! [`Scheduler::on_pool_overflow`], which is where EcoLife's warm-pool
 //! adjustment plugs in; the default resolution drops the incoming
-//! keep-alive (what a plain fixed-policy platform does).
+//! keep-alive (what a plain fixed-policy platform does). An
+//! [`AdjustPlan`] may rank the transfer targets for displaced containers
+//! explicitly; with no ranking the engine tries the remaining fleet nodes
+//! in id order.
 
 use crate::cluster::Cluster;
-use ecolife_hw::Generation;
+use ecolife_hw::NodeId;
 use ecolife_trace::{FunctionId, FunctionProfile, Trace};
 
 /// The keep-alive half of a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KeepAliveChoice {
-    /// Which generation's pool hosts the warm container.
-    pub location: Generation,
+    /// Which node's pool hosts the warm container.
+    pub location: NodeId,
     /// Keep-alive period (ms); `0` is rejected — use
     /// [`Decision::keepalive`] `= None` for "don't keep alive".
     pub duration_ms: u64,
@@ -33,7 +36,7 @@ pub struct KeepAliveChoice {
 pub struct Decision {
     /// Where to execute. Ignored (overridden by the engine) when the
     /// function is already warm somewhere.
-    pub exec: Generation,
+    pub exec: NodeId,
     /// Keep-alive placement after execution; `None` = let the container
     /// die immediately.
     pub keepalive: Option<KeepAliveChoice>,
@@ -51,10 +54,10 @@ pub struct InvocationCtx<'a> {
     /// Arrival time (ms).
     pub t_ms: u64,
     /// Where the function is warm right now, if anywhere.
-    pub warm_at: Option<Generation>,
+    pub warm_at: Option<NodeId>,
     /// Carbon intensity at arrival (g/kWh).
     pub ci_now: f64,
-    /// Cluster state (pools, nodes) — read-only.
+    /// Cluster state (pools, fleet) — read-only.
     pub cluster: &'a Cluster,
 }
 
@@ -62,7 +65,7 @@ pub struct InvocationCtx<'a> {
 #[derive(Debug)]
 pub struct OverflowCtx<'a> {
     /// The pool that overflowed.
-    pub location: Generation,
+    pub location: NodeId,
     /// The keep-alive that did not fit.
     pub incoming_func: FunctionId,
     pub incoming_memory_mib: u64,
@@ -79,12 +82,19 @@ pub struct OverflowCtx<'a> {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AdjustPlan {
     /// Containers to remove from the overflowing pool, in order. Each is
-    /// transferred into the *other* generation's pool if it fits there,
+    /// transferred into the first transfer-target pool with room,
     /// otherwise fully evicted (counted in the metrics).
     pub displace: Vec<FunctionId>,
     /// Whether to place the incoming keep-alive after displacement
     /// (if it fits by then; otherwise it is dropped and counted).
     pub place_incoming: bool,
+    /// Candidate pools for displaced containers, tried in order; the
+    /// overflowing pool itself is never a valid target and is skipped.
+    /// `None` = every other fleet node in id order (the two-node
+    /// behavior: "kept warm in the other generation's memory if there is
+    /// enough space"); `Some(vec![])` = transfer nowhere, displaced
+    /// containers are evicted (single-node restricted schemes).
+    pub transfer_targets: Option<Vec<NodeId>>,
 }
 
 /// Overflow resolution options.
@@ -139,18 +149,20 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ecolife_hw::Generation;
 
     /// A trivial policy for interface-level tests.
-    struct AlwaysNew;
-    impl Scheduler for AlwaysNew {
+    struct AlwaysNewest;
+    impl Scheduler for AlwaysNewest {
         fn name(&self) -> &'static str {
-            "always-new"
+            "always-newest"
         }
-        fn decide(&mut self, _ctx: &InvocationCtx<'_>) -> Decision {
+        fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+            let newest = ctx.cluster.fleet().newest();
             Decision {
-                exec: Generation::New,
+                exec: newest,
                 keepalive: Some(KeepAliveChoice {
-                    location: Generation::New,
+                    location: newest,
                     duration_ms: 600_000,
                 }),
             }
@@ -159,10 +171,10 @@ mod tests {
 
     #[test]
     fn default_overflow_drops() {
-        let cluster = Cluster::new(ecolife_hw::skus::pair_a());
-        let mut s = AlwaysNew;
+        let cluster = Cluster::new(ecolife_hw::skus::fleet_a());
+        let mut s = AlwaysNewest;
         let ctx = OverflowCtx {
-            location: Generation::New,
+            location: Generation::New.into(),
             incoming_func: FunctionId(0),
             incoming_memory_mib: 128,
             t_ms: 0,
@@ -170,7 +182,7 @@ mod tests {
             cluster: &cluster,
         };
         assert_eq!(s.on_pool_overflow(&ctx), OverflowAction::Drop);
-        assert_eq!(s.name(), "always-new");
+        assert_eq!(s.name(), "always-newest");
     }
 
     #[test]
@@ -178,5 +190,6 @@ mod tests {
         let p = AdjustPlan::default();
         assert!(p.displace.is_empty());
         assert!(!p.place_incoming);
+        assert!(p.transfer_targets.is_none());
     }
 }

@@ -122,11 +122,7 @@ pub fn parse_invocations_csv(text: &str) -> Result<Vec<AzureFunctionRow>, String
 /// Within each minute bucket the `count` invocations are placed at evenly
 /// spaced offsets with a seeded jitter, which preserves per-minute counts
 /// exactly while avoiding artificial collisions at minute boundaries.
-pub fn rows_to_trace(
-    rows: &[AzureFunctionRow],
-    catalog: &WorkloadCatalog,
-    seed: u64,
-) -> Trace {
+pub fn rows_to_trace(rows: &[AzureFunctionRow], catalog: &WorkloadCatalog, seed: u64) -> Trace {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xA2u64.rotate_left(32));
     let mut invocations = Vec::new();
     for row in rows {

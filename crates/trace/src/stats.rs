@@ -97,11 +97,7 @@ impl InterArrivalStats {
         if self.filled == 0 {
             return k_ms as f64 / 2.0;
         }
-        let sum: f64 = self
-            .gaps()
-            .iter()
-            .map(|&g| g.min(k_ms) as f64)
-            .sum();
+        let sum: f64 = self.gaps().iter().map(|&g| g.min(k_ms) as f64).sum();
         sum / self.filled as f64
     }
 

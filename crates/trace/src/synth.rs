@@ -139,7 +139,7 @@ impl SynthTraceConfig {
         } else if x < self.class_mix[0] + self.class_mix[1] {
             // Azure timers cluster at minutes-scale periods.
             let period = *[1.0f64, 5.0, 10.0, 15.0, 30.0, 60.0]
-                .get(rng.gen_range(0..6))
+                .get(rng.gen_range(0..6usize))
                 .unwrap();
             ArrivalClass::Periodic {
                 period_min: period,

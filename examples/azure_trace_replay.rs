@@ -22,8 +22,9 @@ o2,app2,dna,timer,11500,4096,1,0,0,0,0,1,0,0,0,0,1,0,0,0,0
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => {
             println!("(no trace file given — replaying the embedded sample)\n");
             SAMPLE.to_string()
@@ -49,10 +50,10 @@ fn main() {
 
     let trace = azure::rows_to_trace(&rows, &catalog, 7);
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 60, 7);
-    let pair = skus::pair_a();
+    let fleet = skus::fleet_a();
 
-    let mut ecolife = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-    let (summary, metrics) = run_scheme(&trace, &ci, &pair, &mut ecolife);
+    let mut ecolife = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+    let (summary, metrics) = run_scheme(&trace, &ci, &fleet, &mut ecolife);
 
     println!(
         "\nreplay: {} invocations, mean service {:.0} ms, P95 {} ms",

@@ -20,11 +20,7 @@ fn main() {
     }
     .generate(&WorkloadCatalog::sebs());
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 400, 77);
-    let total_mem: u64 = trace
-        .catalog()
-        .iter()
-        .map(|(_, p)| p.memory_mib)
-        .sum();
+    let total_mem: u64 = trace.catalog().iter().map(|(_, p)| p.memory_mib).sum();
     println!(
         "workload: {} functions, {} invocations, {:.1} GiB if everything were warm at once\n",
         trace.catalog().len(),
@@ -43,14 +39,14 @@ fn main() {
         .flat_map(|&b| [(b, true), (b, false)])
         .collect();
     let rows = parallel_map(jobs, |(gib, adjust)| {
-        let pair = skus::pair_a().with_keepalive_budgets_mib(gib * 1024, gib * 1024);
+        let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(gib * 1024);
         let config = if adjust {
             EcoLifeConfig::default()
         } else {
             EcoLifeConfig::default().without_warm_pool_adjustment()
         };
-        let mut ecolife = EcoLife::new(pair.clone(), config);
-        let (s, _) = run_scheme(&trace, &ci, &pair, &mut ecolife);
+        let mut ecolife = EcoLife::new(fleet.clone(), config);
+        let (s, _) = run_scheme(&trace, &ci, &fleet, &mut ecolife);
         (gib, adjust, s)
     });
 

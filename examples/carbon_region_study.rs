@@ -18,7 +18,7 @@ fn main() {
         ..Default::default()
     }
     .generate(&WorkloadCatalog::sebs());
-    let pair = skus::pair_a().with_keepalive_budgets_mib(12 * 1024, 12 * 1024);
+    let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(12 * 1024);
 
     println!(
         "{:<6} {:>9} {:>14} {:>14} {:>16} {:>14}",
@@ -27,14 +27,14 @@ fn main() {
 
     let rows = parallel_map(Region::ALL.to_vec(), |region| {
         let ci = CarbonIntensityTrace::synthetic(region, 760, 1234);
-        let mut ecolife = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-        let (eco, _) = run_scheme(&trace, &ci, &pair, &mut ecolife);
-        let (fixed, _) = run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only());
+        let mut ecolife = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+        let (eco, _) = run_scheme(&trace, &ci, &fleet, &mut ecolife);
+        let (fixed, _) = run_scheme(&trace, &ci, &fleet, &mut FixedPolicy::new_only());
         let (oracle, _) = run_scheme(
             &trace,
             &ci,
-            &pair,
-            &mut BruteForce::oracle(pair.clone(), ci.clone()),
+            &fleet,
+            &mut BruteForce::oracle(fleet.clone(), ci.clone()),
         );
         (region, ci.mean(), eco, fixed, oracle)
     });

@@ -24,15 +24,15 @@ fn main() {
     );
 
     // 2. An environment: California (CISO) carbon intensity and hardware
-    //    pair A — a 2016 i3.metal-class node next to a 2020 m5zn-class
-    //    node, each with a 10-GiB warm pool.
+    //    the pair-A fleet — a 2016 i3.metal-class node next to a 2020
+    //    m5zn-class node, each with a 10-GiB warm pool.
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 300, 42);
-    let pair = skus::pair_a().with_keepalive_budgets_mib(10 * 1024, 10 * 1024);
+    let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(10 * 1024);
 
     // 3. Schedulers: EcoLife, the Oracle upper bound, and OpenWhisk-style
     //    fixed keep-alive on the new node only.
-    let mut ecolife = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-    let mut oracle = BruteForce::oracle(pair.clone(), ci.clone());
+    let mut ecolife = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+    let mut oracle = BruteForce::oracle(fleet.clone(), ci.clone());
     let mut new_only = FixedPolicy::new_only();
 
     println!(
@@ -40,9 +40,9 @@ fn main() {
         "scheme", "service ms", "carbon g", "warm rate", "evicted"
     );
     for summary in [
-        run_scheme(&trace, &ci, &pair, &mut oracle).0,
-        run_scheme(&trace, &ci, &pair, &mut ecolife).0,
-        run_scheme(&trace, &ci, &pair, &mut new_only).0,
+        run_scheme(&trace, &ci, &fleet, &mut oracle).0,
+        run_scheme(&trace, &ci, &fleet, &mut ecolife).0,
+        run_scheme(&trace, &ci, &fleet, &mut new_only).0,
     ] {
         println!(
             "{:<10} {:>13} {:>11.2} {:>10.3} {:>9}",

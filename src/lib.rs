@@ -1,23 +1,40 @@
 //! # EcoLife — carbon-aware serverless function scheduling
 //!
-//! A full reproduction of *"EcoLife: Carbon-Aware Serverless Function
-//! Scheduling for Sustainable Computing"* (SC 2024): a scheduler that
-//! co-optimizes service time and carbon footprint by deciding, per
-//! serverless function, **where** (old- vs new-generation hardware) and
-//! **how long** to keep the function warm, using a per-function Dynamic
-//! Particle Swarm Optimizer with a perception–response mechanism and a
-//! priority-eviction warm-pool adjustment.
+//! A reproduction of *"EcoLife: Carbon-Aware Serverless Function
+//! Scheduling for Sustainable Computing"* (SC 2024), generalized from the
+//! paper's two-generation hardware pair to **N-node heterogeneous
+//! fleets**: a scheduler that co-optimizes service time and carbon
+//! footprint by deciding, per serverless function, **which fleet node**
+//! and **how long** to keep the function warm, using a per-function
+//! Dynamic Particle Swarm Optimizer with a perception–response mechanism
+//! and a priority-eviction warm-pool adjustment.
+//!
+//! ## The fleet model
+//!
+//! Hardware is described as a [`Fleet`](hw::Fleet) — an ordered set of
+//! CPU+DRAM nodes addressed by [`NodeId`](hw::NodeId). Each node hosts
+//! one memory-bounded warm pool; schedulers place execution and
+//! keep-alive on any node, and the warm-pool adjustment transfers
+//! displaced containers along an explicit cheapest-first target ranking.
+//! The paper's old/new pairs are the two-node special case:
+//! [`HardwarePair`](hw::HardwarePair) converts into a fleet with `old` at
+//! node 0 and `new` at node 1, and [`Generation`](hw::Generation)
+//! aliases those slots so figure code keeps its Old/New vocabulary.
+//! Larger fleets come from [`skus::fleet_of`](hw::skus::fleet_of) (e.g.
+//! the three-generation demo fleet,
+//! [`skus::fleet_three_generations`](hw::skus::fleet_three_generations)).
 //!
 //! This meta-crate re-exports the public API of the workspace:
 //!
-//! * [`hw`] — multi-generation hardware models (Table I pairs, power,
-//!   embodied carbon, performance scaling);
+//! * [`hw`] — heterogeneous hardware models: SKUs, nodes, fleets, power,
+//!   embodied carbon, performance scaling;
 //! * [`carbon`] — carbon-intensity traces (5 grid regions) and the
 //!   serverless carbon-footprint model;
 //! * [`trace`] — SeBS workload catalog, Azure trace parser, synthetic
 //!   Azure-like trace generator, inter-arrival statistics;
 //! * [`sim`] — the discrete-event serverless cluster simulator;
-//! * [`pso`] — PSO / Dynamic PSO / GA / SA optimizers;
+//! * [`pso`] — PSO / Dynamic PSO / GA / SA optimizers over fleet-sized
+//!   placement spaces;
 //! * [`core`] — the EcoLife scheduler, every baseline of the paper's
 //!   evaluation, and the experiment runner.
 //!
@@ -28,13 +45,28 @@
 //!
 //! // A synthetic Azure-like trace over the SeBS workload catalog.
 //! let trace = SynthTraceConfig::small(42).generate(&WorkloadCatalog::sebs());
-//! // California carbon intensity, hardware pair A (i3.metal / m5zn.metal).
+//! // California carbon intensity, the pair-A fleet (i3.metal / m5zn.metal).
 //! let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 120, 42);
-//! let pair = skus::pair_a();
+//! let fleet = skus::fleet_a();
 //!
-//! let mut ecolife = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-//! let (summary, _) = run_scheme(&trace, &ci, &pair, &mut ecolife);
+//! let mut ecolife = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+//! let (summary, _) = run_scheme(&trace, &ci, &fleet, &mut ecolife);
 //! assert!(summary.total_carbon_g > 0.0);
+//! ```
+//!
+//! A three-node fleet is the same few lines:
+//!
+//! ```
+//! use ecolife::prelude::*;
+//!
+//! let trace = SynthTraceConfig::small(7).generate(&WorkloadCatalog::sebs());
+//! let ci = CarbonIntensityTrace::constant(300.0, 120);
+//! let fleet = skus::fleet_of(&[Sku::I3Metal, Sku::M5Metal, Sku::M5znMetal]);
+//!
+//! let mut ecolife = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+//! let (summary, metrics) = run_scheme(&trace, &ci, &fleet, &mut ecolife);
+//! assert_eq!(summary.invocations, trace.len());
+//! assert!(metrics.records.iter().all(|r| fleet.contains(r.exec_location)));
 //! ```
 
 pub use ecolife_carbon as carbon;
@@ -47,14 +79,16 @@ pub use ecolife_trace as trace;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CarbonModelConfig, Region};
+    pub use ecolife_core::report::{
+        placements_to_markdown, summaries_to_csv, summaries_to_markdown,
+    };
     pub use ecolife_core::{
         compare, run_scheme, BruteForce, Comparison, CostModel, EcoLife, EcoLifeConfig,
         FixedPolicy, OptTarget, RunSummary,
     };
-    pub use ecolife_core::report::{
-        placements_to_markdown, summaries_to_csv, summaries_to_markdown,
+    pub use ecolife_hw::{
+        skus, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId, Sku,
     };
-    pub use ecolife_hw::{skus, Generation, HardwareNode, HardwarePair, PairId};
     pub use ecolife_pso::{
         DpsoConfig, DynamicPso, GaConfig, GeneticAlgorithm, Optimizer, Pso, PsoConfig, SaConfig,
         SearchSpace, SimulatedAnnealing,

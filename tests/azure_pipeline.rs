@@ -27,8 +27,20 @@ fn parse_map_replay_roundtrip() {
         10,
         &[
             ("hot", "http", 2_000, 512, &[3, 2, 3, 2, 3, 2, 3, 2, 3, 2]),
-            ("timer", "timer", 5_500, 256, &[1, 0, 0, 0, 0, 1, 0, 0, 0, 0]),
-            ("big", "queue", 12_000, 4_000, &[0, 1, 0, 0, 0, 0, 0, 1, 0, 0]),
+            (
+                "timer",
+                "timer",
+                5_500,
+                256,
+                &[1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+            ),
+            (
+                "big",
+                "queue",
+                12_000,
+                4_000,
+                &[0, 1, 0, 0, 0, 0, 0, 1, 0, 0],
+            ),
         ],
     );
     let catalog = WorkloadCatalog::sebs();
@@ -46,9 +58,9 @@ fn parse_map_replay_roundtrip() {
 
     // The replay runs and the hot function converts to warm starts.
     let ci = CarbonIntensityTrace::constant(250.0, 30);
-    let pair = skus::pair_a();
-    let mut eco = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-    let (summary, metrics) = run_scheme(&trace, &ci, &pair, &mut eco);
+    let fleet = skus::fleet_a();
+    let mut eco = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+    let (summary, metrics) = run_scheme(&trace, &ci, &fleet, &mut eco);
     assert_eq!(summary.invocations, trace.len());
     assert!(
         metrics.warm_starts() > trace.len() / 2,

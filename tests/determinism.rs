@@ -1,5 +1,7 @@
 //! Cross-crate determinism: every stochastic component is seeded, so the
-//! whole experiment pipeline must be bit-for-bit reproducible.
+//! whole experiment pipeline must be bit-for-bit reproducible — and the
+//! two-node fleet built from a Table I pair must reproduce the pair
+//! path's results exactly.
 
 use ecolife::prelude::*;
 
@@ -12,9 +14,9 @@ fn full_run(seed: u64) -> (Vec<u64>, Vec<String>) {
     }
     .generate(&WorkloadCatalog::sebs());
     let ci = CarbonIntensityTrace::synthetic(Region::Texas, 120, seed);
-    let pair = skus::pair_a().with_keepalive_budgets_mib(6 * 1024, 6 * 1024);
-    let mut eco = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-    let (_, metrics) = run_scheme(&trace, &ci, &pair, &mut eco);
+    let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(6 * 1024);
+    let mut eco = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+    let (_, metrics) = run_scheme(&trace, &ci, &fleet, &mut eco);
     (
         metrics.records.iter().map(|r| r.service_ms).collect(),
         metrics
@@ -50,11 +52,11 @@ fn trace_and_ci_generation_are_independent_of_ambient_state() {
 fn all_schedulers_are_deterministic() {
     let trace = SynthTraceConfig::small(3).generate(&WorkloadCatalog::sebs());
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 90, 3);
-    let pair = skus::pair_a();
+    let fleet = skus::fleet_a();
 
     let run = |mk: &dyn Fn() -> Box<dyn Scheduler>| {
         let mut s = mk();
-        let (_, m) = run_scheme(&trace, &ci, &pair, &mut s);
+        let (_, m) = run_scheme(&trace, &ci, &fleet, &mut s);
         m.records
             .iter()
             .map(|r| (r.service_ms, r.warm))
@@ -62,10 +64,10 @@ fn all_schedulers_are_deterministic() {
     };
 
     let factories: Vec<Box<dyn Fn() -> Box<dyn Scheduler>>> = vec![
-        Box::new(|| Box::new(EcoLife::new(skus::pair_a(), EcoLifeConfig::default()))),
+        Box::new(|| Box::new(EcoLife::new(skus::fleet_a(), EcoLifeConfig::default()))),
         Box::new(|| {
             Box::new(BruteForce::oracle(
-                skus::pair_a(),
+                skus::fleet_a(),
                 CarbonIntensityTrace::synthetic(Region::Caiso, 90, 3),
             ))
         }),
@@ -75,4 +77,128 @@ fn all_schedulers_are_deterministic() {
     for f in &factories {
         assert_eq!(run(f.as_ref()), run(f.as_ref()));
     }
+}
+
+/// Strip the one field that is wall-clock-dependent (decision overhead is
+/// measured in real nanoseconds) before bit-comparing two runs.
+fn comparable(m: RunMetrics) -> (Vec<InvocationOutcome>, u64, u64) {
+    let records = m
+        .records
+        .iter()
+        .map(|r| InvocationOutcome {
+            func: r.func,
+            t_ms: r.t_ms,
+            exec_location: r.exec_location,
+            warm: r.warm,
+            service_ms: r.service_ms,
+            service_carbon_g: r.service_carbon.total_g(),
+            keepalive_carbon_g: r.keepalive_carbon.total_g(),
+            energy_kwh: r.energy_kwh,
+        })
+        .collect();
+    (records, m.evicted_functions, m.transfers)
+}
+
+#[derive(Debug, PartialEq)]
+struct InvocationOutcome {
+    func: FunctionId,
+    t_ms: u64,
+    exec_location: NodeId,
+    warm: bool,
+    service_ms: u64,
+    service_carbon_g: f64,
+    keepalive_carbon_g: f64,
+    energy_kwh: f64,
+}
+
+/// The two-node compatibility regression: scheduling over
+/// `Fleet::from(skus::pair_a())` (the seed's `HardwarePair` path, which
+/// now converts at the constructor boundary) must be bit-identical to
+/// scheduling over the SKU-built two-node fleet, for every scheduler
+/// family of the paper — every float equal, not merely close.
+#[test]
+fn two_node_fleet_is_bit_identical_to_the_pair_path() {
+    let trace = SynthTraceConfig {
+        n_functions: 16,
+        duration_min: 120,
+        seed: 77,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 150, 77);
+
+    // The same two nodes, reached through both construction paths.
+    let via_pair = Fleet::from(skus::pair_a()).with_uniform_keepalive_budget_mib(8 * 1024);
+    let via_skus =
+        skus::fleet_of(&[Sku::I3Metal, Sku::M5znMetal]).with_uniform_keepalive_budget_mib(8 * 1024);
+    assert_eq!(via_pair, via_skus, "construction paths diverged");
+
+    type Factory<'a> = Box<dyn Fn(&Fleet) -> Box<dyn Scheduler> + 'a>;
+    let factories: Vec<(&str, Factory)> = vec![
+        (
+            "FixedPolicy",
+            Box::new(|_: &Fleet| Box::new(FixedPolicy::new_only()) as Box<dyn Scheduler>),
+        ),
+        (
+            "EcoLife",
+            Box::new(|f: &Fleet| {
+                Box::new(EcoLife::new(f.clone(), EcoLifeConfig::default())) as Box<dyn Scheduler>
+            }),
+        ),
+        (
+            "BruteForce::oracle",
+            Box::new(|f: &Fleet| {
+                Box::new(BruteForce::oracle(
+                    f.clone(),
+                    CarbonIntensityTrace::synthetic(Region::Caiso, 150, 77),
+                )) as Box<dyn Scheduler>
+            }),
+        ),
+    ];
+
+    for (name, mk) in &factories {
+        let mut a = mk(&via_pair);
+        let mut b = mk(&via_skus);
+        let (_, ma) = run_scheme(&trace, &ci, &via_pair, &mut a);
+        let (_, mb) = run_scheme(&trace, &ci, &via_skus, &mut b);
+        assert_eq!(
+            comparable(ma),
+            comparable(mb),
+            "{name}: pair-path and fleet-path runs diverged"
+        );
+    }
+}
+
+/// The seed engine semantics the two-node path must keep: exact warm and
+/// cold service times for pair A (cold = half-sensitivity cold start +
+/// scaled execution + 50 ms setup), pinned numerically.
+#[test]
+fn pair_a_service_times_match_seed_semantics() {
+    let catalog = WorkloadCatalog::new(vec![FunctionProfile::new("f", 1_000, 2_000, 512, 0.64)]);
+    let trace = Trace::new(
+        catalog,
+        vec![
+            Invocation {
+                func: FunctionId(0),
+                t_ms: 0,
+            },
+            Invocation {
+                func: FunctionId(0),
+                t_ms: 2 * MINUTE_MS,
+            },
+        ],
+    );
+    let ci = CarbonIntensityTrace::constant(300.0, 60);
+    let fleet = skus::fleet_a();
+
+    // On the new node (perf 1.0): cold = 2000 + 1000 + 50, warm = 1050.
+    let (_, m_new) = run_scheme(&trace, &ci, &fleet, &mut FixedPolicy::new_only());
+    assert_eq!(m_new.records[0].service_ms, 3_050);
+    assert_eq!(m_new.records[1].service_ms, 1_050);
+
+    // On the old node (perf 0.8 → slowdown 1.25): exec ×1.16 at
+    // sensitivity 0.64 → 1160; cold start ×1.125 → 2250.
+    let (_, m_old) = run_scheme(&trace, &ci, &fleet, &mut FixedPolicy::old_only());
+    assert_eq!(m_old.records[0].service_ms, 2_250 + 1_160 + 50);
+    assert_eq!(m_old.records[1].service_ms, 1_160 + 50);
 }

@@ -3,7 +3,7 @@
 
 use ecolife::prelude::*;
 
-fn setup() -> (Trace, CarbonIntensityTrace, HardwarePair) {
+fn setup() -> (Trace, CarbonIntensityTrace, Fleet) {
     let trace = SynthTraceConfig {
         n_functions: 24,
         duration_min: 360,
@@ -12,21 +12,25 @@ fn setup() -> (Trace, CarbonIntensityTrace, HardwarePair) {
     }
     .generate(&WorkloadCatalog::sebs());
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 400, 2024);
-    let pair = skus::pair_a().with_keepalive_budgets_mib(10 * 1024, 10 * 1024);
-    (trace, ci, pair)
+    let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(10 * 1024);
+    (trace, ci, fleet)
 }
 
 fn run_all() -> Vec<RunSummary> {
-    let (trace, ci, pair) = setup();
-    let mut out = Vec::new();
-    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::service_time_opt(pair.clone(), ci.clone())).0);
-    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::co2_opt(pair.clone(), ci.clone())).0);
-    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::oracle(pair.clone(), ci.clone())).0);
-    out.push(run_scheme(&trace, &ci, &pair, &mut BruteForce::energy_opt(pair.clone(), ci.clone())).0);
-    out.push(run_scheme(&trace, &ci, &pair, &mut EcoLife::new(pair.clone(), EcoLifeConfig::default())).0);
-    out.push(run_scheme(&trace, &ci, &pair, &mut FixedPolicy::new_only()).0);
-    out.push(run_scheme(&trace, &ci, &pair, &mut FixedPolicy::old_only()).0);
-    out
+    let (trace, ci, fleet) = setup();
+    let mut schemes: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(BruteForce::service_time_opt(fleet.clone(), ci.clone())),
+        Box::new(BruteForce::co2_opt(fleet.clone(), ci.clone())),
+        Box::new(BruteForce::oracle(fleet.clone(), ci.clone())),
+        Box::new(BruteForce::energy_opt(fleet.clone(), ci.clone())),
+        Box::new(EcoLife::new(fleet.clone(), EcoLifeConfig::default())),
+        Box::new(FixedPolicy::new_only()),
+        Box::new(FixedPolicy::old_only()),
+    ];
+    schemes
+        .iter_mut()
+        .map(|s| run_scheme(&trace, &ci, &fleet, s).0)
+        .collect()
 }
 
 #[test]
@@ -60,8 +64,16 @@ fn the_evaluation_landscape_holds() {
     // Fig. 7: EcoLife within a modest band of the Oracle on both axes.
     let svc_gap = eco.total_service_ms as f64 / oracle.total_service_ms as f64 - 1.0;
     let co2_gap = eco.total_carbon_g / oracle.total_carbon_g - 1.0;
-    assert!(svc_gap < 0.15, "service gap to Oracle {:.1}%", 100.0 * svc_gap);
-    assert!(co2_gap < 0.20, "carbon gap to Oracle {:.1}%", 100.0 * co2_gap);
+    assert!(
+        svc_gap < 0.15,
+        "service gap to Oracle {:.1}%",
+        100.0 * svc_gap
+    );
+    assert!(
+        co2_gap < 0.20,
+        "carbon gap to Oracle {:.1}%",
+        100.0 * co2_gap
+    );
 
     // Fig. 9: the single-generation trade-off.
     assert!(new_only.total_service_ms < old_only.total_service_ms);
@@ -73,12 +85,12 @@ fn the_evaluation_landscape_holds() {
 
 #[test]
 fn decision_overhead_is_bounded() {
-    let (trace, ci, pair) = setup();
+    let (trace, ci, fleet) = setup();
     let (summary, _) = run_scheme(
         &trace,
         &ci,
-        &pair,
-        &mut EcoLife::new(pair.clone(), EcoLifeConfig::default()),
+        &fleet,
+        &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
     );
     // Paper: < 0.4% of service time. Allow 2% headroom for debug builds
     // and noisy CI machines.

@@ -1,0 +1,156 @@
+//! End-to-end integration over an N-node heterogeneous fleet (N ≥ 3):
+//! the full pipeline — trace → simulator → schedulers → metrics — with a
+//! genuine multi-way placement choice.
+
+use ecolife::prelude::*;
+use std::collections::BTreeMap;
+
+fn setup() -> (Trace, CarbonIntensityTrace, Fleet) {
+    let trace = SynthTraceConfig {
+        n_functions: 24,
+        duration_min: 240,
+        seed: 31,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 280, 31);
+    let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(8 * 1024);
+    (trace, ci, fleet)
+}
+
+fn placements_by_node(m: &RunMetrics) -> BTreeMap<NodeId, usize> {
+    let mut counts = BTreeMap::new();
+    for r in &m.records {
+        *counts.entry(r.exec_location).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn three_node_fleet_runs_ecolife_and_baselines_end_to_end() {
+    let (trace, ci, fleet) = setup();
+    assert_eq!(fleet.len(), 3);
+
+    let (eco_sum, eco) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+    );
+    let (pin_sum, pinned) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut FixedPolicy::pinned(fleet.newest(), 10),
+    );
+    let (oracle_sum, oracle) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut BruteForce::oracle(fleet.clone(), ci.clone()),
+    );
+
+    // Every scheme accounts every invocation, with placements inside the
+    // fleet.
+    for (sum, m) in [
+        (&eco_sum, &eco),
+        (&pin_sum, &pinned),
+        (&oracle_sum, &oracle),
+    ] {
+        assert_eq!(sum.invocations, trace.len());
+        assert!(m.records.iter().all(|r| fleet.contains(r.exec_location)));
+        assert!(sum.total_carbon_g > 0.0);
+        assert!(
+            (sum.operational_g + sum.embodied_g - sum.total_carbon_g).abs() < 1e-6,
+            "{}: carbon split does not add up",
+            sum.name
+        );
+    }
+
+    // The pinned baseline never leaves its node; the fleet-aware schemes
+    // actually exercise the multi-way choice.
+    assert_eq!(placements_by_node(&pinned).len(), 1);
+    assert!(
+        placements_by_node(&oracle).len() >= 2,
+        "oracle never used a second node: {:?}",
+        placements_by_node(&oracle)
+    );
+    assert!(
+        placements_by_node(&eco).len() >= 2,
+        "EcoLife never used a second node: {:?}",
+        placements_by_node(&eco)
+    );
+
+    // Keeping functions warm beyond one node pays: EcoLife must beat the
+    // pinned-newest fixed policy on carbon without giving up much
+    // service time (the Fig. 9 relationship, fleet edition).
+    assert!(eco_sum.total_carbon_g < pin_sum.total_carbon_g);
+    assert!(eco_sum.total_service_ms as f64 <= 1.15 * pin_sum.total_service_ms as f64);
+}
+
+#[test]
+fn mid_node_restriction_runs_on_the_three_node_fleet() {
+    let (trace, ci, fleet) = setup();
+    let mid = NodeId(1);
+    let (sum, m) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default().restricted_to(mid)),
+    );
+    assert_eq!(sum.invocations, trace.len());
+    assert!(m.records.iter().all(|r| r.exec_location == mid));
+}
+
+#[test]
+fn oracle_dominance_holds_on_the_three_node_fleet() {
+    let (trace, ci, fleet) = setup();
+    let (st, _) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut BruteForce::service_time_opt(fleet.clone(), ci.clone()),
+    );
+    let (co2, _) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut BruteForce::co2_opt(fleet.clone(), ci.clone()),
+    );
+    let (eco, _) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+    );
+    // The brute-force anchors still anchor when the enumeration spans
+    // three nodes.
+    assert!(st.total_service_ms <= eco.total_service_ms);
+    assert!(co2.total_carbon_g <= eco.total_carbon_g * 1.001);
+}
+
+#[test]
+fn four_node_fleet_with_duplicate_skus_runs() {
+    // Horizontal scale-out: two m5zn nodes next to two older ones. The
+    // duplicate SKU gives the scheduler a second identical pool to
+    // overflow into.
+    let fleet = skus::fleet_of(&[Sku::I3Metal, Sku::M5Metal, Sku::M5znMetal, Sku::M5znMetal])
+        .with_uniform_keepalive_budget_mib(2 * 1024);
+    let trace = SynthTraceConfig {
+        n_functions: 16,
+        duration_min: 90,
+        seed: 13,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::constant(300.0, 120);
+    let (sum, m) = run_scheme(
+        &trace,
+        &ci,
+        &fleet,
+        &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+    );
+    assert_eq!(sum.invocations, trace.len());
+    assert!(m.records.iter().all(|r| fleet.contains(r.exec_location)));
+    assert!(sum.warm_rate > 0.0);
+}

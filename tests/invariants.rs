@@ -2,8 +2,8 @@
 //! objective, the warm pool, and the simulator must hold structural
 //! properties for *any* input, not just the calibrated points.
 
-use ecolife::prelude::*;
 use ecolife::carbon::CarbonFootprint;
+use ecolife::prelude::*;
 use proptest::prelude::*;
 
 fn any_generation() -> impl Strategy<Value = Generation> {
@@ -120,10 +120,11 @@ proptest! {
         }
         .generate(&WorkloadCatalog::sebs());
         let ci = CarbonIntensityTrace::constant(250.0, 60);
-        let pair = skus::pair_a()
-            .with_keepalive_budgets_mib(old_gib * 1024, new_gib * 1024);
-        let mut eco = EcoLife::new(pair.clone(), EcoLifeConfig::default());
-        let (summary, metrics) = run_scheme(&trace, &ci, &pair, &mut eco);
+        let fleet = Fleet::from(
+            skus::pair_a().with_keepalive_budgets_mib(old_gib * 1024, new_gib * 1024),
+        );
+        let mut eco = EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+        let (summary, metrics) = run_scheme(&trace, &ci, &fleet, &mut eco);
         prop_assert_eq!(summary.invocations, trace.len());
         prop_assert!(summary.total_carbon_g.is_finite() && summary.total_carbon_g >= 0.0);
         prop_assert!(summary.total_energy_kwh.is_finite() && summary.total_energy_kwh >= 0.0);
@@ -142,9 +143,9 @@ proptest! {
         }
         .generate(&WorkloadCatalog::sebs());
         let ci = CarbonIntensityTrace::constant(300.0, 60);
-        let pair = skus::pair_a();
-        let mut oracle = BruteForce::oracle(pair.clone(), ci.clone());
-        let (_, metrics) = run_scheme(&trace, &ci, &pair, &mut oracle);
+        let fleet = skus::fleet_a();
+        let mut oracle = BruteForce::oracle(fleet.clone(), ci.clone());
+        let (_, metrics) = run_scheme(&trace, &ci, &fleet, &mut oracle);
         // A warm start implies a prior invocation of the same function.
         let mut seen = std::collections::HashSet::new();
         for r in &metrics.records {
