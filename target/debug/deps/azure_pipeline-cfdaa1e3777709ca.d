@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/azure_pipeline-cfdaa1e3777709ca.d: tests/azure_pipeline.rs
+
+/root/repo/target/debug/deps/azure_pipeline-cfdaa1e3777709ca: tests/azure_pipeline.rs
+
+tests/azure_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/azure_pipeline-f4ccd5301f9688bb.d: tests/azure_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libazure_pipeline-f4ccd5301f9688bb.rmeta: tests/azure_pipeline.rs Cargo.toml
+
+tests/azure_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-0e3bc941ede003c8.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0e3bc941ede003c8.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0e3bc941ede003c8.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

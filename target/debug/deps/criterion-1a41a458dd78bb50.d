@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-1a41a458dd78bb50.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-1a41a458dd78bb50.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

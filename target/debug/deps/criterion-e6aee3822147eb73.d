@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e6aee3822147eb73.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-e6aee3822147eb73: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-2f07e07cce748054.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-2f07e07cce748054: tests/determinism.rs
+
+tests/determinism.rs:

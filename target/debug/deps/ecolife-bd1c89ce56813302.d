@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecolife-bd1c89ce56813302.d: src/lib.rs
+
+/root/repo/target/debug/deps/libecolife-bd1c89ce56813302.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libecolife-bd1c89ce56813302.rmeta: src/lib.rs
+
+src/lib.rs:

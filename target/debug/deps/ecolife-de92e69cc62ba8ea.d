@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecolife-de92e69cc62ba8ea.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecolife-de92e69cc62ba8ea.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecolife-e4b6fc2b8f47d745.d: src/lib.rs
+
+/root/repo/target/debug/deps/ecolife-e4b6fc2b8f47d745: src/lib.rs
+
+src/lib.rs:

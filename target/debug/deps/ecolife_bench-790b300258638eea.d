@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecolife_bench-790b300258638eea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libecolife_bench-790b300258638eea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

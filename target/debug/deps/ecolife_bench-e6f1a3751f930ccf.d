@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ecolife_bench-e6f1a3751f930ccf.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecolife_bench-e6f1a3751f930ccf.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ecolife_bench-ec9079b4e7a212a3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ecolife_bench-ec9079b4e7a212a3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ecolife_bench-f0eabb63cf5c5121.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libecolife_bench-f0eabb63cf5c5121.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libecolife_bench-f0eabb63cf5c5121.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecolife_carbon-3d78264ad85ad763.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecolife_carbon-3d78264ad85ad763.rmeta: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs Cargo.toml
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ecolife_carbon-fa5eb06f0d44d06e.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/debug/deps/libecolife_carbon-fa5eb06f0d44d06e.rmeta: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ecolife_core-74ccf1b28bd19ea1.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+/root/repo/target/debug/deps/libecolife_core-74ccf1b28bd19ea1.rlib: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+/root/repo/target/debug/deps/libecolife_core-74ccf1b28bd19ea1.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/fixed.rs:
+crates/core/src/baselines/oracle.rs:
+crates/core/src/config.rs:
+crates/core/src/ecolife.rs:
+crates/core/src/objective.rs:
+crates/core/src/predictor.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/warmpool.rs:

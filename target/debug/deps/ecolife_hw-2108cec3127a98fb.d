@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ecolife_hw-2108cec3127a98fb.d: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+/root/repo/target/debug/deps/libecolife_hw-2108cec3127a98fb.rmeta: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/dram.rs:
+crates/hw/src/fleet.rs:
+crates/hw/src/node.rs:
+crates/hw/src/pair.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/power.rs:
+crates/hw/src/skus.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ecolife_hw-601e7d698fd48983.d: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecolife_hw-601e7d698fd48983.rmeta: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/dram.rs:
+crates/hw/src/fleet.rs:
+crates/hw/src/node.rs:
+crates/hw/src/pair.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/power.rs:
+crates/hw/src/skus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

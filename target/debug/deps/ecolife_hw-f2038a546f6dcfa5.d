@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ecolife_hw-f2038a546f6dcfa5.d: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+/root/repo/target/debug/deps/libecolife_hw-f2038a546f6dcfa5.rlib: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+/root/repo/target/debug/deps/libecolife_hw-f2038a546f6dcfa5.rmeta: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/dram.rs:
+crates/hw/src/fleet.rs:
+crates/hw/src/node.rs:
+crates/hw/src/pair.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/power.rs:
+crates/hw/src/skus.rs:

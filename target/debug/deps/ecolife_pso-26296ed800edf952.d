@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecolife_pso-26296ed800edf952.d: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+/root/repo/target/debug/deps/libecolife_pso-26296ed800edf952.rlib: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+/root/repo/target/debug/deps/libecolife_pso-26296ed800edf952.rmeta: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+crates/pso/src/lib.rs:
+crates/pso/src/dpso.rs:
+crates/pso/src/ga.rs:
+crates/pso/src/pso.rs:
+crates/pso/src/sa.rs:
+crates/pso/src/space.rs:

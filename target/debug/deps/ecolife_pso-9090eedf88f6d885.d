@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ecolife_pso-9090eedf88f6d885.d: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+/root/repo/target/debug/deps/ecolife_pso-9090eedf88f6d885: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+crates/pso/src/lib.rs:
+crates/pso/src/dpso.rs:
+crates/pso/src/ga.rs:
+crates/pso/src/pso.rs:
+crates/pso/src/sa.rs:
+crates/pso/src/space.rs:

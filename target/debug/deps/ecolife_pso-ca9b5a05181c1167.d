@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ecolife_pso-ca9b5a05181c1167.d: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecolife_pso-ca9b5a05181c1167.rmeta: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs Cargo.toml
+
+crates/pso/src/lib.rs:
+crates/pso/src/dpso.rs:
+crates/pso/src/ga.rs:
+crates/pso/src/pso.rs:
+crates/pso/src/sa.rs:
+crates/pso/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ecolife_sim-ee73113c79dca647.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/debug/deps/libecolife_sim-ee73113c79dca647.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/container.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/scheduler.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ecolife_trace-776be88507c582e1.d: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libecolife_trace-776be88507c582e1.rmeta: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/azure.rs:
+crates/trace/src/invocation.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/synth.rs:
+crates/trace/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

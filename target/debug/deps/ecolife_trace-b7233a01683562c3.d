@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ecolife_trace-b7233a01683562c3.d: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/libecolife_trace-b7233a01683562c3.rlib: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+/root/repo/target/debug/deps/libecolife_trace-b7233a01683562c3.rmeta: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/azure.rs:
+crates/trace/src/invocation.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/synth.rs:
+crates/trace/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b7acd6aafccb1795.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b7acd6aafccb1795: tests/end_to_end.rs
+
+tests/end_to_end.rs:

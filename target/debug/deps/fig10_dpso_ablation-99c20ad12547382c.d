@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_dpso_ablation-99c20ad12547382c.d: crates/bench/benches/fig10_dpso_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_dpso_ablation-99c20ad12547382c.rmeta: crates/bench/benches/fig10_dpso_ablation.rs Cargo.toml
+
+crates/bench/benches/fig10_dpso_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

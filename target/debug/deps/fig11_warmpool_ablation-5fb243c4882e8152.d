@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_warmpool_ablation-5fb243c4882e8152.d: crates/bench/benches/fig11_warmpool_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_warmpool_ablation-5fb243c4882e8152.rmeta: crates/bench/benches/fig11_warmpool_ablation.rs Cargo.toml
+
+crates/bench/benches/fig11_warmpool_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

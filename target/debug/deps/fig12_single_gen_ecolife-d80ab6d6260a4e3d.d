@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_single_gen_ecolife-d80ab6d6260a4e3d.d: crates/bench/benches/fig12_single_gen_ecolife.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_single_gen_ecolife-d80ab6d6260a4e3d.rmeta: crates/bench/benches/fig12_single_gen_ecolife.rs Cargo.toml
+
+crates/bench/benches/fig12_single_gen_ecolife.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_hw_pairs-6dca0c96546da08f.d: crates/bench/benches/fig13_hw_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_hw_pairs-6dca0c96546da08f.rmeta: crates/bench/benches/fig13_hw_pairs.rs Cargo.toml
+
+crates/bench/benches/fig13_hw_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_regions-f371a725f1138a50.d: crates/bench/benches/fig14_regions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_regions-f371a725f1138a50.rmeta: crates/bench/benches/fig14_regions.rs Cargo.toml
+
+crates/bench/benches/fig14_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

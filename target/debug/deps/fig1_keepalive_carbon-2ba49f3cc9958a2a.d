@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_keepalive_carbon-2ba49f3cc9958a2a.d: crates/bench/benches/fig1_keepalive_carbon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_keepalive_carbon-2ba49f3cc9958a2a.rmeta: crates/bench/benches/fig1_keepalive_carbon.rs Cargo.toml
+
+crates/bench/benches/fig1_keepalive_carbon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

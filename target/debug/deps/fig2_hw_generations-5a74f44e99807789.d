@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_hw_generations-5a74f44e99807789.d: crates/bench/benches/fig2_hw_generations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_hw_generations-5a74f44e99807789.rmeta: crates/bench/benches/fig2_hw_generations.rs Cargo.toml
+
+crates/bench/benches/fig2_hw_generations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_tradeoff_cases-1a1f42e72adbb4ec.d: crates/bench/benches/fig3_tradeoff_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_tradeoff_cases-1a1f42e72adbb4ec.rmeta: crates/bench/benches/fig3_tradeoff_cases.rs Cargo.toml
+
+crates/bench/benches/fig3_tradeoff_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_oracle_gap-9ee2d37d4add8f41.d: crates/bench/benches/fig4_oracle_gap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_oracle_gap-9ee2d37d4add8f41.rmeta: crates/bench/benches/fig4_oracle_gap.rs Cargo.toml
+
+crates/bench/benches/fig4_oracle_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_effectiveness-9be7de52629bd4a9.d: crates/bench/benches/fig7_effectiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_effectiveness-9be7de52629bd4a9.rmeta: crates/bench/benches/fig7_effectiveness.rs Cargo.toml
+
+crates/bench/benches/fig7_effectiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

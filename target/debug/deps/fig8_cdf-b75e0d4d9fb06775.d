@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_cdf-b75e0d4d9fb06775.d: crates/bench/benches/fig8_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_cdf-b75e0d4d9fb06775.rmeta: crates/bench/benches/fig8_cdf.rs Cargo.toml
+
+crates/bench/benches/fig8_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

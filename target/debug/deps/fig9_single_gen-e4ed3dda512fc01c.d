@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_single_gen-e4ed3dda512fc01c.d: crates/bench/benches/fig9_single_gen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_single_gen-e4ed3dda512fc01c.rmeta: crates/bench/benches/fig9_single_gen.rs Cargo.toml
+
+crates/bench/benches/fig9_single_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

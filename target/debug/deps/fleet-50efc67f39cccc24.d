@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet-50efc67f39cccc24.d: tests/fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-50efc67f39cccc24.rmeta: tests/fleet.rs Cargo.toml
+
+tests/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet-610e182630154c17.d: tests/fleet.rs
+
+/root/repo/target/debug/deps/fleet-610e182630154c17: tests/fleet.rs
+
+tests/fleet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-1851f2e5dd0ebd67.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/debug/deps/headline-1851f2e5dd0ebd67: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline-a490b6a0cfb944f1.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline-a490b6a0cfb944f1.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-928e1acefbd268dc.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-928e1acefbd268dc.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

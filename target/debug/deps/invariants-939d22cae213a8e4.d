@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-939d22cae213a8e4.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-939d22cae213a8e4: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_comparison-bc818aaae1ac67d5.d: crates/bench/benches/optimizer_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_comparison-bc818aaae1ac67d5.rmeta: crates/bench/benches/optimizer_comparison.rs Cargo.toml
+
+crates/bench/benches/optimizer_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

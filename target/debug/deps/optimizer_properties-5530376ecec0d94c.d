@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_properties-5530376ecec0d94c.d: crates/pso/tests/optimizer_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_properties-5530376ecec0d94c.rmeta: crates/pso/tests/optimizer_properties.rs Cargo.toml
+
+crates/pso/tests/optimizer_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_properties-7170ae7dfe173b23.d: crates/pso/tests/optimizer_properties.rs
+
+/root/repo/target/debug/deps/optimizer_properties-7170ae7dfe173b23: crates/pso/tests/optimizer_properties.rs
+
+crates/pso/tests/optimizer_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_kdm-515f927888335f36.d: crates/bench/benches/overhead_kdm.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_kdm-515f927888335f36.rmeta: crates/bench/benches/overhead_kdm.rs Cargo.toml
+
+crates/bench/benches/overhead_kdm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_properties-c065374f3404ac88.d: crates/sim/tests/pool_properties.rs
+
+/root/repo/target/debug/deps/pool_properties-c065374f3404ac88: crates/sim/tests/pool_properties.rs
+
+crates/sim/tests/pool_properties.rs:

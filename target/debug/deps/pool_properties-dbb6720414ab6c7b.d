@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_properties-dbb6720414ab6c7b.d: crates/sim/tests/pool_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_properties-dbb6720414ab6c7b.rmeta: crates/sim/tests/pool_properties.rs Cargo.toml
+
+crates/sim/tests/pool_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

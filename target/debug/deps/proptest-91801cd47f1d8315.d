@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-91801cd47f1d8315.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-91801cd47f1d8315.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-91801cd47f1d8315.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-955d0341cdb78a35.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-955d0341cdb78a35: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-6963e69e1e5fa16a.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-6963e69e1e5fa16a.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

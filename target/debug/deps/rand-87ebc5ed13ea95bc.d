@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-87ebc5ed13ea95bc.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-87ebc5ed13ea95bc.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ab796ed7123ea5df.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-ab796ed7123ea5df: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

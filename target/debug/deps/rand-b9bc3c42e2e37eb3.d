@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b9bc3c42e2e37eb3.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b9bc3c42e2e37eb3.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b9bc3c42e2e37eb3.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

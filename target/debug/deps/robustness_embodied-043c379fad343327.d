@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_embodied-043c379fad343327.d: crates/bench/benches/robustness_embodied.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_embodied-043c379fad343327.rmeta: crates/bench/benches/robustness_embodied.rs Cargo.toml
+
+crates/bench/benches/robustness_embodied.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

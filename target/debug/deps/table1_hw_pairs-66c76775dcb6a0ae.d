@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_hw_pairs-66c76775dcb6a0ae.d: crates/bench/benches/table1_hw_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_hw_pairs-66c76775dcb6a0ae.rmeta: crates/bench/benches/table1_hw_pairs.rs Cargo.toml
+
+crates/bench/benches/table1_hw_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_properties-f9fa0632755bbe32.d: crates/trace/tests/trace_properties.rs
+
+/root/repo/target/debug/deps/trace_properties-f9fa0632755bbe32: crates/trace/tests/trace_properties.rs
+
+crates/trace/tests/trace_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_properties-fb2121beb01cb07a.d: crates/trace/tests/trace_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_properties-fb2121beb01cb07a.rmeta: crates/trace/tests/trace_properties.rs Cargo.toml
+
+crates/trace/tests/trace_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune-7851e3d2e2d48e38.d: crates/bench/src/bin/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune-7851e3d2e2d48e38.rmeta: crates/bench/src/bin/tune.rs Cargo.toml
+
+crates/bench/src/bin/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune-7ab059ce2fede65a.d: crates/bench/src/bin/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune-7ab059ce2fede65a.rmeta: crates/bench/src/bin/tune.rs Cargo.toml
+
+crates/bench/src/bin/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune-9193fd20a8ca739f.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/debug/deps/tune-9193fd20a8ca739f: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/azure_trace_replay-6c4c5c6c2dcf7972.d: examples/azure_trace_replay.rs
+
+/root/repo/target/debug/examples/azure_trace_replay-6c4c5c6c2dcf7972: examples/azure_trace_replay.rs
+
+examples/azure_trace_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/azure_trace_replay-c0328f8ab3f346d9.d: examples/azure_trace_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libazure_trace_replay-c0328f8ab3f346d9.rmeta: examples/azure_trace_replay.rs Cargo.toml
+
+examples/azure_trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

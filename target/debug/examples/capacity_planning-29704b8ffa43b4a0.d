@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-29704b8ffa43b4a0.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-29704b8ffa43b4a0: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

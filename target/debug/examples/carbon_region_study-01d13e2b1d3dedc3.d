@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/carbon_region_study-01d13e2b1d3dedc3.d: examples/carbon_region_study.rs
+
+/root/repo/target/debug/examples/carbon_region_study-01d13e2b1d3dedc3: examples/carbon_region_study.rs
+
+examples/carbon_region_study.rs:

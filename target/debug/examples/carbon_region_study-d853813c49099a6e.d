@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/carbon_region_study-d853813c49099a6e.d: examples/carbon_region_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcarbon_region_study-d853813c49099a6e.rmeta: examples/carbon_region_study.rs Cargo.toml
+
+examples/carbon_region_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fleet_cluster-68010ba53510eb6a.d: examples/fleet_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfleet_cluster-68010ba53510eb6a.rmeta: examples/fleet_cluster.rs Cargo.toml
+
+examples/fleet_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

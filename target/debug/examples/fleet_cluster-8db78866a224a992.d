@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fleet_cluster-8db78866a224a992.d: examples/fleet_cluster.rs
+
+/root/repo/target/debug/examples/fleet_cluster-8db78866a224a992: examples/fleet_cluster.rs
+
+examples/fleet_cluster.rs:

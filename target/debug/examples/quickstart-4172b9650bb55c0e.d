@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4172b9650bb55c0e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4172b9650bb55c0e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ecolife_hw",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"ecolife_hw/node/enum.Generation.html\" title=\"enum ecolife_hw::node::Generation\">Generation</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"ecolife_hw/node/struct.NodeId.html\" title=\"struct ecolife_hw::node::NodeId\">NodeId</a>",0]]],["ecolife_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"ecolife_trace/workload/struct.FunctionId.html\" title=\"struct ecolife_trace::workload::FunctionId\">FunctionId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[576,323]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ecolife_hw",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;&amp;<a class=\"struct\" href=\"ecolife_hw/pair/struct.HardwarePair.html\" title=\"struct ecolife_hw::pair::HardwarePair\">HardwarePair</a>&gt; for <a class=\"struct\" href=\"ecolife_hw/fleet/struct.Fleet.html\" title=\"struct ecolife_hw::fleet::Fleet\">Fleet</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"ecolife_hw/node/enum.Generation.html\" title=\"enum ecolife_hw::node::Generation\">Generation</a>&gt; for <a class=\"struct\" href=\"ecolife_hw/node/struct.NodeId.html\" title=\"struct ecolife_hw::node::NodeId\">NodeId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"struct\" href=\"ecolife_hw/pair/struct.HardwarePair.html\" title=\"struct ecolife_hw::pair::HardwarePair\">HardwarePair</a>&gt; for <a class=\"struct\" href=\"ecolife_hw/fleet/struct.Fleet.html\" title=\"struct ecolife_hw::fleet::Fleet\">Fleet</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1234]}

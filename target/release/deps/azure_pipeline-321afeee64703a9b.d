@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/azure_pipeline-321afeee64703a9b.d: tests/azure_pipeline.rs
+
+/root/repo/target/release/deps/azure_pipeline-321afeee64703a9b: tests/azure_pipeline.rs
+
+tests/azure_pipeline.rs:

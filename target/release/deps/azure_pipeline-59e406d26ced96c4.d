@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/azure_pipeline-59e406d26ced96c4.d: tests/azure_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libazure_pipeline-59e406d26ced96c4.rmeta: tests/azure_pipeline.rs Cargo.toml
+
+tests/azure_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9816e8f07b8d1e5a.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9816e8f07b8d1e5a.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9816e8f07b8d1e5a.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

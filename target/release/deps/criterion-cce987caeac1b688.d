@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-cce987caeac1b688.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-cce987caeac1b688: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-ee4a314580b3dd66.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-ee4a314580b3dd66: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-f39283bf4d55cad7.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-f39283bf4d55cad7.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-fe0400385d929e35.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fe0400385d929e35.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fe0400385d929e35.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

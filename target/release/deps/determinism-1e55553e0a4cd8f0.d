@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-1e55553e0a4cd8f0.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-1e55553e0a4cd8f0: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-1e5a272c1cabb6cc.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-1e5a272c1cabb6cc.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

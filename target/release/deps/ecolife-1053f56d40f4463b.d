@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ecolife-1053f56d40f4463b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife-1053f56d40f4463b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

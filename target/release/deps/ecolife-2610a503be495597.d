@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecolife-2610a503be495597.d: src/lib.rs
+
+/root/repo/target/release/deps/libecolife-2610a503be495597.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libecolife-2610a503be495597.rmeta: src/lib.rs
+
+src/lib.rs:

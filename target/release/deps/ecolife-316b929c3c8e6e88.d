@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecolife-316b929c3c8e6e88.d: src/lib.rs
+
+/root/repo/target/release/deps/ecolife-316b929c3c8e6e88: src/lib.rs
+
+src/lib.rs:

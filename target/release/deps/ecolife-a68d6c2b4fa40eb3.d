@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecolife-a68d6c2b4fa40eb3.d: src/lib.rs
+
+/root/repo/target/release/deps/ecolife-a68d6c2b4fa40eb3: src/lib.rs
+
+src/lib.rs:

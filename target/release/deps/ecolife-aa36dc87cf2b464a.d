@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ecolife-aa36dc87cf2b464a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife-aa36dc87cf2b464a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

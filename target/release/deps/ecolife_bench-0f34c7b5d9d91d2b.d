@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ecolife_bench-0f34c7b5d9d91d2b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_bench-0f34c7b5d9d91d2b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecolife_bench-5b5f2f8c92fe7888.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libecolife_bench-5b5f2f8c92fe7888.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libecolife_bench-5b5f2f8c92fe7888.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ecolife_bench-85a2cf6f61dd7ee7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libecolife_bench-85a2cf6f61dd7ee7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libecolife_bench-85a2cf6f61dd7ee7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecolife_bench-971942e496cf67fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ecolife_bench-971942e496cf67fe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

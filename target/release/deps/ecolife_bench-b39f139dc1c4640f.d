@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ecolife_bench-b39f139dc1c4640f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_bench-b39f139dc1c4640f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ecolife_bench-ef1e390da37e33fe.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ecolife_bench-ef1e390da37e33fe: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ecolife_carbon-058fe94491b0ce91.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/release/deps/ecolife_carbon-058fe94491b0ce91: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:

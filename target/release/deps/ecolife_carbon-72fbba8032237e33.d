@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ecolife_carbon-72fbba8032237e33.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/release/deps/ecolife_carbon-72fbba8032237e33: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ecolife_carbon-9521db593438e458.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/release/deps/libecolife_carbon-9521db593438e458.rlib: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/release/deps/libecolife_carbon-9521db593438e458.rmeta: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ecolife_carbon-a47fd16bd52e095d.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_carbon-a47fd16bd52e095d.rmeta: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs Cargo.toml
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

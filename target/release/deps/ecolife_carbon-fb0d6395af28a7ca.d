@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ecolife_carbon-fb0d6395af28a7ca.d: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/release/deps/libecolife_carbon-fb0d6395af28a7ca.rlib: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+/root/repo/target/release/deps/libecolife_carbon-fb0d6395af28a7ca.rmeta: crates/carbon/src/lib.rs crates/carbon/src/footprint.rs crates/carbon/src/intensity.rs crates/carbon/src/model.rs
+
+crates/carbon/src/lib.rs:
+crates/carbon/src/footprint.rs:
+crates/carbon/src/intensity.rs:
+crates/carbon/src/model.rs:

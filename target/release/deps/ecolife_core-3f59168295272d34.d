@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ecolife_core-3f59168295272d34.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_core-3f59168295272d34.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/fixed.rs:
+crates/core/src/baselines/oracle.rs:
+crates/core/src/config.rs:
+crates/core/src/ecolife.rs:
+crates/core/src/objective.rs:
+crates/core/src/predictor.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/warmpool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

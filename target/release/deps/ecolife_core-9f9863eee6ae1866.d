@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ecolife_core-9f9863eee6ae1866.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+/root/repo/target/release/deps/ecolife_core-9f9863eee6ae1866: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/fixed.rs:
+crates/core/src/baselines/oracle.rs:
+crates/core/src/config.rs:
+crates/core/src/ecolife.rs:
+crates/core/src/objective.rs:
+crates/core/src/predictor.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/warmpool.rs:

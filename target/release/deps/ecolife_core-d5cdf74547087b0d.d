@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ecolife_core-d5cdf74547087b0d.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+/root/repo/target/release/deps/libecolife_core-d5cdf74547087b0d.rlib: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+/root/repo/target/release/deps/libecolife_core-d5cdf74547087b0d.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/fixed.rs crates/core/src/baselines/oracle.rs crates/core/src/config.rs crates/core/src/ecolife.rs crates/core/src/objective.rs crates/core/src/predictor.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/warmpool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/fixed.rs:
+crates/core/src/baselines/oracle.rs:
+crates/core/src/config.rs:
+crates/core/src/ecolife.rs:
+crates/core/src/objective.rs:
+crates/core/src/predictor.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/warmpool.rs:

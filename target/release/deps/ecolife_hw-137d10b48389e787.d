@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ecolife_hw-137d10b48389e787.d: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+/root/repo/target/release/deps/libecolife_hw-137d10b48389e787.rlib: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+/root/repo/target/release/deps/libecolife_hw-137d10b48389e787.rmeta: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/dram.rs:
+crates/hw/src/fleet.rs:
+crates/hw/src/node.rs:
+crates/hw/src/pair.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/power.rs:
+crates/hw/src/skus.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ecolife_hw-c8dd77aae06ec792.d: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_hw-c8dd77aae06ec792.rmeta: crates/hw/src/lib.rs crates/hw/src/cpu.rs crates/hw/src/dram.rs crates/hw/src/fleet.rs crates/hw/src/node.rs crates/hw/src/pair.rs crates/hw/src/perf.rs crates/hw/src/power.rs crates/hw/src/skus.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/dram.rs:
+crates/hw/src/fleet.rs:
+crates/hw/src/node.rs:
+crates/hw/src/pair.rs:
+crates/hw/src/perf.rs:
+crates/hw/src/power.rs:
+crates/hw/src/skus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ecolife_pso-00e4f77aae4a5278.d: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+/root/repo/target/release/deps/libecolife_pso-00e4f77aae4a5278.rlib: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+/root/repo/target/release/deps/libecolife_pso-00e4f77aae4a5278.rmeta: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs
+
+crates/pso/src/lib.rs:
+crates/pso/src/dpso.rs:
+crates/pso/src/ga.rs:
+crates/pso/src/pso.rs:
+crates/pso/src/sa.rs:
+crates/pso/src/space.rs:

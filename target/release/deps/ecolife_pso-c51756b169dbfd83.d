@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ecolife_pso-c51756b169dbfd83.d: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_pso-c51756b169dbfd83.rmeta: crates/pso/src/lib.rs crates/pso/src/dpso.rs crates/pso/src/ga.rs crates/pso/src/pso.rs crates/pso/src/sa.rs crates/pso/src/space.rs Cargo.toml
+
+crates/pso/src/lib.rs:
+crates/pso/src/dpso.rs:
+crates/pso/src/ga.rs:
+crates/pso/src/pso.rs:
+crates/pso/src/sa.rs:
+crates/pso/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

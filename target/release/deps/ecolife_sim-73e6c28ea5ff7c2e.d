@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ecolife_sim-73e6c28ea5ff7c2e.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libecolife_sim-73e6c28ea5ff7c2e.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libecolife_sim-73e6c28ea5ff7c2e.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/container.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/scheduler.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ecolife_sim-ad7a290d63728a32.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libecolife_sim-ad7a290d63728a32.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+/root/repo/target/release/deps/libecolife_sim-ad7a290d63728a32.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/container.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/pool.rs crates/sim/src/scheduler.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/container.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/pool.rs:
+crates/sim/src/scheduler.rs:

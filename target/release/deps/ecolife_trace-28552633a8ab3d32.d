@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ecolife_trace-28552633a8ab3d32.d: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libecolife_trace-28552633a8ab3d32.rmeta: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/azure.rs:
+crates/trace/src/invocation.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/synth.rs:
+crates/trace/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

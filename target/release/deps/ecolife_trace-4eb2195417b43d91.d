@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ecolife_trace-4eb2195417b43d91.d: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+/root/repo/target/release/deps/ecolife_trace-4eb2195417b43d91: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/azure.rs:
+crates/trace/src/invocation.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/synth.rs:
+crates/trace/src/workload.rs:

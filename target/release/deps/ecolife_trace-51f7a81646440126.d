@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ecolife_trace-51f7a81646440126.d: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+/root/repo/target/release/deps/libecolife_trace-51f7a81646440126.rlib: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+/root/repo/target/release/deps/libecolife_trace-51f7a81646440126.rmeta: crates/trace/src/lib.rs crates/trace/src/azure.rs crates/trace/src/invocation.rs crates/trace/src/stats.rs crates/trace/src/synth.rs crates/trace/src/workload.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/azure.rs:
+crates/trace/src/invocation.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/synth.rs:
+crates/trace/src/workload.rs:

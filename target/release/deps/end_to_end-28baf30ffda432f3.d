@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-28baf30ffda432f3.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-28baf30ffda432f3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

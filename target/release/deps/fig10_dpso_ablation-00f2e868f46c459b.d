@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_dpso_ablation-00f2e868f46c459b.d: crates/bench/benches/fig10_dpso_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_dpso_ablation-00f2e868f46c459b.rmeta: crates/bench/benches/fig10_dpso_ablation.rs Cargo.toml
+
+crates/bench/benches/fig10_dpso_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_dpso_ablation-5cddeff5c8292bd5.d: crates/bench/benches/fig10_dpso_ablation.rs
+
+/root/repo/target/release/deps/fig10_dpso_ablation-5cddeff5c8292bd5: crates/bench/benches/fig10_dpso_ablation.rs
+
+crates/bench/benches/fig10_dpso_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_dpso_ablation-f911c97c3cb59e03.d: crates/bench/benches/fig10_dpso_ablation.rs
+
+/root/repo/target/release/deps/fig10_dpso_ablation-f911c97c3cb59e03: crates/bench/benches/fig10_dpso_ablation.rs
+
+crates/bench/benches/fig10_dpso_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_warmpool_ablation-1f6a4e6650509ddc.d: crates/bench/benches/fig11_warmpool_ablation.rs
+
+/root/repo/target/release/deps/fig11_warmpool_ablation-1f6a4e6650509ddc: crates/bench/benches/fig11_warmpool_ablation.rs
+
+crates/bench/benches/fig11_warmpool_ablation.rs:

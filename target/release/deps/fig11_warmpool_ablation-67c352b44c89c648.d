@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_warmpool_ablation-67c352b44c89c648.d: crates/bench/benches/fig11_warmpool_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_warmpool_ablation-67c352b44c89c648.rmeta: crates/bench/benches/fig11_warmpool_ablation.rs Cargo.toml
+
+crates/bench/benches/fig11_warmpool_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_warmpool_ablation-6d36b17ed7392e86.d: crates/bench/benches/fig11_warmpool_ablation.rs
+
+/root/repo/target/release/deps/fig11_warmpool_ablation-6d36b17ed7392e86: crates/bench/benches/fig11_warmpool_ablation.rs
+
+crates/bench/benches/fig11_warmpool_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_single_gen_ecolife-5ad72c95c1a66e0c.d: crates/bench/benches/fig12_single_gen_ecolife.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_single_gen_ecolife-5ad72c95c1a66e0c.rmeta: crates/bench/benches/fig12_single_gen_ecolife.rs Cargo.toml
+
+crates/bench/benches/fig12_single_gen_ecolife.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_single_gen_ecolife-93684803bf12f409.d: crates/bench/benches/fig12_single_gen_ecolife.rs
+
+/root/repo/target/release/deps/fig12_single_gen_ecolife-93684803bf12f409: crates/bench/benches/fig12_single_gen_ecolife.rs
+
+crates/bench/benches/fig12_single_gen_ecolife.rs:

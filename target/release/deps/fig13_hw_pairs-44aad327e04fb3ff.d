@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_hw_pairs-44aad327e04fb3ff.d: crates/bench/benches/fig13_hw_pairs.rs
+
+/root/repo/target/release/deps/fig13_hw_pairs-44aad327e04fb3ff: crates/bench/benches/fig13_hw_pairs.rs
+
+crates/bench/benches/fig13_hw_pairs.rs:

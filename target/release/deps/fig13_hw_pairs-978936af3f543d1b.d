@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_hw_pairs-978936af3f543d1b.d: crates/bench/benches/fig13_hw_pairs.rs
+
+/root/repo/target/release/deps/fig13_hw_pairs-978936af3f543d1b: crates/bench/benches/fig13_hw_pairs.rs
+
+crates/bench/benches/fig13_hw_pairs.rs:

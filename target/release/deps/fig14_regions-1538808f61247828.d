@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14_regions-1538808f61247828.d: crates/bench/benches/fig14_regions.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14_regions-1538808f61247828.rmeta: crates/bench/benches/fig14_regions.rs Cargo.toml
+
+crates/bench/benches/fig14_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_regions-552e0910a580d47c.d: crates/bench/benches/fig14_regions.rs
+
+/root/repo/target/release/deps/fig14_regions-552e0910a580d47c: crates/bench/benches/fig14_regions.rs
+
+crates/bench/benches/fig14_regions.rs:

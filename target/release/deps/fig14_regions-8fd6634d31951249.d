@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_regions-8fd6634d31951249.d: crates/bench/benches/fig14_regions.rs
+
+/root/repo/target/release/deps/fig14_regions-8fd6634d31951249: crates/bench/benches/fig14_regions.rs
+
+crates/bench/benches/fig14_regions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1_keepalive_carbon-4ededfed0f4e007b.d: crates/bench/benches/fig1_keepalive_carbon.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1_keepalive_carbon-4ededfed0f4e007b.rmeta: crates/bench/benches/fig1_keepalive_carbon.rs Cargo.toml
+
+crates/bench/benches/fig1_keepalive_carbon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

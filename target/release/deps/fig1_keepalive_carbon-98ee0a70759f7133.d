@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_keepalive_carbon-98ee0a70759f7133.d: crates/bench/benches/fig1_keepalive_carbon.rs
+
+/root/repo/target/release/deps/fig1_keepalive_carbon-98ee0a70759f7133: crates/bench/benches/fig1_keepalive_carbon.rs
+
+crates/bench/benches/fig1_keepalive_carbon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_keepalive_carbon-be41c282ef849474.d: crates/bench/benches/fig1_keepalive_carbon.rs
+
+/root/repo/target/release/deps/fig1_keepalive_carbon-be41c282ef849474: crates/bench/benches/fig1_keepalive_carbon.rs
+
+crates/bench/benches/fig1_keepalive_carbon.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_hw_generations-47bfd8ac804e9ea5.d: crates/bench/benches/fig2_hw_generations.rs
+
+/root/repo/target/release/deps/fig2_hw_generations-47bfd8ac804e9ea5: crates/bench/benches/fig2_hw_generations.rs
+
+crates/bench/benches/fig2_hw_generations.rs:

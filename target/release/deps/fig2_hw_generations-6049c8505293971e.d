@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2_hw_generations-6049c8505293971e.d: crates/bench/benches/fig2_hw_generations.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2_hw_generations-6049c8505293971e.rmeta: crates/bench/benches/fig2_hw_generations.rs Cargo.toml
+
+crates/bench/benches/fig2_hw_generations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

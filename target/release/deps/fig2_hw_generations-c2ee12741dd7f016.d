@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_hw_generations-c2ee12741dd7f016.d: crates/bench/benches/fig2_hw_generations.rs
+
+/root/repo/target/release/deps/fig2_hw_generations-c2ee12741dd7f016: crates/bench/benches/fig2_hw_generations.rs
+
+crates/bench/benches/fig2_hw_generations.rs:

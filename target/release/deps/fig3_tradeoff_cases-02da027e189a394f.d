@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_tradeoff_cases-02da027e189a394f.d: crates/bench/benches/fig3_tradeoff_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_tradeoff_cases-02da027e189a394f.rmeta: crates/bench/benches/fig3_tradeoff_cases.rs Cargo.toml
+
+crates/bench/benches/fig3_tradeoff_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

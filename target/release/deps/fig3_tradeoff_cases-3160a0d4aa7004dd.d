@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_tradeoff_cases-3160a0d4aa7004dd.d: crates/bench/benches/fig3_tradeoff_cases.rs
+
+/root/repo/target/release/deps/fig3_tradeoff_cases-3160a0d4aa7004dd: crates/bench/benches/fig3_tradeoff_cases.rs
+
+crates/bench/benches/fig3_tradeoff_cases.rs:

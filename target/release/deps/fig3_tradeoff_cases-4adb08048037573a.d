@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_tradeoff_cases-4adb08048037573a.d: crates/bench/benches/fig3_tradeoff_cases.rs
+
+/root/repo/target/release/deps/fig3_tradeoff_cases-4adb08048037573a: crates/bench/benches/fig3_tradeoff_cases.rs
+
+crates/bench/benches/fig3_tradeoff_cases.rs:

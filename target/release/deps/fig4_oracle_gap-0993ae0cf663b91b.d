@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_oracle_gap-0993ae0cf663b91b.d: crates/bench/benches/fig4_oracle_gap.rs
+
+/root/repo/target/release/deps/fig4_oracle_gap-0993ae0cf663b91b: crates/bench/benches/fig4_oracle_gap.rs
+
+crates/bench/benches/fig4_oracle_gap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_oracle_gap-75fdbb2ab8d7c9f5.d: crates/bench/benches/fig4_oracle_gap.rs
+
+/root/repo/target/release/deps/fig4_oracle_gap-75fdbb2ab8d7c9f5: crates/bench/benches/fig4_oracle_gap.rs
+
+crates/bench/benches/fig4_oracle_gap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4_oracle_gap-7daa4ca6d07bb9cc.d: crates/bench/benches/fig4_oracle_gap.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4_oracle_gap-7daa4ca6d07bb9cc.rmeta: crates/bench/benches/fig4_oracle_gap.rs Cargo.toml
+
+crates/bench/benches/fig4_oracle_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

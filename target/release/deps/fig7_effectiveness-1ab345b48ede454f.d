@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7_effectiveness-1ab345b48ede454f.d: crates/bench/benches/fig7_effectiveness.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7_effectiveness-1ab345b48ede454f.rmeta: crates/bench/benches/fig7_effectiveness.rs Cargo.toml
+
+crates/bench/benches/fig7_effectiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

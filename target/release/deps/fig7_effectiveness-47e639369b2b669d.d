@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_effectiveness-47e639369b2b669d.d: crates/bench/benches/fig7_effectiveness.rs
+
+/root/repo/target/release/deps/fig7_effectiveness-47e639369b2b669d: crates/bench/benches/fig7_effectiveness.rs
+
+crates/bench/benches/fig7_effectiveness.rs:

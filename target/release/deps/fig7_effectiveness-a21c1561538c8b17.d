@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_effectiveness-a21c1561538c8b17.d: crates/bench/benches/fig7_effectiveness.rs
+
+/root/repo/target/release/deps/fig7_effectiveness-a21c1561538c8b17: crates/bench/benches/fig7_effectiveness.rs
+
+crates/bench/benches/fig7_effectiveness.rs:

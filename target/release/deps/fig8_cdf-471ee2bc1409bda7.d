@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_cdf-471ee2bc1409bda7.d: crates/bench/benches/fig8_cdf.rs
+
+/root/repo/target/release/deps/fig8_cdf-471ee2bc1409bda7: crates/bench/benches/fig8_cdf.rs
+
+crates/bench/benches/fig8_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_cdf-e5316c9474c695f4.d: crates/bench/benches/fig8_cdf.rs
+
+/root/repo/target/release/deps/fig8_cdf-e5316c9474c695f4: crates/bench/benches/fig8_cdf.rs
+
+crates/bench/benches/fig8_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_cdf-f91a54a80ff66e6c.d: crates/bench/benches/fig8_cdf.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_cdf-f91a54a80ff66e6c.rmeta: crates/bench/benches/fig8_cdf.rs Cargo.toml
+
+crates/bench/benches/fig8_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9_single_gen-137eb5a2d2a4290a.d: crates/bench/benches/fig9_single_gen.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9_single_gen-137eb5a2d2a4290a.rmeta: crates/bench/benches/fig9_single_gen.rs Cargo.toml
+
+crates/bench/benches/fig9_single_gen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

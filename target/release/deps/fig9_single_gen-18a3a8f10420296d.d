@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_single_gen-18a3a8f10420296d.d: crates/bench/benches/fig9_single_gen.rs
+
+/root/repo/target/release/deps/fig9_single_gen-18a3a8f10420296d: crates/bench/benches/fig9_single_gen.rs
+
+crates/bench/benches/fig9_single_gen.rs:

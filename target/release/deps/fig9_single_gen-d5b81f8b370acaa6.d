@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_single_gen-d5b81f8b370acaa6.d: crates/bench/benches/fig9_single_gen.rs
+
+/root/repo/target/release/deps/fig9_single_gen-d5b81f8b370acaa6: crates/bench/benches/fig9_single_gen.rs
+
+crates/bench/benches/fig9_single_gen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet-603bc8e15bfbe593.d: tests/fleet.rs Cargo.toml
+
+/root/repo/target/release/deps/libfleet-603bc8e15bfbe593.rmeta: tests/fleet.rs Cargo.toml
+
+tests/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

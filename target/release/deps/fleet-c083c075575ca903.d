@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet-c083c075575ca903.d: tests/fleet.rs
+
+/root/repo/target/release/deps/fleet-c083c075575ca903: tests/fleet.rs
+
+tests/fleet.rs:

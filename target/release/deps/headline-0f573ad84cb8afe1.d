@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/headline-0f573ad84cb8afe1.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/release/deps/libheadline-0f573ad84cb8afe1.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-634cf663b7c532ff.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-634cf663b7c532ff: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

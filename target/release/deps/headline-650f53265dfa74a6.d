@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-650f53265dfa74a6.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-650f53265dfa74a6: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-8dde718327365af3.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-8dde718327365af3: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

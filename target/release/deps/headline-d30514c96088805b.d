@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-d30514c96088805b.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-d30514c96088805b: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

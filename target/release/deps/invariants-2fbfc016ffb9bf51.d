@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/invariants-2fbfc016ffb9bf51.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libinvariants-2fbfc016ffb9bf51.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-d5504f5ccad7740a.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-d5504f5ccad7740a: tests/invariants.rs
+
+tests/invariants.rs:

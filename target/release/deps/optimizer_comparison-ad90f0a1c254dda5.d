@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer_comparison-ad90f0a1c254dda5.d: crates/bench/benches/optimizer_comparison.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer_comparison-ad90f0a1c254dda5.rmeta: crates/bench/benches/optimizer_comparison.rs Cargo.toml
+
+crates/bench/benches/optimizer_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer_comparison-d5113880f936ca89.d: crates/bench/benches/optimizer_comparison.rs
+
+/root/repo/target/release/deps/optimizer_comparison-d5113880f936ca89: crates/bench/benches/optimizer_comparison.rs
+
+crates/bench/benches/optimizer_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer_comparison-d9aff8407d16a4e0.d: crates/bench/benches/optimizer_comparison.rs
+
+/root/repo/target/release/deps/optimizer_comparison-d9aff8407d16a4e0: crates/bench/benches/optimizer_comparison.rs
+
+crates/bench/benches/optimizer_comparison.rs:

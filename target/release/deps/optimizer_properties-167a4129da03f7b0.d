@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer_properties-167a4129da03f7b0.d: crates/pso/tests/optimizer_properties.rs
+
+/root/repo/target/release/deps/optimizer_properties-167a4129da03f7b0: crates/pso/tests/optimizer_properties.rs
+
+crates/pso/tests/optimizer_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer_properties-30de257e0352985a.d: crates/pso/tests/optimizer_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer_properties-30de257e0352985a.rmeta: crates/pso/tests/optimizer_properties.rs Cargo.toml
+
+crates/pso/tests/optimizer_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

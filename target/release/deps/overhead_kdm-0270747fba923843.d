@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead_kdm-0270747fba923843.d: crates/bench/benches/overhead_kdm.rs
+
+/root/repo/target/release/deps/overhead_kdm-0270747fba923843: crates/bench/benches/overhead_kdm.rs
+
+crates/bench/benches/overhead_kdm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead_kdm-262f58a7e4cb0d0f.d: crates/bench/benches/overhead_kdm.rs
+
+/root/repo/target/release/deps/overhead_kdm-262f58a7e4cb0d0f: crates/bench/benches/overhead_kdm.rs
+
+crates/bench/benches/overhead_kdm.rs:

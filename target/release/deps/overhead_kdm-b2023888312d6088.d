@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/overhead_kdm-b2023888312d6088.d: crates/bench/benches/overhead_kdm.rs Cargo.toml
+
+/root/repo/target/release/deps/liboverhead_kdm-b2023888312d6088.rmeta: crates/bench/benches/overhead_kdm.rs Cargo.toml
+
+crates/bench/benches/overhead_kdm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool_properties-76bf2fa0e07f4519.d: crates/sim/tests/pool_properties.rs
+
+/root/repo/target/release/deps/pool_properties-76bf2fa0e07f4519: crates/sim/tests/pool_properties.rs
+
+crates/sim/tests/pool_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pool_properties-a244fea09d3cb841.d: crates/sim/tests/pool_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libpool_properties-a244fea09d3cb841.rmeta: crates/sim/tests/pool_properties.rs Cargo.toml
+
+crates/sim/tests/pool_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-087150a066b2b135.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-087150a066b2b135: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-54ea39e56bf4b462.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-54ea39e56bf4b462.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-54ea39e56bf4b462.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-598fb5ddc31efa48.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-598fb5ddc31efa48: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

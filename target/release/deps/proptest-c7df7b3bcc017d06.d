@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c7df7b3bcc017d06.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c7df7b3bcc017d06.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c7df7b3bcc017d06.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-de08c99b69f12340.d: crates/compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-de08c99b69f12340.rmeta: crates/compat/proptest/src/lib.rs Cargo.toml
+
+crates/compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-008d82aa0ac0b221.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-008d82aa0ac0b221: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-6b864db553fe1014.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-6b864db553fe1014: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-79eded80a4ee1fe4.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-79eded80a4ee1fe4.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

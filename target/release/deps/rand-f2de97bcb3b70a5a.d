@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f2de97bcb3b70a5a.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f2de97bcb3b70a5a.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f2de97bcb3b70a5a.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

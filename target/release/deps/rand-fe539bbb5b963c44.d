@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fe539bbb5b963c44.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fe539bbb5b963c44.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fe539bbb5b963c44.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

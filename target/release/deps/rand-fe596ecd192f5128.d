@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-fe596ecd192f5128.d: crates/compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-fe596ecd192f5128.rmeta: crates/compat/rand/src/lib.rs Cargo.toml
+
+crates/compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_embodied-6e1c44118041d26b.d: crates/bench/benches/robustness_embodied.rs
+
+/root/repo/target/release/deps/robustness_embodied-6e1c44118041d26b: crates/bench/benches/robustness_embodied.rs
+
+crates/bench/benches/robustness_embodied.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_embodied-700c2f6c4f1ebf35.d: crates/bench/benches/robustness_embodied.rs
+
+/root/repo/target/release/deps/robustness_embodied-700c2f6c4f1ebf35: crates/bench/benches/robustness_embodied.rs
+
+crates/bench/benches/robustness_embodied.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/robustness_embodied-d6eeec8ec24c82c0.d: crates/bench/benches/robustness_embodied.rs Cargo.toml
+
+/root/repo/target/release/deps/librobustness_embodied-d6eeec8ec24c82c0.rmeta: crates/bench/benches/robustness_embodied.rs Cargo.toml
+
+crates/bench/benches/robustness_embodied.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_hw_pairs-36f797ab0d4a281e.d: crates/bench/benches/table1_hw_pairs.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_hw_pairs-36f797ab0d4a281e.rmeta: crates/bench/benches/table1_hw_pairs.rs Cargo.toml
+
+crates/bench/benches/table1_hw_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

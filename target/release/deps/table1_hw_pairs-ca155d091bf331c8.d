@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_hw_pairs-ca155d091bf331c8.d: crates/bench/benches/table1_hw_pairs.rs
+
+/root/repo/target/release/deps/table1_hw_pairs-ca155d091bf331c8: crates/bench/benches/table1_hw_pairs.rs
+
+crates/bench/benches/table1_hw_pairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_hw_pairs-f68c78027bf3419b.d: crates/bench/benches/table1_hw_pairs.rs
+
+/root/repo/target/release/deps/table1_hw_pairs-f68c78027bf3419b: crates/bench/benches/table1_hw_pairs.rs
+
+crates/bench/benches/table1_hw_pairs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/trace_properties-81c0831a79341451.d: crates/trace/tests/trace_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libtrace_properties-81c0831a79341451.rmeta: crates/trace/tests/trace_properties.rs Cargo.toml
+
+crates/trace/tests/trace_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

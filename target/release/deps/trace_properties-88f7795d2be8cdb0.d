@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_properties-88f7795d2be8cdb0.d: crates/trace/tests/trace_properties.rs
+
+/root/repo/target/release/deps/trace_properties-88f7795d2be8cdb0: crates/trace/tests/trace_properties.rs
+
+crates/trace/tests/trace_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune-52da0343d927cd74.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/release/deps/tune-52da0343d927cd74: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

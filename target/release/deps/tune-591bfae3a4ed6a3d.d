@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune-591bfae3a4ed6a3d.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/release/deps/tune-591bfae3a4ed6a3d: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

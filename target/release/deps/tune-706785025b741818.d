@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tune-706785025b741818.d: crates/bench/src/bin/tune.rs Cargo.toml
+
+/root/repo/target/release/deps/libtune-706785025b741818.rmeta: crates/bench/src/bin/tune.rs Cargo.toml
+
+crates/bench/src/bin/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

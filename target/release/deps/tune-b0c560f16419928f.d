@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune-b0c560f16419928f.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/release/deps/tune-b0c560f16419928f: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

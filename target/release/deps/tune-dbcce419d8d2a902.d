@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune-dbcce419d8d2a902.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/release/deps/tune-dbcce419d8d2a902: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__probe-c9a2e43e2a946202.d: examples/__probe.rs
+
+/root/repo/target/release/examples/__probe-c9a2e43e2a946202: examples/__probe.rs
+
+examples/__probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__verify_probe-821515a9c94b1e57.d: examples/__verify_probe.rs
+
+/root/repo/target/release/examples/__verify_probe-821515a9c94b1e57: examples/__verify_probe.rs
+
+examples/__verify_probe.rs:

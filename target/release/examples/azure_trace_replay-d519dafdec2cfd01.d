@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/azure_trace_replay-d519dafdec2cfd01.d: examples/azure_trace_replay.rs
+
+/root/repo/target/release/examples/azure_trace_replay-d519dafdec2cfd01: examples/azure_trace_replay.rs
+
+examples/azure_trace_replay.rs:

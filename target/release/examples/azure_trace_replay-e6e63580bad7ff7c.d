@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/azure_trace_replay-e6e63580bad7ff7c.d: examples/azure_trace_replay.rs Cargo.toml
+
+/root/repo/target/release/examples/libazure_trace_replay-e6e63580bad7ff7c.rmeta: examples/azure_trace_replay.rs Cargo.toml
+
+examples/azure_trace_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

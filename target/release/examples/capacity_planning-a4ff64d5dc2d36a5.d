@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-a4ff64d5dc2d36a5.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-a4ff64d5dc2d36a5: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

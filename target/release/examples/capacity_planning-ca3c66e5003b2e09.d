@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/capacity_planning-ca3c66e5003b2e09.d: examples/capacity_planning.rs Cargo.toml
+
+/root/repo/target/release/examples/libcapacity_planning-ca3c66e5003b2e09.rmeta: examples/capacity_planning.rs Cargo.toml
+
+examples/capacity_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

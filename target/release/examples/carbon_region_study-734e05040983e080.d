@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/carbon_region_study-734e05040983e080.d: examples/carbon_region_study.rs
+
+/root/repo/target/release/examples/carbon_region_study-734e05040983e080: examples/carbon_region_study.rs
+
+examples/carbon_region_study.rs:

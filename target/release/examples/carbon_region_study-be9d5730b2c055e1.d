@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/carbon_region_study-be9d5730b2c055e1.d: examples/carbon_region_study.rs Cargo.toml
+
+/root/repo/target/release/examples/libcarbon_region_study-be9d5730b2c055e1.rmeta: examples/carbon_region_study.rs Cargo.toml
+
+examples/carbon_region_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

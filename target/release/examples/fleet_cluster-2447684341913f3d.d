@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fleet_cluster-2447684341913f3d.d: examples/fleet_cluster.rs Cargo.toml
+
+/root/repo/target/release/examples/libfleet_cluster-2447684341913f3d.rmeta: examples/fleet_cluster.rs Cargo.toml
+
+examples/fleet_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

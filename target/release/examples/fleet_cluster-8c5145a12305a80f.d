@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fleet_cluster-8c5145a12305a80f.d: examples/fleet_cluster.rs
+
+/root/repo/target/release/examples/fleet_cluster-8c5145a12305a80f: examples/fleet_cluster.rs
+
+examples/fleet_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-b2c1a4056372b41f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-b2c1a4056372b41f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fe68dea6cacc902d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fe68dea6cacc902d: examples/quickstart.rs
+
+examples/quickstart.rs:
