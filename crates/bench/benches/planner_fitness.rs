@@ -1,0 +1,152 @@
+//! Capacity-planner fitness hot path.
+//!
+//! One fitness evaluation is a full trace replay, so the planner lives
+//! or dies by (a) the memo cache turning repeat candidates into hash
+//! lookups and (b) `parallel_map` fanning a swarm generation out over
+//! cores. This bench times both against the uncached baseline and
+//! writes the headline numbers to `BENCH_planner.json` at the repo root
+//! so the planner's hot path has a tracked trajectory.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecolife_carbon::CarbonIntensityTrace;
+use ecolife_hw::Sku;
+use ecolife_planner::{FleetPlan, PlanEvaluator, PlanSpace, PlannerConfig};
+use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
+use std::time::Instant;
+
+fn setup() -> (Trace, CarbonIntensityTrace) {
+    let trace = SynthTraceConfig {
+        n_functions: 8,
+        duration_min: 45,
+        seed: 41,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::constant(300.0, 90);
+    (trace, ci)
+}
+
+fn space() -> PlanSpace {
+    PlanSpace::new(
+        vec![Sku::I3Metal, Sku::M5znMetal],
+        2,
+        3,
+        vec![4 * 1024, 8 * 1024],
+    )
+}
+
+fn evaluator<'a>(
+    trace: &'a Trace,
+    ci: &'a CarbonIntensityTrace,
+    parallel: bool,
+) -> PlanEvaluator<'a> {
+    PlanEvaluator::new(
+        space(),
+        trace,
+        ci,
+        PlannerConfig {
+            parallel,
+            ..PlannerConfig::default()
+        },
+    )
+}
+
+fn reference_plan() -> FleetPlan {
+    FleetPlan {
+        counts: vec![1, 1],
+        mem_budget_mib: 8 * 1024,
+    }
+}
+
+/// Mean wall-clock of `f` over `samples` runs (after one warm-up), in ns.
+fn time_ns<F: FnMut()>(samples: u32, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..samples {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / samples as f64
+}
+
+fn write_json(trace: &Trace, ci: &CarbonIntensityTrace) {
+    let plan = reference_plan();
+    let generation = space().enumerate();
+
+    // Uncached single evaluation: a fresh evaluator every run.
+    let uncached_ns = time_ns(5, || {
+        let eval = evaluator(trace, ci, false);
+        black_box(eval.score(&plan));
+    });
+    // Memoized single evaluation on a warm cache.
+    let warm = evaluator(trace, ci, false);
+    warm.score(&plan);
+    let memoized_ns = time_ns(1_000, || {
+        black_box(warm.score(&plan));
+    });
+    // One full generation (every feasible plan), parallel vs serial,
+    // fresh evaluator per run so nothing is cached.
+    let generation_parallel_ns = time_ns(3, || {
+        let eval = evaluator(trace, ci, true);
+        black_box(eval.fitness_batch(&generation));
+    });
+    let generation_serial_ns = time_ns(3, || {
+        let eval = evaluator(trace, ci, false);
+        black_box(eval.fitness_batch(&generation));
+    });
+
+    let json = format!
+        (
+        "{{\n  \"bench\": \"planner_fitness\",\n  \"trace_invocations\": {},\n  \"generation_plans\": {},\n  \"uncached_eval_ms\": {:.3},\n  \"memoized_eval_ns\": {:.0},\n  \"memo_speedup\": {:.0},\n  \"generation_parallel_ms\": {:.3},\n  \"generation_serial_ms\": {:.3},\n  \"parallel_speedup\": {:.2}\n}}\n",
+        trace.len(),
+        generation.len(),
+        uncached_ns / 1e6,
+        memoized_ns,
+        uncached_ns / memoized_ns.max(1.0),
+        generation_parallel_ns / 1e6,
+        generation_serial_ns / 1e6,
+        generation_serial_ns / generation_parallel_ns.max(1.0),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
+    std::fs::write(path, &json).expect("write BENCH_planner.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn bench(c: &mut Criterion) {
+    let (trace, ci) = setup();
+    write_json(&trace, &ci);
+
+    let plan = reference_plan();
+    c.bench_function("planner/fitness_uncached", |b| {
+        b.iter(|| {
+            let eval = evaluator(&trace, &ci, false);
+            black_box(eval.score(&plan))
+        })
+    });
+
+    let warm = evaluator(&trace, &ci, false);
+    warm.score(&plan);
+    c.bench_function("planner/fitness_memoized", |b| {
+        b.iter(|| black_box(warm.score(&plan)))
+    });
+
+    let generation = space().enumerate();
+    c.bench_function("planner/generation_parallel", |b| {
+        b.iter(|| {
+            let eval = evaluator(&trace, &ci, true);
+            black_box(eval.fitness_batch(&generation))
+        })
+    });
+    c.bench_function("planner/generation_serial", |b| {
+        b.iter(|| {
+            let eval = evaluator(&trace, &ci, false);
+            black_box(eval.fitness_batch(&generation))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench
+}
+criterion_main!(benches);

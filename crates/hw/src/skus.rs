@@ -228,6 +228,21 @@ impl Sku {
             Sku::M5znMetal => samsung_192(),
         }
     }
+
+    /// Embodied carbon of one *provisioned* node of this SKU (g CO2e):
+    /// the CPU package plus the full DRAM kit. This is the procurement
+    /// cost a capacity planner pays per node whether or not the node is
+    /// ever used — distinct from the per-use embodied *attribution* the
+    /// carbon model charges to individual executions and keep-alives.
+    pub fn node_embodied_g(self) -> f64 {
+        self.cpu().embodied_g + self.dram().embodied_g
+    }
+
+    /// The SKU's CPU release year (fleet-relative era tags and planner
+    /// reports key on this).
+    pub fn year(self) -> u16 {
+        self.cpu().year
+    }
 }
 
 impl std::fmt::Display for Sku {
@@ -239,6 +254,29 @@ impl std::fmt::Display for Sku {
             Sku::M5znMetal => write!(f, "m5zn.metal"),
         }
     }
+}
+
+/// The full deployable SKU catalog, oldest CPU first — the default
+/// candidate set a capacity planner searches over.
+pub fn catalog() -> Vec<Sku> {
+    Sku::ALL.to_vec()
+}
+
+/// Build a fleet from per-SKU node counts (catalog order preserved;
+/// zero-count SKUs contribute no nodes).
+///
+/// # Panics
+/// Panics when every count is zero — a fleet needs at least one node.
+pub fn fleet_of_counts(counts: &[(Sku, u32)]) -> Fleet {
+    let skus: Vec<Sku> = counts
+        .iter()
+        .flat_map(|&(sku, n)| std::iter::repeat_n(sku, n as usize))
+        .collect();
+    assert!(
+        !skus.is_empty(),
+        "a fleet needs at least one node: every SKU count is zero"
+    );
+    fleet_of(&skus)
 }
 
 /// Build a fleet from a SKU list: node `i` gets `NodeId(i)`.
@@ -405,9 +443,45 @@ mod tests {
     #[test]
     fn sku_display_and_catalog() {
         assert_eq!(Sku::ALL.len(), 4);
+        assert_eq!(catalog(), Sku::ALL.to_vec());
         assert_eq!(Sku::I3Metal.to_string(), "i3.metal");
         assert_eq!(Sku::M5znMetal.cpu().name, "Intel Xeon Platinum 8252C");
         assert_eq!(Sku::C5Metal.dram().name, "Micron-192");
+        assert_eq!(Sku::I3Metal.year(), 2016);
+    }
+
+    #[test]
+    fn node_embodied_sums_cpu_and_dram() {
+        for sku in Sku::ALL {
+            assert_eq!(
+                sku.node_embodied_g(),
+                sku.cpu().embodied_g + sku.dram().embodied_g
+            );
+            assert!(sku.node_embodied_g() > 0.0);
+        }
+        // The newest SKU's heavy CPU attribution outweighs even the i3's
+        // huge 512-GiB DRAM kit: provisioning new silicon is the most
+        // embodied-expensive choice — the planner's procurement trade-off.
+        assert!(Sku::M5znMetal.node_embodied_g() > Sku::I3Metal.node_embodied_g());
+    }
+
+    #[test]
+    fn fleet_of_counts_expands_in_catalog_order() {
+        let fleet = fleet_of_counts(&[(Sku::I3Metal, 1), (Sku::M5Metal, 0), (Sku::M5znMetal, 2)]);
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.node(NodeId(0)).cpu.name, xeon_e5_2686().name);
+        assert_eq!(fleet.node(NodeId(1)).cpu.name, xeon_platinum_8252c().name);
+        assert_eq!(fleet.node(NodeId(2)).cpu.name, xeon_platinum_8252c().name);
+        assert_eq!(
+            fleet,
+            fleet_of(&[Sku::I3Metal, Sku::M5znMetal, Sku::M5znMetal])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "every SKU count is zero")]
+    fn fleet_of_counts_rejects_the_empty_fleet() {
+        fleet_of_counts(&[(Sku::I3Metal, 0), (Sku::M5znMetal, 0)]);
     }
 
     #[test]

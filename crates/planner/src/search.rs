@@ -1,0 +1,330 @@
+//! The outer search: drive an optimizer (or exhaustive enumeration)
+//! over the plan space, with the simulator-backed fitness inside.
+
+use crate::fitness::{PlanEvaluator, PlanScore, PlannerConfig};
+use crate::plan::FleetPlan;
+use crate::space::PlanSpace;
+use ecolife_carbon::CarbonIntensityTrace;
+use ecolife_pso::{
+    BatchOptimizer, GaConfig, GeneticAlgorithm, Optimizer, Pso, PsoConfig, SaConfig,
+    SimulatedAnnealing,
+};
+use ecolife_trace::Trace;
+
+/// Which outer search drives the plan space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchAlgorithm {
+    /// Every feasible plan, scored (batch-parallel). Exact; viable for
+    /// small spaces and the ground truth the heuristics are tested
+    /// against.
+    Exhaustive,
+    /// Particle Swarm Optimization; generations fan out in parallel.
+    Pso,
+    /// Genetic Algorithm; generations fan out in parallel.
+    Ga,
+    /// Simulated Annealing; inherently sequential, but every proposal
+    /// still hits the memo cache.
+    Sa,
+}
+
+impl SearchAlgorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchAlgorithm::Exhaustive => "exhaustive",
+            SearchAlgorithm::Pso => "PSO",
+            SearchAlgorithm::Ga => "GA",
+            SearchAlgorithm::Sa => "SA",
+        }
+    }
+}
+
+/// Outcome of one search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    pub algorithm: &'static str,
+    pub best_plan: FleetPlan,
+    pub best_score: PlanScore,
+    /// Candidate positions proposed by the search (before dedup).
+    pub candidates: u64,
+    /// Simulations actually run across the whole search so far (memo
+    /// misses on this planner's shared cache).
+    pub simulations: u64,
+    /// Evaluations answered by the memo cache.
+    pub cache_hits: u64,
+}
+
+impl PlanReport {
+    /// One-line summary against a catalog.
+    pub fn describe(&self, space: &PlanSpace) -> String {
+        format!(
+            "{:<10} best {} | fitness {:.2} g (sim {:.2} + embodied {:.2} + slo {:.2}) | p95 {} ms, warm {:.2} | {} sims, {} cache hits",
+            self.algorithm,
+            self.best_plan.describe(space.catalog()),
+            self.best_score.fitness_g,
+            self.best_score.sim_carbon_g,
+            self.best_score.provisioned_embodied_g,
+            self.best_score.slo_penalty_g,
+            self.best_score.p95_service_ms,
+            self.best_score.warm_rate,
+            self.simulations,
+            self.cache_hits,
+        )
+    }
+}
+
+/// The capacity planner: a plan space bound to one workload and CI
+/// trace, sharing one memo cache across every search run on it.
+pub struct Planner<'a> {
+    evaluator: PlanEvaluator<'a>,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(
+        space: PlanSpace,
+        trace: &'a Trace,
+        ci: &'a CarbonIntensityTrace,
+        config: PlannerConfig,
+    ) -> Self {
+        Planner {
+            evaluator: PlanEvaluator::new(space, trace, ci, config),
+        }
+    }
+
+    /// The underlying evaluator (cache statistics, direct scoring).
+    pub fn evaluator(&self) -> &PlanEvaluator<'a> {
+        &self.evaluator
+    }
+
+    fn space(&self) -> &PlanSpace {
+        self.evaluator.space()
+    }
+
+    fn seed_for(&self, algorithm: SearchAlgorithm, restart: u32) -> u64 {
+        // Decorrelate the outer search's RNG from the inner schedulers'
+        // and from the other restarts.
+        let salt = match algorithm {
+            SearchAlgorithm::Exhaustive => 0x0,
+            SearchAlgorithm::Pso => 0x9e37_79b9_7f4a_7c15,
+            SearchAlgorithm::Ga => 0x6a09_e667_f3bc_c909,
+            SearchAlgorithm::Sa => 0xbb67_ae85_84ca_a73b,
+        };
+        self.evaluator.config().seed ^ salt ^ (restart as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Run one search. `iters` is the per-restart iteration budget for
+    /// the heuristic algorithms (generations for PSO/GA, temperature
+    /// epochs for SA) and ignored by `Exhaustive`; heuristics run
+    /// [`PlannerConfig::restarts`] independent restarts and keep the
+    /// best.
+    ///
+    /// Deterministic for a fixed [`PlannerConfig::seed`], independent of
+    /// thread count and of previous searches on this planner (the memo
+    /// cache stores pure-function results, so warm entries change counts,
+    /// never outcomes).
+    pub fn search(&self, algorithm: SearchAlgorithm, iters: usize) -> PlanReport {
+        if algorithm == SearchAlgorithm::Exhaustive {
+            return self.search_exhaustive();
+        }
+        let restarts = self.evaluator.config().restarts.max(1);
+        let mut best: Option<(FleetPlan, f64)> = None;
+        let mut candidates = 0u64;
+        for restart in 0..restarts {
+            let (plan, proposed) = match algorithm {
+                SearchAlgorithm::Pso => {
+                    let mut pso = Pso::new(
+                        self.space().search_space(),
+                        PsoConfig {
+                            seed: self.seed_for(algorithm, restart),
+                            ..PsoConfig::default()
+                        },
+                    );
+                    self.run_batched(&mut pso, iters)
+                }
+                SearchAlgorithm::Ga => {
+                    let mut ga = GeneticAlgorithm::new(
+                        self.space().search_space(),
+                        GaConfig {
+                            seed: self.seed_for(algorithm, restart),
+                            ..GaConfig::default()
+                        },
+                    );
+                    self.run_batched(&mut ga, iters)
+                }
+                SearchAlgorithm::Sa => self.run_sa(iters, restart),
+                SearchAlgorithm::Exhaustive => unreachable!(),
+            };
+            candidates += proposed;
+            // Compare restarts by fitness — safe for an infeasible
+            // restart (graded penalty, no panic), so one collapsed swarm
+            // cannot abort a search another restart has already won.
+            // Strictly-better keeps the earliest restart on ties, which
+            // keeps the result independent of restart count inflation.
+            let fitness = self.evaluator.fitness(&plan);
+            let better = best.as_ref().is_none_or(|(_, bf)| fitness < *bf);
+            if better {
+                best = Some((plan, fitness));
+            }
+        }
+        let (best_plan, _) = best.expect("restarts >= 1");
+        self.report(algorithm, best_plan, candidates)
+    }
+
+    /// Exact search: batch-score every feasible plan, argmin with the
+    /// enumeration's deterministic lexicographic order breaking ties.
+    fn search_exhaustive(&self) -> PlanReport {
+        let plans = self.space().enumerate();
+        assert!(!plans.is_empty(), "plan space has no feasible plan");
+        let fitnesses = self.evaluator.fitness_batch(&plans);
+        let mut best = 0;
+        for (i, f) in fitnesses.iter().enumerate() {
+            if *f < fitnesses[best] {
+                best = i;
+            }
+        }
+        self.report(
+            SearchAlgorithm::Exhaustive,
+            plans[best].clone(),
+            plans.len() as u64,
+        )
+    }
+
+    /// One optimizer run; returns its best decoded plan (feasible or
+    /// not — the caller compares by fitness) and the number of candidate
+    /// positions proposed.
+    fn run_batched<O: BatchOptimizer>(&self, optimizer: &mut O, iters: usize) -> (FleetPlan, u64) {
+        let candidates = std::cell::Cell::new(0u64);
+        for _ in 0..iters.max(1) {
+            optimizer.step_batched(&|batch: &[Vec<f64>]| {
+                candidates.set(candidates.get() + batch.len() as u64);
+                let plans: Vec<FleetPlan> = batch.iter().map(|x| self.space().decode(x)).collect();
+                self.evaluator.fitness_batch(&plans)
+            });
+        }
+        (
+            self.space().decode(optimizer.best_position()),
+            candidates.get(),
+        )
+    }
+
+    /// One annealing run; returns its best decoded plan and the number
+    /// of proposals evaluated (feasible or not).
+    fn run_sa(&self, iters: usize, restart: u32) -> (FleetPlan, u64) {
+        let mut sa = SimulatedAnnealing::new(
+            self.space().search_space(),
+            SaConfig {
+                seed: self.seed_for(SearchAlgorithm::Sa, restart),
+                ..SaConfig::default()
+            },
+        );
+        let candidates = std::cell::Cell::new(0u64);
+        let fitness = |x: &[f64]| {
+            candidates.set(candidates.get() + 1);
+            self.evaluator.fitness(&self.space().decode(x))
+        };
+        sa.run(&fitness, iters.max(1));
+        (self.space().decode(sa.best_position()), candidates.get())
+    }
+
+    fn report(
+        &self,
+        algorithm: SearchAlgorithm,
+        best_plan: FleetPlan,
+        candidates: u64,
+    ) -> PlanReport {
+        assert!(
+            self.space().is_feasible(&best_plan),
+            "{}: every restart converged to an infeasible plan (best: {best_plan:?}) — \
+             the search never found the feasible region; widen the space or raise iters",
+            algorithm.name()
+        );
+        PlanReport {
+            algorithm: algorithm.name(),
+            best_score: self.evaluator.score(&best_plan),
+            best_plan,
+            candidates,
+            simulations: self.evaluator.simulations(),
+            cache_hits: self.evaluator.cache_hits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecolife_core::EcoLifeConfig;
+    use ecolife_hw::Sku;
+    use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
+
+    fn setup() -> (Trace, CarbonIntensityTrace) {
+        let trace = SynthTraceConfig {
+            n_functions: 6,
+            duration_min: 30,
+            ..SynthTraceConfig::small(19)
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let ci = CarbonIntensityTrace::constant(280.0, 60);
+        (trace, ci)
+    }
+
+    fn tiny_space() -> PlanSpace {
+        PlanSpace::new(vec![Sku::I3Metal, Sku::M5znMetal], 1, 2, vec![4_096, 8_192])
+    }
+
+    fn quick_config() -> PlannerConfig {
+        PlannerConfig {
+            scheduler: EcoLifeConfig {
+                pso_iters: 2,
+                ..EcoLifeConfig::default()
+            },
+            ..PlannerConfig::default()
+        }
+    }
+
+    #[test]
+    fn exhaustive_scores_every_plan_once() {
+        let (trace, ci) = setup();
+        let planner = Planner::new(tiny_space(), &trace, &ci, quick_config());
+        let report = planner.search(SearchAlgorithm::Exhaustive, 0);
+        // {0,1}² totals in [1,2]: 3 count vectors × 2 budgets = 6 plans.
+        assert_eq!(report.candidates, 6);
+        assert_eq!(report.simulations, 6);
+        assert!(planner.evaluator().space().is_feasible(&report.best_plan));
+        // Best really is the minimum over the enumeration.
+        for plan in planner.evaluator().space().enumerate() {
+            assert!(report.best_score.fitness_g <= planner.evaluator().score(&plan).fitness_g);
+        }
+    }
+
+    #[test]
+    fn searches_are_deterministic_per_seed() {
+        let (trace, ci) = setup();
+        for algo in [
+            SearchAlgorithm::Pso,
+            SearchAlgorithm::Ga,
+            SearchAlgorithm::Sa,
+        ] {
+            let run = || Planner::new(tiny_space(), &trace, &ci, quick_config()).search(algo, 12);
+            let (a, b) = (run(), run());
+            assert_eq!(
+                a.best_plan, b.best_plan,
+                "{} not deterministic",
+                a.algorithm
+            );
+            assert_eq!(a.best_score, b.best_score);
+            assert_eq!(a.simulations, b.simulations);
+        }
+    }
+
+    #[test]
+    fn second_search_rides_the_shared_cache() {
+        let (trace, ci) = setup();
+        let planner = Planner::new(tiny_space(), &trace, &ci, quick_config());
+        let first = planner.search(SearchAlgorithm::Exhaustive, 0);
+        let second = planner.search(SearchAlgorithm::Pso, 10);
+        // PSO proposed candidates but the exhaustive pass already
+        // simulated the whole space: no new simulations were needed.
+        assert_eq!(second.simulations, first.simulations);
+        assert!(second.cache_hits > 0);
+        assert_eq!(second.best_score.fitness_g, first.best_score.fitness_g);
+    }
+}

@@ -20,7 +20,7 @@
 
 use crate::pso::{Pso, PsoConfig};
 use crate::space::SearchSpace;
-use crate::Optimizer;
+use crate::{BatchOptimizer, Optimizer};
 
 /// Weight ranges, matching Sec. V: ω ∈ [0.5, 1.0], c ∈ [0.3, 1.0].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +122,16 @@ impl DynamicPso {
     /// fitness before stepping.
     pub fn refresh_gbest<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
         self.inner.gbest_fitness = fitness(&self.inner.gbest_position);
+    }
+}
+
+impl BatchOptimizer for DynamicPso {
+    fn ask(&self) -> Vec<Vec<f64>> {
+        self.inner.ask()
+    }
+
+    fn tell(&mut self, fitnesses: &[f64]) {
+        self.inner.tell(fitnesses);
     }
 }
 

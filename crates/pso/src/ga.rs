@@ -6,7 +6,7 @@
 //! configured probability, per-gene Gaussian mutation, and elitism of one.
 
 use crate::space::SearchSpace;
-use crate::Optimizer;
+use crate::{BatchOptimizer, Optimizer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,21 +79,10 @@ impl GeneticAlgorithm {
             b
         }
     }
-}
 
-impl Optimizer for GeneticAlgorithm {
-    fn step<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
-        // Evaluate.
-        for (i, ind) in self.population.iter().enumerate() {
-            let f = fitness(ind);
-            self.fitnesses[i] = f;
-            if f < self.best_fitness {
-                self.best_fitness = f;
-                self.best_position.clone_from(ind);
-            }
-        }
-
-        // Breed the next generation, keeping the elite.
+    /// Breed the next generation from the recorded fitnesses, keeping the
+    /// elite — the movement half of one generation.
+    fn breed(&mut self) {
         let dims = self.space.dims();
         let mut next = Vec::with_capacity(self.population.len());
         next.push(self.best_position.clone());
@@ -123,6 +112,45 @@ impl Optimizer for GeneticAlgorithm {
         }
         self.population = next;
         self.generations += 1;
+    }
+}
+
+impl BatchOptimizer for GeneticAlgorithm {
+    fn ask(&self) -> Vec<Vec<f64>> {
+        self.population.clone()
+    }
+
+    fn tell(&mut self, fitnesses: &[f64]) {
+        assert_eq!(
+            fitnesses.len(),
+            self.population.len(),
+            "tell: got {} fitness values for a population of {}",
+            fitnesses.len(),
+            self.population.len()
+        );
+        for (i, &f) in fitnesses.iter().enumerate() {
+            self.fitnesses[i] = f;
+            if f < self.best_fitness {
+                self.best_fitness = f;
+                self.best_position.clone_from(&self.population[i]);
+            }
+        }
+        self.breed();
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn step<F: Fn(&[f64]) -> f64>(&mut self, fitness: &F) {
+        // Evaluate.
+        for (i, ind) in self.population.iter().enumerate() {
+            let f = fitness(ind);
+            self.fitnesses[i] = f;
+            if f < self.best_fitness {
+                self.best_fitness = f;
+                self.best_position.clone_from(ind);
+            }
+        }
+        self.breed();
     }
 
     fn best_position(&self) -> &[f64] {
@@ -198,6 +226,22 @@ mod tests {
                 assert!(space.contains(ind));
             }
         }
+    }
+
+    #[test]
+    fn ask_tell_is_equivalent_to_step() {
+        let space = SearchSpace::new(vec![(-5.0, 5.0); 2]);
+        let mut stepped = GeneticAlgorithm::new(space.clone(), GaConfig::default());
+        let mut batched = GeneticAlgorithm::new(space, GaConfig::default());
+        for _ in 0..15 {
+            stepped.step(&sphere);
+            let batch = batched.ask();
+            let fitnesses: Vec<f64> = batch.iter().map(|x| sphere(x)).collect();
+            batched.tell(&fitnesses);
+        }
+        assert_eq!(stepped.best_position(), batched.best_position());
+        assert_eq!(stepped.best_fitness(), batched.best_fitness());
+        assert_eq!(stepped.generations(), batched.generations());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub use dpso::{DpsoConfig, DynamicPso};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use pso::{Pso, PsoConfig};
 pub use sa::{SaConfig, SimulatedAnnealing};
+pub use space::decode;
 pub use space::SearchSpace;
 
 /// Common interface: iterate an optimizer against a fitness function and
@@ -56,5 +57,44 @@ pub trait Optimizer {
             self.step(fitness);
         }
         (self.best_position().to_vec(), self.best_fitness())
+    }
+}
+
+/// Ask/tell interface for population optimizers whose iteration is
+/// "evaluate every candidate, then move": [`ask`](BatchOptimizer::ask)
+/// exposes the generation's positions, the caller evaluates them however
+/// it likes (serially, memoized, fanned out over threads), and
+/// [`tell`](BatchOptimizer::tell) completes the iteration with the
+/// fitness values.
+///
+/// `ask` followed by `tell` with exact fitness values is equivalent to
+/// one [`Optimizer::step`] — the optimizer's own RNG is only consumed in
+/// the movement phase, so the trajectory is independent of *how* the
+/// batch was evaluated. That is what lets a caller parallelize fitness
+/// evaluation (e.g. one simulation per candidate) without giving up
+/// seed-determinism.
+///
+/// Simulated Annealing is deliberately not a `BatchOptimizer`: its walk
+/// proposes candidates one at a time, each conditioned on the previous
+/// acceptance, so there is no generation to batch.
+pub trait BatchOptimizer: Optimizer {
+    /// The positions the current iteration will evaluate, in a stable
+    /// order.
+    fn ask(&self) -> Vec<Vec<f64>>;
+
+    /// Complete the iteration with fitness values aligned to
+    /// [`ask`](BatchOptimizer::ask)'s order (lower is better).
+    ///
+    /// # Panics
+    /// Panics when `fitnesses.len()` differs from the size of the batch
+    /// returned by `ask`.
+    fn tell(&mut self, fitnesses: &[f64]);
+
+    /// One iteration through a batch evaluator: `ask` → `batch_fitness`
+    /// → `tell`.
+    fn step_batched<F: Fn(&[Vec<f64>]) -> Vec<f64>>(&mut self, batch_fitness: &F) {
+        let batch = self.ask();
+        let fitnesses = batch_fitness(&batch);
+        self.tell(&fitnesses);
     }
 }

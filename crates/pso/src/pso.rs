@@ -13,7 +13,7 @@
 //! (standard practice to avoid swarm explosion).
 
 use crate::space::SearchSpace;
-use crate::Optimizer;
+use crate::{BatchOptimizer, Optimizer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -125,6 +125,29 @@ impl Pso {
         }
     }
 
+    /// Record externally computed fitness values (aligned with particle
+    /// order), updating pbest/gbest — the `tell`-side half of
+    /// [`Pso::evaluate`].
+    fn record_fitnesses(&mut self, fitnesses: &[f64]) {
+        assert_eq!(
+            fitnesses.len(),
+            self.particles.len(),
+            "tell: got {} fitness values for {} particles",
+            fitnesses.len(),
+            self.particles.len()
+        );
+        for (p, &f) in self.particles.iter_mut().zip(fitnesses) {
+            if f < p.best_fitness {
+                p.best_fitness = f;
+                p.best_position.clone_from(&p.position);
+            }
+            if f < self.gbest_fitness {
+                self.gbest_fitness = f;
+                self.gbest_position.clone_from(&p.position);
+            }
+        }
+    }
+
     /// Move every particle per the velocity/position update rules.
     pub(crate) fn move_particles(&mut self) {
         let dims = self.space.dims();
@@ -142,6 +165,18 @@ impl Pso {
             }
             self.space.clamp(&mut p.position);
         }
+    }
+}
+
+impl BatchOptimizer for Pso {
+    fn ask(&self) -> Vec<Vec<f64>> {
+        self.particles.iter().map(|p| p.position.clone()).collect()
+    }
+
+    fn tell(&mut self, fitnesses: &[f64]) {
+        self.record_fitnesses(fitnesses);
+        self.move_particles();
+        self.iterations += 1;
     }
 }
 
@@ -239,6 +274,28 @@ mod tests {
         pso.run(&sphere, 7);
         assert_eq!(pso.iterations(), 7);
         assert_eq!(pso.n_particles(), 15);
+    }
+
+    #[test]
+    fn ask_tell_is_equivalent_to_step() {
+        let mut stepped = Pso::new(space3(), PsoConfig::default());
+        let mut batched = Pso::new(space3(), PsoConfig::default());
+        for _ in 0..20 {
+            stepped.step(&sphere);
+            let batch = batched.ask();
+            let fitnesses: Vec<f64> = batch.iter().map(|x| sphere(x)).collect();
+            batched.tell(&fitnesses);
+        }
+        assert_eq!(stepped.best_position(), batched.best_position());
+        assert_eq!(stepped.best_fitness(), batched.best_fitness());
+        assert_eq!(stepped.iterations(), batched.iterations());
+    }
+
+    #[test]
+    #[should_panic(expected = "tell: got")]
+    fn tell_rejects_misaligned_batch() {
+        let mut pso = Pso::new(space3(), PsoConfig::default());
+        pso.tell(&[1.0, 2.0]);
     }
 
     #[test]

@@ -56,6 +56,29 @@ impl SearchSpace {
         SearchSpace::placement(2, n_periods)
     }
 
+    /// A continuous relaxation of an integer grid: dimension `d` spans
+    /// `[0, cardinalities[d] - 1]` and decodes by rounding to the nearest
+    /// index ([`decode::grid_index`]). This is how non-placement genomes
+    /// (e.g. the capacity planner's per-SKU node counts) ride the same
+    /// optimizers as the keep-alive space — [`SearchSpace::placement`] is
+    /// the `[n_nodes, n_periods]` special case.
+    ///
+    /// A single-choice axis (`cardinality == 1`) gets a degenerate
+    /// `[0, 1]` interval; `grid_index` clamps every sample back to 0.
+    pub fn grid(cardinalities: &[usize]) -> Self {
+        assert!(!cardinalities.is_empty(), "grid needs ≥1 dimension");
+        SearchSpace::new(
+            cardinalities
+                .iter()
+                .enumerate()
+                .map(|(d, &n)| {
+                    assert!(n >= 1, "dim {d}: grid cardinality must be ≥1");
+                    (0.0, (n - 1).max(1) as f64)
+                })
+                .collect(),
+        )
+    }
+
     #[inline]
     pub fn dims(&self) -> usize {
         self.bounds.len()
@@ -97,13 +120,20 @@ impl SearchSpace {
     }
 }
 
-/// Decode helpers for the placement space.
+/// Decode helpers for the placement and grid spaces.
 pub mod decode {
+    /// Generic grid decode: nearest index, clamped to
+    /// `[0, cardinality - 1]`.
+    #[inline]
+    pub fn grid_index(x: f64, cardinality: usize) -> usize {
+        (x.round().max(0.0) as usize).min(cardinality - 1)
+    }
+
     /// Dimension-0 decode: nearest fleet node index, clamped to
     /// `[0, n_nodes - 1]`.
     #[inline]
     pub fn node_index(x0: f64, n_nodes: usize) -> usize {
-        (x0.round().max(0.0) as usize).min(n_nodes - 1)
+        grid_index(x0, n_nodes)
     }
 
     /// Two-node dimension-0 decode: `< 0.5` → old (false), else new
@@ -116,7 +146,7 @@ pub mod decode {
     /// Dimension-1 decode: nearest keep-alive period index, clamped.
     #[inline]
     pub fn period_index(x1: f64, n_periods: usize) -> usize {
-        (x1.round().max(0.0) as usize).min(n_periods - 1)
+        grid_index(x1, n_periods)
     }
 }
 
@@ -152,6 +182,30 @@ mod tests {
         assert_eq!(decode::node_index(1.6, 3), 2);
         assert_eq!(decode::node_index(9.0, 3), 2);
         assert_eq!(decode::node_index(-1.0, 3), 0);
+    }
+
+    #[test]
+    fn grid_space_generalizes_placement() {
+        // placement(n, p) is grid(&[n, p]).
+        assert_eq!(SearchSpace::grid(&[5, 11]), SearchSpace::placement(5, 11));
+        let s = SearchSpace::grid(&[3, 1, 4]);
+        assert_eq!(s.dims(), 3);
+        assert_eq!(s.bounds()[0], (0.0, 2.0));
+        // Single-choice axis gets the degenerate [0, 1] interval…
+        assert_eq!(s.bounds()[1], (0.0, 1.0));
+        // …and decodes to 0 everywhere.
+        for x in [0.0, 0.4, 0.9, 1.0] {
+            assert_eq!(decode::grid_index(x, 1), 0);
+        }
+        assert_eq!(decode::grid_index(2.4, 4), 2);
+        assert_eq!(decode::grid_index(9.0, 4), 3);
+        assert_eq!(decode::grid_index(-3.0, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinality must be ≥1")]
+    fn grid_rejects_empty_axis() {
+        SearchSpace::grid(&[3, 0]);
     }
 
     #[test]

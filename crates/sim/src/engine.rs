@@ -46,6 +46,22 @@ impl Default for SimConfig {
     }
 }
 
+/// One-shot evaluation: replay `trace` over `fleet` under `scheduler`
+/// with the default engine config and return the full metrics.
+///
+/// This is the entry point batch evaluators build on — the capacity
+/// planner scores every candidate fleet by calling it once per genome —
+/// and is exactly `Simulation::new(trace, ci, fleet).run(scheduler)`.
+/// It is deterministic: same inputs, same metrics, on any thread.
+pub fn evaluate<S: Scheduler>(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    fleet: impl Into<Fleet>,
+    scheduler: &mut S,
+) -> RunMetrics {
+    Simulation::new(trace, ci, fleet).run(scheduler)
+}
+
 /// A configured simulation, ready to run against any scheduler.
 pub struct Simulation<'a> {
     trace: &'a Trace,
@@ -77,6 +93,7 @@ impl<'a> Simulation<'a> {
         let mut cluster = Cluster::new(self.fleet.clone());
         let mut metrics = RunMetrics::default();
         metrics.records.reserve(self.trace.len());
+        metrics.keepalive_g_by_node = vec![0.0; self.fleet.len()];
         scheduler.prepare(self.trace);
 
         let node_ids: Vec<NodeId> = self.fleet.ids().collect();
@@ -338,6 +355,7 @@ impl<'a> Simulation<'a> {
             self.config
                 .carbon_model
                 .keepalive_phase(node, container.memory_mib, duration, ci_avg);
+        metrics.keepalive_g_by_node[node.id.index()] += fp.total_g();
         let rec = &mut metrics.records[container.origin_record];
         rec.keepalive_carbon += fp;
         rec.energy_kwh +=
@@ -750,6 +768,48 @@ mod tests {
             0,
         ));
         assert!(m.total_energy_kwh() > service_only.total_energy_kwh());
+    }
+
+    #[test]
+    fn evaluate_matches_simulation_run() {
+        let trace = trace_of(&[0, 2 * MINUTE_MS]);
+        let ci = ci300();
+        let via_sim = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut Fixed::new(
+            Generation::New,
+            Generation::New,
+            10,
+        ));
+        let via_eval = evaluate(
+            &trace,
+            &ci,
+            skus::pair_a(),
+            &mut Fixed::new(Generation::New, Generation::New, 10),
+        );
+        assert_eq!(via_sim.records, via_eval.records);
+        assert_eq!(via_sim.keepalive_g_by_node, via_eval.keepalive_g_by_node);
+    }
+
+    #[test]
+    fn per_node_keepalive_follows_the_hosting_pool() {
+        // Keep-alive scheduled on node 0 while execution runs on node 1:
+        // the hosting node, not the exec node, carries the grams.
+        let trace = trace_of(&[0]);
+        let ci = ci300();
+        let m = Simulation::new(&trace, &ci, skus::pair_a()).run(&mut Fixed::new(
+            Generation::New,
+            Generation::Old,
+            10,
+        ));
+        assert_eq!(m.keepalive_g_by_node.len(), 2);
+        assert!(m.keepalive_g_by_node[0] > 0.0);
+        assert_eq!(m.keepalive_g_by_node[1], 0.0);
+        let total_ka: f64 = m.keepalive_g_by_node.iter().sum();
+        assert!((total_ka - m.total_keepalive_carbon_g()).abs() < 1e-9);
+        // And the per-node totals add up to the run total.
+        let by_node = m.carbon_g_by_node();
+        assert!((by_node.iter().sum::<f64>() - m.total_carbon_g()).abs() < 1e-9);
+        // Execution happened on node 1, so its service carbon sits there.
+        assert!(by_node[1] > 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod scheduler;
 
 pub use cluster::Cluster;
 pub use container::WarmContainer;
-pub use engine::{SimConfig, Simulation};
+pub use engine::{evaluate, SimConfig, Simulation};
 pub use metrics::{InvocationRecord, RunMetrics};
 pub use pool::WarmPool;
 pub use scheduler::{

@@ -51,6 +51,13 @@ pub struct RunMetrics {
     /// (the decision-making overhead the paper bounds at <0.4% of
     /// service time).
     pub decision_overhead_ns: u64,
+    /// Keep-alive carbon (g) by hosting node (index = `NodeId`). Records
+    /// attribute keep-alive to the *scheduling* invocation; this vector
+    /// attributes the same grams to the node whose pool hosted the
+    /// container, which is what per-node accounting needs when a
+    /// transfer moves a container across nodes mid-keep-alive. The
+    /// engine sizes it to the fleet; it is empty on a default value.
+    pub keepalive_g_by_node: Vec<f64>,
 }
 
 impl RunMetrics {
@@ -138,6 +145,26 @@ impl RunMetrics {
         let mut v: Vec<f64> = self.records.iter().map(|r| r.total_carbon_g()).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v
+    }
+
+    /// Total carbon (g) by fleet node: each node's hosted keep-alive
+    /// plus the service carbon of the executions placed on it. Sums to
+    /// [`RunMetrics::total_carbon_g`]. The vector covers every node the
+    /// engine simulated (zero-traffic nodes included).
+    pub fn carbon_g_by_node(&self) -> Vec<f64> {
+        let n = self
+            .records
+            .iter()
+            .map(|r| r.exec_location.index() + 1)
+            .chain([self.keepalive_g_by_node.len()])
+            .max()
+            .unwrap_or(0);
+        let mut by_node = vec![0.0; n];
+        by_node[..self.keepalive_g_by_node.len()].copy_from_slice(&self.keepalive_g_by_node);
+        for r in &self.records {
+            by_node[r.exec_location.index()] += r.service_carbon.total_g();
+        }
+        by_node
     }
 
     /// Decision overhead as a fraction of total service time.
@@ -243,6 +270,19 @@ mod tests {
         assert_eq!(percent_increase(100.0, 100.0), 0.0);
         assert_eq!(percent_increase(50.0, 0.0), 0.0);
         assert_eq!(percent_increase(90.0, 100.0), -10.0);
+    }
+
+    #[test]
+    fn per_node_carbon_sums_to_total() {
+        let mut m = metrics();
+        // Two-node fleet; all four records executed on node 1, keep-alive
+        // split across both nodes (0.05 transferred onto node 0).
+        m.keepalive_g_by_node = vec![0.05, 0.10];
+        let by_node = m.carbon_g_by_node();
+        assert_eq!(by_node.len(), 2);
+        assert!((by_node.iter().sum::<f64>() - m.total_carbon_g()).abs() < 1e-12);
+        assert!((by_node[0] - 0.05).abs() < 1e-12);
+        assert!((by_node[1] - (1.0 + 0.10)).abs() < 1e-12);
     }
 
     #[test]

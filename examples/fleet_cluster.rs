@@ -24,6 +24,15 @@ fn placement_row(fleet: &Fleet, m: &RunMetrics) -> String {
         .join("  ")
 }
 
+fn carbon_row(fleet: &Fleet, m: &RunMetrics) -> String {
+    fleet
+        .ids()
+        .zip(m.carbon_g_by_node())
+        .map(|(id, g)| format!("{id}:{g:>8.2}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
 fn main() {
     // A fleet of three CPU generations, each with a 10-GiB warm pool.
     let fleet = skus::fleet_of(&[Sku::I3Metal, Sku::M5Metal, Sku::M5znMetal])
@@ -88,12 +97,20 @@ fn main() {
             s.warm_rate,
             placement_row(&fleet, &m),
         );
+        println!(
+            "{:<10} {:>37} {}",
+            "",
+            "carbon g per node:",
+            carbon_row(&fleet, &m)
+        );
     }
 
     println!(
         "\nThe fleet-aware schemes split traffic across generations: fast\n\
          executions land on the newest node while keep-alive-heavy functions\n\
          sit on older silicon, which is exactly the trade-off the two-node\n\
-         paper setup demonstrates — now over an arbitrary node count."
+         paper setup demonstrates — now over an arbitrary node count. The\n\
+         per-node carbon rows (hosted keep-alive + service of the executions\n\
+         placed there) show where each scheme actually spends its grams."
     );
 }

@@ -36,7 +36,10 @@
 //! * [`pso`] — PSO / Dynamic PSO / GA / SA optimizers over fleet-sized
 //!   placement spaces;
 //! * [`core`] — the EcoLife scheduler, every baseline of the paper's
-//!   evaluation, and the experiment runner.
+//!   evaluation, and the experiment runner;
+//! * [`planner`] — fleet capacity planning: searches SKU mixes and
+//!   memory budgets against a workload, with the scheduler + simulator
+//!   as the inner evaluator (see `examples/capacity_planning.rs`).
 //!
 //! ## Quickstart
 //!
@@ -72,6 +75,7 @@
 pub use ecolife_carbon as carbon;
 pub use ecolife_core as core;
 pub use ecolife_hw as hw;
+pub use ecolife_planner as planner;
 pub use ecolife_pso as pso;
 pub use ecolife_sim as sim;
 pub use ecolife_trace as trace;
@@ -89,9 +93,13 @@ pub mod prelude {
     pub use ecolife_hw::{
         skus, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId, Sku,
     };
+    pub use ecolife_planner::{
+        FleetPlan, PlanEvaluator, PlanReport, PlanScore, PlanSpace, Planner, PlannerConfig,
+        SearchAlgorithm,
+    };
     pub use ecolife_pso::{
-        DpsoConfig, DynamicPso, GaConfig, GeneticAlgorithm, Optimizer, Pso, PsoConfig, SaConfig,
-        SearchSpace, SimulatedAnnealing,
+        BatchOptimizer, DpsoConfig, DynamicPso, GaConfig, GeneticAlgorithm, Optimizer, Pso,
+        PsoConfig, SaConfig, SearchSpace, SimulatedAnnealing,
     };
     pub use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation, MINUTE_MS};
     pub use ecolife_trace::{

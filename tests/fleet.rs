@@ -3,6 +3,9 @@
 //! genuine multi-way placement choice.
 
 use ecolife::prelude::*;
+use ecolife::sim::{
+    AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx,
+};
 use std::collections::BTreeMap;
 
 fn setup() -> (Trace, CarbonIntensityTrace, Fleet) {
@@ -127,6 +130,111 @@ fn oracle_dominance_holds_on_the_three_node_fleet() {
     // three nodes.
     assert!(st.total_service_ms <= eco.total_service_ms);
     assert!(co2.total_carbon_g <= eco.total_carbon_g * 1.001);
+}
+
+/// Pins everything to the fleet's newest node; on overflow, displaces
+/// every resident and retries them against the given transfer ranking
+/// (`None` = the engine's default: every other node in id order).
+struct OverflowWith {
+    transfer_targets: Option<Vec<NodeId>>,
+}
+
+impl Scheduler for OverflowWith {
+    fn name(&self) -> &'static str {
+        "overflow-with"
+    }
+    fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+        let newest = ctx.cluster.fleet().newest();
+        Decision {
+            exec: newest,
+            keepalive: Some(KeepAliveChoice {
+                location: newest,
+                duration_ms: 10 * MINUTE_MS,
+            }),
+        }
+    }
+    fn on_pool_overflow(&mut self, ctx: &OverflowCtx<'_>) -> OverflowAction {
+        let resident: Vec<FunctionId> = ctx
+            .cluster
+            .pool(ctx.location)
+            .iter()
+            .map(|c| c.func)
+            .collect();
+        OverflowAction::Adjust(AdjustPlan {
+            displace: resident,
+            place_incoming: true,
+            transfer_targets: self.transfer_targets.clone(),
+        })
+    }
+}
+
+#[test]
+fn transfer_ranking_beats_greedy_id_order_on_an_adversarial_fleet() {
+    // Adversarial node numbering: the mid-generation m5.metal sits at
+    // node 0 and the cheap-to-keep-warm i3.metal at node 1. A displaced
+    // container's *greedy* default target (lowest id first) is node 0,
+    // but the carbon-optimal target — what `CostModel::transfer_ranking`
+    // computes and EcoLife hands the engine — is node 1.
+    let fleet = skus::fleet_of(&[Sku::M5Metal, Sku::I3Metal, Sku::M5znMetal])
+        .with_uniform_keepalive_budget_mib(512);
+    let ci = CarbonIntensityTrace::constant(300.0, 120);
+    let cost = CostModel::new(fleet.clone(), CarbonModel::default(), 0.5, 0.5, 50, 600_000);
+
+    // The two orderings genuinely disagree on the first-choice target.
+    let ranked = cost.transfer_ranking(NodeId(2), 300.0);
+    let greedy = fleet.transfer_candidates(NodeId(2));
+    assert_eq!(ranked, vec![NodeId(1), NodeId(0)]);
+    assert_eq!(greedy, vec![NodeId(0), NodeId(1)]);
+    assert_ne!(ranked[0], greedy[0]);
+
+    // Two 512-MiB functions both kept alive on node 2 (pool fits one):
+    // the second keep-alive displaces the first.
+    let catalog = WorkloadCatalog::new(vec![
+        FunctionProfile::new("a", 1_000, 2_000, 512, 0.5),
+        FunctionProfile::new("b", 1_000, 2_000, 512, 0.5),
+    ]);
+    let trace = Trace::new(
+        catalog,
+        vec![
+            Invocation {
+                func: FunctionId(0),
+                t_ms: 0,
+            },
+            Invocation {
+                func: FunctionId(1),
+                t_ms: 10_000,
+            },
+        ],
+    );
+
+    let run = |targets: Option<Vec<NodeId>>| {
+        Simulation::new(&trace, &ci, fleet.clone()).run(&mut OverflowWith {
+            transfer_targets: targets,
+        })
+    };
+    let with_ranking = run(Some(ranked));
+    let with_greedy = run(None);
+
+    // Both transfer exactly one container, to different hosts: the
+    // ranking lands it on the i3 (node 1), greedy on the m5 (node 0).
+    for m in [&with_ranking, &with_greedy] {
+        assert_eq!(m.transfers, 1);
+        assert_eq!(m.evicted_functions, 0);
+    }
+    assert!(with_ranking.keepalive_g_by_node[1] > 0.0);
+    assert_eq!(with_ranking.keepalive_g_by_node[0], 0.0);
+    assert!(with_greedy.keepalive_g_by_node[0] > 0.0);
+    assert_eq!(with_greedy.keepalive_g_by_node[1], 0.0);
+
+    // And the carbon-optimal target really is cheaper: same trace, same
+    // warm outcomes, lower total keep-alive carbon.
+    assert_eq!(with_ranking.warm_starts(), with_greedy.warm_starts());
+    assert!(
+        with_ranking.total_keepalive_carbon_g() < with_greedy.total_keepalive_carbon_g(),
+        "ranked {} g vs greedy {} g",
+        with_ranking.total_keepalive_carbon_g(),
+        with_greedy.total_keepalive_carbon_g()
+    );
 }
 
 #[test]

@@ -1,0 +1,156 @@
+//! Integration: the capacity planner end-to-end.
+//!
+//! The headline property: on a small plan space, every heuristic search
+//! (PSO, GA, SA) converges to the **same optimum exhaustive enumeration
+//! finds** — deterministically for a fixed seed, and identically whether
+//! candidate evaluation fans out over threads or runs serially.
+
+use ecolife::prelude::*;
+
+fn setup() -> (Trace, CarbonIntensityTrace) {
+    let trace = SynthTraceConfig {
+        n_functions: 8,
+        duration_min: 45,
+        seed: 23,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 90, 23);
+    (trace, ci)
+}
+
+/// 2 SKUs × counts {0,1,2} with ≤3 total × 2 budgets = 14 feasible plans.
+fn small_space() -> PlanSpace {
+    PlanSpace::new(
+        vec![Sku::I3Metal, Sku::M5znMetal],
+        2,
+        3,
+        vec![4 * 1024, 8 * 1024],
+    )
+}
+
+fn quick_config(parallel: bool) -> PlannerConfig {
+    PlannerConfig {
+        parallel,
+        scheduler: EcoLifeConfig {
+            pso_iters: 2,
+            ..EcoLifeConfig::default()
+        },
+        ..PlannerConfig::default()
+    }
+}
+
+#[test]
+fn heuristics_match_exhaustive_on_a_small_space() {
+    let (trace, ci) = setup();
+    let space = small_space();
+    assert!(space.plan_count() <= 64, "space too large for this test");
+
+    let planner = Planner::new(space, &trace, &ci, quick_config(true));
+    let truth = planner.search(SearchAlgorithm::Exhaustive, 0);
+    assert_eq!(truth.simulations, 14);
+
+    for (algo, iters) in [
+        (SearchAlgorithm::Pso, 40),
+        (SearchAlgorithm::Ga, 40),
+        (SearchAlgorithm::Sa, 60),
+    ] {
+        let report = planner.search(algo, iters);
+        assert_eq!(
+            report.best_plan, truth.best_plan,
+            "{} found {:?}, exhaustive found {:?}",
+            report.algorithm, report.best_plan, truth.best_plan
+        );
+        assert_eq!(report.best_score, truth.best_score);
+        // The whole space was already simulated: heuristics ride the memo
+        // cache and never pay for a repeat candidate.
+        assert_eq!(report.simulations, truth.simulations);
+        assert!(report.cache_hits > 0);
+    }
+}
+
+#[test]
+fn search_is_deterministic_and_thread_count_independent() {
+    let (trace, ci) = setup();
+    for algo in [
+        SearchAlgorithm::Exhaustive,
+        SearchAlgorithm::Pso,
+        SearchAlgorithm::Ga,
+        SearchAlgorithm::Sa,
+    ] {
+        let run = |parallel: bool| {
+            Planner::new(small_space(), &trace, &ci, quick_config(parallel)).search(algo, 25)
+        };
+        let parallel = run(true);
+        let parallel_again = run(true);
+        let serial = run(false);
+        assert_eq!(
+            parallel, parallel_again,
+            "{} differs between identical runs",
+            parallel.algorithm
+        );
+        // Outcome (plan and score) is identical at any thread count; the
+        // bookkeeping counters legitimately differ (the batch path
+        // answers repeats from cache, the serial path interleaves).
+        assert_eq!(
+            parallel.best_plan, serial.best_plan,
+            "{} picks a different plan under parallel evaluation",
+            parallel.algorithm
+        );
+        assert_eq!(
+            parallel.best_score, serial.best_score,
+            "{} scores diverge between parallel and serial evaluation",
+            parallel.algorithm
+        );
+        assert_eq!(parallel.candidates, serial.candidates);
+    }
+}
+
+#[test]
+fn best_plan_beats_naive_single_node_buys() {
+    let (trace, ci) = setup();
+    let planner = Planner::new(small_space(), &trace, &ci, quick_config(true));
+    let best = planner.search(SearchAlgorithm::Exhaustive, 0);
+    // The optimum is at least as good as either one-node-of-one-SKU buy
+    // at either budget — the trivial plans an operator would eyeball.
+    for counts in [vec![1, 0], vec![0, 1]] {
+        for budget in [4 * 1024, 8 * 1024] {
+            let naive = FleetPlan {
+                counts: counts.clone(),
+                mem_budget_mib: budget,
+            };
+            let score = planner.evaluator().score(&naive);
+            assert!(
+                best.best_score.fitness_g <= score.fitness_g,
+                "optimum {:.2} worse than naive {naive:?} at {:.2}",
+                best.best_score.fitness_g,
+                score.fitness_g
+            );
+        }
+    }
+}
+
+#[test]
+fn slo_tightening_shifts_the_frontier_toward_service() {
+    // A Pareto-style sweep: tightening the P95 SLO can only hold or
+    // improve the achieved P95 of the chosen plan, and can only hold or
+    // worsen its carbon bill — the planner trades carbon for latency.
+    let (trace, ci) = setup();
+    let optimum_at = |slo_ms: u64| {
+        let planner = Planner::new(
+            small_space(),
+            &trace,
+            &ci,
+            PlannerConfig {
+                slo_p95_ms: slo_ms,
+                ..quick_config(true)
+            },
+        );
+        planner.search(SearchAlgorithm::Exhaustive, 0).best_score
+    };
+    let relaxed = optimum_at(60_000);
+    let tight = optimum_at(2_000);
+    assert!(tight.p95_service_ms <= relaxed.p95_service_ms);
+    let carbon = |s: &PlanScore| s.sim_carbon_g + s.provisioned_embodied_g;
+    assert!(carbon(&tight) >= carbon(&relaxed) - 1e-9);
+}
