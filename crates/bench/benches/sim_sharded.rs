@@ -1,0 +1,132 @@
+//! Sharded replay engine throughput: 1 vs N shards on a
+//! million-invocation synthetic trace.
+//!
+//! The simulator is the inner loop of everything above it (every planner
+//! fitness evaluation is a replay), so this bench tracks the one number
+//! the sharding tentpole exists for: wall-clock over a ≥10⁶-invocation
+//! workload, sequential vs `Simulation::run_sharded` at 8 shards — for
+//! the bare engine (fixed policy) and for the full EcoLife scheduler
+//! (per-function DPSO, the realistic hot path). Headline numbers land in
+//! `BENCH_sim.json` at the repo root, alongside the host's CPU budget:
+//! shards only buy wall-clock on real cores, so the recorded
+//! `host_cpus` is what any speedup claim must be read against (a 1-CPU
+//! container measures parity; the sharded path's work distribution and
+//! determinism are locked by the test suite either way).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecolife_carbon::{CarbonIntensityTrace, Region};
+use ecolife_core::{EcoLife, EcoLifeConfig, FixedPolicy};
+use ecolife_hw::{skus, Fleet};
+use ecolife_sim::{ShardOptions, Simulation};
+use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
+use std::time::Instant;
+
+/// The benchmark's shard fan-out width (and target worker count).
+const SHARDS: usize = 8;
+
+fn million_setup() -> (Trace, CarbonIntensityTrace, Fleet) {
+    let trace = SynthTraceConfig::million(41).generate_scaled(&WorkloadCatalog::sebs());
+    assert!(trace.len() >= 1_000_000, "only {} invocations", trace.len());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
+    // Pools sized so the million-invocation run never overflows: the
+    // bench measures replay throughput, not eviction churn (the
+    // contention path has its own adversarial + property tests).
+    let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(32_000_000);
+    (trace, ci, fleet)
+}
+
+fn wall_ms<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn write_json() {
+    let (trace, ci, fleet) = million_setup();
+    let sim = Simulation::new(&trace, &ci, fleet.clone());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = SHARDS.min(host_cpus);
+
+    // Bare engine (fixed 10-minute policy): replay overhead only.
+    let engine_seq_ms = wall_ms(|| {
+        let mut s = FixedPolicy::pinned(fleet.newest(), 10);
+        black_box(sim.run(&mut s));
+    });
+    let engine_sharded_ms = wall_ms(|| {
+        black_box(sim.run_sharded(
+            |_| FixedPolicy::pinned(fleet.newest(), 10),
+            &ShardOptions::new(SHARDS).with_threads(threads),
+        ));
+    });
+
+    // Full EcoLife (per-function DPSO per decision): the realistic
+    // scheduler-bound hot path the planner's inner loop pays for.
+    let eco = || EcoLife::new(fleet.clone(), EcoLifeConfig::default());
+    let eco_seq_ms = wall_ms(|| {
+        let mut s = eco();
+        black_box(sim.run(&mut s));
+    });
+    let eco_sharded_ms = wall_ms(|| {
+        black_box(sim.run_sharded(|_| eco(), &ShardOptions::new(SHARDS).with_threads(threads)));
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim_sharded\",\n  \"trace_invocations\": {},\n  \"trace_functions\": {},\n  \"fleet_nodes\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"engine_sequential_ms\": {:.0},\n  \"engine_sharded_ms\": {:.0},\n  \"engine_speedup\": {:.2},\n  \"ecolife_sequential_ms\": {:.0},\n  \"ecolife_sharded_ms\": {:.0},\n  \"ecolife_speedup\": {:.2},\n  \"note\": \"speedup = sequential/sharded wall-clock on this host; shards are perfectly partitioned, so expected speedup approaches min(shards, cores) — on a 1-CPU host this records parity by construction\"\n}}\n",
+        trace.len(),
+        trace.catalog().len(),
+        fleet.len(),
+        SHARDS,
+        threads,
+        host_cpus,
+        engine_seq_ms,
+        engine_sharded_ms,
+        engine_seq_ms / engine_sharded_ms.max(1.0),
+        eco_seq_ms,
+        eco_sharded_ms,
+        eco_seq_ms / eco_sharded_ms.max(1.0),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn bench(c: &mut Criterion) {
+    write_json();
+
+    // Timed loop on a ~100k-invocation slice of the same distribution so
+    // `cargo bench sim_sharded` stays interactive.
+    let trace = SynthTraceConfig {
+        n_functions: 600,
+        duration_min: 600,
+        seed: 41,
+        ..Default::default()
+    }
+    .generate_scaled(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
+    let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(512 * 1024);
+    let sim = Simulation::new(&trace, &ci, fleet.clone());
+
+    c.bench_function("sim/engine_sequential_100k", |b| {
+        b.iter(|| {
+            let mut s = FixedPolicy::pinned(fleet.newest(), 10);
+            black_box(sim.run(&mut s))
+        })
+    });
+    c.bench_function("sim/engine_sharded8_100k", |b| {
+        b.iter(|| {
+            black_box(sim.run_sharded(
+                |_| FixedPolicy::pinned(fleet.newest(), 10),
+                &ShardOptions::new(SHARDS),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = bench
+}
+criterion_main!(benches);

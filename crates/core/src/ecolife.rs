@@ -58,14 +58,32 @@ fn decode_placement(
 }
 
 /// The EcoLife scheduler.
+///
+/// All cross-function state (the ΔCI perception) is a pure function of
+/// simulated time, and per-function state (predictor + swarm, seeded
+/// from the function id) never reads another function's history — so an
+/// EcoLife instance handed only a function-hash shard of the trace makes
+/// exactly the decisions the whole-trace instance makes for those
+/// functions. That is what lets `Simulation::run_sharded` replay shards
+/// in parallel, one EcoLife per shard, bit-identically.
 pub struct EcoLife {
     config: EcoLifeConfig,
     cost: CostModel,
     catalog: WorkloadCatalog,
     states: HashMap<FunctionId, FunctionState>,
     ci_delta: SignalDelta,
-    last_ci_observation_t: Option<u64>,
+    /// Minutes `0..=last_ci_minute` of the CI series have been fed to
+    /// `ci_delta` (one observation per simulated minute, invocation
+    /// rhythm notwithstanding).
+    last_ci_minute: Option<u64>,
 }
+
+// Scheduler state must be shard-local: `run_sharded` moves one EcoLife
+// instance into each worker thread.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<EcoLife>();
+};
 
 impl EcoLife {
     /// Build the scheduler for a hardware fleet (a `HardwarePair`
@@ -105,7 +123,7 @@ impl EcoLife {
             catalog: WorkloadCatalog::default(),
             states: HashMap::new(),
             ci_delta: SignalDelta::new(),
-            last_ci_observation_t: None,
+            last_ci_minute: None,
         }
     }
 
@@ -161,17 +179,24 @@ impl Scheduler for EcoLife {
         self.catalog = trace.catalog().clone();
         self.states.clear();
         self.ci_delta = SignalDelta::new();
-        self.last_ci_observation_t = None;
+        self.last_ci_minute = None;
     }
 
     fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
         // Global ΔCI perception: one observation per minute of simulated
-        // time (carbon intensity is a minute-resolution signal).
+        // time (carbon intensity is a minute-resolution signal),
+        // catching up over minutes that carried no invocation. Observing
+        // *every* minute — rather than only invocation-bearing ones —
+        // makes the ΔCI state at time t a pure function of t and the CI
+        // series, independent of which functions' arrivals this
+        // scheduler instance happens to see; a per-shard EcoLife
+        // therefore perceives exactly what the whole-trace one does.
         let minute = ctx.t_ms / MINUTE_MS;
-        if self.last_ci_observation_t != Some(minute) {
-            self.ci_delta.observe(ctx.ci_now);
-            self.last_ci_observation_t = Some(minute);
+        let from = self.last_ci_minute.map_or(0, |m| m + 1);
+        for m in from..=minute {
+            self.ci_delta.observe(ctx.ci.at(m * MINUTE_MS));
         }
+        self.last_ci_minute = Some(minute);
         let dci = self.ci_delta.normalized_delta();
 
         let restrict = self.config.restrict_to;

@@ -105,48 +105,16 @@ pub fn compare(
 }
 
 /// Fan independent jobs out over scoped worker threads and collect
-/// results in input order. Simulations are single-threaded and
-/// deterministic; sweeps (fleets, regions, memory budgets) are
-/// embarrassingly parallel.
+/// results in input order. Simulations are deterministic; sweeps
+/// (fleets, regions, memory budgets) are embarrassingly parallel.
 ///
-/// At most [`std::thread::available_parallelism`] workers are spawned —
-/// a sweep of hundreds of configurations never spawns one OS thread per
-/// job — and they pull from a shared queue, so a few expensive
-/// configurations cannot serialize behind each other while the other
-/// workers idle. The per-job lock cost is irrelevant next to a
-/// simulation run.
-pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-
-    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
-    let done = std::sync::Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").next();
-                let Some((index, input)) = job else { break };
-                let result = f(input);
-                done.lock().expect("results lock").push((index, result));
-            });
-        }
-    });
-
-    let mut done = done.into_inner().expect("workers joined");
-    done.sort_unstable_by_key(|(index, _)| *index);
-    done.into_iter().map(|(_, result)| result).collect()
-}
+/// The implementation lives in [`ecolife_sim::parallel`] (the sharded
+/// replay engine shares it, one dependency level down); this re-export
+/// keeps the historical `ecolife_core::runner::parallel_map` path.
+/// [`parallel_map_threads`] is the explicit-thread-count override tests
+/// use to force worker counts instead of inheriting
+/// `available_parallelism`.
+pub use ecolife_sim::parallel::{parallel_map, parallel_map_threads};
 
 #[cfg(test)]
 mod tests {

@@ -49,6 +49,13 @@ pub struct PlannerConfig {
     /// either way; serial evaluation exists to prove exactly that (and
     /// for debugging).
     pub parallel: bool,
+    /// Shard count for the *inner* simulation of each candidate
+    /// (`1` = the sequential engine). Planning against
+    /// million-invocation workloads wants `> 1` so every fitness
+    /// evaluation fans out over `Simulation::run_sharded`; swarm-sized
+    /// plan spaces usually keep `1` and parallelize across candidates
+    /// instead (nesting both oversubscribes the cores).
+    pub sim_shards: usize,
     /// The inner keep-alive scheduler evaluated on every candidate
     /// fleet (its `seed` field is overridden per candidate).
     pub scheduler: EcoLifeConfig,
@@ -62,6 +69,7 @@ impl Default for PlannerConfig {
             seed: 0x91a_17e5,
             restarts: 4,
             parallel: true,
+            sim_shards: 1,
             scheduler: EcoLifeConfig::default(),
         }
     }
@@ -171,8 +179,22 @@ impl<'a> PlanEvaluator<'a> {
             seed: self.config.seed ^ plan.genome_key(),
             ..self.config.scheduler.clone()
         };
-        let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
-        let metrics = ecolife_sim::evaluate(self.trace, self.ci, fleet, &mut scheduler);
+        let metrics = if self.config.sim_shards > 1 {
+            // Million-invocation workloads: fan the replay itself out
+            // over function-hash shards (one EcoLife per shard — its
+            // state is per-function, so the shard split is exact; see
+            // the determinism suite).
+            ecolife_sim::evaluate_sharded(
+                self.trace,
+                self.ci,
+                fleet.clone(),
+                |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
+                &ecolife_sim::ShardOptions::new(self.config.sim_shards),
+            )
+        } else {
+            let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
+            ecolife_sim::evaluate(self.trace, self.ci, fleet, &mut scheduler)
+        };
         self.simulations.fetch_add(1, Ordering::Relaxed);
 
         let sim_carbon_g = metrics.total_carbon_g();
@@ -371,6 +393,32 @@ mod tests {
         let ser_f = ser.fitness_batch(&doubled);
         assert_eq!(par_f, ser_f, "parallel and serial fitness diverged");
         assert_eq!(&par_f[..plans.len()], &par_f[plans.len()..]);
+    }
+
+    #[test]
+    fn sharded_inner_simulation_scores_identically() {
+        // Budgets generous enough that warm pools never overflow: the
+        // sharded replay is then record-for-record identical to the
+        // sequential engine, so the PlanScore — a pure function of the
+        // records — must match to the last bit.
+        let (trace, ci) = setup();
+        let roomy = PlanSpace::new(vec![Sku::I3Metal, Sku::M5znMetal], 2, 3, vec![16 * 1024]);
+        let plan = FleetPlan {
+            counts: vec![1, 1],
+            mem_budget_mib: 16 * 1024,
+        };
+        let sequential = PlanEvaluator::new(roomy.clone(), &trace, &ci, quick_config());
+        let sharded = PlanEvaluator::new(
+            roomy,
+            &trace,
+            &ci,
+            PlannerConfig {
+                sim_shards: 2,
+                ..quick_config()
+            },
+        );
+        assert_eq!(sequential.score(&plan), sharded.score(&plan));
+        assert_eq!(sharded.simulations(), 1);
     }
 
     #[test]

@@ -17,14 +17,22 @@
 //! At end of trace, still-warm containers are settled at their expiry —
 //! every scheduled keep-alive is fully charged, so schedulers cannot game
 //! the horizon.
+//!
+//! Two drivers share that per-invocation step: [`Simulation::run`] (the
+//! single-threaded reference) and [`Simulation::run_sharded`] (the
+//! million-invocation path: `FunctionId`-hash shards replayed in
+//! parallel, cross-shard node memory reconciled deterministically per
+//! period — see [`crate::shard`]).
 
 use crate::cluster::Cluster;
 use crate::container::WarmContainer;
 use crate::metrics::{InvocationRecord, RunMetrics};
+use crate::parallel::{default_threads, parallel_map_threads};
 use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
+use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
 use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
 use ecolife_hw::{Fleet, HardwareNode, NodeId, PerfModel};
-use ecolife_trace::Trace;
+use ecolife_trace::{Invocation, Trace};
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +70,48 @@ pub fn evaluate<S: Scheduler>(
     Simulation::new(trace, ci, fleet).run(scheduler)
 }
 
+/// Sharded one-shot evaluation: [`evaluate`], but fanned out over
+/// `opts.shards` function-hash shards (see [`Simulation::run_sharded`]).
+/// `factory(shard)` builds one scheduler per shard.
+pub fn evaluate_sharded<S, F>(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    fleet: impl Into<Fleet>,
+    factory: F,
+    opts: &ShardOptions,
+) -> RunMetrics
+where
+    S: Scheduler + Send,
+    F: Fn(usize) -> S,
+{
+    Simulation::new(trace, ci, fleet).run_sharded(factory, opts)
+}
+
+/// One shard's private slice of the cluster: its own warm pools (one per
+/// fleet node), metrics accumulator, scheduler instance, and sub-trace.
+struct ShardState<S> {
+    /// This shard's index — its row in the memory ledger.
+    shard_id: usize,
+    cluster: Cluster,
+    metrics: RunMetrics,
+    scheduler: S,
+    /// This shard's invocations, as global indices into the (sorted)
+    /// trace. The processed prefix is also the record→global-index map
+    /// the merge uses: records are pushed in exactly this order.
+    jobs: Vec<usize>,
+    /// Next unprocessed entry of `jobs`.
+    cursor: usize,
+}
+
+impl<S> ShardState<S> {
+    fn used_mib_by_node(&self, node_ids: &[NodeId]) -> Vec<u64> {
+        node_ids
+            .iter()
+            .map(|&id| self.cluster.pool(id).used_mib())
+            .collect()
+    }
+}
+
 /// A configured simulation, ready to run against any scheduler.
 pub struct Simulation<'a> {
     trace: &'a Trace,
@@ -89,129 +139,204 @@ impl<'a> Simulation<'a> {
     }
 
     /// Run `scheduler` over the trace, producing the full metrics.
+    ///
+    /// This is the single-threaded reference path; [`Simulation::run_sharded`]
+    /// fans the same per-invocation semantics out over `FunctionId`-hash
+    /// shards and is record-for-record identical whenever shards never
+    /// contend for a node's memory.
     pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunMetrics {
         let mut cluster = Cluster::new(self.fleet.clone());
-        let mut metrics = RunMetrics::default();
+        let mut metrics = RunMetrics {
+            keepalive_g_by_node: vec![0.0; self.fleet.len()],
+            ..RunMetrics::default()
+        };
         metrics.records.reserve(self.trace.len());
-        metrics.keepalive_g_by_node = vec![0.0; self.fleet.len()];
         scheduler.prepare(self.trace);
 
         let node_ids: Vec<NodeId> = self.fleet.ids().collect();
 
         for (index, inv) in self.trace.invocations().iter().enumerate() {
-            let t = inv.t_ms;
-            let profile = self.trace.catalog().profile(inv.func);
+            self.step(index, inv, &node_ids, &mut cluster, scheduler, &mut metrics);
+        }
 
-            // (1) Lapse expired containers, node by node in id order.
-            for &id in &node_ids {
-                let expired = cluster.pool_mut(id).expire_until(t);
-                for c in expired {
-                    self.settle(&c, cluster.node(id), c.expiry_ms, &mut metrics);
+        // End-of-run settlement: every live keep-alive is charged in full.
+        self.drain(&node_ids, &mut cluster, &mut metrics);
+        metrics
+    }
+
+    /// Replay the trace over `shards` function-hash shards in parallel.
+    ///
+    /// `factory(shard)` builds one scheduler per shard (each is
+    /// `prepare`d with the **full** trace, so oracle-family baselines
+    /// keep their global-index future knowledge); every invocation is
+    /// routed to [`shard_of`]`(func, shards)` and replayed with the exact
+    /// sequential [`Simulation::run`] semantics against that shard's own
+    /// pools. Cross-shard node memory goes through the atomic
+    /// [`MemoryLedger`](crate::shard): within a period each shard admits
+    /// against a start-of-period snapshot of the other shards' bytes; at
+    /// every period boundary a deterministic reconciliation pass expires
+    /// lapsed containers, revokes over-capacity admissions (youngest
+    /// `warm_since_ms` first, ties against the higher `FunctionId`),
+    /// and retries them on the remaining nodes in id order.
+    ///
+    /// **Determinism guarantee:** for fixed `(trace, ci, fleet, config,
+    /// factory, shards, period_ms)` the result is bit-identical at any
+    /// worker-thread count (shard work depends only on the shard's
+    /// sub-trace and barrier-time snapshots, never on scheduling). Across
+    /// *shard counts* — including against the sequential [`Simulation::run`] —
+    /// records and counters are bit-identical whenever no reconciliation
+    /// revocation occurs ([`RunMetrics::reconcile_revocations`]` == 0`);
+    /// per-node gram totals then agree up to float-summation order.
+    pub fn run_sharded<S, F>(&self, factory: F, opts: &ShardOptions) -> RunMetrics
+    where
+        S: Scheduler + Send,
+        F: Fn(usize) -> S,
+    {
+        // `ShardOptions`' fields are public; re-validate here so a
+        // hand-built value fails with a clear message instead of a
+        // divide-by-zero below.
+        assert!(opts.shards > 0, "need at least one shard");
+        assert!(opts.period_ms > 0, "period must be positive");
+        let n_shards = opts.shards;
+        let n_nodes = self.fleet.len();
+        let node_ids: Vec<NodeId> = self.fleet.ids().collect();
+
+        // Shard states: own cluster, metrics, scheduler, sub-trace
+        // (global indices into the shared sorted trace — no invocation
+        // copies).
+        let mut states: Vec<ShardState<S>> = (0..n_shards)
+            .map(|s| {
+                let mut scheduler = factory(s);
+                scheduler.prepare(self.trace);
+                ShardState {
+                    shard_id: s,
+                    cluster: Cluster::new(self.fleet.clone()),
+                    metrics: RunMetrics {
+                        keepalive_g_by_node: vec![0.0; n_nodes],
+                        ..RunMetrics::default()
+                    },
+                    scheduler,
+                    jobs: Vec::new(),
+                    cursor: 0,
                 }
+            })
+            .collect();
+        for (index, inv) in self.trace.invocations().iter().enumerate() {
+            states[shard_of(inv.func, n_shards)].jobs.push(index);
+        }
+
+        // Periods that actually contain work, in time order (the trace is
+        // sorted); empty stretches are skipped without changing semantics
+        // because reconciliation runs before each active period either way.
+        let mut periods: Vec<u64> = self
+            .trace
+            .invocations()
+            .iter()
+            .map(|inv| inv.t_ms / opts.period_ms)
+            .collect();
+        periods.dedup();
+
+        let workers = opts.threads.unwrap_or_else(default_threads).max(1);
+        let ledger = MemoryLedger::new(n_shards, n_nodes);
+        let mut ledger_peak_mib = vec![0u64; n_nodes];
+
+        for &period in &periods {
+            let t_start = period.saturating_mul(opts.period_ms);
+            let t_end = t_start.saturating_add(opts.period_ms);
+
+            // Barrier phase (coordinator, deterministic shard/node
+            // order): reconcile, then publish every shard's
+            // post-reconciliation usage into the ledger's atomic cells.
+            self.reconcile(t_start, &node_ids, &mut states, &mut ledger_peak_mib);
+            for (s, state) in states.iter().enumerate() {
+                ledger.publish(s, &state.used_mib_by_node(&node_ids));
             }
 
-            // (2) Warm or cold?
-            let warm_at = cluster.warm_location(inv.func, t);
-
-            // (3) Scheduler decision (timed: this is the paper's
-            // decision-making overhead).
-            let decision = {
-                let ctx = InvocationCtx {
-                    index,
-                    func: inv.func,
-                    profile,
-                    t_ms: t,
-                    warm_at,
-                    ci_now: self.ci.at(t),
-                    cluster: &cluster,
-                };
-                let started = std::time::Instant::now();
-                let d = scheduler.decide(&ctx);
-                metrics.decision_overhead_ns += started.elapsed().as_nanos() as u64;
-                d
-            };
-            assert!(
-                self.fleet.contains(decision.exec),
-                "scheduler '{}' placed execution on {:?}, outside the {}-node fleet",
-                scheduler.name(),
-                decision.exec,
-                self.fleet.len()
-            );
-
-            let exec_loc = warm_at.unwrap_or(decision.exec);
-            let warm = warm_at.is_some();
-
-            // A consumed warm container is settled up to the reuse instant.
-            if warm {
-                if let Some(c) = cluster.pool_mut(exec_loc).remove(inv.func) {
-                    self.settle(&c, cluster.node(exec_loc), t, &mut metrics);
+            // Parallel phase: each worker first pulls its shard's
+            // cross-shard pressure snapshot from the ledger (concurrent
+            // reads of values fixed before the spawn — deterministic),
+            // then replays its slice of the period against its own
+            // pools. Which worker runs which shard never affects the
+            // outcome.
+            states = parallel_map_threads(workers, states, |mut state| {
+                for &id in &node_ids {
+                    let pressure = ledger.external_mib(state.shard_id, id);
+                    state.cluster.pool_mut(id).set_external_used_mib(pressure);
                 }
-            }
-
-            // (4) Service time and carbon.
-            let node = cluster.node(exec_loc);
-            let work_ms = if warm {
-                PerfModel::warm_service_ms(node, profile.base_exec_ms, profile.cpu_sensitivity)
-            } else {
-                PerfModel::cold_service_ms(
-                    node,
-                    profile.base_exec_ms,
-                    profile.base_cold_ms,
-                    profile.cpu_sensitivity,
-                )
-            };
-            let service_ms = work_ms + self.config.setup_delay_ms;
-            let ci_avg = self.ci.average_over(t, t + service_ms);
-            let service_carbon =
-                self.config
-                    .carbon_model
-                    .active_phase(node, profile.memory_mib, service_ms, ci_avg);
-            let energy_kwh =
-                self.config
-                    .carbon_model
-                    .active_energy_kwh(node, profile.memory_mib, service_ms);
-
-            metrics.records.push(InvocationRecord {
-                func: inv.func,
-                t_ms: t,
-                exec_location: exec_loc,
-                warm,
-                service_ms,
-                service_carbon,
-                keepalive_carbon: ecolife_carbon::CarbonFootprint::ZERO,
-                energy_kwh,
-            });
-
-            // (5) Install the keep-alive.
-            if let Some(ka) = decision.keepalive {
-                assert!(
-                    self.fleet.contains(ka.location),
-                    "scheduler '{}' placed keep-alive on {:?}, outside the {}-node fleet",
-                    scheduler.name(),
-                    ka.location,
-                    self.fleet.len()
-                );
-                if ka.duration_ms > 0 {
-                    let end_of_service = t + service_ms;
-                    let container = WarmContainer {
-                        func: inv.func,
-                        memory_mib: profile.memory_mib,
-                        warm_since_ms: end_of_service,
-                        expiry_ms: end_of_service + ka.duration_ms,
-                        origin_record: index,
-                    };
-                    self.install_keepalive(
-                        container,
-                        ka.location,
-                        t,
+                while state.cursor < state.jobs.len() {
+                    let index = state.jobs[state.cursor];
+                    let inv = self.trace.invocations()[index];
+                    if inv.t_ms >= t_end {
+                        break;
+                    }
+                    let ShardState {
+                        cluster,
+                        metrics,
                         scheduler,
-                        &mut cluster,
-                        &mut metrics,
-                    );
+                        ..
+                    } = &mut state;
+                    self.step(index, &inv, &node_ids, cluster, scheduler, metrics);
+                    state.cursor += 1;
                 }
-            }
+                state
+            });
+        }
 
-            // Let online schedulers learn from the outcome.
+        // Final reconciliation (capacity holds at the horizon too), then
+        // end-of-run settlement in shard/node order.
+        let t_final = periods
+            .last()
+            .map(|p| (p + 1).saturating_mul(opts.period_ms))
+            .unwrap_or(0);
+        self.reconcile(t_final, &node_ids, &mut states, &mut ledger_peak_mib);
+        for state in &mut states {
+            self.drain(&node_ids, &mut state.cluster, &mut state.metrics);
+        }
+
+        merge_metrics(
+            self.trace.len(),
+            n_nodes,
+            // A shard's records were pushed in `jobs` order and every
+            // job was processed, so `jobs` doubles as the record→global
+            // index map.
+            states.into_iter().map(|s| (s.jobs, s.metrics)).collect(),
+            ledger_peak_mib,
+        )
+    }
+
+    /// One invocation of the replay loop (shared verbatim by the
+    /// sequential and sharded paths): expire, classify warm/cold, ask the
+    /// scheduler, account service time and carbon, install the
+    /// keep-alive. `index` is the invocation's *global* trace position
+    /// (what `InvocationCtx::index` promises schedulers); the record
+    /// lands at `metrics.records.len()`, which the sharded path maps
+    /// back to `index` when merging.
+    fn step<S: Scheduler>(
+        &self,
+        index: usize,
+        inv: &Invocation,
+        node_ids: &[NodeId],
+        cluster: &mut Cluster,
+        scheduler: &mut S,
+        metrics: &mut RunMetrics,
+    ) {
+        let t = inv.t_ms;
+        let profile = self.trace.catalog().profile(inv.func);
+
+        // (1) Lapse expired containers, node by node in id order.
+        for &id in node_ids {
+            let expired = cluster.pool_mut(id).expire_until(t);
+            for c in expired {
+                self.settle(&c, cluster.node(id), c.expiry_ms, metrics);
+            }
+        }
+
+        // (2) Warm or cold?
+        let warm_at = cluster.warm_location(inv.func, t);
+
+        // (3) Scheduler decision (timed: this is the paper's
+        // decision-making overhead).
+        let decision = {
             let ctx = InvocationCtx {
                 index,
                 func: inv.func,
@@ -219,20 +344,246 @@ impl<'a> Simulation<'a> {
                 t_ms: t,
                 warm_at,
                 ci_now: self.ci.at(t),
-                cluster: &cluster,
+                ci: self.ci,
+                cluster,
             };
-            scheduler.observe(&ctx, service_ms, warm);
-        }
+            let started = std::time::Instant::now();
+            let d = scheduler.decide(&ctx);
+            metrics.decision_overhead_ns += started.elapsed().as_nanos() as u64;
+            d
+        };
+        assert!(
+            self.fleet.contains(decision.exec),
+            "scheduler '{}' placed execution on {:?}, outside the {}-node fleet",
+            scheduler.name(),
+            decision.exec,
+            self.fleet.len()
+        );
 
-        // End-of-run settlement: every live keep-alive is charged in full.
-        for &id in &node_ids {
-            let remaining = cluster.pool_mut(id).drain_all();
-            for c in remaining {
-                self.settle(&c, self.fleet.node(id), c.expiry_ms, &mut metrics);
+        let exec_loc = warm_at.unwrap_or(decision.exec);
+        let warm = warm_at.is_some();
+
+        // A consumed warm container is settled up to the reuse instant.
+        if warm {
+            if let Some(c) = cluster.pool_mut(exec_loc).remove(inv.func) {
+                self.settle(&c, cluster.node(exec_loc), t, metrics);
             }
         }
 
-        metrics
+        // (4) Service time and carbon.
+        let node = cluster.node(exec_loc);
+        let work_ms = if warm {
+            PerfModel::warm_service_ms(node, profile.base_exec_ms, profile.cpu_sensitivity)
+        } else {
+            PerfModel::cold_service_ms(
+                node,
+                profile.base_exec_ms,
+                profile.base_cold_ms,
+                profile.cpu_sensitivity,
+            )
+        };
+        let service_ms = work_ms + self.config.setup_delay_ms;
+        let ci_avg = self.ci.average_over(t, t + service_ms);
+        let service_carbon =
+            self.config
+                .carbon_model
+                .active_phase(node, profile.memory_mib, service_ms, ci_avg);
+        let energy_kwh =
+            self.config
+                .carbon_model
+                .active_energy_kwh(node, profile.memory_mib, service_ms);
+
+        let record_index = metrics.records.len();
+        metrics.records.push(InvocationRecord {
+            func: inv.func,
+            t_ms: t,
+            exec_location: exec_loc,
+            warm,
+            service_ms,
+            service_carbon,
+            keepalive_carbon: ecolife_carbon::CarbonFootprint::ZERO,
+            energy_kwh,
+        });
+
+        // (5) Install the keep-alive.
+        if let Some(ka) = decision.keepalive {
+            assert!(
+                self.fleet.contains(ka.location),
+                "scheduler '{}' placed keep-alive on {:?}, outside the {}-node fleet",
+                scheduler.name(),
+                ka.location,
+                self.fleet.len()
+            );
+            if ka.duration_ms > 0 {
+                let end_of_service = t + service_ms;
+                let container = WarmContainer {
+                    func: inv.func,
+                    memory_mib: profile.memory_mib,
+                    warm_since_ms: end_of_service,
+                    expiry_ms: end_of_service + ka.duration_ms,
+                    origin_record: record_index,
+                };
+                self.install_keepalive(container, ka.location, t, scheduler, cluster, metrics);
+            }
+        }
+
+        // Let online schedulers learn from the outcome.
+        let ctx = InvocationCtx {
+            index,
+            func: inv.func,
+            profile,
+            t_ms: t,
+            warm_at,
+            ci_now: self.ci.at(t),
+            ci: self.ci,
+            cluster,
+        };
+        scheduler.observe(&ctx, service_ms, warm);
+    }
+
+    /// End-of-run settlement: drain every pool, charging each live
+    /// keep-alive in full (at its expiry).
+    fn drain(&self, node_ids: &[NodeId], cluster: &mut Cluster, metrics: &mut RunMetrics) {
+        for &id in node_ids {
+            let remaining = cluster.pool_mut(id).drain_all();
+            for c in remaining {
+                self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
+            }
+        }
+    }
+
+    /// The deterministic cross-shard reconciliation pass, run by the
+    /// coordinator at `t_now` (a period boundary) while all workers are
+    /// parked:
+    ///
+    /// 1. expire every shard's lapsed containers (settled at expiry, the
+    ///    same grams the lazy sequential path charges);
+    /// 2. for each node in id order, while occupancy across shards
+    ///    exceeds capacity, revoke the container with the **youngest
+    ///    `warm_since_ms`** (ties: the **higher `FunctionId`** loses) —
+    ///    the most recent optimistic admission — settle its stay, and
+    ///    retry it against the other nodes in id order with true
+    ///    cross-shard headroom (a transfer), else evict it.
+    fn reconcile<S: Scheduler>(
+        &self,
+        t_now: u64,
+        node_ids: &[NodeId],
+        states: &mut [ShardState<S>],
+        ledger_peak_mib: &mut [u64],
+    ) {
+        // (1) Eager expiry: the sequential engine expires on every
+        // invocation; shards expire their own pools mid-period, so this
+        // only brings the ledger's cross-shard view up to date.
+        for state in states.iter_mut() {
+            for &id in node_ids {
+                let expired = state.cluster.pool_mut(id).expire_until(t_now);
+                for c in expired {
+                    self.settle(&c, self.fleet.node(id), c.expiry_ms, &mut state.metrics);
+                }
+            }
+        }
+
+        // (2) Capacity reconciliation, node by node in id order.
+        for &id in node_ids {
+            let capacity = self.fleet.node(id).keepalive_mem_mib;
+            loop {
+                let total: u64 = states.iter().map(|s| s.cluster.pool(id).used_mib()).sum();
+                if total <= capacity {
+                    break;
+                }
+                // Deterministic victim: max over the total order
+                // (warm_since, func) — pool iteration order is
+                // unspecified, the max is not.
+                let victim = states
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(s, state)| {
+                        state
+                            .cluster
+                            .pool(id)
+                            .iter()
+                            .map(move |c| (c.warm_since_ms, c.func, s))
+                    })
+                    .max()
+                    .expect("an over-capacity pool holds at least one container");
+                let (_, func, owner) = victim;
+                let state = &mut states[owner];
+                let mut container = state
+                    .cluster
+                    .pool_mut(id)
+                    .remove(func)
+                    .expect("victim is resident");
+                self.settle(&container, self.fleet.node(id), t_now, &mut state.metrics);
+                state.metrics.reconcile_revocations += 1;
+
+                // Retry on the remaining nodes (id order), against true
+                // cross-shard headroom at this instant. Phase 1 removed
+                // every container with `expiry_ms <= t_now`, so the
+                // victim's keep-alive necessarily extends past this
+                // boundary.
+                debug_assert!(
+                    container.expiry_ms > t_now,
+                    "victim survived phase-1 expiry"
+                );
+                container.warm_since_ms = container.warm_since_ms.max(t_now);
+                let mut placed = false;
+                for &target in &self.fleet.transfer_candidates(id) {
+                    let target_capacity = self.fleet.node(target).keepalive_mem_mib;
+                    let reclaimed = states[owner]
+                        .cluster
+                        .pool(target)
+                        .get(func)
+                        .map(|c| c.memory_mib)
+                        .unwrap_or(0);
+                    let target_total: u64 = states
+                        .iter()
+                        .map(|s| s.cluster.pool(target).used_mib())
+                        .sum();
+                    if target_total - reclaimed + container.memory_mib > target_capacity {
+                        continue;
+                    }
+                    // The cross-shard check above is authoritative here;
+                    // clear the stale per-period snapshot so the local
+                    // insert cannot spuriously reject (it is refreshed
+                    // from the ledger before the next period anyway).
+                    let pool = states[owner].cluster.pool_mut(target);
+                    pool.set_external_used_mib(0);
+                    match pool.insert(container) {
+                        Ok(replaced) => {
+                            if let Some(old) = replaced {
+                                self.settle(
+                                    &old,
+                                    self.fleet.node(target),
+                                    t_now,
+                                    &mut states[owner].metrics,
+                                );
+                            }
+                            states[owner].metrics.transfers += 1;
+                            placed = true;
+                        }
+                        Err(c) => {
+                            debug_assert!(false, "headroom-checked insert rejected {:?}", c.func);
+                        }
+                    }
+                    break;
+                }
+                if !placed {
+                    states[owner].metrics.evicted_functions += 1;
+                }
+            }
+        }
+
+        // (3) Record the pass's outcome only after *every* node settled:
+        // a victim revoked from a later-id node may transfer back into
+        // an earlier one, so per-node occupancy is final — and at or
+        // under capacity (transfer headroom is checked against the true
+        // cross-shard sum) — only here.
+        for &id in node_ids {
+            let total: u64 = states.iter().map(|s| s.cluster.pool(id).used_mib()).sum();
+            debug_assert!(total <= self.fleet.node(id).keepalive_mem_mib);
+            let peak = &mut ledger_peak_mib[id.index()];
+            *peak = (*peak).max(total);
+        }
     }
 
     /// Insert `container` into `location`'s pool, running the scheduler's

@@ -14,26 +14,42 @@
 //!   the plan's ranked transfer targets);
 //! * **metrics** ([`metrics`]) — per-invocation records (service time,
 //!   carbon breakdown, energy), aggregate totals, CDFs, and P95s — the
-//!   quantities every figure of the paper is computed from.
+//!   quantities every figure of the paper is computed from;
+//! * **shards** ([`shard`]) — the million-invocation scale path:
+//!   [`Simulation::run_sharded`] partitions the trace by `FunctionId`
+//!   hash into shards, each owning its warm pools, scheduler state, and
+//!   metrics, replayed in parallel over [`parallel::parallel_map`]. The
+//!   one cross-shard interaction — per-node memory capacity — goes
+//!   through an atomic per-`NodeId` memory ledger: shards admit against
+//!   start-of-period snapshots and a deterministic reconciliation pass
+//!   per period expires, revokes (youngest `warm_since_ms` first, ties
+//!   against the higher `FunctionId`), transfers, or evicts, so runs are
+//!   bit-identical at any worker-thread count — and identical to the
+//!   sequential path whenever shards never contend for a node.
 //!
-//! The simulator is single-threaded and deterministic; parallelism lives
-//! one level up (experiment sweeps fan out over independent simulations).
+//! The sequential engine ([`Simulation::run`]) remains the
+//! single-threaded reference; experiment sweeps additionally fan whole
+//! simulations out over [`parallel::parallel_map`].
 
 pub mod cluster;
 pub mod container;
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod pool;
 pub mod scheduler;
+pub mod shard;
 
 pub use cluster::Cluster;
 pub use container::WarmContainer;
-pub use engine::{evaluate, SimConfig, Simulation};
+pub use engine::{evaluate, evaluate_sharded, SimConfig, Simulation};
 pub use metrics::{InvocationRecord, RunMetrics};
+pub use parallel::{parallel_map, parallel_map_threads};
 pub use pool::WarmPool;
 pub use scheduler::{
     AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler,
 };
+pub use shard::{shard_of, ShardOptions};
 
 /// Milliseconds per minute; keep-alive periods are quoted in minutes
 /// throughout the paper.

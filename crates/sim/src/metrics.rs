@@ -58,6 +58,17 @@ pub struct RunMetrics {
     /// transfer moves a container across nodes mid-keep-alive. The
     /// engine sizes it to the fleet; it is empty on a default value.
     pub keepalive_g_by_node: Vec<f64>,
+    /// Containers revoked by the sharded engine's ledger reconciliation
+    /// (optimistic cross-shard admissions rolled back at a period
+    /// boundary; each is then transferred or evicted). Always 0 for
+    /// sequential runs and whenever shards never contend for a node.
+    pub reconcile_revocations: u64,
+    /// Per-node peak warm-pool occupancy (MiB) observed *after* each
+    /// reconciliation pass (index = `NodeId`). The sharded engine's
+    /// capacity guarantee is exactly `ledger_peak_mib[n] <=
+    /// keepalive_mem_mib[n]`; empty for sequential runs (whose pools
+    /// enforce capacity on every insert).
+    pub ledger_peak_mib: Vec<u64>,
 }
 
 impl RunMetrics {

@@ -1,0 +1,107 @@
+//! Thread-pool fan-out for independent jobs.
+//!
+//! This lives in `ecolife-sim` (the lowest crate that fans work out) so
+//! both the sharded replay engine and the experiment/planner layers above
+//! share one implementation; `ecolife_core::runner` re-exports it for the
+//! original callers.
+
+/// Fan independent jobs out over scoped worker threads and collect
+/// results in input order, using [`std::thread::available_parallelism`]
+/// workers. See [`parallel_map_threads`] for the explicit-thread-count
+/// variant (determinism tests force `threads ∈ {1, 2, 4, …}` through it).
+///
+/// At most `available_parallelism` workers are spawned — a sweep of
+/// hundreds of configurations never spawns one OS thread per job — and
+/// they pull from a shared queue, so a few expensive configurations
+/// cannot serialize behind each other while the other workers idle. The
+/// per-job lock cost is irrelevant next to a simulation run.
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_threads(default_threads(), inputs, f)
+}
+
+/// The thread count [`parallel_map`] inherits when none is forced.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// [`parallel_map`] with an explicit worker-thread override.
+///
+/// Results are identical at any `threads` value (workers only decide
+/// *where* a job runs, never *what* it computes), which is exactly what
+/// the determinism suite asserts by forcing 1, 2, and 4 workers over the
+/// same inputs instead of inheriting the machine's parallelism.
+pub fn parallel_map_threads<T, R, F>(threads: usize, inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n);
+
+    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
+    let done = std::sync::Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").next();
+                let Some((index, input)) = job else { break };
+                let result = f(input);
+                done.lock().expect("results lock").push((index, result));
+            });
+        }
+    });
+
+    let mut done = done.into_inner().expect("workers joined");
+    done.sort_unstable_by_key(|(index, _)| *index);
+    done.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..32).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_oversized_batches() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        // Far more jobs than cores: with one-thread-per-job this would
+        // spawn 2048 OS threads; chunking bounds it at the worker count.
+        let n = 2048u64;
+        let out = parallel_map((0..n).collect(), |i: u64| i + 1);
+        assert_eq!(out.len(), n as usize);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn forced_thread_counts_agree() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = inputs.iter().map(|i| i * 7 + 1).collect();
+        for threads in [1, 2, 4, 16] {
+            let out = parallel_map_threads(threads, inputs.clone(), |i| i * 7 + 1);
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        parallel_map_threads(0, vec![1], |i: i32| i);
+    }
+}

@@ -7,10 +7,20 @@ use std::collections::HashMap;
 
 /// Warm pool with a hard memory budget. At most one container per
 /// function per pool (re-keep-alive replaces the entry).
+///
+/// In a sharded run several pools share one physical node: each shard
+/// owns a pool, and the engine charges the *other* shards' bytes against
+/// this pool's budget through [`WarmPool::set_external_used_mib`] (a
+/// start-of-period ledger snapshot). The external share counts toward
+/// admission ([`WarmPool::fits`]) but is never mutated by this pool's
+/// own inserts/removals. Sequential runs leave it at zero.
 #[derive(Debug, Clone, Default)]
 pub struct WarmPool {
     capacity_mib: u64,
     used_mib: u64,
+    /// Bytes held on the same node by other shards' pools (MiB),
+    /// refreshed from the memory ledger at each reconciliation.
+    external_used_mib: u64,
     containers: HashMap<FunctionId, WarmContainer>,
 }
 
@@ -19,6 +29,7 @@ impl WarmPool {
         WarmPool {
             capacity_mib,
             used_mib: 0,
+            external_used_mib: 0,
             containers: HashMap::new(),
         }
     }
@@ -33,9 +44,23 @@ impl WarmPool {
         self.used_mib
     }
 
+    /// Other shards' bytes currently charged against this node's budget.
+    #[inline]
+    pub fn external_used_mib(&self) -> u64 {
+        self.external_used_mib
+    }
+
+    /// Refresh the cross-shard pressure (ledger snapshot) this pool's
+    /// admission decisions must respect.
+    #[inline]
+    pub fn set_external_used_mib(&mut self, mib: u64) {
+        self.external_used_mib = mib;
+    }
+
     #[inline]
     pub fn free_mib(&self) -> u64 {
-        self.capacity_mib - self.used_mib
+        self.capacity_mib
+            .saturating_sub(self.used_mib + self.external_used_mib)
     }
 
     #[inline]
@@ -49,14 +74,16 @@ impl WarmPool {
     }
 
     /// Whether `container` fits right now (accounting for an existing
-    /// entry of the same function that would be replaced).
+    /// entry of the same function that would be replaced, and for the
+    /// other shards' external share of the node).
     pub fn fits(&self, container: &WarmContainer) -> bool {
         let reclaimed = self
             .containers
             .get(&container.func)
             .map(|c| c.memory_mib)
             .unwrap_or(0);
-        self.used_mib - reclaimed + container.memory_mib <= self.capacity_mib
+        self.used_mib - reclaimed + self.external_used_mib + container.memory_mib
+            <= self.capacity_mib
     }
 
     /// Insert a container. Returns the replaced entry for the same
@@ -94,21 +121,30 @@ impl WarmPool {
     }
 
     /// Remove every container with `expiry_ms <= t_ms`, returning them
-    /// (order unspecified) so the engine can settle their carbon.
+    /// in `FunctionId` order so the engine can settle their carbon.
+    /// The order matters: settlement accumulates floats into per-node
+    /// gram totals, and HashMap iteration order varies per instance —
+    /// sorting here is what makes those sums bit-reproducible run to
+    /// run (the determinism suite compares them exactly).
     pub fn expire_until(&mut self, t_ms: u64) -> Vec<WarmContainer> {
-        let expired: Vec<FunctionId> = self
+        let mut expired: Vec<FunctionId> = self
             .containers
             .values()
             .filter(|c| c.expiry_ms <= t_ms)
             .map(|c| c.func)
             .collect();
+        expired.sort_unstable();
         expired.into_iter().filter_map(|f| self.remove(f)).collect()
     }
 
-    /// Drain every container (end-of-run settlement).
+    /// Drain every container (end-of-run settlement), in `FunctionId`
+    /// order for the same bit-reproducibility reason as
+    /// [`WarmPool::expire_until`].
     pub fn drain_all(&mut self) -> Vec<WarmContainer> {
         self.used_mib = 0;
-        self.containers.drain().map(|(_, c)| c).collect()
+        let mut drained: Vec<WarmContainer> = self.containers.drain().map(|(_, c)| c).collect();
+        drained.sort_unstable_by_key(|c| c.func);
+        drained
     }
 
     /// Iterate resident containers (order unspecified).
@@ -201,6 +237,25 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert!(p.is_empty());
         assert_eq!(p.used_mib(), 0);
+    }
+
+    #[test]
+    fn external_pressure_counts_toward_admission() {
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 400, 0, 100)).unwrap();
+        assert_eq!(p.free_mib(), 600);
+        p.set_external_used_mib(500);
+        assert_eq!(p.free_mib(), 100);
+        // 200 MiB no longer fits (400 own + 500 external + 200 > 1000)…
+        assert!(p.insert(c(1, 200, 0, 100)).is_err());
+        // …but replacing the resident 400-MiB entry still reclaims it.
+        assert!(p.fits(&c(0, 500, 10, 200)));
+        // Releasing the pressure restores admission; own usage was never
+        // confused with the external share.
+        p.set_external_used_mib(0);
+        assert_eq!(p.used_mib(), 400);
+        p.insert(c(1, 200, 0, 100)).unwrap();
+        assert_eq!(p.used_mib(), 600);
     }
 
     #[test]

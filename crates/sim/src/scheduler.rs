@@ -18,6 +18,7 @@
 //! in id order.
 
 use crate::cluster::Cluster;
+use ecolife_carbon::CarbonIntensityTrace;
 use ecolife_hw::NodeId;
 use ecolife_trace::{FunctionId, FunctionProfile, Trace};
 
@@ -57,6 +58,13 @@ pub struct InvocationCtx<'a> {
     pub warm_at: Option<NodeId>,
     /// Carbon intensity at arrival (g/kWh).
     pub ci_now: f64,
+    /// The full carbon-intensity series (past and present; schedulers
+    /// must not peek at minutes beyond `t_ms` — the oracle family gets
+    /// its future knowledge explicitly in `prepare`). Exposed so global
+    /// signals like EcoLife's ΔCI can be derived purely from simulated
+    /// time, which keeps them identical between a whole-trace run and
+    /// any per-function shard of it.
+    pub ci: &'a CarbonIntensityTrace,
     /// Cluster state (pools, fleet) — read-only.
     pub cluster: &'a Cluster,
 }

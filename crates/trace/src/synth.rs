@@ -69,6 +69,19 @@ impl SynthTraceConfig {
         }
     }
 
+    /// Production-scale preset: enough functions and hours that
+    /// [`SynthTraceConfig::generate_scaled`] emits **over a million
+    /// invocations** — the workload class the sharded simulator exists
+    /// for (the default 40-function config tops out in the thousands).
+    pub fn million(seed: u64) -> Self {
+        SynthTraceConfig {
+            n_functions: 6_000,
+            duration_min: 600,
+            seed,
+            ..Default::default()
+        }
+    }
+
     /// Generate the trace against `base_catalog`.
     ///
     /// Each synthetic function becomes a *distinct* catalog entry cloned
@@ -89,42 +102,95 @@ impl SynthTraceConfig {
         );
 
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let horizon_ms = self.duration_min * 60_000;
         let mut invocations = Vec::new();
         let mut catalog = WorkloadCatalog::default();
 
         for fid in 0..self.n_functions {
-            let (_, base) = base_catalog
-                .iter()
-                .nth(fid % base_catalog.len())
-                .expect("non-empty catalog");
-            // ±20% runtime and ±25% memory perturbation keeps profiles
-            // realistic while making every function distinct.
-            let exec_scale = rng.gen_range(0.8..1.2);
-            let mem_scale = rng.gen_range(0.75..1.25);
-            let func = catalog.push(crate::workload::FunctionProfile::new(
-                &format!("synth-{fid}({})", base.name),
-                ((base.base_exec_ms as f64 * exec_scale).round() as u64).max(1),
-                (base.base_cold_ms as f64 * exec_scale).round() as u64,
-                ((base.memory_mib as f64 * mem_scale).round() as u64).max(64),
-                base.cpu_sensitivity,
-            ));
-            debug_assert_eq!(func, FunctionId(fid as u32));
-
-            // Pareto(α=1.2) popularity weight, truncated: heavy tail with
-            // a few dominant functions. The cap keeps the head of the
-            // distribution at minutes-scale inter-arrivals — the regime
-            // where the keep-alive decision is actually contested (the
-            // paper replays Azure functions uniformly, which produces the
-            // same sparse per-function arrival rhythm).
-            let u: f64 = rng.gen_range(1e-9..1.0f64);
-            let weight = (1.0 / u).powf(1.0 / 1.2).min(15.0);
-
-            let class = self.sample_class(&mut rng, weight);
-            self.emit_arrivals(&mut rng, func, class, horizon_ms, &mut invocations);
+            self.emit_function(&mut rng, fid, base_catalog, &mut catalog, &mut invocations);
         }
 
         Trace::new(catalog, invocations)
+    }
+
+    /// The scale-up generation path: same marginals as
+    /// [`SynthTraceConfig::generate`], but every function draws from its
+    /// **own** RNG stream seeded from `(seed, fid)` instead of sharing
+    /// one sequential stream. Two consequences matter at the
+    /// million-invocation scale this path exists for:
+    ///
+    /// * a function's profile and arrival stream depend only on `(seed,
+    ///   fid)` — growing `n_functions` appends functions without
+    ///   perturbing existing streams (`generate` would reshuffle
+    ///   everything);
+    /// * generation is embarrassingly parallel per function if it ever
+    ///   needs to be (the sharded simulator's own partitioning axis).
+    ///
+    /// Use [`SynthTraceConfig::million`] for a ≥10⁶-invocation preset.
+    pub fn generate_scaled(&self, base_catalog: &WorkloadCatalog) -> Trace {
+        assert!(self.n_functions > 0, "need at least one function");
+        assert!(!base_catalog.is_empty(), "catalog must not be empty");
+        let mix_sum: f64 = self.class_mix.iter().sum();
+        assert!(
+            (mix_sum - 1.0).abs() < 1e-6,
+            "class mix must sum to 1 (got {mix_sum})"
+        );
+
+        let mut invocations = Vec::new();
+        let mut catalog = WorkloadCatalog::default();
+        for fid in 0..self.n_functions {
+            // Per-function seed through the shared splitmix64 mixer:
+            // nearby (seed, fid) pairs land in unrelated streams.
+            let s = self
+                .seed
+                .wrapping_add((fid as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = SmallRng::seed_from_u64(crate::splitmix64(s));
+            self.emit_function(&mut rng, fid, base_catalog, &mut catalog, &mut invocations);
+        }
+        Trace::new(catalog, invocations)
+    }
+
+    /// Emit one synthetic function: a perturbed catalog entry cloned from
+    /// a base profile plus its arrival stream. Shared by the sequential
+    /// ([`SynthTraceConfig::generate`]) and per-function-seeded
+    /// ([`SynthTraceConfig::generate_scaled`]) paths — only the RNG
+    /// stream discipline differs.
+    fn emit_function(
+        &self,
+        rng: &mut SmallRng,
+        fid: usize,
+        base_catalog: &WorkloadCatalog,
+        catalog: &mut WorkloadCatalog,
+        invocations: &mut Vec<Invocation>,
+    ) {
+        let horizon_ms = self.duration_min * 60_000;
+        let (_, base) = base_catalog
+            .iter()
+            .nth(fid % base_catalog.len())
+            .expect("non-empty catalog");
+        // ±20% runtime and ±25% memory perturbation keeps profiles
+        // realistic while making every function distinct.
+        let exec_scale = rng.gen_range(0.8..1.2);
+        let mem_scale = rng.gen_range(0.75..1.25);
+        let func = catalog.push(crate::workload::FunctionProfile::new(
+            &format!("synth-{fid}({})", base.name),
+            ((base.base_exec_ms as f64 * exec_scale).round() as u64).max(1),
+            (base.base_cold_ms as f64 * exec_scale).round() as u64,
+            ((base.memory_mib as f64 * mem_scale).round() as u64).max(64),
+            base.cpu_sensitivity,
+        ));
+        debug_assert_eq!(func, FunctionId(fid as u32));
+
+        // Pareto(α=1.2) popularity weight, truncated: heavy tail with
+        // a few dominant functions. The cap keeps the head of the
+        // distribution at minutes-scale inter-arrivals — the regime
+        // where the keep-alive decision is actually contested (the
+        // paper replays Azure functions uniformly, which produces the
+        // same sparse per-function arrival rhythm).
+        let u: f64 = rng.gen_range(1e-9..1.0f64);
+        let weight = (1.0 / u).powf(1.0 / 1.2).min(15.0);
+
+        let class = self.sample_class(rng, weight);
+        self.emit_arrivals(rng, func, class, horizon_ms, invocations);
     }
 
     fn sample_class(&self, rng: &mut SmallRng, weight: f64) -> ArrivalClass {
@@ -296,6 +362,64 @@ mod tests {
             .sqrt()
             / mean;
         assert!(cv < 0.5, "periodic CV {cv:.2} too high");
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic_and_distinct_from_sequential() {
+        let cfg = SynthTraceConfig::small(19);
+        let a = cfg.generate_scaled(&catalog());
+        let b = cfg.generate_scaled(&catalog());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Different RNG discipline, different (deterministic) trace.
+        assert_ne!(a, cfg.generate(&catalog()));
+    }
+
+    #[test]
+    fn scaled_streams_are_stable_under_function_count_growth() {
+        // Growing the workload appends functions; the first k functions'
+        // profiles and arrival streams must not move.
+        let small = SynthTraceConfig {
+            n_functions: 6,
+            ..SynthTraceConfig::small(23)
+        }
+        .generate_scaled(&catalog());
+        let grown = SynthTraceConfig {
+            n_functions: 11,
+            ..SynthTraceConfig::small(23)
+        }
+        .generate_scaled(&catalog());
+        for fid in 0..6u32 {
+            let f = FunctionId(fid);
+            assert_eq!(
+                small.catalog().profile(f),
+                grown.catalog().profile(f),
+                "profile of {f} moved"
+            );
+            let arrivals = |t: &Trace| -> Vec<u64> {
+                t.invocations()
+                    .iter()
+                    .filter(|i| i.func == f)
+                    .map(|i| i.t_ms)
+                    .collect()
+            };
+            assert_eq!(arrivals(&small), arrivals(&grown), "stream of {f} moved");
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "million-invocation generation; run under --release"
+    )]
+    fn million_preset_tops_a_million_invocations() {
+        let t = SynthTraceConfig::million(7).generate_scaled(&catalog());
+        assert!(
+            t.len() >= 1_000_000,
+            "million preset produced only {} invocations",
+            t.len()
+        );
+        assert_eq!(t.catalog().len(), 6_000);
     }
 
     #[test]

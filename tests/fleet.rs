@@ -4,7 +4,8 @@
 
 use ecolife::prelude::*;
 use ecolife::sim::{
-    AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx,
+    shard_of, AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx,
+    ShardOptions,
 };
 use std::collections::BTreeMap;
 
@@ -235,6 +236,109 @@ fn transfer_ranking_beats_greedy_id_order_on_an_adversarial_fleet() {
         with_ranking.total_keepalive_carbon_g(),
         with_greedy.total_keepalive_carbon_g()
     );
+}
+
+/// Pins everything to node 2, keep-alive on node 1 (the carbon-best
+/// keep-alive host of the adversarial fleet); overflow drops.
+struct KeepOnOne;
+impl Scheduler for KeepOnOne {
+    fn name(&self) -> &'static str {
+        "keep-on-one"
+    }
+    fn decide(&mut self, _ctx: &InvocationCtx<'_>) -> Decision {
+        Decision {
+            exec: NodeId(2),
+            keepalive: Some(KeepAliveChoice {
+                location: NodeId(1),
+                duration_ms: 10 * MINUTE_MS,
+            }),
+        }
+    }
+}
+
+/// Adversarial cross-shard overflow (ISSUE 3): two functions living in
+/// *different* shards both claim the last (only) 512-MiB slot on the
+/// carbon-best node in the same reconciliation period. Each shard admits
+/// against a start-of-period snapshot that shows the node empty, so both
+/// succeed optimistically; the reconciliation pass must then resolve the
+/// overcommit by the documented tie-break — **youngest `warm_since_ms`
+/// revoked first, ties broken against the higher `FunctionId`** — and
+/// retry the loser on the remaining nodes in id order.
+#[test]
+fn cross_shard_contention_resolves_by_the_documented_tie_break() {
+    // Ids 0 and b hash to different halves of a 2-way shard split; both
+    // arrive at t = 0 with identical profiles, so their containers'
+    // `warm_since_ms` tie exactly and only the id breaks the tie.
+    let a = FunctionId(0);
+    let b = (1..8u32)
+        .map(FunctionId)
+        .find(|&f| shard_of(f, 2) != shard_of(a, 2))
+        .expect("some small id lands in the other shard");
+    let catalog = WorkloadCatalog::new(
+        (0..=b.0)
+            .map(|i| FunctionProfile::new(&format!("f{i}"), 1_000, 2_000, 512, 0.5))
+            .collect(),
+    );
+    let trace = Trace::new(
+        catalog,
+        vec![
+            Invocation { func: a, t_ms: 0 },
+            Invocation { func: b, t_ms: 0 },
+        ],
+    );
+    let ci = CarbonIntensityTrace::constant(300.0, 120);
+    // Node 1 (i3.metal) is the cheap keep-alive host; every pool fits
+    // exactly one 512-MiB container.
+    let fleet = skus::fleet_of(&[Sku::M5Metal, Sku::I3Metal, Sku::M5znMetal])
+        .with_uniform_keepalive_budget_mib(512);
+    let sim = Simulation::new(&trace, &ci, fleet.clone());
+
+    // Sequential reference: the second keep-alive sees a full pool and
+    // is dropped (the scheduler's overflow action) — no contention
+    // machinery involved.
+    let sequential = sim.run(&mut KeepOnOne);
+    assert_eq!(sequential.evicted_functions, 1);
+    assert_eq!(sequential.transfers, 0);
+    assert_eq!(sequential.records[1].keepalive_carbon.total_g(), 0.0);
+
+    // Sharded: both admissions survive the period optimistically; the
+    // reconciliation pass revokes exactly one and transfers it.
+    let run = |threads: usize| {
+        sim.run_sharded(|_| KeepOnOne, &ShardOptions::new(2).with_threads(threads))
+    };
+    let m = run(1);
+    assert_eq!(m.reconcile_revocations, 1, "exactly one admission revoked");
+    assert_eq!(m.transfers, 1, "the loser transfers instead of dying");
+    assert_eq!(m.evicted_functions, 0);
+
+    // The tie-break picked the higher id: function a's keep-alive is
+    // untouched (bit-identical to its sequential charge on node 1),
+    // function b's is split across node 1 (pre-revocation stay) and
+    // node 0 (the first transfer candidate in id order with headroom).
+    let ia = usize::from(m.records[0].func != a);
+    let (ra, rb) = (&m.records[ia], &m.records[1 - ia]);
+    assert_eq!(ra.func, a);
+    assert_eq!(
+        ra.keepalive_carbon, sequential.records[0].keepalive_carbon,
+        "the surviving admission must be charged exactly like the sequential run"
+    );
+    assert!(
+        rb.keepalive_carbon.total_g() > 0.0,
+        "the revoked keep-alive still pays for its stay"
+    );
+    assert!(m.keepalive_g_by_node[0] > 0.0, "transfer landed on node 0");
+    assert!(m.keepalive_g_by_node[1] > 0.0);
+    assert_eq!(m.keepalive_g_by_node[2], 0.0);
+    // Post-reconciliation occupancy respects every budget.
+    for (&peak, node) in m.ledger_peak_mib.iter().zip(fleet.iter()) {
+        assert!(peak <= node.keepalive_mem_mib);
+    }
+
+    // And the resolution is identical however many workers run it.
+    let m2 = run(2);
+    assert_eq!(m.records, m2.records);
+    assert_eq!(m.keepalive_g_by_node, m2.keepalive_g_by_node);
+    assert_eq!(m.reconcile_revocations, m2.reconcile_revocations);
 }
 
 #[test]
