@@ -49,7 +49,7 @@ impl LandscapeSequence {
     /// Objective at simulated minute `t_min` with warm-probability drift
     /// (the function's rhythm slowly changes over the day).
     fn fitness_at(&self, t_min: usize) -> impl Fn(&[f64]) -> f64 + '_ {
-        let ci = self.ci.at(t_min as u64 * 60_000);
+        let ci = self.cost.uniform_ci(self.ci.at(t_min as u64 * 60_000));
         // Arrival rhythm drifts: p(warm | k) saturates faster early in
         // the day, slower later.
         let rate_scale = 1.0 + (t_min as f64 / 240.0).sin() * 0.6;
@@ -65,7 +65,7 @@ impl LandscapeSequence {
             let p_warm = 1.0 - (-(k_ms as f64) / mean_gap_ms).exp();
             let resident = mean_gap_ms.min(k_ms as f64);
             self.cost
-                .expected_objective(&self.profile, l, k_ms, p_warm, resident, ci, None)
+                .expected_objective(&self.profile, l, k_ms, p_warm, resident, &ci, None)
         }
     }
 

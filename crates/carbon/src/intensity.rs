@@ -12,109 +12,13 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+// The region *type* (and its generation profile) lives in `ecolife-hw`
+// since nodes carry their deployment region; this crate owns the series
+// generation and re-exports the type for compatibility.
+pub use ecolife_hw::{Region, RegionProfile};
+
 /// Minutes per day, the fundamental period of the diurnal cycle.
 const MIN_PER_DAY: f64 = 24.0 * 60.0;
-
-/// A grid region with a distinct carbon-intensity profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Region {
-    /// California ISO — the paper's default region ("CAL" in Fig. 14).
-    Caiso,
-    /// Tennessee ("TEN").
-    Tennessee,
-    /// Texas ("TEX").
-    Texas,
-    /// Florida ("FLA").
-    Florida,
-    /// New York ("NY").
-    NewYork,
-}
-
-impl Region {
-    /// All five evaluated regions, in Fig. 14 order (TEN TEX FLA NY CAL).
-    pub const ALL: [Region; 5] = [
-        Region::Tennessee,
-        Region::Texas,
-        Region::Florida,
-        Region::NewYork,
-        Region::Caiso,
-    ];
-
-    /// Short label used in figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            Region::Caiso => "CAL",
-            Region::Tennessee => "TEN",
-            Region::Texas => "TEX",
-            Region::Florida => "FLA",
-            Region::NewYork => "NY",
-        }
-    }
-
-    /// The generation profile for this region.
-    pub fn profile(self) -> RegionProfile {
-        match self {
-            // Solar-heavy: deep midday dip, evening ramp, high variance.
-            Region::Caiso => RegionProfile {
-                mean_g_per_kwh: 260.0,
-                diurnal_amplitude: 110.0,
-                secondary_amplitude: 35.0,
-                noise_sd: 14.0,
-                phase_min: 0.0,
-            },
-            // Nuclear/hydro + gas: mid-high, flat.
-            Region::Tennessee => RegionProfile {
-                mean_g_per_kwh: 415.0,
-                diurnal_amplitude: 30.0,
-                secondary_amplitude: 10.0,
-                noise_sd: 6.0,
-                phase_min: 120.0,
-            },
-            // Wind-heavy: mid, large swings driven by wind ramps.
-            Region::Texas => RegionProfile {
-                mean_g_per_kwh: 390.0,
-                diurnal_amplitude: 70.0,
-                secondary_amplitude: 30.0,
-                noise_sd: 12.0,
-                phase_min: 300.0,
-            },
-            // Gas-dominated: high, flat.
-            Region::Florida => RegionProfile {
-                mean_g_per_kwh: 430.0,
-                diurnal_amplitude: 25.0,
-                secondary_amplitude: 8.0,
-                noise_sd: 5.0,
-                phase_min: 60.0,
-            },
-            // Hydro/nuclear mix: low, moderate swing.
-            Region::NewYork => RegionProfile {
-                mean_g_per_kwh: 215.0,
-                diurnal_amplitude: 45.0,
-                secondary_amplitude: 15.0,
-                noise_sd: 8.0,
-                phase_min: 200.0,
-            },
-        }
-    }
-}
-
-impl std::fmt::Display for Region {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-/// Parameters of the synthetic carbon-intensity process:
-/// `ci(t) = mean + A₁·sin(2π(t−φ)/day) + A₂·sin(4π(t−φ)/day) + AR(1) noise`,
-/// clamped to a 20 g/kWh floor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RegionProfile {
-    pub mean_g_per_kwh: f64,
-    pub diurnal_amplitude: f64,
-    pub secondary_amplitude: f64,
-    pub noise_sd: f64,
-    pub phase_min: f64,
-}
 
 /// A minute-resolution carbon-intensity series (gCO2/kWh).
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +77,12 @@ impl CarbonIntensityTrace {
 
     /// Parse an Electricity Maps-style CSV export: one `minute,ci` pair per
     /// line; a header line and blank lines are skipped.
+    ///
+    /// Every accepted value is validated — the intensity must be finite
+    /// and non-negative, and the minute column must count up from 0 in
+    /// steps of one (a shuffled, duplicated, or gapped export would
+    /// silently misalign every downstream carbon charge) — so malformed
+    /// input is a line-numbered `Err`, never a corrupted series.
     pub fn parse_csv(text: &str) -> Result<Self, String> {
         let mut samples = Vec::new();
         for (ln, line) in text.lines().enumerate() {
@@ -184,6 +94,16 @@ impl CarbonIntensityTrace {
             let first = parts.next().unwrap_or("").trim();
             if ln == 0 && first.parse::<f64>().is_err() {
                 continue; // header
+            }
+            let minute: u64 = first
+                .parse()
+                .map_err(|e| format!("line {}: bad minute {first:?}: {e}", ln + 1))?;
+            if minute != samples.len() as u64 {
+                return Err(format!(
+                    "line {}: minute {minute} out of order (expected {})",
+                    ln + 1,
+                    samples.len()
+                ));
             }
             let ci_field = parts
                 .next()
@@ -203,6 +123,22 @@ impl CarbonIntensityTrace {
         Ok(CarbonIntensityTrace { samples })
     }
 
+    /// Tile the series cyclically until it covers at least `minutes`
+    /// minutes — the explicit opt-in for replaying a workload longer
+    /// than the recorded feed (e.g. extending one recorded day into a
+    /// week of identical diurnal cycles). A series already long enough
+    /// is returned unchanged. This is deliberately a *new* trace, not a
+    /// lookup mode: simulation construction rejects a too-short series
+    /// outright, so extending coverage is always a visible decision at
+    /// the call site.
+    pub fn extend_cyclic(&self, minutes: usize) -> Self {
+        if self.samples.len() >= minutes {
+            return self.clone();
+        }
+        let samples = self.samples.iter().cycle().take(minutes).copied().collect();
+        CarbonIntensityTrace { samples }
+    }
+
     /// Number of minutes covered.
     #[inline]
     pub fn len_minutes(&self) -> usize {
@@ -215,8 +151,14 @@ impl CarbonIntensityTrace {
         self.samples.len() as u64 * 60_000
     }
 
-    /// Intensity at time `t_ms` (clamped to the last sample beyond the end,
-    /// matching how a scheduler would hold the latest reading).
+    /// Intensity at time `t_ms` (clamped to the last sample beyond the
+    /// end, matching how a scheduler would hold the latest reading over a
+    /// short tail — e.g. a keep-alive outliving the last arrival).
+    /// Simulation construction validates that the series covers the whole
+    /// workload span, so this clamp can only engage on such tails, never
+    /// silently freeze the intensity for the bulk of a run; use
+    /// [`CarbonIntensityTrace::extend_cyclic`] to cover longer horizons
+    /// explicitly.
     #[inline]
     pub fn at(&self, t_ms: u64) -> f64 {
         let idx = (t_ms / 60_000) as usize;
@@ -388,6 +330,46 @@ mod tests {
         assert!(CarbonIntensityTrace::parse_csv("").is_err());
         assert!(CarbonIntensityTrace::parse_csv("0,-5").is_err());
         assert!(CarbonIntensityTrace::parse_csv("0").is_err());
+    }
+
+    #[test]
+    fn parse_csv_rejects_non_finite_intensities_with_line_numbers() {
+        // NaN/±inf parse as valid f64 literals; they must still be
+        // rejected — they would otherwise poison every carbon total.
+        for bad in ["NaN", "nan", "inf", "-inf", "1e999"] {
+            let err = CarbonIntensityTrace::parse_csv(&format!("minute,ci\n0,100\n1,{bad}\n"))
+                .unwrap_err();
+            assert!(err.starts_with("line 3:"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_csv_rejects_misordered_minutes() {
+        // Duplicated, gapped, or shuffled minute columns would silently
+        // misalign the series against simulated time.
+        for (bad, line) in [
+            ("0,100\n0,200", 2),
+            ("0,100\n2,200", 2),
+            ("minute,ci\n1,100", 2),
+            ("0,100\nx,200", 2),
+        ] {
+            let err = CarbonIntensityTrace::parse_csv(bad).unwrap_err();
+            assert!(err.starts_with(&format!("line {line}:")), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn extend_cyclic_tiles_the_series() {
+        let t = CarbonIntensityTrace::from_samples(vec![100.0, 200.0, 300.0]);
+        let week = t.extend_cyclic(8);
+        assert_eq!(week.len_minutes(), 8);
+        assert_eq!(
+            week.samples(),
+            &[100.0, 200.0, 300.0, 100.0, 200.0, 300.0, 100.0, 200.0]
+        );
+        // Already-covering series are returned unchanged.
+        assert_eq!(t.extend_cyclic(2), t);
+        assert_eq!(t.extend_cyclic(3), t);
     }
 
     #[test]

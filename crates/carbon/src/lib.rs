@@ -14,11 +14,21 @@
 //!    first-order formulas splitting a function's footprint into embodied
 //!    and operational components across the keep-alive, cold-start, and
 //!    execution phases, attributed by DRAM share and CPU core share.
+//!
+//! Multi-region fleets read CI through [`bundle`]: a validated
+//! region-keyed [`CiBundle`] (one series per region, equal spans)
+//! resolved per fleet node by [`CiProvider`] — `at(node, t)` is the
+//! intensity on *that node's grid*. Construction is strict: missing
+//! regions and series shorter than the workload are typed [`CiError`]s,
+//! never silently clamped reads ([`CarbonIntensityTrace::extend_cyclic`]
+//! is the explicit opt-in for tiling a feed over longer horizons).
 
+pub mod bundle;
 pub mod footprint;
 pub mod intensity;
 pub mod model;
 
+pub use bundle::{CiBundle, CiError, CiProvider};
 pub use footprint::CarbonFootprint;
 pub use intensity::{CarbonIntensityTrace, Region, RegionProfile};
 pub use model::{CarbonModel, CarbonModelConfig};

@@ -21,7 +21,7 @@
 
 use crate::objective::CostModel;
 use crate::warmpool::priority_adjustment;
-use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
+use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CiBundle, CiError};
 use ecolife_hw::{Fleet, NodeId};
 use ecolife_sim::{
     Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler, MINUTE_MS,
@@ -45,7 +45,11 @@ pub enum OptTarget {
 pub struct BruteForce {
     target: OptTarget,
     cost: CostModel,
-    ci: CarbonIntensityTrace,
+    /// The CI series each fleet node reads, indexed by `NodeId`: clones
+    /// of one shared series in the paper's single-region setup, or each
+    /// node's own region series on a multi-region fleet
+    /// ([`BruteForce::with_ci_bundle`]).
+    ci: Vec<CarbonIntensityTrace>,
     grid_min: Vec<u64>,
     /// Next-arrival gap per invocation index (filled in `prepare`).
     gaps: Vec<Option<u64>>,
@@ -65,6 +69,7 @@ impl BruteForce {
         assert!(grid_min.len() >= 2 && grid_min[0] == 0);
         let fleet = fleet.into();
         let locations: Vec<NodeId> = fleet.ids().collect();
+        let ci = vec![ci; fleet.len()];
         let max_k_ms = *grid_min.last().unwrap() * MINUTE_MS;
         let cost = CostModel::new(
             fleet,
@@ -83,6 +88,33 @@ impl BruteForce {
             catalog: WorkloadCatalog::default(),
             locations,
         }
+    }
+
+    /// Re-resolve the per-node CI series from a region-keyed bundle —
+    /// the multi-region form of the future CI knowledge the brute force
+    /// is granted. Fails when a fleet node's region has no series.
+    pub fn with_ci_bundle(mut self, bundle: &CiBundle) -> Result<Self, CiError> {
+        let mut ci = Vec::with_capacity(self.cost.fleet().len());
+        for node in self.cost.fleet().iter() {
+            let series = bundle.get(node.region).ok_or(CiError::MissingRegion {
+                node: node.id,
+                region: node.region,
+            })?;
+            ci.push(series.clone());
+        }
+        self.ci = ci;
+        Ok(self)
+    }
+
+    /// The series node `l` reads.
+    #[inline]
+    fn ci_of(&self, l: NodeId) -> &CarbonIntensityTrace {
+        &self.ci[l.index()]
+    }
+
+    /// Intensity at `t` on every node's grid.
+    fn ci_now_by_node(&self, t_ms: u64) -> Vec<f64> {
+        self.ci.iter().map(|s| s.at(t_ms)).collect()
     }
 
     /// Use a non-default carbon model (robustness studies).
@@ -128,13 +160,21 @@ impl BruteForce {
         Self::new(OptTarget::Energy, fleet, ci, (0..=10).collect())
     }
 
-    /// The cold-execution placement rule of this target at intensity
-    /// `ci`: the first score-minimizing node in id order.
-    fn cold_choice(&self, f: &ecolife_trace::FunctionProfile, ci: f64) -> NodeId {
+    /// The cold-execution placement rule of this target at time `t_ms`:
+    /// the first score-minimizing node in id order, each node's carbon
+    /// priced at its own grid's intensity.
+    fn cold_choice(&self, f: &ecolife_trace::FunctionProfile, t_ms: u64) -> NodeId {
+        self.cold_choice_with(f, &self.ci_now_by_node(t_ms))
+    }
+
+    /// [`BruteForce::cold_choice`] against a precomputed per-node CI
+    /// snapshot (`decide` reuses one snapshot across its whole
+    /// node×keep-alive grid).
+    fn cold_choice_with(&self, f: &ecolife_trace::FunctionProfile, ci_by_node: &[f64]) -> NodeId {
         let score = |r: NodeId| -> f64 {
             match self.target {
-                OptTarget::Joint => self.cost.epdm_score(r, f, ci),
-                OptTarget::Carbon => self.cost.cold_service_carbon_g(r, f, ci),
+                OptTarget::Joint => self.cost.epdm_score(r, f, ci_by_node),
+                OptTarget::Carbon => self.cost.cold_service_carbon_g(r, f, ci_by_node[r.index()]),
                 OptTarget::ServiceTime => self.cost.cold_service_ms(r, f) as f64,
                 OptTarget::Energy => self.cost.service_energy_kwh(r, f, false),
             }
@@ -150,12 +190,19 @@ impl BruteForce {
     ///
     /// `service_end` is when the container would become warm; `gap` the
     /// exact time to this function's next arrival (from the current
-    /// arrival), `None` for the last occurrence.
+    /// arrival), `None` for the last occurrence. `ci_by_node` is the
+    /// per-node CI snapshot at `ctx.t_ms` and `cold_next` the
+    /// placement-rule choice at the next arrival — both constant across
+    /// one `decide`'s whole (node, period) grid, so the caller computes
+    /// them once.
+    #[allow(clippy::too_many_arguments)]
     fn keepalive_score(
         &self,
         ctx: &InvocationCtx<'_>,
         service_end: u64,
         gap: Option<u64>,
+        ci_by_node: &[f64],
+        cold_next: Option<NodeId>,
         l: NodeId,
         k_ms: u64,
     ) -> f64 {
@@ -181,44 +228,49 @@ impl BruteForce {
             }
         };
 
+        // Keep-alive carbon accrues on the hosting node's grid.
         let ci_ka = if resident_ms > 0 {
-            self.ci.average_over(service_end, service_end + resident_ms)
+            self.ci_of(l)
+                .average_over(service_end, service_end + resident_ms)
         } else {
-            ctx.ci_now
-        };
-        let ci_next = match gap {
-            Some(g) => self.ci.at(ctx.t_ms + g),
-            None => ctx.ci_now,
+            self.ci_of(l).at(ctx.t_ms)
         };
 
         let kc_g = self.cost.keepalive_carbon_g(l, f, resident_ms, ci_ka);
         let ka_energy = self.cost.keepalive_energy_kwh(l, f, resident_ms);
 
-        // Next invocation's service under this choice.
-        let (s_next_ms, sc_next_g, e_next_kwh) = if gap.is_none() {
-            (0.0, 0.0, 0.0)
-        } else if warm_next {
-            (
-                self.cost.warm_service_ms(l, f) as f64,
-                self.cost.warm_service_carbon_g(l, f, ci_next),
-                self.cost.service_energy_kwh(l, f, true),
-            )
-        } else {
-            // Cold next start: it will execute wherever this target's
-            // placement rule puts it.
-            let r = self.cold_choice(f, ci_next);
-            (
-                self.cost.cold_service_ms(r, f) as f64,
-                self.cost.cold_service_carbon_g(r, f, ci_next),
-                self.cost.service_energy_kwh(r, f, false),
-            )
+        // Next invocation's service under this choice, priced on the
+        // grid of the node it would actually run on.
+        let (s_next_ms, sc_next_g, e_next_kwh) = match gap {
+            None => (0.0, 0.0, 0.0),
+            Some(g) if warm_next => {
+                let next_t = ctx.t_ms + g;
+                (
+                    self.cost.warm_service_ms(l, f) as f64,
+                    self.cost
+                        .warm_service_carbon_g(l, f, self.ci_of(l).at(next_t)),
+                    self.cost.service_energy_kwh(l, f, true),
+                )
+            }
+            Some(g) => {
+                // Cold next start: it will execute wherever this
+                // target's placement rule puts it at that instant.
+                let next_t = ctx.t_ms + g;
+                let r = cold_next.expect("cold_next precomputed whenever a gap exists");
+                (
+                    self.cost.cold_service_ms(r, f) as f64,
+                    self.cost
+                        .cold_service_carbon_g(r, f, self.ci_of(r).at(next_t)),
+                    self.cost.service_energy_kwh(r, f, false),
+                )
+            }
         };
 
         match self.target {
             OptTarget::Joint => {
                 self.cost.lambda_s * s_next_ms / self.cost.s_max(f)
-                    + self.cost.lambda_c * sc_next_g / self.cost.sc_max(f, ctx.ci_now)
-                    + self.cost.lambda_c * kc_g / self.cost.kc_max(f, ctx.ci_now)
+                    + self.cost.lambda_c * sc_next_g / self.cost.sc_max(f, ci_by_node)
+                    + self.cost.lambda_c * kc_g / self.cost.kc_max(f, ci_by_node)
             }
             OptTarget::Carbon => sc_next_g + kc_g,
             OptTarget::ServiceTime => {
@@ -243,13 +295,32 @@ impl Scheduler for BruteForce {
     }
 
     fn prepare(&mut self, trace: &Trace) {
+        // The brute force is granted the *whole* future CI series; a
+        // series that runs out mid-trace would silently degrade its
+        // knowledge to a frozen last sample — the same failure mode the
+        // engine rejects at construction, so reject it here too.
+        for (node, series) in self.cost.fleet().ids().zip(&self.ci) {
+            assert!(
+                trace.is_empty() || series.len_ms() > trace.horizon_ms(),
+                "{}: CI series for node {node} ({}) covers {} ms but the trace spans {} ms; \
+                 extend the series (e.g. extend_cyclic) or trim the workload",
+                self.name(),
+                self.cost.fleet().node(node).region,
+                series.len_ms(),
+                trace.horizon_ms() + 1,
+            );
+        }
         self.gaps = trace.next_arrival_gaps();
         self.catalog = trace.catalog().clone();
     }
 
     fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
-        let exec = self.cold_choice(ctx.profile, ctx.ci_now);
+        // Constants of this decision, shared across the whole
+        // (node, period) grid below.
+        let ci_by_node = self.ci_now_by_node(ctx.t_ms);
+        let exec = self.cold_choice_with(ctx.profile, &ci_by_node);
         let gap = self.gaps.get(ctx.index).copied().flatten();
+        let cold_next = gap.map(|g| self.cold_choice(ctx.profile, ctx.t_ms + g));
 
         // Exact service duration of *this* invocation (mirrors the
         // engine's computation) to anchor the keep-alive window.
@@ -264,7 +335,8 @@ impl Scheduler for BruteForce {
         for &l in &self.locations {
             for &k_min in &self.grid_min {
                 let k_ms = k_min * MINUTE_MS;
-                let score = self.keepalive_score(ctx, service_end, gap, l, k_ms);
+                let score =
+                    self.keepalive_score(ctx, service_end, gap, &ci_by_node, cold_next, l, k_ms);
                 if best.map(|(s, _, _)| score < s).unwrap_or(true) {
                     best = Some((score, l, k_ms));
                 }
@@ -425,6 +497,25 @@ mod tests {
         let c = CarbonIntensityTrace::constant(300.0, 60);
         let m = run(OptTarget::Carbon, &t, &c);
         assert_eq!(m.total_keepalive_carbon_g(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "extend the series")]
+    fn oracle_rejects_ci_shorter_than_its_trace() {
+        // The brute force's future CI knowledge must cover the trace:
+        // a short series would silently clamp to its last sample.
+        let catalog = WorkloadCatalog::sebs();
+        let (vid, _) = catalog.by_name("220.video-processing").unwrap();
+        let t = Trace::new(
+            catalog,
+            vec![Invocation {
+                func: vid,
+                t_ms: 120 * MINUTE_MS,
+            }],
+        );
+        let short = CarbonIntensityTrace::constant(300.0, 60);
+        let mut s = BruteForce::oracle(skus::fleet_a(), short);
+        s.prepare(&t);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::objective::CostModel;
 use crate::predictor::FunctionPredictor;
 use crate::warmpool::priority_adjustment_weighted;
 use ecolife_carbon::CarbonModel;
-use ecolife_hw::{Fleet, NodeId};
+use ecolife_hw::{Fleet, NodeId, Region};
 use ecolife_pso::space::decode;
 use ecolife_pso::{DpsoConfig, DynamicPso, Optimizer, PsoConfig, SearchSpace};
 use ecolife_sim::{
@@ -59,22 +59,28 @@ fn decode_placement(
 
 /// The EcoLife scheduler.
 ///
-/// All cross-function state (the ΔCI perception) is a pure function of
-/// simulated time, and per-function state (predictor + swarm, seeded
-/// from the function id) never reads another function's history — so an
-/// EcoLife instance handed only a function-hash shard of the trace makes
+/// All cross-function state (the per-region ΔCI perception) is a pure
+/// function of `(t, region)` — one [`SignalDelta`] per distinct fleet
+/// region, each observed once per simulated minute from that region's
+/// series — and per-function state (predictor + swarm, seeded from the
+/// function id) never reads another function's history. So an EcoLife
+/// instance handed only a function-hash shard of the trace makes
 /// exactly the decisions the whole-trace instance makes for those
 /// functions. That is what lets `Simulation::run_sharded` replay shards
-/// in parallel, one EcoLife per shard, bit-identically.
+/// in parallel, one EcoLife per shard, bit-identically — on
+/// multi-region fleets too.
 pub struct EcoLife {
     config: EcoLifeConfig,
     cost: CostModel,
     catalog: WorkloadCatalog,
     states: HashMap<FunctionId, FunctionState>,
-    ci_delta: SignalDelta,
-    /// Minutes `0..=last_ci_minute` of the CI series have been fed to
-    /// `ci_delta` (one observation per simulated minute, invocation
-    /// rhythm notwithstanding).
+    /// One ΔCI tracker per distinct fleet region, in the provider's
+    /// first-appearance (node id) order; initialized lazily on the first
+    /// decision (the region set comes from the run's `CiProvider`).
+    ci_deltas: Vec<(Region, SignalDelta)>,
+    /// Minutes `0..=last_ci_minute` of every region's CI series have
+    /// been fed to `ci_deltas` (one observation per simulated minute,
+    /// invocation rhythm notwithstanding).
     last_ci_minute: Option<u64>,
 }
 
@@ -122,7 +128,7 @@ impl EcoLife {
             cost,
             catalog: WorkloadCatalog::default(),
             states: HashMap::new(),
-            ci_delta: SignalDelta::new(),
+            ci_deltas: Vec::new(),
             last_ci_minute: None,
         }
     }
@@ -178,29 +184,57 @@ impl Scheduler for EcoLife {
     fn prepare(&mut self, trace: &Trace) {
         self.catalog = trace.catalog().clone();
         self.states.clear();
-        self.ci_delta = SignalDelta::new();
+        self.ci_deltas.clear();
         self.last_ci_minute = None;
     }
 
     fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
-        // Global ΔCI perception: one observation per minute of simulated
-        // time (carbon intensity is a minute-resolution signal),
-        // catching up over minutes that carried no invocation. Observing
-        // *every* minute — rather than only invocation-bearing ones —
-        // makes the ΔCI state at time t a pure function of t and the CI
-        // series, independent of which functions' arrivals this
-        // scheduler instance happens to see; a per-shard EcoLife
-        // therefore perceives exactly what the whole-trace one does.
+        // Global ΔCI perception, one tracker per distinct fleet region:
+        // one observation per minute of simulated time from each
+        // region's series (carbon intensity is a minute-resolution
+        // signal), catching up over minutes that carried no invocation.
+        // Observing *every* minute for *every* region — rather than only
+        // invocation-bearing minutes of some global trace — makes the
+        // ΔCI state at time t a pure function of (t, region), independent
+        // of which functions' arrivals this scheduler instance happens
+        // to see; a per-shard EcoLife therefore perceives exactly what
+        // the whole-trace one does, single- or multi-region.
         let minute = ctx.t_ms / MINUTE_MS;
+        if self.ci_deltas.is_empty() {
+            self.ci_deltas = ctx
+                .ci
+                .distinct_regions()
+                .map(|(r, _)| (r, SignalDelta::new()))
+                .collect();
+        }
         let from = self.last_ci_minute.map_or(0, |m| m + 1);
         for m in from..=minute {
-            self.ci_delta.observe(ctx.ci.at(m * MINUTE_MS));
+            for ((_, delta), (_, series)) in
+                self.ci_deltas.iter_mut().zip(ctx.ci.distinct_regions())
+            {
+                delta.observe(series.at(m * MINUTE_MS));
+            }
         }
         self.last_ci_minute = Some(minute);
-        let dci = self.ci_delta.normalized_delta();
+        // The perception-response trigger is the largest-magnitude
+        // normalized delta across the fleet's grids: a swing anywhere
+        // the swarm could place a keep-alive is worth re-anchoring for.
+        // On a single-region fleet this reduces to the paper's scalar
+        // ΔCI exactly.
+        let dci = self
+            .ci_deltas
+            .iter()
+            .map(|(_, d)| d.normalized_delta())
+            .max_by(|a, b| {
+                a.abs()
+                    .partial_cmp(&b.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0.0);
 
         let restrict = self.config.restrict_to;
-        let exec = self.cost.epdm_choice(ctx.profile, ctx.ci_now, restrict);
+        let ci_by_node = ctx.ci.at_each_node(ctx.t_ms);
+        let exec = self.cost.epdm_choice(ctx.profile, &ci_by_node, restrict);
 
         // Update the arrival model *before* optimizing: the gap that just
         // closed is the freshest evidence about this function's rhythm.
@@ -211,7 +245,6 @@ impl Scheduler for EcoLife {
         let cost = self.cost.clone();
         let n_nodes = cost.fleet().len();
         let profile = ctx.profile.clone();
-        let ci_now = ctx.ci_now;
 
         let state = self.state_for(ctx.func);
         state.predictor.record_arrival(ctx.t_ms);
@@ -237,7 +270,7 @@ impl Scheduler for EcoLife {
                 k_ms,
                 p_warm[idx],
                 resident[idx],
-                ci_now,
+                &ci_by_node,
                 restrict,
             )
         };

@@ -34,6 +34,7 @@ pub mod baselines;
 pub mod config;
 pub mod ecolife;
 pub mod objective;
+pub mod partition;
 pub mod predictor;
 pub mod report;
 pub mod runner;
@@ -44,5 +45,6 @@ pub use baselines::oracle::{BruteForce, OptTarget};
 pub use config::EcoLifeConfig;
 pub use ecolife::EcoLife;
 pub use objective::CostModel;
+pub use partition::{Partition, PartitionedScheduler};
 pub use predictor::FunctionPredictor;
-pub use runner::{compare, run_scheme, Comparison, RunSummary};
+pub use runner::{compare, run_scheme, run_scheme_regional, Comparison, RunSummary};

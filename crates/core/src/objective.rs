@@ -13,6 +13,14 @@
 //! the fleet. The same pieces feed the EPDM score (`fscore`), the
 //! warm-pool priority ranking, and the Oracle brute force, so they live
 //! in one place.
+//!
+//! On a multi-region fleet each node burns its own grid's intensity, so
+//! every carbon-bearing composite takes `ci_by_node` — the intensity on
+//! each node's grid at the decision instant, indexed by `NodeId`
+//! (build one with [`CostModel::uniform_ci`] for the single-region
+//! case, or read it off `InvocationCtx::ci`). Scalar-`ci` leaf methods
+//! (`*_carbon_g`) remain per-node quantities: the caller passes that
+//! node's intensity.
 
 use ecolife_carbon::CarbonModel;
 use ecolife_hw::{Fleet, NodeId, PerfModel};
@@ -59,6 +67,17 @@ impl CostModel {
     #[inline]
     pub fn carbon_model(&self) -> &CarbonModel {
         &self.carbon
+    }
+
+    /// One intensity for every node — the single-region `ci_by_node`.
+    pub fn uniform_ci(&self, ci: f64) -> Vec<f64> {
+        vec![ci; self.fleet.len()]
+    }
+
+    #[inline]
+    fn ci_at(&self, ci_by_node: &[f64], l: NodeId) -> f64 {
+        debug_assert_eq!(ci_by_node.len(), self.fleet.len());
+        ci_by_node[l.index()]
     }
 
     // -- service time ------------------------------------------------------
@@ -110,11 +129,12 @@ impl CostModel {
             .total_g()
     }
 
-    /// `SC_max`: the worst cold-service carbon across the fleet.
-    pub fn sc_max(&self, f: &FunctionProfile, ci: f64) -> f64 {
+    /// `SC_max`: the worst cold-service carbon across the fleet, each
+    /// node priced at its own grid's intensity.
+    pub fn sc_max(&self, f: &FunctionProfile, ci_by_node: &[f64]) -> f64 {
         self.fleet
             .ids()
-            .map(|l| self.cold_service_carbon_g(l, f, ci))
+            .map(|l| self.cold_service_carbon_g(l, f, self.ci_at(ci_by_node, l)))
             .fold(0.0f64, f64::max)
             .max(1e-12)
     }
@@ -138,11 +158,14 @@ impl CostModel {
     }
 
     /// `KC_max`: the worst-case carbon of the longest keep-alive anywhere
-    /// in the fleet (the two-node case: on the newer generation).
-    pub fn kc_max(&self, f: &FunctionProfile, ci: f64) -> f64 {
+    /// in the fleet (the two-node case: on the newer generation), each
+    /// node priced at its own grid's intensity.
+    pub fn kc_max(&self, f: &FunctionProfile, ci_by_node: &[f64]) -> f64 {
         self.fleet
             .ids()
-            .map(|l| self.keepalive_carbon_g(l, f, self.max_keepalive_ms, ci))
+            .map(|l| {
+                self.keepalive_carbon_g(l, f, self.max_keepalive_ms, self.ci_at(ci_by_node, l))
+            })
             .fold(0.0f64, f64::max)
             .max(1e-12)
     }
@@ -176,25 +199,35 @@ impl CostModel {
     // -- composite scores ----------------------------------------------------
 
     /// The EPDM execution-placement score for a *cold* execution on `r`
-    /// (Sec. IV-D): `fscore = λs·S_r/S_max + λc·SC_r/SC_max`.
-    pub fn epdm_score(&self, r: impl Into<NodeId>, f: &FunctionProfile, ci: f64) -> f64 {
+    /// (Sec. IV-D): `fscore = λs·S_r/S_max + λc·SC_r/SC_max`, with `r`'s
+    /// carbon priced at its own grid's intensity.
+    pub fn epdm_score(&self, r: impl Into<NodeId>, f: &FunctionProfile, ci_by_node: &[f64]) -> f64 {
         let r = r.into();
         let s = self.cold_service_ms(r, f) as f64 / self.s_max(f);
-        let sc = self.cold_service_carbon_g(r, f, ci) / self.sc_max(f, ci);
+        let sc = self.cold_service_carbon_g(r, f, self.ci_at(ci_by_node, r))
+            / self.sc_max(f, ci_by_node);
         self.lambda_s * s + self.lambda_c * sc
     }
 
     /// EPDM choice for a cold execution: the `fscore`-minimizing fleet
     /// node (ties resolve to the lowest id — the two-node case: old), or
-    /// `allowed` when the scheduler is restricted to one node.
-    pub fn epdm_choice(&self, f: &FunctionProfile, ci: f64, allowed: Option<NodeId>) -> NodeId {
+    /// `allowed` when the scheduler is restricted to one node. On a
+    /// multi-region fleet this is where execution placement starts
+    /// trading grid mixes: a node on a momentarily clean grid wins over
+    /// an identical node on a dirty one.
+    pub fn epdm_choice(
+        &self,
+        f: &FunctionProfile,
+        ci_by_node: &[f64],
+        allowed: Option<NodeId>,
+    ) -> NodeId {
         match allowed {
             Some(l) => l,
             None => {
                 let mut best = NodeId(0);
-                let mut best_score = self.epdm_score(best, f, ci);
+                let mut best_score = self.epdm_score(best, f, ci_by_node);
                 for l in self.fleet.ids().skip(1) {
-                    let score = self.epdm_score(l, f, ci);
+                    let score = self.epdm_score(l, f, ci_by_node);
                     if score < best_score {
                         best = l;
                         best_score = score;
@@ -219,68 +252,74 @@ impl CostModel {
         k_ms: u64,
         p_warm: f64,
         expected_resident_ms: f64,
-        ci: f64,
+        ci_by_node: &[f64],
         allowed: Option<NodeId>,
     ) -> f64 {
         let l = l.into();
+        let ci_l = self.ci_at(ci_by_node, l);
         let p_warm = if k_ms == 0 {
             0.0
         } else {
             p_warm.clamp(0.0, 1.0)
         };
-        let cold_loc = self.epdm_choice(f, ci, allowed);
+        let cold_loc = self.epdm_choice(f, ci_by_node, allowed);
 
         // E[S]
         let s_warm = self.warm_service_ms(l, f) as f64;
         let s_cold = self.cold_service_ms(cold_loc, f) as f64;
         let e_s = p_warm * s_warm + (1.0 - p_warm) * s_cold;
 
-        // E[SC]
-        let sc_warm = self.warm_service_carbon_g(l, f, ci);
-        let sc_cold = self.cold_service_carbon_g(cold_loc, f, ci);
+        // E[SC] — each branch priced on the grid it would run on.
+        let sc_warm = self.warm_service_carbon_g(l, f, ci_l);
+        let sc_cold = self.cold_service_carbon_g(cold_loc, f, self.ci_at(ci_by_node, cold_loc));
         let e_sc = p_warm * sc_warm + (1.0 - p_warm) * sc_cold;
 
-        // KC over the expected resident time.
+        // KC over the expected resident time, on the hosting node's grid.
         let resident = expected_resident_ms.clamp(0.0, k_ms as f64);
         let kc = if k_ms == 0 {
             0.0
         } else {
-            self.keepalive_carbon_g(l, f, resident.round() as u64, ci)
+            self.keepalive_carbon_g(l, f, resident.round() as u64, ci_l)
         };
 
         self.lambda_s * e_s / self.s_max(f)
-            + self.lambda_c * e_sc / self.sc_max(f, ci)
-            + self.lambda_c * kc / self.kc_max(f, ci)
+            + self.lambda_c * e_sc / self.sc_max(f, ci_by_node)
+            + self.lambda_c * kc / self.kc_max(f, ci_by_node)
     }
 
-    /// The warm-pool priority score of keeping `f` alive on `l` at `ci`:
+    /// The warm-pool priority score of keeping `f` alive on `l`:
     /// the (normalized) service-time and carbon benefit of a warm start
     /// over a cold start (Sec. IV-C "calculating the difference in
     /// service time and carbon footprint between cold start and warm
     /// start"). Higher = more valuable to keep.
-    pub fn keepalive_benefit(&self, l: impl Into<NodeId>, f: &FunctionProfile, ci: f64) -> f64 {
+    pub fn keepalive_benefit(
+        &self,
+        l: impl Into<NodeId>,
+        f: &FunctionProfile,
+        ci_by_node: &[f64],
+    ) -> f64 {
         let l = l.into();
-        let cold_loc = self.epdm_choice(f, ci, None);
+        let cold_loc = self.epdm_choice(f, ci_by_node, None);
         let ds = (self.cold_service_ms(cold_loc, f) as f64 - self.warm_service_ms(l, f) as f64)
             / self.s_max(f);
-        let dc = (self.cold_service_carbon_g(cold_loc, f, ci)
-            - self.warm_service_carbon_g(l, f, ci))
-            / self.sc_max(f, ci);
+        let dc = (self.cold_service_carbon_g(cold_loc, f, self.ci_at(ci_by_node, cold_loc))
+            - self.warm_service_carbon_g(l, f, self.ci_at(ci_by_node, l)))
+            / self.sc_max(f, ci_by_node);
         self.lambda_s * ds + self.lambda_c * dc
     }
 
     /// Transfer targets for containers displaced from `exclude`, ranked
     /// cheapest-to-keep-warm first (per-MiB keep-alive carbon of a
-    /// one-minute reference residency at `ci`; ties resolve to the lowest
-    /// id). The engine tries displaced containers against this ranking in
-    /// order.
-    pub fn transfer_ranking(&self, exclude: NodeId, ci: f64) -> Vec<NodeId> {
+    /// one-minute reference residency, each node priced at its own
+    /// grid's intensity; ties resolve to the lowest id). The engine
+    /// tries displaced containers against this ranking in order.
+    pub fn transfer_ranking(&self, exclude: NodeId, ci_by_node: &[f64]) -> Vec<NodeId> {
         // 1-GiB reference container over one minute: enough to order the
         // nodes; the ordering is memory-size-independent to first order
         // because both the power and embodied terms are affine in MiB.
         let reference = |l: NodeId| -> f64 {
             self.carbon
-                .keepalive_phase(self.fleet.node(l), 1024, 60_000, ci)
+                .keepalive_phase(self.fleet.node(l), 1024, 60_000, self.ci_at(ci_by_node, l))
                 .total_g()
         };
         let mut targets = self.fleet.transfer_candidates(exclude);
@@ -331,7 +370,7 @@ mod tests {
         let m = model();
         let f = profile("503.graph-bfs");
         assert_eq!(
-            m.kc_max(&f, 300.0),
+            m.kc_max(&f, &m.uniform_ci(300.0)),
             m.keepalive_carbon_g(Generation::New, &f, m.max_keepalive_ms, 300.0)
         );
     }
@@ -349,14 +388,23 @@ mod tests {
     fn objective_zero_keepalive_has_no_kc_term() {
         let m = model();
         let f = profile("503.graph-bfs");
-        let with_k =
-            m.expected_objective(&f, Generation::Old, 600_000, 0.9, 300_000.0, 300.0, None);
-        let no_k = m.expected_objective(&f, Generation::Old, 0, 0.9, 0.0, 300.0, None);
+        let with_k = m.expected_objective(
+            &f,
+            Generation::Old,
+            600_000,
+            0.9,
+            300_000.0,
+            &m.uniform_ci(300.0),
+            None,
+        );
+        let no_k =
+            m.expected_objective(&f, Generation::Old, 0, 0.9, 0.0, &m.uniform_ci(300.0), None);
         // k = 0 forces the cold branch: that may be better or worse overall,
         // but its KC term must vanish, which we can see by reconstructing:
-        let cold_loc = m.epdm_choice(&f, 300.0, None);
+        let cold_loc = m.epdm_choice(&f, &m.uniform_ci(300.0), None);
         let expected_no_k = m.lambda_s * m.cold_service_ms(cold_loc, &f) as f64 / m.s_max(&f)
-            + m.lambda_c * m.cold_service_carbon_g(cold_loc, &f, 300.0) / m.sc_max(&f, 300.0);
+            + m.lambda_c * m.cold_service_carbon_g(cold_loc, &f, 300.0)
+                / m.sc_max(&f, &m.uniform_ci(300.0));
         assert!((no_k - expected_no_k).abs() < 1e-12);
         assert!(with_k.is_finite());
     }
@@ -367,8 +415,24 @@ mod tests {
         // and carbon, so the objective must fall as P(warm) rises.
         let m = model();
         let f = profile("220.video-processing");
-        let lo = m.expected_objective(&f, Generation::Old, 600_000, 0.1, 300_000.0, 300.0, None);
-        let hi = m.expected_objective(&f, Generation::Old, 600_000, 0.9, 300_000.0, 300.0, None);
+        let lo = m.expected_objective(
+            &f,
+            Generation::Old,
+            600_000,
+            0.1,
+            300_000.0,
+            &m.uniform_ci(300.0),
+            None,
+        );
+        let hi = m.expected_objective(
+            &f,
+            Generation::Old,
+            600_000,
+            0.9,
+            300_000.0,
+            &m.uniform_ci(300.0),
+            None,
+        );
         assert!(hi < lo);
     }
 
@@ -386,7 +450,10 @@ mod tests {
             50,
             600_000,
         );
-        assert_eq!(time_only.epdm_choice(&f, 300.0, None), NodeId(1));
+        assert_eq!(
+            time_only.epdm_choice(&f, &time_only.uniform_ci(300.0), None),
+            NodeId(1)
+        );
         let carbon_only = CostModel::new(
             skus::pair_a(),
             CarbonModel::default(),
@@ -395,7 +462,10 @@ mod tests {
             50,
             600_000,
         );
-        assert_eq!(carbon_only.epdm_choice(&f, 300.0, None), NodeId(0));
+        assert_eq!(
+            carbon_only.epdm_choice(&f, &carbon_only.uniform_ci(300.0), None),
+            NodeId(0)
+        );
     }
 
     #[test]
@@ -403,7 +473,7 @@ mod tests {
         let m = model();
         let f = profile("311.compression");
         assert_eq!(
-            m.epdm_choice(&f, 300.0, Some(Generation::Old.into())),
+            m.epdm_choice(&f, &m.uniform_ci(300.0), Some(Generation::Old.into())),
             NodeId(0)
         );
     }
@@ -416,9 +486,15 @@ mod tests {
         let fleet = skus::fleet_three_generations();
         let time_only =
             CostModel::new(fleet.clone(), CarbonModel::default(), 1.0, 0.0, 50, 600_000);
-        assert_eq!(time_only.epdm_choice(&f, 300.0, None), NodeId(2));
+        assert_eq!(
+            time_only.epdm_choice(&f, &time_only.uniform_ci(300.0), None),
+            NodeId(2)
+        );
         let carbon_only = CostModel::new(fleet, CarbonModel::default(), 0.0, 1.0, 50, 600_000);
-        assert_eq!(carbon_only.epdm_choice(&f, 300.0, None), NodeId(0));
+        assert_eq!(
+            carbon_only.epdm_choice(&f, &carbon_only.uniform_ci(300.0), None),
+            NodeId(0)
+        );
     }
 
     #[test]
@@ -428,8 +504,24 @@ mod tests {
         // heart of the multi-generation insight).
         let m = model();
         let f = profile("503.graph-bfs");
-        let old = m.expected_objective(&f, Generation::Old, 600_000, 0.8, 240_000.0, 300.0, None);
-        let new = m.expected_objective(&f, Generation::New, 600_000, 0.8, 240_000.0, 300.0, None);
+        let old = m.expected_objective(
+            &f,
+            Generation::Old,
+            600_000,
+            0.8,
+            240_000.0,
+            &m.uniform_ci(300.0),
+            None,
+        );
+        let new = m.expected_objective(
+            &f,
+            Generation::New,
+            600_000,
+            0.8,
+            240_000.0,
+            &m.uniform_ci(300.0),
+            None,
+        );
         assert!(old < new, "old {old} vs new {new}");
     }
 
@@ -440,7 +532,7 @@ mod tests {
         let m = model();
         let f = profile("411.image-recognition");
         for l in m.fleet().ids().collect::<Vec<_>>() {
-            assert!(m.keepalive_benefit(l, &f, 300.0) > 0.0);
+            assert!(m.keepalive_benefit(l, &f, &m.uniform_ci(300.0)) > 0.0);
         }
     }
 
@@ -448,7 +540,15 @@ mod tests {
     fn normalized_terms_are_order_unity() {
         let m = model();
         let f = profile("504.dna-visualization");
-        let obj = m.expected_objective(&f, Generation::New, 600_000, 0.5, 300_000.0, 250.0, None);
+        let obj = m.expected_objective(
+            &f,
+            Generation::New,
+            600_000,
+            0.5,
+            300_000.0,
+            &m.uniform_ci(250.0),
+            None,
+        );
         assert!(obj > 0.0 && obj < 3.0, "objective {obj} badly scaled");
     }
 
@@ -466,8 +566,14 @@ mod tests {
     fn transfer_ranking_prefers_cheap_keepalive_nodes() {
         // Two-node fleet: the only candidate is the other node.
         let m = model();
-        assert_eq!(m.transfer_ranking(NodeId(1), 300.0), vec![NodeId(0)]);
-        assert_eq!(m.transfer_ranking(NodeId(0), 300.0), vec![NodeId(1)]);
+        assert_eq!(
+            m.transfer_ranking(NodeId(1), &m.uniform_ci(300.0)),
+            vec![NodeId(0)]
+        );
+        assert_eq!(
+            m.transfer_ranking(NodeId(0), &m.uniform_ci(300.0)),
+            vec![NodeId(1)]
+        );
         // Three nodes: displacements from the newest prefer the oldest
         // (cheapest idle core + embodied attribution), then the mid node.
         let m3 = CostModel::new(
@@ -479,7 +585,7 @@ mod tests {
             600_000,
         );
         assert_eq!(
-            m3.transfer_ranking(NodeId(2), 300.0),
+            m3.transfer_ranking(NodeId(2), &m3.uniform_ci(300.0)),
             vec![NodeId(0), NodeId(1)]
         );
     }

@@ -1,7 +1,7 @@
 //! Experiment harness: run schemes, summarize, and compare — the
 //! machinery every figure reproduction is built from.
 
-use ecolife_carbon::CarbonIntensityTrace;
+use ecolife_carbon::{CarbonIntensityTrace, CiBundle, CiError};
 use ecolife_hw::Fleet;
 use ecolife_sim::metrics::percent_increase;
 use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation};
@@ -56,6 +56,21 @@ pub fn run_scheme<S: Scheduler>(
     scheduler: &mut S,
 ) -> (RunSummary, RunMetrics) {
     run_scheme_with(trace, ci, fleet, scheduler, SimConfig::default())
+}
+
+/// Run one scheduler over a multi-region fleet: each node reads the CI
+/// series of its own region from `bundle`.
+pub fn run_scheme_regional<S: Scheduler>(
+    trace: &Trace,
+    bundle: &CiBundle,
+    fleet: &Fleet,
+    scheduler: &mut S,
+) -> Result<(RunSummary, RunMetrics), CiError> {
+    let metrics = Simulation::try_new_regional(trace, bundle, fleet.clone())?.run(scheduler);
+    Ok((
+        RunSummary::from_metrics(scheduler.name(), &metrics),
+        metrics,
+    ))
 }
 
 /// Run with an explicit engine config (robustness studies use non-default

@@ -49,6 +49,7 @@ pub fn priority_adjustment_weighted(
     }
 
     let pool = ctx.cluster.pool(ctx.location);
+    let ci_by_node = &ctx.ci_by_node;
     let mut candidates: Vec<Candidate> = pool
         .iter()
         .map(|c| {
@@ -56,7 +57,7 @@ pub fn priority_adjustment_weighted(
             Candidate {
                 func: c.func,
                 memory_mib: c.memory_mib,
-                density: reuse_weight(c.func) * cost.keepalive_benefit(ctx.location, f, ctx.ci_now)
+                density: reuse_weight(c.func) * cost.keepalive_benefit(ctx.location, f, ci_by_node)
                     / c.memory_mib.max(1) as f64,
                 incoming: false,
             }
@@ -67,7 +68,7 @@ pub fn priority_adjustment_weighted(
         func: ctx.incoming_func,
         memory_mib: ctx.incoming_memory_mib,
         density: reuse_weight(ctx.incoming_func)
-            * cost.keepalive_benefit(ctx.location, incoming_profile, ctx.ci_now)
+            * cost.keepalive_benefit(ctx.location, incoming_profile, ci_by_node)
             / ctx.incoming_memory_mib.max(1) as f64,
         incoming: true,
     });
@@ -99,7 +100,7 @@ pub fn priority_adjustment_weighted(
     AdjustPlan {
         displace,
         place_incoming: keep_incoming,
-        transfer_targets: Some(cost.transfer_ranking(ctx.location, ctx.ci_now)),
+        transfer_targets: Some(cost.transfer_ranking(ctx.location, ci_by_node)),
     }
 }
 
@@ -156,6 +157,7 @@ mod tests {
             incoming_memory_mib: inc_p.memory_mib,
             t_ms: 1_000,
             ci_now: 300.0,
+            ci_by_node: vec![300.0, 300.0],
             cluster: &cluster,
         };
         let plan = priority_adjustment(&cost(), &cat, &ctx);
@@ -182,6 +184,7 @@ mod tests {
             incoming_memory_mib: dna_p.memory_mib,
             t_ms: 1_000,
             ci_now: 300.0,
+            ci_by_node: vec![300.0, 300.0],
             cluster: &cluster,
         };
         let plan = priority_adjustment(&cost(), &cat, &ctx);
@@ -210,6 +213,7 @@ mod tests {
             incoming_memory_mib: inc_p.memory_mib,
             t_ms: 0,
             ci_now: 200.0,
+            ci_by_node: vec![200.0, 200.0],
             cluster: &cluster,
         };
         let plan = priority_adjustment(&cost(), &cat, &ctx);
@@ -247,6 +251,7 @@ mod tests {
             incoming_memory_mib: inc_p.memory_mib,
             t_ms: 0,
             ci_now: 250.0,
+            ci_by_node: vec![250.0, 250.0],
             cluster: &cluster,
         };
         let a = priority_adjustment(&cost(), &cat, &ctx);

@@ -12,7 +12,7 @@
 //! layout the [`Generation`](crate::Generation) compatibility aliases
 //! rely on).
 
-use crate::{HardwareNode, HardwarePair, NodeId};
+use crate::{HardwareNode, HardwarePair, NodeId, Region};
 
 /// An ordered, non-empty set of schedulable hardware nodes.
 ///
@@ -165,6 +165,60 @@ impl Fleet {
         self.node_mut(id).keepalive_mem_mib = mib;
         self
     }
+
+    /// Deploy every node in one region.
+    pub fn with_uniform_region(mut self, region: Region) -> Self {
+        for n in &mut self.nodes {
+            n.region = region;
+        }
+        self
+    }
+
+    /// Deploy one node in `region`.
+    pub fn with_region(mut self, id: impl Into<NodeId>, region: Region) -> Self {
+        self.node_mut(id).region = region;
+        self
+    }
+
+    /// The distinct regions this fleet spans, in first-appearance (node
+    /// id) order. A single-region fleet — the paper's setup — returns
+    /// one entry.
+    pub fn regions(&self) -> Vec<Region> {
+        let mut out: Vec<Region> = Vec::new();
+        for n in &self.nodes {
+            if !out.contains(&n.region) {
+                out.push(n.region);
+            }
+        }
+        out
+    }
+
+    /// Node ids deployed in `region`, in id order.
+    pub fn nodes_in_region(&self, region: Region) -> Vec<NodeId> {
+        self.ids()
+            .filter(|&id| self.node(id).region == region)
+            .collect()
+    }
+
+    /// Concatenate sub-fleets into one fleet, renumbering node ids to
+    /// positions in concatenation order. This is how a multi-region
+    /// deployment is assembled from per-region sub-fleets (e.g. one
+    /// hardware pair per grid region); the inverse mapping is recoverable
+    /// from each sub-fleet's length.
+    ///
+    /// # Panics
+    /// Panics when `parts` contains no nodes at all.
+    pub fn concat(parts: &[Fleet]) -> Fleet {
+        let mut nodes: Vec<HardwareNode> = Vec::new();
+        for part in parts {
+            for n in part.iter() {
+                let mut n = n.clone();
+                n.id = NodeId(nodes.len() as u32);
+                nodes.push(n);
+            }
+        }
+        Fleet::new(nodes)
+    }
 }
 
 impl From<HardwarePair> for Fleet {
@@ -241,6 +295,41 @@ mod tests {
             .with_keepalive_budget_mib(NodeId(1), 8_192);
         assert_eq!(fleet.node(NodeId(0)).keepalive_mem_mib, 4_096);
         assert_eq!(fleet.node(NodeId(1)).keepalive_mem_mib, 8_192);
+    }
+
+    #[test]
+    fn region_helpers_tag_and_group_nodes() {
+        let fleet = Fleet::from(skus::pair_a())
+            .with_uniform_region(Region::Texas)
+            .with_region(NodeId(1), Region::NewYork);
+        assert_eq!(fleet.node(NodeId(0)).region, Region::Texas);
+        assert_eq!(fleet.node(NodeId(1)).region, Region::NewYork);
+        assert_eq!(fleet.regions(), vec![Region::Texas, Region::NewYork]);
+        assert_eq!(fleet.nodes_in_region(Region::Texas), vec![NodeId(0)]);
+        assert_eq!(fleet.nodes_in_region(Region::Caiso), Vec::<NodeId>::new());
+        // Default fleets are single-region.
+        assert_eq!(Fleet::from(skus::pair_a()).regions(), vec![Region::Caiso]);
+    }
+
+    #[test]
+    fn concat_renumbers_ids_and_keeps_regions() {
+        let a = Fleet::from(skus::pair_a()).with_uniform_region(Region::Tennessee);
+        let b = Fleet::from(skus::pair_a()).with_uniform_region(Region::NewYork);
+        let both = Fleet::concat(&[a.clone(), b]);
+        assert_eq!(both.len(), 4);
+        assert_eq!(both.node(NodeId(2)).region, Region::NewYork);
+        assert_eq!(both.node(NodeId(2)).cpu, a.node(NodeId(0)).cpu);
+        assert_eq!(both.regions(), vec![Region::Tennessee, Region::NewYork]);
+        assert_eq!(
+            both.nodes_in_region(Region::NewYork),
+            vec![NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn concat_rejects_no_nodes() {
+        Fleet::concat(&[]);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! decision space, the optimizer's search box — is keyed by `NodeId`, so
 //! the fleet size is a free parameter: two nodes reproduce the paper,
 //! larger fleets model multi-SKU clusters (see [`skus::fleet_of`] and
-//! [`skus::fleet_three_generations`]).
+//! [`skus::fleet_three_generations`]). Each node additionally carries a
+//! grid [`Region`]: a fleet may span several grids (e.g.
+//! [`skus::fleet_five_regions`], one pair per Fig. 14 region), and the
+//! simulator charges every execution and keep-alive at the acting
+//! node's own grid intensity.
 //!
 //! ## The paper's two-node special case
 //!
@@ -53,6 +57,7 @@ pub mod node;
 pub mod pair;
 pub mod perf;
 pub mod power;
+pub mod region;
 pub mod skus;
 
 pub use cpu::CpuModel;
@@ -62,6 +67,7 @@ pub use node::{Generation, HardwareNode, NodeId};
 pub use pair::{HardwarePair, PairId};
 pub use perf::PerfModel;
 pub use power::PowerDraw;
+pub use region::{Region, RegionProfile};
 pub use skus::Sku;
 
 /// Default hardware lifetime used to amortize embodied carbon:

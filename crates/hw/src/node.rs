@@ -1,7 +1,7 @@
 //! A schedulable hardware node: one CPU package plus its DRAM, tagged with
 //! the generation it belongs to.
 
-use crate::{CpuModel, DramModel};
+use crate::{CpuModel, DramModel, Region};
 
 /// Which side of a two-generation pair a node belongs to.
 ///
@@ -102,6 +102,11 @@ pub struct HardwareNode {
     pub generation: Generation,
     pub cpu: CpuModel,
     pub dram: DramModel,
+    /// The grid region this node is deployed in: its executions and
+    /// keep-alives burn that grid's carbon intensity. Defaults to the
+    /// paper's CISO region; multi-region fleets tag nodes via
+    /// [`HardwareNode::with_region`].
+    pub region: Region,
     /// Memory budget available for keeping functions warm (MiB).
     pub keepalive_mem_mib: u64,
     /// Embodied-carbon amortization horizon (ms); defaults to 4 years.
@@ -118,6 +123,7 @@ impl HardwareNode {
             generation,
             cpu,
             dram,
+            region: Region::Caiso,
             keepalive_mem_mib,
             lifetime_ms: crate::DEFAULT_LIFETIME_MS,
         }
@@ -126,6 +132,13 @@ impl HardwareNode {
     /// Restrict the warm-pool budget (used by the Fig. 11 sweep).
     pub fn with_keepalive_budget_mib(mut self, mib: u64) -> Self {
         self.keepalive_mem_mib = mib;
+        self
+    }
+
+    /// Deploy the node in `region` (its CI series is resolved per node
+    /// at simulation time).
+    pub fn with_region(mut self, region: Region) -> Self {
+        self.region = region;
         self
     }
 
@@ -185,6 +198,20 @@ mod tests {
         );
         assert_eq!(n.keepalive_mem_mib, n.dram.capacity_mib);
         assert_eq!(n.lifetime_ms, crate::DEFAULT_LIFETIME_MS);
+        // The paper's default deployment region.
+        assert_eq!(n.region, Region::Caiso);
+    }
+
+    #[test]
+    fn with_region_tags_the_node() {
+        let n = HardwareNode::new(
+            NodeId(0),
+            Generation::Old,
+            skus::xeon_e5_2686(),
+            skus::micron_512(),
+        )
+        .with_region(Region::Texas);
+        assert_eq!(n.region, Region::Texas);
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //!   paper measures (Fig. 2: A_OLD saves 23.8% total carbon over a
 //!   10-minute keep-alive episode while costing 15.9% execution time).
 
-use crate::{CpuModel, DramModel, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId};
+use crate::{
+    CpuModel, DramModel, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId, Region,
+};
 
 // ---------------------------------------------------------------------------
 // CPU SKUs (Table I)
@@ -330,6 +332,34 @@ pub fn fleet_three_generations() -> Fleet {
     fleet_of(&[Sku::I3Metal, Sku::M5Metal, Sku::M5znMetal])
 }
 
+/// Build a fleet from (SKU, region) pairs: node `i` gets `NodeId(i)` and
+/// its region tag. Era tags are assigned relative to the whole fleet,
+/// exactly as in [`fleet_of`].
+pub fn fleet_of_in_regions(placements: &[(Sku, Region)]) -> Fleet {
+    let skus: Vec<Sku> = placements.iter().map(|&(s, _)| s).collect();
+    let mut fleet = fleet_of(&skus);
+    for (i, &(_, region)) in placements.iter().enumerate() {
+        fleet = fleet.with_region(NodeId(i as u32), region);
+    }
+    fleet
+}
+
+/// The multi-region catalog fleet of the Fig. 14 robustness study: one
+/// pair-A deployment (`i3.metal` + `m5zn.metal`) in **each** of the five
+/// evaluated grid regions, in [`Region::ALL`] order (TEN TEX FLA NY CAL)
+/// — ten nodes total, nodes `2r`/`2r+1` being region `r`'s old/new pair.
+/// With per-node carbon-intensity resolution this turns the paper's five
+/// separate single-region runs into one fleet, and — when a scheduler is
+/// free to place across regions — makes the grid mix itself a placement
+/// axis.
+pub fn fleet_five_regions() -> Fleet {
+    let placements: Vec<(Sku, Region)> = Region::ALL
+        .iter()
+        .flat_map(|&r| [(Sku::I3Metal, r), (Sku::M5znMetal, r)])
+        .collect();
+    fleet_of_in_regions(&placements)
+}
+
 /// Look a pair up by id.
 pub fn pair(id: PairId) -> HardwarePair {
     match id {
@@ -482,6 +512,35 @@ mod tests {
     #[should_panic(expected = "every SKU count is zero")]
     fn fleet_of_counts_rejects_the_empty_fleet() {
         fleet_of_counts(&[(Sku::I3Metal, 0), (Sku::M5znMetal, 0)]);
+    }
+
+    #[test]
+    fn fleet_five_regions_is_one_pair_per_region() {
+        let fleet = fleet_five_regions();
+        assert_eq!(fleet.len(), 10);
+        assert_eq!(fleet.regions(), Region::ALL.to_vec());
+        for (r, &region) in Region::ALL.iter().enumerate() {
+            let nodes = fleet.nodes_in_region(region);
+            assert_eq!(nodes, vec![NodeId(2 * r as u32), NodeId(2 * r as u32 + 1)]);
+            // Each region hosts the pair-A parts.
+            assert_eq!(fleet.node(nodes[0]).cpu, xeon_e5_2686());
+            assert_eq!(fleet.node(nodes[1]).cpu, xeon_platinum_8252c());
+        }
+    }
+
+    #[test]
+    fn fleet_of_in_regions_tags_positionally() {
+        let f = fleet_of_in_regions(&[
+            (Sku::I3Metal, Region::Texas),
+            (Sku::M5znMetal, Region::NewYork),
+        ]);
+        assert_eq!(f.node(NodeId(0)).region, Region::Texas);
+        assert_eq!(f.node(NodeId(1)).region, Region::NewYork);
+        // Apart from regions, it is the pair-A layout.
+        assert_eq!(
+            f.with_uniform_region(Region::Caiso),
+            fleet_of(&[Sku::I3Metal, Sku::M5znMetal])
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::plan::FleetPlan;
 use crate::space::PlanSpace;
-use ecolife_carbon::CarbonIntensityTrace;
+use ecolife_carbon::{CarbonIntensityTrace, CiBundle};
 use ecolife_core::runner::parallel_map;
 use ecolife_core::{EcoLife, EcoLifeConfig};
 use ecolife_hw::DEFAULT_LIFETIME_MS;
@@ -24,6 +24,14 @@ use ecolife_trace::Trace;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Where candidate simulations read carbon intensity from: one shared
+/// series (single-region planning) or a region-keyed bundle resolved per
+/// node (multi-region planning over [`PlanSpace::with_regions`]).
+enum CiSource<'a> {
+    Shared(&'a CarbonIntensityTrace),
+    Bundle(&'a CiBundle),
+}
 
 /// Fitness of any infeasible plan starts here and grows with the size of
 /// the violation, so optimizers roaming outside the caps are graded back
@@ -99,6 +107,11 @@ pub struct PlanScore {
     pub warm_rate: f64,
     /// Provisioned node count.
     pub total_nodes: u32,
+    /// Invocations the simulated run actually completed. Zero means the
+    /// percentile/mean fields are vacuous (an empty metric set reports
+    /// `p95 == 0`), and scoring treats the plan as an SLO violation
+    /// instead of SLO-perfect.
+    pub invocations: usize,
 }
 
 impl PlanScore {
@@ -109,8 +122,15 @@ impl PlanScore {
     /// a re-weighted score is exactly what an evaluator configured with
     /// `(slo_p95_ms, slo_penalty_g)` would have produced.
     pub fn with_slo(&self, slo_p95_ms: u64, slo_penalty_g: f64) -> PlanScore {
-        let over = (self.p95_service_ms as f64 / slo_p95_ms as f64 - 1.0).max(0.0);
-        let slo = slo_penalty_g * over;
+        let slo = if self.invocations == 0 {
+            // A starved plan completed nothing: its `p95 == 0` comes
+            // from an *empty* metric set, not a fast one. Pretending
+            // that meets the SLO would make the do-nothing plan
+            // SLO-perfect, so it pays the infeasibility band instead.
+            INFEASIBLE_PENALTY_G
+        } else {
+            slo_penalty_g * (self.p95_service_ms as f64 / slo_p95_ms as f64 - 1.0).max(0.0)
+        };
         PlanScore {
             fitness_g: self.sim_carbon_g + self.provisioned_embodied_g + slo,
             slo_penalty_g: slo,
@@ -123,7 +143,7 @@ impl PlanScore {
 pub struct PlanEvaluator<'a> {
     space: PlanSpace,
     trace: &'a Trace,
-    ci: &'a CarbonIntensityTrace,
+    ci: CiSource<'a>,
     config: PlannerConfig,
     cache: Mutex<HashMap<u64, (FleetPlan, PlanScore)>>,
     simulations: AtomicU64,
@@ -137,9 +157,47 @@ impl<'a> PlanEvaluator<'a> {
         ci: &'a CarbonIntensityTrace,
         config: PlannerConfig,
     ) -> Self {
+        Self::with_source(space, trace, CiSource::Shared(ci), config)
+    }
+
+    /// Multi-region evaluator: candidate fleets deploy nodes into the
+    /// space's regions, and each node's simulation reads its own
+    /// region's series from `bundle`.
+    ///
+    /// # Panics
+    /// Panics when `bundle` lacks a series for one of the space's
+    /// regions or does not cover the workload span — every candidate
+    /// simulation would fail identically, so it is a configuration
+    /// error, caught up front.
+    pub fn new_regional(
+        space: PlanSpace,
+        trace: &'a Trace,
+        bundle: &'a CiBundle,
+        config: PlannerConfig,
+    ) -> Self {
+        for &region in space.regions() {
+            assert!(
+                bundle.get(region).is_some(),
+                "plan space deploys into {region}, which has no CI series in the bundle"
+            );
+        }
+        assert!(
+            trace.is_empty() || bundle.len_ms() > trace.horizon_ms(),
+            "CI bundle covers {} ms but the workload spans {} ms",
+            bundle.len_ms(),
+            trace.horizon_ms() + 1
+        );
+        Self::with_source(space, trace, CiSource::Bundle(bundle), config)
+    }
+
+    fn with_source(
+        space: PlanSpace,
+        trace: &'a Trace,
+        ci: CiSource<'a>,
+        config: PlannerConfig,
+    ) -> Self {
         assert!(config.slo_p95_ms > 0, "SLO must be positive");
         assert!(config.slo_penalty_g >= 0.0);
-        assert!(!trace.is_empty(), "cannot plan capacity for an empty trace");
         PlanEvaluator {
             space,
             trace,
@@ -172,35 +230,52 @@ impl<'a> PlanEvaluator<'a> {
     /// Simulate one feasible plan (no cache involvement). Deterministic:
     /// the inner scheduler's seed is derived from the genome.
     fn simulate(&self, plan: &FleetPlan) -> PlanScore {
-        let fleet = plan
-            .materialize(self.space.catalog())
+        let fleet = self
+            .space
+            .materialize(plan)
             .expect("simulate() requires a non-empty plan");
         let scheduler_config = EcoLifeConfig {
             seed: self.config.seed ^ plan.genome_key(),
             ..self.config.scheduler.clone()
         };
-        let metrics = if self.config.sim_shards > 1 {
+        // Bundle coverage was validated at evaluator construction, so
+        // the regional paths cannot fail per candidate.
+        let metrics = match (&self.ci, self.config.sim_shards > 1) {
             // Million-invocation workloads: fan the replay itself out
             // over function-hash shards (one EcoLife per shard — its
             // state is per-function, so the shard split is exact; see
             // the determinism suite).
-            ecolife_sim::evaluate_sharded(
+            (CiSource::Shared(ci), true) => ecolife_sim::evaluate_sharded(
                 self.trace,
-                self.ci,
+                ci,
+                fleet.clone(),
+                |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
+                &ecolife_sim::ShardOptions::new(self.config.sim_shards),
+            ),
+            (CiSource::Shared(ci), false) => {
+                let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
+                ecolife_sim::evaluate(self.trace, ci, fleet, &mut scheduler)
+            }
+            (CiSource::Bundle(bundle), true) => ecolife_sim::evaluate_sharded_regional(
+                self.trace,
+                bundle,
                 fleet.clone(),
                 |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
                 &ecolife_sim::ShardOptions::new(self.config.sim_shards),
             )
-        } else {
-            let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
-            ecolife_sim::evaluate(self.trace, self.ci, fleet, &mut scheduler)
+            .expect("bundle validated at construction"),
+            (CiSource::Bundle(bundle), false) => {
+                let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
+                ecolife_sim::evaluate_regional(self.trace, bundle, fleet, &mut scheduler)
+                    .expect("bundle validated at construction")
+            }
         };
         self.simulations.fetch_add(1, Ordering::Relaxed);
 
         let sim_carbon_g = metrics.total_carbon_g();
         let span_ms = self.trace.horizon_ms().max(1);
-        let provisioned_embodied_g = plan.provisioned_embodied_g(self.space.catalog())
-            * (span_ms as f64 / DEFAULT_LIFETIME_MS as f64);
+        let provisioned_embodied_g =
+            self.space.provisioned_embodied_g(plan) * (span_ms as f64 / DEFAULT_LIFETIME_MS as f64);
         let physics = PlanScore {
             fitness_g: 0.0, // set by with_slo
             sim_carbon_g,
@@ -210,6 +285,7 @@ impl<'a> PlanEvaluator<'a> {
             mean_service_ms: metrics.mean_service_ms(),
             warm_rate: metrics.warm_rate(),
             total_nodes: plan.total_nodes(),
+            invocations: metrics.invocations(),
         };
         physics.with_slo(self.config.slo_p95_ms, self.config.slo_penalty_g)
     }
@@ -441,6 +517,76 @@ mod tests {
         }
         assert_eq!(eval.fitness_batch(&[off_grid, wrong_len]).len(), 2);
         assert_eq!(eval.simulations(), 0, "malformed plans must not simulate");
+    }
+
+    #[test]
+    fn starved_metrics_are_an_slo_violation_not_slo_perfection() {
+        // Regression: `percentile(&mut [], q)` returns 0, so a plan
+        // whose run completes zero invocations used to report
+        // `p95_service_ms == 0` and look SLO-perfect. It must pay the
+        // infeasibility band instead.
+        let empty = Trace::new(WorkloadCatalog::sebs(), vec![]);
+        let ci = CarbonIntensityTrace::constant(300.0, 60);
+        let eval = PlanEvaluator::new(space(), &empty, &ci, quick_config());
+        let plan = FleetPlan {
+            counts: vec![1, 1],
+            mem_budget_mib: 4_096,
+        };
+        let score = eval.score(&plan);
+        assert_eq!(score.invocations, 0);
+        assert_eq!(score.p95_service_ms, 0, "vacuous p95 (empty metrics)");
+        assert!(
+            score.slo_penalty_g >= INFEASIBLE_PENALTY_G,
+            "starved plan scored as SLO-perfect: {score:?}"
+        );
+        assert!(eval.fitness(&plan) >= INFEASIBLE_PENALTY_G);
+        // A plan that actually serves traffic still beats it trivially.
+        let (trace, ci2) = setup();
+        let served = PlanEvaluator::new(space(), &trace, &ci2, quick_config());
+        assert!(served.fitness(&plan) < eval.fitness(&plan));
+    }
+
+    #[test]
+    fn regional_planning_prefers_the_cleaner_grid() {
+        use ecolife_carbon::{CiBundle, Region};
+        // One SKU, one node, two candidate regions with flat synthetic
+        // feeds: Florida (~430 g/kWh) vs New York (~215 g/kWh). The
+        // embodied cost is identical, so the planner must deploy the
+        // node into the cleaner grid.
+        let (trace, _) = setup();
+        let bundle = CiBundle::synthetic(&[Region::Florida, Region::NewYork], 60, 3).unwrap();
+        let space = PlanSpace::new(vec![Sku::M5znMetal], 1, 1, vec![16 * 1024])
+            .with_regions(vec![Region::Florida, Region::NewYork]);
+        assert_eq!(space.genome_len(), 2);
+        let eval = PlanEvaluator::new_regional(space, &trace, &bundle, quick_config());
+        let in_florida = FleetPlan {
+            counts: vec![1, 0],
+            mem_budget_mib: 16 * 1024,
+        };
+        let in_ny = FleetPlan {
+            counts: vec![0, 1],
+            mem_budget_mib: 16 * 1024,
+        };
+        let fla = eval.score(&in_florida);
+        let ny = eval.score(&in_ny);
+        assert_eq!(fla.provisioned_embodied_g, ny.provisioned_embodied_g);
+        assert_eq!(fla.p95_service_ms, ny.p95_service_ms, "same hardware");
+        assert!(
+            ny.sim_carbon_g < fla.sim_carbon_g,
+            "NY {ny:?} not cleaner than FLA {fla:?}"
+        );
+        assert!(ny.fitness_g < fla.fitness_g);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CI series in the bundle")]
+    fn regional_evaluator_rejects_uncovered_regions() {
+        use ecolife_carbon::{CiBundle, Region};
+        let (trace, _) = setup();
+        let bundle = CiBundle::synthetic(&[Region::Florida], 60, 3).unwrap();
+        let space = PlanSpace::new(vec![Sku::M5znMetal], 1, 1, vec![16 * 1024])
+            .with_regions(vec![Region::Florida, Region::NewYork]);
+        PlanEvaluator::new_regional(space, &trace, &bundle, quick_config());
     }
 
     #[test]

@@ -1,18 +1,24 @@
 //! The planner's genome: one candidate fleet composition.
 
-use ecolife_hw::{skus, Fleet, Sku};
-
 /// One point of the capacity-planning search space: how many nodes of
-/// each catalog SKU to provision, and the uniform per-node keep-alive
+/// each offering to provision, and the uniform per-node keep-alive
 /// memory budget to configure them with.
 ///
-/// The genome is pure integers (`counts` are per-SKU node counts in the
-/// owning [`PlanSpace`](crate::PlanSpace)'s catalog order), which gives
-/// every plan a stable [`genome_key`](FleetPlan::genome_key) — the memo
-/// key that lets repeated candidates skip re-simulation.
+/// The genome is pure integers (`counts` are per-offering node counts
+/// in the owning [`PlanSpace`](crate::PlanSpace)'s offering order — one
+/// count per SKU on a single-region space, one per (SKU, region)
+/// otherwise), which gives every plan a stable
+/// [`genome_key`](FleetPlan::genome_key) — the memo key that lets
+/// repeated candidates skip re-simulation. Interpreting a genome —
+/// materializing the fleet, pricing its embodied carbon, describing it
+/// — is the owning space's job
+/// ([`PlanSpace::materialize`](crate::PlanSpace::materialize),
+/// [`PlanSpace::provisioned_embodied_g`](crate::PlanSpace::provisioned_embodied_g),
+/// [`PlanSpace::describe_plan`](crate::PlanSpace::describe_plan)), so
+/// there is exactly one decoding of counts into hardware.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FleetPlan {
-    /// Node count per catalog SKU, in catalog order.
+    /// Node count per offering, in the owning space's offering order.
     pub counts: Vec<u32>,
     /// Warm-pool memory budget applied to every provisioned node (MiB).
     pub mem_budget_mib: u64,
@@ -22,41 +28,6 @@ impl FleetPlan {
     /// Total provisioned nodes.
     pub fn total_nodes(&self) -> u32 {
         self.counts.iter().sum()
-    }
-
-    /// Materialize the plan against a SKU catalog: the concrete fleet the
-    /// simulator evaluates, warm pools bounded by the plan's budget.
-    /// Returns `None` for the empty plan (no nodes — nothing to
-    /// simulate).
-    pub fn materialize(&self, catalog: &[Sku]) -> Option<Fleet> {
-        assert_eq!(
-            self.counts.len(),
-            catalog.len(),
-            "plan has {} SKU counts for a catalog of {}",
-            self.counts.len(),
-            catalog.len()
-        );
-        if self.total_nodes() == 0 {
-            return None;
-        }
-        let counts: Vec<(Sku, u32)> = catalog
-            .iter()
-            .copied()
-            .zip(self.counts.iter().copied())
-            .collect();
-        Some(skus::fleet_of_counts(&counts).with_uniform_keepalive_budget_mib(self.mem_budget_mib))
-    }
-
-    /// Embodied carbon of provisioning this plan (g CO2e): every node's
-    /// full CPU + DRAM manufacturing footprint, before any of it is
-    /// amortized against use. The fitness function charges the slice of
-    /// this that the workload's span consumes over the hardware lifetime.
-    pub fn provisioned_embodied_g(&self, catalog: &[Sku]) -> f64 {
-        catalog
-            .iter()
-            .zip(&self.counts)
-            .map(|(sku, &n)| n as f64 * sku.node_embodied_g())
-            .sum()
     }
 
     /// A stable 64-bit key of the integer genome (FNV-1a over counts and
@@ -80,74 +51,26 @@ impl FleetPlan {
         eat(self.mem_budget_mib);
         h
     }
-
-    /// Human-readable composition, e.g. `2×i3.metal + 1×m5zn.metal @ 8192 MiB`.
-    pub fn describe(&self, catalog: &[Sku]) -> String {
-        let parts: Vec<String> = catalog
-            .iter()
-            .zip(&self.counts)
-            .filter(|(_, &n)| n > 0)
-            .map(|(sku, &n)| format!("{n}×{sku}"))
-            .collect();
-        if parts.is_empty() {
-            "∅ (no nodes)".to_string()
-        } else {
-            format!("{} @ {} MiB", parts.join(" + "), self.mem_budget_mib)
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ecolife_hw::NodeId;
-
-    fn catalog() -> Vec<Sku> {
-        vec![Sku::I3Metal, Sku::M5znMetal]
-    }
 
     #[test]
-    fn materialize_builds_the_budgeted_fleet() {
+    fn total_nodes_sums_counts() {
         let plan = FleetPlan {
-            counts: vec![1, 2],
+            counts: vec![1, 2, 0],
             mem_budget_mib: 4_096,
         };
-        let fleet = plan.materialize(&catalog()).unwrap();
-        assert_eq!(fleet.len(), 3);
-        assert_eq!(fleet.node(NodeId(0)).cpu.year, 2016);
-        assert_eq!(fleet.node(NodeId(2)).cpu.year, 2020);
-        assert!(fleet.iter().all(|n| n.keepalive_mem_mib == 4_096));
-    }
-
-    #[test]
-    fn empty_plan_materializes_to_none() {
-        let plan = FleetPlan {
-            counts: vec![0, 0],
-            mem_budget_mib: 4_096,
-        };
-        assert!(plan.materialize(&catalog()).is_none());
-        assert_eq!(plan.total_nodes(), 0);
-        assert_eq!(plan.describe(&catalog()), "∅ (no nodes)");
-    }
-
-    #[test]
-    fn provisioned_embodied_scales_with_counts() {
-        let one = FleetPlan {
-            counts: vec![1, 0],
-            mem_budget_mib: 1,
-        };
-        let two = FleetPlan {
-            counts: vec![2, 0],
-            mem_budget_mib: 1,
-        };
-        let cat = catalog();
+        assert_eq!(plan.total_nodes(), 3);
         assert_eq!(
-            one.provisioned_embodied_g(&cat),
-            Sku::I3Metal.node_embodied_g()
-        );
-        assert_eq!(
-            two.provisioned_embodied_g(&cat),
-            2.0 * one.provisioned_embodied_g(&cat)
+            FleetPlan {
+                counts: vec![0, 0],
+                mem_budget_mib: 1,
+            }
+            .total_nodes(),
+            0
         );
     }
 
@@ -168,27 +91,5 @@ mod tests {
         assert_eq!(a.genome_key(), a.clone().genome_key());
         assert_ne!(a.genome_key(), b.genome_key());
         assert_ne!(a.genome_key(), c.genome_key());
-    }
-
-    #[test]
-    fn describe_lists_nonzero_skus() {
-        let plan = FleetPlan {
-            counts: vec![2, 1],
-            mem_budget_mib: 8_192,
-        };
-        assert_eq!(
-            plan.describe(&catalog()),
-            "2×i3.metal + 1×m5zn.metal @ 8192 MiB"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "SKU counts for a catalog")]
-    fn materialize_rejects_catalog_mismatch() {
-        let plan = FleetPlan {
-            counts: vec![1],
-            mem_budget_mib: 1,
-        };
-        plan.materialize(&[Sku::I3Metal, Sku::M5znMetal]);
     }
 }

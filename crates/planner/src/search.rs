@@ -59,7 +59,7 @@ impl PlanReport {
         format!(
             "{:<10} best {} | fitness {:.2} g (sim {:.2} + embodied {:.2} + slo {:.2}) | p95 {} ms, warm {:.2} | {} sims, {} cache hits",
             self.algorithm,
-            self.best_plan.describe(space.catalog()),
+            space.describe_plan(&self.best_plan),
             self.best_score.fitness_g,
             self.best_score.sim_carbon_g,
             self.best_score.provisioned_embodied_g,
@@ -87,6 +87,18 @@ impl<'a> Planner<'a> {
     ) -> Self {
         Planner {
             evaluator: PlanEvaluator::new(space, trace, ci, config),
+        }
+    }
+
+    /// Multi-region planner: see [`PlanEvaluator::new_regional`].
+    pub fn new_regional(
+        space: PlanSpace,
+        trace: &'a Trace,
+        bundle: &'a ecolife_carbon::CiBundle,
+        config: PlannerConfig,
+    ) -> Self {
+        Planner {
+            evaluator: PlanEvaluator::new_regional(space, trace, bundle, config),
         }
     }
 

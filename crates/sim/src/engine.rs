@@ -30,7 +30,7 @@ use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::parallel::{default_threads, parallel_map_threads};
 use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
 use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
-use ecolife_carbon::{CarbonIntensityTrace, CarbonModel};
+use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider};
 use ecolife_hw::{Fleet, HardwareNode, NodeId, PerfModel};
 use ecolife_trace::{Invocation, Trace};
 
@@ -70,6 +70,18 @@ pub fn evaluate<S: Scheduler>(
     Simulation::new(trace, ci, fleet).run(scheduler)
 }
 
+/// [`evaluate`] over a multi-region fleet: each node reads the CI series
+/// of its own region from `bundle`
+/// (exactly `Simulation::try_new_regional(..)?.run(scheduler)`).
+pub fn evaluate_regional<S: Scheduler>(
+    trace: &Trace,
+    bundle: &CiBundle,
+    fleet: impl Into<Fleet>,
+    scheduler: &mut S,
+) -> Result<RunMetrics, CiError> {
+    Ok(Simulation::try_new_regional(trace, bundle, fleet)?.run(scheduler))
+}
+
 /// Sharded one-shot evaluation: [`evaluate`], but fanned out over
 /// `opts.shards` function-hash shards (see [`Simulation::run_sharded`]).
 /// `factory(shard)` builds one scheduler per shard.
@@ -85,6 +97,22 @@ where
     F: Fn(usize) -> S,
 {
     Simulation::new(trace, ci, fleet).run_sharded(factory, opts)
+}
+
+/// [`evaluate_sharded`] over a multi-region fleet (per-node CI resolved
+/// from `bundle`).
+pub fn evaluate_sharded_regional<S, F>(
+    trace: &Trace,
+    bundle: &CiBundle,
+    fleet: impl Into<Fleet>,
+    factory: F,
+    opts: &ShardOptions,
+) -> Result<RunMetrics, CiError>
+where
+    S: Scheduler + Send,
+    F: Fn(usize) -> S,
+{
+    Ok(Simulation::try_new_regional(trace, bundle, fleet)?.run_sharded(factory, opts))
 }
 
 /// One shard's private slice of the cluster: its own warm pools (one per
@@ -113,9 +141,10 @@ impl<S> ShardState<S> {
 }
 
 /// A configured simulation, ready to run against any scheduler.
+#[derive(Debug)]
 pub struct Simulation<'a> {
     trace: &'a Trace,
-    ci: &'a CarbonIntensityTrace,
+    ci: CiProvider<'a>,
     fleet: Fleet,
     config: SimConfig,
 }
@@ -123,19 +152,78 @@ pub struct Simulation<'a> {
 impl<'a> Simulation<'a> {
     /// Build a simulation over a fleet (an
     /// [`ecolife_hw::HardwarePair`] converts implicitly into its
-    /// two-node fleet).
+    /// two-node fleet), every node reading the one shared CI series —
+    /// the paper's single-region setup.
+    ///
+    /// # Panics
+    /// Panics when the CI series ends before the workload does (see
+    /// [`Simulation::try_new`] for the fallible form). A series that
+    /// runs out used to freeze silently at its last sample, corrupting
+    /// every carbon total after that point; it is now a loud
+    /// construction-time error, with
+    /// [`CarbonIntensityTrace::extend_cyclic`] as the explicit opt-in
+    /// for covering longer horizons.
     pub fn new(trace: &'a Trace, ci: &'a CarbonIntensityTrace, fleet: impl Into<Fleet>) -> Self {
-        Simulation {
+        Self::try_new(trace, ci, fleet).unwrap_or_else(|e| panic!("invalid simulation: {e}"))
+    }
+
+    /// Fallible [`Simulation::new`]: returns [`CiError::TooShort`] when
+    /// the CI series does not cover the workload span.
+    pub fn try_new(
+        trace: &'a Trace,
+        ci: &'a CarbonIntensityTrace,
+        fleet: impl Into<Fleet>,
+    ) -> Result<Self, CiError> {
+        let fleet = fleet.into();
+        let provider = CiProvider::shared(ci, &fleet);
+        Self::from_provider(trace, provider, fleet)
+    }
+
+    /// Build a multi-region simulation: each node reads the series of
+    /// its own [`Region`](ecolife_hw::Region) from `bundle`. Fails when
+    /// a node's region has no series or any series ends before the
+    /// workload does.
+    pub fn try_new_regional(
+        trace: &'a Trace,
+        bundle: &'a CiBundle,
+        fleet: impl Into<Fleet>,
+    ) -> Result<Self, CiError> {
+        let fleet = fleet.into();
+        let provider = CiProvider::from_bundle(bundle, &fleet)?;
+        Self::from_provider(trace, provider, fleet)
+    }
+
+    /// Shared construction tail: validate that every node's series
+    /// covers the workload span (`trace.horizon_ms()` — the last
+    /// arrival must read a real sample, never a clamped one).
+    fn from_provider(trace: &'a Trace, ci: CiProvider<'a>, fleet: Fleet) -> Result<Self, CiError> {
+        if !trace.is_empty() && ci.min_len_ms() <= trace.horizon_ms() {
+            let node = fleet
+                .ids()
+                .min_by_key(|&id| ci.series(id).len_ms())
+                .expect("fleet is non-empty");
+            return Err(CiError::TooShort {
+                region: ci.region(node),
+                ci_ms: ci.series(node).len_ms(),
+                required_ms: trace.horizon_ms() + 1,
+            });
+        }
+        Ok(Simulation {
             trace,
             ci,
-            fleet: fleet.into(),
+            fleet,
             config: SimConfig::default(),
-        }
+        })
     }
 
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// The per-node CI resolution this simulation runs under.
+    pub fn ci(&self) -> &CiProvider<'a> {
+        &self.ci
     }
 
     /// Run `scheduler` over the trace, producing the full metrics.
@@ -343,8 +431,7 @@ impl<'a> Simulation<'a> {
                 profile,
                 t_ms: t,
                 warm_at,
-                ci_now: self.ci.at(t),
-                ci: self.ci,
+                ci: &self.ci,
                 cluster,
             };
             let started = std::time::Instant::now();
@@ -383,7 +470,9 @@ impl<'a> Simulation<'a> {
             )
         };
         let service_ms = work_ms + self.config.setup_delay_ms;
-        let ci_avg = self.ci.average_over(t, t + service_ms);
+        // CI is read on the *executing node's* grid — the heart of the
+        // multi-region accounting.
+        let ci_avg = self.ci.average_over(exec_loc, t, t + service_ms);
         let service_carbon =
             self.config
                 .carbon_model
@@ -434,8 +523,7 @@ impl<'a> Simulation<'a> {
             profile,
             t_ms: t,
             warm_at,
-            ci_now: self.ci.at(t),
-            ci: self.ci,
+            ci: &self.ci,
             cluster,
         };
         scheduler.observe(&ctx, service_ms, warm);
@@ -617,7 +705,8 @@ impl<'a> Simulation<'a> {
                 incoming_func: container.func,
                 incoming_memory_mib: container.memory_mib,
                 t_ms: t,
-                ci_now: self.ci.at(t),
+                ci_now: self.ci.at(location, t),
+                ci_by_node: self.ci.at_each_node(t),
                 cluster,
             };
             scheduler.on_pool_overflow(&ctx)
@@ -699,9 +788,12 @@ impl<'a> Simulation<'a> {
         if duration == 0 {
             return;
         }
-        let ci_avg = self
-            .ci
-            .average_over(container.warm_since_ms, container.warm_since_ms + duration);
+        // Charged on the *hosting node's* grid.
+        let ci_avg = self.ci.average_over(
+            node.id,
+            container.warm_since_ms,
+            container.warm_since_ms + duration,
+        );
         let fp =
             self.config
                 .carbon_model
@@ -1178,6 +1270,77 @@ mod tests {
         let b = run();
         assert_eq!(a.records, b.records);
         assert_eq!(a.evicted_functions, b.evicted_functions);
+    }
+
+    #[test]
+    fn workload_outrunning_its_ci_trace_is_a_construction_error() {
+        // 600 minutes of CI, an arrival at minute 600 (start of minute
+        // 601): the old code silently froze at the last sample; now it
+        // is a typed construction-time error.
+        let trace = trace_of(&[0, 600 * MINUTE_MS]);
+        let ci = ci300();
+        let err = Simulation::try_new(&trace, &ci, skus::pair_a()).unwrap_err();
+        match err {
+            ecolife_carbon::CiError::TooShort {
+                ci_ms, required_ms, ..
+            } => {
+                assert_eq!(ci_ms, 600 * MINUTE_MS);
+                assert_eq!(required_ms, 600 * MINUTE_MS + 1);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // The explicit opt-in: extend the series cyclically, then build.
+        let extended = ci.extend_cyclic(601);
+        let m = Simulation::try_new(&trace, &extended, skus::pair_a())
+            .unwrap()
+            .run(&mut Fixed::new(Generation::New, Generation::New, 0));
+        assert_eq!(m.invocations(), 2);
+        // Exactly covering the span passes (last arrival reads a real
+        // sample).
+        assert!(Simulation::try_new(&trace_of(&[0, 599 * MINUTE_MS]), &ci, skus::pair_a()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation")]
+    fn new_panics_rather_than_freezing_ci() {
+        let trace = trace_of(&[0, 700 * MINUTE_MS]);
+        let ci = ci300();
+        Simulation::new(&trace, &ci, skus::pair_a());
+    }
+
+    #[test]
+    fn regional_construction_resolves_per_node_series() {
+        use ecolife_carbon::{CiBundle, Region};
+        let trace = trace_of(&[0]);
+        let bundle = CiBundle::new(vec![
+            (Region::Texas, CarbonIntensityTrace::constant(400.0, 60)),
+            (Region::NewYork, CarbonIntensityTrace::constant(100.0, 60)),
+        ])
+        .unwrap();
+        let fleet = skus::fleet_a()
+            .with_region(NodeId(0), Region::Texas)
+            .with_region(NodeId(1), Region::NewYork);
+        let sim = Simulation::try_new_regional(&trace, &bundle, fleet.clone()).unwrap();
+        assert_eq!(sim.ci().at(NodeId(0), 0), 400.0);
+        assert_eq!(sim.ci().at(NodeId(1), 0), 100.0);
+        // Executing on the NY node must be accounted at NY intensity:
+        // 4× lower operational carbon than the same run on the Texas
+        // grid would pay per kWh.
+        let m = sim.run(&mut Fixed::new(NodeId(1), NodeId(1), 0));
+        let on_tex = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+            .unwrap()
+            .run(&mut Fixed::new(NodeId(0), NodeId(0), 0));
+        assert!(m.records[0].service_carbon.operational_g > 0.0);
+        assert!(
+            on_tex.records[0].service_carbon.operational_g
+                > m.records[0].service_carbon.operational_g
+        );
+        // A node whose region has no series is a construction error.
+        let uncovered = skus::fleet_a().with_region(NodeId(0), Region::Florida);
+        assert!(matches!(
+            Simulation::try_new_regional(&trace, &bundle, uncovered),
+            Err(ecolife_carbon::CiError::MissingRegion { .. })
+        ));
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! * **engine** ([`engine`]) — advances invocation by invocation,
 //!   expiring containers, classifying warm/cold starts, computing service
 //!   time via the node performance model and carbon via the Sec. II
-//!   footprint model, and invoking the scheduler's overflow handling when
+//!   footprint model — at the intensity of *the acting node's grid
+//!   region*, resolved through a per-`NodeId` [`CiProvider`] (one shared
+//!   series via [`Simulation::new`], or a region-keyed [`CiBundle`] via
+//!   [`Simulation::try_new_regional`]; a CI series shorter than the
+//!   workload is a typed construction error, never a silent freeze) —
+//!   and invoking the scheduler's overflow handling when
 //!   a keep-alive does not fit (displaced containers are retried against
 //!   the plan's ranked transfer targets);
 //! * **metrics** ([`metrics`]) — per-invocation records (service time,
@@ -42,7 +47,10 @@ pub mod shard;
 
 pub use cluster::Cluster;
 pub use container::WarmContainer;
-pub use engine::{evaluate, evaluate_sharded, SimConfig, Simulation};
+pub use ecolife_carbon::{CiBundle, CiError, CiProvider};
+pub use engine::{
+    evaluate, evaluate_regional, evaluate_sharded, evaluate_sharded_regional, SimConfig, Simulation,
+};
 pub use metrics::{InvocationRecord, RunMetrics};
 pub use parallel::{parallel_map, parallel_map_threads};
 pub use pool::WarmPool;

@@ -6,7 +6,7 @@
 //! rates, and eviction counts (Fig. 11).
 
 use ecolife_carbon::CarbonFootprint;
-use ecolife_hw::NodeId;
+use ecolife_hw::{Fleet, NodeId, Region};
 use ecolife_trace::FunctionId;
 
 /// Outcome of one invocation.
@@ -178,6 +178,27 @@ impl RunMetrics {
         by_node
     }
 
+    /// Total carbon (g) by grid region of `fleet` — per-node totals
+    /// ([`RunMetrics::carbon_g_by_node`]) grouped by each node's
+    /// deployment region, in the fleet's first-appearance region order.
+    /// This is how one multi-region run reports the paper's Fig. 14
+    /// per-region comparison without five separate replays.
+    pub fn carbon_g_by_region(&self, fleet: &Fleet) -> Vec<(Region, f64)> {
+        let by_node = self.carbon_g_by_node();
+        fleet
+            .regions()
+            .into_iter()
+            .map(|r| {
+                let total = fleet
+                    .nodes_in_region(r)
+                    .into_iter()
+                    .map(|id| by_node.get(id.index()).copied().unwrap_or(0.0))
+                    .sum();
+                (r, total)
+            })
+            .collect()
+    }
+
     /// Decision overhead as a fraction of total service time.
     pub fn decision_overhead_fraction(&self) -> f64 {
         let service_ns = self.total_service_ms() as f64 * 1e6;
@@ -294,6 +315,23 @@ mod tests {
         assert!((by_node.iter().sum::<f64>() - m.total_carbon_g()).abs() < 1e-12);
         assert!((by_node[0] - 0.05).abs() < 1e-12);
         assert!((by_node[1] - (1.0 + 0.10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_region_carbon_groups_nodes() {
+        use ecolife_hw::skus;
+        let mut m = metrics(); // all executions on node 1
+        m.keepalive_g_by_node = vec![0.05, 0.10];
+        let fleet = ecolife_hw::Fleet::from(skus::pair_a())
+            .with_region(NodeId(0), Region::Texas)
+            .with_region(NodeId(1), Region::NewYork);
+        let by_region = m.carbon_g_by_region(&fleet);
+        assert_eq!(by_region.len(), 2);
+        assert_eq!(by_region[0].0, Region::Texas);
+        assert!((by_region[0].1 - 0.05).abs() < 1e-12);
+        assert!((by_region[1].1 - 1.10).abs() < 1e-12);
+        let total: f64 = by_region.iter().map(|(_, g)| g).sum();
+        assert!((total - m.total_carbon_g()).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! in id order.
 
 use crate::cluster::Cluster;
-use ecolife_carbon::CarbonIntensityTrace;
+use ecolife_carbon::CiProvider;
 use ecolife_hw::NodeId;
 use ecolife_trace::{FunctionId, FunctionProfile, Trace};
 
@@ -56,15 +56,17 @@ pub struct InvocationCtx<'a> {
     pub t_ms: u64,
     /// Where the function is warm right now, if anywhere.
     pub warm_at: Option<NodeId>,
-    /// Carbon intensity at arrival (g/kWh).
-    pub ci_now: f64,
-    /// The full carbon-intensity series (past and present; schedulers
-    /// must not peek at minutes beyond `t_ms` — the oracle family gets
-    /// its future knowledge explicitly in `prepare`). Exposed so global
-    /// signals like EcoLife's ΔCI can be derived purely from simulated
-    /// time, which keeps them identical between a whole-trace run and
-    /// any per-function shard of it.
-    pub ci: &'a CarbonIntensityTrace,
+    /// Per-node carbon-intensity resolution: `ci.at(node, t_ms)` is the
+    /// intensity *that node's grid* is at — on a multi-region fleet
+    /// different nodes see different values at the same instant, which
+    /// is exactly the signal cross-region placement trades on.
+    /// Schedulers must not peek at minutes beyond `t_ms` — the oracle
+    /// family gets its future knowledge explicitly in `prepare`. Global
+    /// signals like EcoLife's ΔCI derive from
+    /// [`CiProvider::distinct_regions`] purely as a function of
+    /// simulated time and region, which keeps them identical between a
+    /// whole-trace run and any per-function shard of it.
+    pub ci: &'a CiProvider<'a>,
     /// Cluster state (pools, fleet) — read-only.
     pub cluster: &'a Cluster,
 }
@@ -79,8 +81,12 @@ pub struct OverflowCtx<'a> {
     pub incoming_memory_mib: u64,
     /// Current time (ms).
     pub t_ms: u64,
-    /// Carbon intensity now.
+    /// Carbon intensity on the overflowing node's own grid, now.
     pub ci_now: f64,
+    /// Carbon intensity now on every fleet node's grid (indexed by
+    /// `NodeId`) — transfer-target ranking compares these on a
+    /// multi-region fleet.
+    pub ci_by_node: Vec<f64>,
     /// Cluster state — read-only; mutations are expressed via
     /// [`AdjustPlan`].
     pub cluster: &'a Cluster,
@@ -187,6 +193,7 @@ mod tests {
             incoming_memory_mib: 128,
             t_ms: 0,
             ci_now: 100.0,
+            ci_by_node: vec![100.0, 100.0],
             cluster: &cluster,
         };
         assert_eq!(s.on_pool_overflow(&ctx), OverflowAction::Drop);

@@ -93,7 +93,7 @@ fn main() {
         println!(
             "{:<10} {:<40} {:>9.1} {:>9.1} {:>9.1} {:>8} {:>6.2}",
             slo,
-            plan.describe(space.catalog()),
+            space.describe_plan(plan),
             score.fitness_g,
             score.sim_carbon_g + score.provisioned_embodied_g,
             score.slo_penalty_g,

@@ -82,13 +82,15 @@ pub use ecolife_trace as trace;
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
-    pub use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CarbonModelConfig, Region};
+    pub use ecolife_carbon::{
+        CarbonIntensityTrace, CarbonModel, CarbonModelConfig, CiBundle, CiError, CiProvider, Region,
+    };
     pub use ecolife_core::report::{
         placements_to_markdown, summaries_to_csv, summaries_to_markdown,
     };
     pub use ecolife_core::{
-        compare, run_scheme, BruteForce, Comparison, CostModel, EcoLife, EcoLifeConfig,
-        FixedPolicy, OptTarget, RunSummary,
+        compare, run_scheme, run_scheme_regional, BruteForce, Comparison, CostModel, EcoLife,
+        EcoLifeConfig, FixedPolicy, OptTarget, Partition, PartitionedScheduler, RunSummary,
     };
     pub use ecolife_hw::{
         skus, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId, Sku,

@@ -182,7 +182,7 @@ fn transfer_ranking_beats_greedy_id_order_on_an_adversarial_fleet() {
     let cost = CostModel::new(fleet.clone(), CarbonModel::default(), 0.5, 0.5, 50, 600_000);
 
     // The two orderings genuinely disagree on the first-choice target.
-    let ranked = cost.transfer_ranking(NodeId(2), 300.0);
+    let ranked = cost.transfer_ranking(NodeId(2), &cost.uniform_ci(300.0));
     let greedy = fleet.transfer_candidates(NodeId(2));
     assert_eq!(ranked, vec![NodeId(1), NodeId(0)]);
     assert_eq!(greedy, vec![NodeId(0), NodeId(1)]);

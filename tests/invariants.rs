@@ -62,7 +62,7 @@ proptest! {
         );
         let k_ms = k_min * 60_000;
         let resident = p * k_ms as f64;
-        let obj = cost.expected_objective(&f, gen, k_ms, p, resident, ci, None);
+        let obj = cost.expected_objective(&f, gen, k_ms, p, resident, &cost.uniform_ci(ci), None);
         prop_assert!(obj.is_finite());
         prop_assert!(obj >= 0.0);
         prop_assert!(obj < 10.0, "objective {obj} badly normalized");

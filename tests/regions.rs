@@ -1,0 +1,230 @@
+//! Region-sweep equivalence and determinism (ISSUE 4).
+//!
+//! The multi-region fleet claim is exact, not approximate: one fleet
+//! built from five per-region sub-fleets, driven by a
+//! [`PartitionedScheduler`], must replay the Fig. 14 study
+//! **bit-identically** to five standalone single-region runs — per
+//! record, per gram — for every scheduler family (EcoLife, the fixed
+//! policies, the Oracle brute force). And the multi-region engine path
+//! must stay deterministic under sharding at any worker-thread count.
+
+use ecolife::prelude::*;
+use ecolife::sim::{InvocationRecord, RunMetrics, ShardOptions};
+
+const SEED: u64 = 0x000F_1614;
+const MINUTES: usize = 70;
+
+fn workload() -> Trace {
+    SynthTraceConfig {
+        n_functions: 8,
+        duration_min: 60,
+        seed: SEED,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs())
+}
+
+fn region_ci(region: Region) -> CarbonIntensityTrace {
+    CarbonIntensityTrace::synthetic(region, MINUTES, SEED)
+}
+
+fn sub_fleet(region: Region) -> Fleet {
+    skus::fleet_a().with_uniform_region(region)
+}
+
+fn bundle() -> CiBundle {
+    CiBundle::new(Region::ALL.iter().map(|&r| (r, region_ci(r))).collect()).unwrap()
+}
+
+/// Run the same workload standalone per region and once as a partitioned
+/// multi-region fleet; assert the records agree bit-for-bit.
+fn assert_region_equivalence<S: Scheduler, F: Fn(Region) -> S>(make: F) {
+    let trace = workload();
+
+    // Five standalone single-region runs (the legacy Fig. 14 sweep).
+    let standalone: Vec<RunMetrics> = Region::ALL
+        .iter()
+        .map(|&r| {
+            let fleet = sub_fleet(r);
+            let ci = region_ci(r);
+            Simulation::new(&trace, &ci, fleet).run(&mut make(r))
+        })
+        .collect();
+
+    // One multi-region fleet run over the merged workload.
+    let mut sched = PartitionedScheduler::new(
+        Region::ALL
+            .iter()
+            .map(|&r| Partition {
+                fleet: sub_fleet(r),
+                ci: region_ci(r),
+                trace: trace.clone(),
+                scheduler: make(r),
+            })
+            .collect(),
+    );
+    let merged_trace = sched.merged_trace();
+    let merged_fleet = sched.merged_fleet();
+    let b = bundle();
+    let combined = Simulation::try_new_regional(&merged_trace, &b, merged_fleet)
+        .unwrap()
+        .run(&mut sched);
+    assert_eq!(combined.invocations(), 5 * trace.len());
+
+    // Translate each combined record back into its region's local ids
+    // and demand bit-identity with the standalone run.
+    let n_funcs = trace.catalog().len() as u32;
+    let mut seen = vec![0usize; Region::ALL.len()];
+    for rec in &combined.records {
+        let p = (rec.func.0 / n_funcs) as usize;
+        let local = InvocationRecord {
+            func: FunctionId(rec.func.0 - p as u32 * n_funcs),
+            exec_location: NodeId(rec.exec_location.0 - 2 * p as u32),
+            ..*rec
+        };
+        let expected = standalone[p].records[seen[p]];
+        assert_eq!(
+            local,
+            expected,
+            "region {} record {} diverged from the standalone run",
+            Region::ALL[p],
+            seen[p],
+        );
+        seen[p] += 1;
+    }
+    assert!(seen.iter().all(|&n| n == trace.len()));
+
+    // Totals (and therefore the Fig. 14 comparison itself) follow.
+    for (p, m) in standalone.iter().enumerate() {
+        let by_region = combined.carbon_g_by_region(&sched.merged_fleet());
+        let (region, combined_g) = by_region[p];
+        assert_eq!(region, Region::ALL[p]);
+        assert!(
+            (combined_g - m.total_carbon_g()).abs() < 1e-9,
+            "{region}: {combined_g} vs {}",
+            m.total_carbon_g()
+        );
+    }
+}
+
+#[test]
+fn partitioned_ecolife_matches_five_standalone_runs() {
+    assert_region_equivalence(|r| EcoLife::new(sub_fleet(r), EcoLifeConfig::default()));
+}
+
+#[test]
+fn partitioned_fixed_policy_matches_five_standalone_runs() {
+    assert_region_equivalence(|_| FixedPolicy::new_only());
+}
+
+#[test]
+fn partitioned_oracle_matches_five_standalone_runs() {
+    // The Oracle consumes per-invocation future knowledge through
+    // `ctx.index`, so this additionally pins the wrapper's local-index
+    // translation.
+    assert_region_equivalence(|r| BruteForce::oracle(sub_fleet(r), region_ci(r)));
+}
+
+#[test]
+fn multi_region_sharded_replay_is_thread_invariant() {
+    // A free (unpartitioned) EcoLife over the ten-node five-region
+    // fleet: sequential vs `run_sharded` at worker threads {1, 2, 4}
+    // must be bit-identical — the per-region ΔCI state is a pure
+    // function of (t, region), so shard membership cannot leak into
+    // decisions.
+    let trace = workload();
+    let fleet = skus::fleet_five_regions();
+    let b = bundle();
+
+    let sequential = Simulation::try_new_regional(&trace, &b, fleet.clone())
+        .unwrap()
+        .run(&mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()));
+
+    for threads in [1, 2, 4] {
+        let sharded = Simulation::try_new_regional(&trace, &b, fleet.clone())
+            .unwrap()
+            .run_sharded(
+                |_| EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+                &ShardOptions::new(8).with_threads(threads),
+            );
+        assert_eq!(sharded.reconcile_revocations, 0, "uncontended workload");
+        assert_eq!(
+            sequential.records, sharded.records,
+            "threads={threads} diverged from the sequential multi-region run"
+        );
+        assert_eq!(sequential.evicted_functions, sharded.evicted_functions);
+        assert_eq!(sequential.transfers, sharded.transfers);
+    }
+}
+
+#[test]
+fn partitioned_run_is_shardable_and_thread_invariant() {
+    // The partitioned form of the Fig. 14 study itself, through
+    // `run_sharded` at threads {1, 2, 4}: same records as the
+    // sequential partitioned run.
+    let trace = workload();
+    let make = || {
+        PartitionedScheduler::new(
+            Region::ALL
+                .iter()
+                .map(|&r| Partition {
+                    fleet: sub_fleet(r),
+                    ci: region_ci(r),
+                    trace: trace.clone(),
+                    scheduler: EcoLife::new(sub_fleet(r), EcoLifeConfig::default()),
+                })
+                .collect(),
+        )
+    };
+    let merged_trace = make().merged_trace();
+    let merged_fleet = make().merged_fleet();
+    let b = bundle();
+
+    let sequential = Simulation::try_new_regional(&merged_trace, &b, merged_fleet.clone())
+        .unwrap()
+        .run(&mut make());
+    for threads in [1, 2, 4] {
+        let sharded = Simulation::try_new_regional(&merged_trace, &b, merged_fleet.clone())
+            .unwrap()
+            .run_sharded(|_| make(), &ShardOptions::new(8).with_threads(threads));
+        assert_eq!(sequential.records, sharded.records, "threads={threads}");
+    }
+}
+
+#[test]
+fn cross_region_placement_beats_the_dirtiest_pinned_region() {
+    // The new scenario axis: an EcoLife free to place across the
+    // ten-node fleet must emit less carbon than the same workload
+    // pinned entirely into the dirtiest grid (Florida, ~430 g/kWh).
+    let trace = workload();
+    let fleet = skus::fleet_five_regions();
+    let b = bundle();
+    let free = Simulation::try_new_regional(&trace, &b, fleet.clone())
+        .unwrap()
+        .run(&mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()));
+    let fla_fleet = sub_fleet(Region::Florida);
+    let pinned = Simulation::new(&trace, &region_ci(Region::Florida), fla_fleet.clone())
+        .run(&mut EcoLife::new(fla_fleet, EcoLifeConfig::default()));
+    assert!(
+        free.total_carbon_g() < pinned.total_carbon_g(),
+        "free {} vs Florida-pinned {}",
+        free.total_carbon_g(),
+        pinned.total_carbon_g()
+    );
+    // And the grid mix is what it traded on: every region it executed
+    // in is cleaner than Florida's grid (with these profiles the EPDM
+    // concentrates work onto the cleanest grids — that concentration
+    // *is* the new placement axis).
+    let regions_used: std::collections::HashSet<Region> = free
+        .records
+        .iter()
+        .map(|r| fleet.node(r.exec_location).region)
+        .collect();
+    assert!(!regions_used.is_empty());
+    for r in regions_used {
+        assert!(
+            b.get(r).unwrap().mean() < b.get(Region::Florida).unwrap().mean(),
+            "executed in {r}, which is no cleaner than Florida"
+        );
+    }
+}
