@@ -27,6 +27,15 @@ pub struct EcoLifeConfig {
     /// `Some(Generation::Old.into())` = Eco-Old,
     /// `Some(Generation::New.into())` = Eco-New (Fig. 12).
     pub restrict_to: Option<NodeId>,
+    /// Serve the decision hot path through the precomputed
+    /// [`ObjectiveTables`](crate::objective::ObjectiveTables) (per-node
+    /// constants + per-minute CI composites + per-decision fitness grid)
+    /// instead of recomputing fleet-wide scans inside every particle
+    /// evaluation. Decisions are bit-identical either way (pinned by
+    /// `tests/hotpath.rs`); disabling this selects the uncached
+    /// reference path, kept for the bit-identity pin and the
+    /// `ecolife_hotpath` before/after bench.
+    pub cached_tables: bool,
     /// Underlying (D)PSO parameters.
     pub dpso: DpsoConfig,
     /// ΔF observation window (ms).
@@ -45,6 +54,7 @@ impl Default for EcoLifeConfig {
             dynamic_pso: true,
             warm_pool_adjustment: true,
             restrict_to: None,
+            cached_tables: true,
             dpso: DpsoConfig::default(),
             delta_f_window_ms: 5 * 60_000,
             seed: 0xEC0_11FE,
@@ -93,6 +103,14 @@ impl EcoLifeConfig {
         self.restrict_to = Some(node.into());
         self
     }
+
+    /// The uncached reference hot path (see
+    /// [`EcoLifeConfig::cached_tables`]): same decisions, recomputed
+    /// fleet-wide per particle evaluation.
+    pub fn without_cached_tables(mut self) -> Self {
+        self.cached_tables = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +127,16 @@ mod tests {
         assert!(c.dynamic_pso);
         assert!(c.warm_pool_adjustment);
         c.validate();
+    }
+
+    #[test]
+    fn cached_tables_default_on_with_uncached_opt_out() {
+        assert!(EcoLifeConfig::default().cached_tables);
+        assert!(
+            !EcoLifeConfig::default()
+                .without_cached_tables()
+                .cached_tables
+        );
     }
 
     #[test]

@@ -17,11 +17,21 @@
 //! 4. On pool overflow, the **warm-pool adjustment** ranks residents and
 //!    the incoming container by keep-alive benefit density and displaces
 //!    the losers toward the remaining nodes, cheapest keep-alive first.
+//!
+//! The decision loop is the hot path of every million-invocation replay,
+//! so it is allocation-free: fleet-wide objective scans are served from
+//! [`ObjectiveTables`] (per-function constants + per-minute CI
+//! composites), the whole per-decision fitness landscape is precomputed
+//! into reusable scratch so DPSO particle evaluations are table lookups,
+//! and per-function state lives in a slot vector keyed by the raw
+//! function id. Decisions are bit-identical to the uncached reference
+//! loop (`EcoLifeConfig::without_cached_tables`), pinned by
+//! `tests/hotpath.rs`.
 
 use crate::config::EcoLifeConfig;
-use crate::objective::CostModel;
+use crate::objective::{CostModel, ObjectiveTables};
 use crate::predictor::FunctionPredictor;
-use crate::warmpool::priority_adjustment_weighted;
+use crate::warmpool::priority_adjustment_with_targets;
 use ecolife_carbon::CarbonModel;
 use ecolife_hw::{Fleet, NodeId, Region};
 use ecolife_pso::space::decode;
@@ -31,12 +41,92 @@ use ecolife_sim::{
 };
 use ecolife_trace::stats::SignalDelta;
 use ecolife_trace::{FunctionId, Trace, WorkloadCatalog};
-use std::collections::HashMap;
 
 /// Per-function KDM state: the preserved optimizer plus the predictor.
 struct FunctionState {
     swarm: DynamicPso,
     predictor: FunctionPredictor,
+}
+
+impl FunctionState {
+    /// Build the per-function state: an independent, deterministically
+    /// seeded swarm over the fleet-wide placement space plus a fresh
+    /// arrival predictor.
+    fn new(config: &EcoLifeConfig, n_nodes: usize, func: FunctionId) -> Self {
+        let dpso_cfg = DpsoConfig {
+            base: PsoConfig {
+                // Independent, deterministic swarm per function.
+                seed: config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(func.0 as u64 + 1)),
+                ..config.dpso.base
+            },
+            ..config.dpso
+        };
+        FunctionState {
+            swarm: DynamicPso::new(
+                SearchSpace::placement(n_nodes, config.keepalive_grid_min.len()),
+                dpso_cfg,
+            ),
+            predictor: FunctionPredictor::new(config.delta_f_window_ms),
+        }
+    }
+}
+
+/// Per-function state slots, indexed by raw [`FunctionId`].
+///
+/// Trace construction guarantees function ids are dense in
+/// `0..catalog.len()`, so a direct-indexed slot vector replaces the seed's
+/// `HashMap<FunctionId, FunctionState>` — the hot path's per-invocation
+/// state lookup becomes one bounds-checked index instead of a SipHash of
+/// the key, and iteration order questions disappear entirely (the map was
+/// only ever read point-wise). Slots are boxed so growth moves 8-byte
+/// pointers, not whole swarms.
+#[derive(Default)]
+struct FunctionStates {
+    slots: Vec<Option<Box<FunctionState>>>,
+    live: usize,
+}
+
+impl FunctionStates {
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn get(&self, func: FunctionId) -> Option<&FunctionState> {
+        self.slots.get(func.as_usize()).and_then(|s| s.as_deref())
+    }
+
+    fn get_or_insert_with(
+        &mut self,
+        func: FunctionId,
+        build: impl FnOnce() -> FunctionState,
+    ) -> &mut FunctionState {
+        let idx = func.as_usize();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].is_none() {
+            self.slots[idx] = Some(Box::new(build()));
+            self.live += 1;
+        }
+        self.slots[idx].as_deref_mut().expect("slot just filled")
+    }
+}
+
+/// Reusable per-decision buffers: the hot path fills these in place
+/// instead of allocating per invocation.
+#[derive(Default)]
+struct DecideScratch {
+    /// Predictor snapshot over the keep-alive grid.
+    p_warm: Vec<f64>,
+    resident: Vec<f64>,
+    /// The `(node, grid index)` objective landscape of this decision
+    /// (row-major by node) — the fitness the swarm optimizes, as lookups.
+    objective: Vec<f64>,
 }
 
 /// Decode an optimizer position into the keep-alive (node, period-index)
@@ -71,9 +161,13 @@ fn decode_placement(
 /// multi-region fleets too.
 pub struct EcoLife {
     config: EcoLifeConfig,
-    cost: CostModel,
+    /// The cost model behind [`ObjectiveTables`]: the hot path reads all
+    /// fleet-wide scans through the cache (decisions bit-identical to the
+    /// uncached path — `EcoLifeConfig::cached_tables` selects which one
+    /// runs, `tests/hotpath.rs` pins the equality).
+    tables: ObjectiveTables,
     catalog: WorkloadCatalog,
-    states: HashMap<FunctionId, FunctionState>,
+    states: FunctionStates,
     /// One ΔCI tracker per distinct fleet region, in the provider's
     /// first-appearance (node id) order; initialized lazily on the first
     /// decision (the region set comes from the run's `CiProvider`).
@@ -82,6 +176,8 @@ pub struct EcoLife {
     /// been fed to `ci_deltas` (one observation per simulated minute,
     /// invocation rhythm notwithstanding).
     last_ci_minute: Option<u64>,
+    /// Reusable per-decision buffers.
+    scratch: DecideScratch,
 }
 
 // Scheduler state must be shard-local: `run_sharded` moves one EcoLife
@@ -125,17 +221,18 @@ impl EcoLife {
         );
         EcoLife {
             config,
-            cost,
+            tables: ObjectiveTables::new(cost),
             catalog: WorkloadCatalog::default(),
-            states: HashMap::new(),
+            states: FunctionStates::default(),
             ci_deltas: Vec::new(),
             last_ci_minute: None,
+            scratch: DecideScratch::default(),
         }
     }
 
     /// The cost model in use (exposed for the benches' analysis).
     pub fn cost_model(&self) -> &CostModel {
-        &self.cost
+        self.tables.cost()
     }
 
     /// Number of per-function optimizers currently alive.
@@ -143,36 +240,167 @@ impl EcoLife {
         self.states.len()
     }
 
-    fn state_for(&mut self, func: FunctionId) -> &mut FunctionState {
-        let config = &self.config;
-        let n_nodes = self.cost.fleet().len();
-        self.states.entry(func).or_insert_with(|| {
-            let dpso_cfg = DpsoConfig {
-                base: PsoConfig {
-                    // Independent, deterministic swarm per function.
-                    seed: config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(func.0 as u64 + 1)),
-                    ..config.dpso.base
-                },
-                ..config.dpso
-            };
-            FunctionState {
-                swarm: DynamicPso::new(
-                    SearchSpace::placement(n_nodes, config.keepalive_grid_min.len()),
-                    dpso_cfg,
-                ),
-                predictor: FunctionPredictor::new(config.delta_f_window_ms),
-            }
-        })
-    }
-
     fn decode_choice(&self, x: &[f64]) -> (NodeId, u64) {
         let (l, idx) = decode_placement(
             self.config.restrict_to,
-            self.cost.fleet().len(),
+            self.tables.cost().fleet().len(),
             self.config.keepalive_grid_min.len(),
             x,
         );
         (l, self.config.keepalive_grid_min[idx] * MINUTE_MS)
+    }
+
+    /// The cached decision hot path: every fleet-wide scan served from
+    /// [`ObjectiveTables`], the whole fitness landscape of the decision
+    /// precomputed once into a scratch grid (at most `nodes × grid`
+    /// entries vs. 100+ particle evaluations), and no per-invocation
+    /// clone of the cost model, profile, or grid.
+    fn decide_cached(&mut self, ctx: &InvocationCtx<'_>, dci: f64) -> Decision {
+        let restrict = self.config.restrict_to;
+        self.tables.refresh(ctx.ci, ctx.t_ms);
+        let exec = self.tables.epdm_choice(ctx.func, ctx.profile, restrict);
+
+        let n_nodes = self.tables.cost().fleet().len();
+        let grid_len = self.config.keepalive_grid_min.len();
+
+        // Disjoint field borrows: predictor/swarm state, tables, and
+        // scratch are touched simultaneously below.
+        let Self {
+            config,
+            tables,
+            states,
+            scratch,
+            ..
+        } = self;
+
+        // Update the arrival model *before* optimizing: the gap that just
+        // closed is the freshest evidence about this function's rhythm.
+        let state =
+            states.get_or_insert_with(ctx.func, || FunctionState::new(config, n_nodes, ctx.func));
+        state.predictor.record_arrival(ctx.t_ms);
+        let df = state.predictor.delta_f();
+
+        // Snapshot the predictor's answers over the whole grid, then
+        // precompute the objective of every decodable (node, period)
+        // choice — the fitness closure is a pure table lookup.
+        scratch.p_warm.clear();
+        scratch.resident.clear();
+        for &m in &config.keepalive_grid_min {
+            scratch.p_warm.push(state.predictor.p_warm(m * MINUTE_MS));
+            scratch
+                .resident
+                .push(state.predictor.expected_resident_ms(m * MINUTE_MS));
+        }
+        tables.fill_objective_grid(
+            ctx.func,
+            ctx.profile,
+            &config.keepalive_grid_min,
+            &scratch.p_warm,
+            &scratch.resident,
+            restrict,
+            &mut scratch.objective,
+        );
+        let objective: &[f64] = &scratch.objective;
+        let fitness = move |x: &[f64]| -> f64 {
+            let (l, idx) = decode_placement(restrict, n_nodes, grid_len, x);
+            objective[l.index() * grid_len + idx]
+        };
+
+        if config.dynamic_pso {
+            state.swarm.perceive(df, dci);
+            // Perception-response includes re-anchoring: the environment
+            // (CI, arrival stats) moved since the last invocation, so the
+            // recorded global best is re-evaluated under today's fitness.
+            state.swarm.refresh_gbest(&fitness);
+        }
+        for _ in 0..config.pso_iters {
+            state.swarm.step(&fitness);
+        }
+
+        let (ka_loc, idx) =
+            decode_placement(restrict, n_nodes, grid_len, state.swarm.best_position());
+        let ka_ms = config.keepalive_grid_min[idx] * MINUTE_MS;
+
+        Decision {
+            exec,
+            keepalive: (ka_ms > 0).then_some(KeepAliveChoice {
+                location: ka_loc,
+                duration_ms: ka_ms,
+            }),
+        }
+    }
+
+    /// The uncached reference path (the seed's decision loop): identical
+    /// decisions to [`EcoLife::decide_cached`], recomputed fleet-wide per
+    /// particle evaluation. Kept behind
+    /// [`EcoLifeConfig::without_cached_tables`] as the bit-identity
+    /// anchor (`tests/hotpath.rs`) and the `ecolife_hotpath` bench's
+    /// "before" measurement.
+    fn decide_uncached(&mut self, ctx: &InvocationCtx<'_>, dci: f64) -> Decision {
+        let restrict = self.config.restrict_to;
+        let ci_by_node = ctx.ci.at_each_node(ctx.t_ms);
+        let exec = self
+            .tables
+            .cost()
+            .epdm_choice(ctx.profile, &ci_by_node, restrict);
+
+        let dynamic = self.config.dynamic_pso;
+        let iters = self.config.pso_iters;
+        let grid_len = self.config.keepalive_grid_min.len();
+        let grid = self.config.keepalive_grid_min.clone();
+        let cost = self.tables.cost().clone();
+        let n_nodes = cost.fleet().len();
+        let profile = ctx.profile.clone();
+
+        let Self { config, states, .. } = self;
+        let state =
+            states.get_or_insert_with(ctx.func, || FunctionState::new(config, n_nodes, ctx.func));
+        state.predictor.record_arrival(ctx.t_ms);
+        let df = state.predictor.delta_f();
+
+        // Snapshot the predictor's answers over the whole grid so the
+        // fitness closure has no borrow of `state`.
+        let p_warm: Vec<f64> = grid
+            .iter()
+            .map(|&m| state.predictor.p_warm(m * MINUTE_MS))
+            .collect();
+        let resident: Vec<f64> = grid
+            .iter()
+            .map(|&m| state.predictor.expected_resident_ms(m * MINUTE_MS))
+            .collect();
+
+        let fitness = move |x: &[f64]| -> f64 {
+            let (l, idx) = decode_placement(restrict, n_nodes, grid_len, x);
+            let k_ms = grid[idx] * MINUTE_MS;
+            cost.expected_objective(
+                &profile,
+                l,
+                k_ms,
+                p_warm[idx],
+                resident[idx],
+                &ci_by_node,
+                restrict,
+            )
+        };
+
+        if dynamic {
+            state.swarm.perceive(df, dci);
+            state.swarm.refresh_gbest(&fitness);
+        }
+        for _ in 0..iters {
+            state.swarm.step(&fitness);
+        }
+
+        let best = state.swarm.best_position().to_vec();
+        let (ka_loc, ka_ms) = self.decode_choice(&best);
+
+        Decision {
+            exec,
+            keepalive: (ka_ms > 0).then_some(KeepAliveChoice {
+                location: ka_loc,
+                duration_ms: ka_ms,
+            }),
+        }
     }
 }
 
@@ -186,6 +414,7 @@ impl Scheduler for EcoLife {
         self.states.clear();
         self.ci_deltas.clear();
         self.last_ci_minute = None;
+        self.tables.reset();
     }
 
     fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
@@ -232,71 +461,13 @@ impl Scheduler for EcoLife {
             })
             .unwrap_or(0.0);
 
-        let restrict = self.config.restrict_to;
-        let ci_by_node = ctx.ci.at_each_node(ctx.t_ms);
-        let exec = self.cost.epdm_choice(ctx.profile, &ci_by_node, restrict);
-
-        // Update the arrival model *before* optimizing: the gap that just
-        // closed is the freshest evidence about this function's rhythm.
-        let dynamic = self.config.dynamic_pso;
-        let iters = self.config.pso_iters;
-        let grid_len = self.config.keepalive_grid_min.len();
-        let grid = self.config.keepalive_grid_min.clone();
-        let cost = self.cost.clone();
-        let n_nodes = cost.fleet().len();
-        let profile = ctx.profile.clone();
-
-        let state = self.state_for(ctx.func);
-        state.predictor.record_arrival(ctx.t_ms);
-        let df = state.predictor.delta_f();
-
-        // Snapshot the predictor's answers over the whole grid so the
-        // fitness closure has no borrow of `state`.
-        let p_warm: Vec<f64> = grid
-            .iter()
-            .map(|&m| state.predictor.p_warm(m * MINUTE_MS))
-            .collect();
-        let resident: Vec<f64> = grid
-            .iter()
-            .map(|&m| state.predictor.expected_resident_ms(m * MINUTE_MS))
-            .collect();
-
-        let fitness = move |x: &[f64]| -> f64 {
-            let (l, idx) = decode_placement(restrict, n_nodes, grid_len, x);
-            let k_ms = grid[idx] * MINUTE_MS;
-            cost.expected_objective(
-                &profile,
-                l,
-                k_ms,
-                p_warm[idx],
-                resident[idx],
-                &ci_by_node,
-                restrict,
-            )
-        };
-
-        if dynamic {
-            state.swarm.perceive(df, dci);
-            // Perception-response includes re-anchoring: the environment
-            // (CI, arrival stats) moved since the last invocation, so the
-            // recorded global best is re-evaluated under today's fitness.
-            // A vanilla swarm (the Fig. 10 ablation) keeps its stale
-            // anchor — exactly why it gets stuck when the optimum moves.
-            state.swarm.refresh_gbest(&fitness);
-        }
-        for _ in 0..iters {
-            state.swarm.step(&fitness);
-        }
-
-        let best = state.swarm.best_position().to_vec();
-        let (ka_loc, ka_ms) = self.decode_choice(&best);
-
-        Decision {
-            exec,
-            keepalive: (ka_ms > 0).then_some(KeepAliveChoice {
-                location: ka_loc,
-                duration_ms: ka_ms,
-            }),
+        // Both paths make bit-identical decisions (pinned by
+        // `tests/hotpath.rs`); the cached one is the production hot path,
+        // the uncached one the reference the cache is verified against.
+        if self.config.cached_tables {
+            self.decide_cached(ctx, dci)
+        } else {
+            self.decide_uncached(ctx, dci)
         }
     }
 
@@ -304,17 +475,36 @@ impl Scheduler for EcoLife {
         if !self.config.warm_pool_adjustment {
             return OverflowAction::Drop;
         }
+        // Transfer-target ranking: memoized per (node, minute) on the hot
+        // path — intensities are minute-resolution, so overflow storms
+        // within a minute reuse one fleet sort. (The `AdjustPlan` owns its
+        // ranking, hence the clone of the ≤ fleet-size id vector.)
+        let targets = if self.config.cached_tables {
+            self.tables
+                .transfer_ranking(ctx.location, ctx.t_ms, &ctx.ci_by_node)
+                .to_vec()
+        } else {
+            self.tables
+                .cost()
+                .transfer_ranking(ctx.location, &ctx.ci_by_node)
+        };
         // Rank candidates by benefit × P(reuse within 5 minutes): the
         // online predictor distinguishes drumbeat functions from ones
         // that have gone quiet.
         let states = &self.states;
         let weight = |func: FunctionId| -> f64 {
             states
-                .get(&func)
+                .get(func)
                 .map(|s| s.predictor.p_warm(5 * MINUTE_MS))
                 .unwrap_or(0.75)
         };
-        let mut plan = priority_adjustment_weighted(&self.cost, &self.catalog, ctx, &weight);
+        let mut plan = priority_adjustment_with_targets(
+            self.tables.cost(),
+            &self.catalog,
+            ctx,
+            &weight,
+            targets,
+        );
         if self.config.restrict_to.is_some() {
             // A single-node variant (Eco-Old / Eco-New) never spills onto
             // the rest of the fleet: displaced containers are evicted.

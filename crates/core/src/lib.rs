@@ -13,7 +13,9 @@
 //!
 //! * [`objective`] — the Sec. IV-A objective function and its
 //!   normalization constants, shared by EcoLife's fitness, the EPDM
-//!   score, the warm-pool priority ranking, and the Oracle brute force;
+//!   score, the warm-pool priority ranking, and the Oracle brute force —
+//!   plus [`ObjectiveTables`], the cache layer the decision hot path
+//!   reads them through (bit-identical, per-minute CI epochs);
 //! * [`predictor`] — the online inter-arrival model giving `P(warm | k)`
 //!   and `E[min(gap, k)]` without future knowledge;
 //! * [`warmpool`] — the priority-eviction warm-pool adjustment
@@ -44,7 +46,7 @@ pub use baselines::fixed::FixedPolicy;
 pub use baselines::oracle::{BruteForce, OptTarget};
 pub use config::EcoLifeConfig;
 pub use ecolife::EcoLife;
-pub use objective::CostModel;
+pub use objective::{CostModel, ObjectiveTables};
 pub use partition::{Partition, PartitionedScheduler};
 pub use predictor::FunctionPredictor;
 pub use runner::{compare, run_scheme, run_scheme_regional, Comparison, RunSummary};

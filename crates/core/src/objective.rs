@@ -22,9 +22,9 @@
 //! (`*_carbon_g`) remain per-node quantities: the caller passes that
 //! node's intensity.
 
-use ecolife_carbon::CarbonModel;
+use ecolife_carbon::{CarbonModel, CiProvider};
 use ecolife_hw::{Fleet, NodeId, PerfModel};
-use ecolife_trace::FunctionProfile;
+use ecolife_trace::{FunctionId, FunctionProfile};
 
 /// Cost calculator bound to a hardware fleet and carbon model.
 #[derive(Debug, Clone)]
@@ -333,6 +333,360 @@ impl CostModel {
     }
 }
 
+/// Milliseconds per minute — the CI-series resolution, and therefore
+/// the rate at which the tables' CI-dependent composites can move.
+use ecolife_sim::MINUTE_MS;
+
+/// Per-function precompute for one fleet: everything
+/// [`CostModel::expected_objective`] derives from `(node, profile)` alone,
+/// split into CI-independent constants (built once per function) and
+/// CI-dependent composites (refreshed when the per-node intensity vector
+/// moves — at most once per simulated minute).
+///
+/// Every cached value is an *exact intermediate* of the corresponding
+/// `CostModel` computation — energies and embodied grams are cached as
+/// the same `f64`s `active_phase`/`keepalive_phase` produce, and the
+/// composites are rebuilt with the identical operation order
+/// (`energy * ci + embodied`) — so scores read through the tables are
+/// bit-identical to the uncached path, never merely close.
+#[derive(Debug, Clone)]
+struct FunctionTables {
+    // -- CI-independent (per node, indexed by `NodeId`) ------------------
+    /// `warm_service_ms` / `cold_service_ms` per node.
+    warm_ms: Vec<u64>,
+    cold_ms: Vec<u64>,
+    /// Active-phase energy (kWh) of a warm/cold service per node.
+    warm_energy_kwh: Vec<f64>,
+    cold_energy_kwh: Vec<f64>,
+    /// Active-phase embodied grams of a warm/cold service per node
+    /// (CI-independent by construction).
+    warm_embodied_g: Vec<f64>,
+    cold_embodied_g: Vec<f64>,
+    /// Keep-alive energy/embodied for the full `max_keepalive_ms` —
+    /// the `KC_max` ingredients.
+    ka_max_energy_kwh: Vec<f64>,
+    ka_max_embodied_g: Vec<f64>,
+    /// `S_max` (worst cold service anywhere in the fleet).
+    s_max: f64,
+
+    // -- CI-dependent (refreshed per intensity epoch) --------------------
+    /// The minute this row's composites were last refreshed at.
+    minute: Option<u64>,
+    /// Warm/cold service carbon per node at the epoch's intensities.
+    warm_carbon_g: Vec<f64>,
+    cold_carbon_g: Vec<f64>,
+    /// `SC_max` / `KC_max` at the epoch's intensities.
+    sc_max: f64,
+    kc_max: f64,
+    /// The unrestricted EPDM choice at the epoch's intensities.
+    epdm_best: NodeId,
+}
+
+/// Cached view over a [`CostModel`]: the EcoLife decision hot path reads
+/// every fleet-wide scan (`s_max`, `sc_max`, `kc_max`, EPDM ranking,
+/// transfer ranking) through this layer instead of recomputing it inside
+/// every DPSO particle evaluation.
+///
+/// Scope of validity: intensities are minute-resolution
+/// ([`ecolife_carbon::CarbonIntensityTrace::at`] is piecewise-constant
+/// per minute), so the CI-dependent composites are keyed on the simulated
+/// minute and refreshed lazily. All cached composites are built with the
+/// exact operation order of the corresponding `CostModel` method —
+/// results are bit-identical to the uncached path (pinned by
+/// `tests/hotpath.rs` and the unit tests below).
+#[derive(Debug, Clone)]
+pub struct ObjectiveTables {
+    cost: CostModel,
+    /// The minute `ci_by_node` currently reflects.
+    minute: Option<u64>,
+    /// Intensity on every node's grid at `minute` (indexed by `NodeId`).
+    ci_by_node: Vec<f64>,
+    /// Per-function rows, indexed by raw `FunctionId` (trace construction
+    /// guarantees ids are dense in `0..catalog.len()`).
+    rows: Vec<Option<Box<FunctionTables>>>,
+    /// Memoized transfer rankings per excluded node, tagged with the
+    /// minute they were computed at.
+    transfer: Vec<Option<(u64, Vec<NodeId>)>>,
+}
+
+impl ObjectiveTables {
+    pub fn new(cost: CostModel) -> Self {
+        let n_nodes = cost.fleet().len();
+        ObjectiveTables {
+            transfer: vec![None; n_nodes],
+            ci_by_node: Vec::with_capacity(n_nodes),
+            minute: None,
+            rows: Vec::new(),
+            cost,
+        }
+    }
+
+    /// The wrapped cost model.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Intensity on every node's grid at the current epoch (valid after
+    /// [`ObjectiveTables::refresh`]).
+    #[inline]
+    pub fn ci_by_node(&self) -> &[f64] {
+        &self.ci_by_node
+    }
+
+    /// Drop all cached state (new trace / new catalog).
+    pub fn reset(&mut self) {
+        self.minute = None;
+        self.ci_by_node.clear();
+        self.rows.clear();
+        self.transfer.iter_mut().for_each(|slot| *slot = None);
+    }
+
+    /// Bring the per-node intensity vector up to `t_ms`'s minute. Cheap
+    /// when the minute is unchanged (the common case: every invocation
+    /// within a minute shares one epoch).
+    pub fn refresh(&mut self, ci: &CiProvider<'_>, t_ms: u64) {
+        let minute = t_ms / MINUTE_MS;
+        if self.minute == Some(minute) {
+            return;
+        }
+        self.minute = Some(minute);
+        self.ci_by_node.clear();
+        let fleet = self.cost.fleet();
+        self.ci_by_node
+            .extend(fleet.ids().map(|id| ci.at(id, t_ms)));
+    }
+
+    /// Ensure the row for `func` exists with CI-dependent composites at
+    /// the current epoch (builds / refreshes lazily); returns its index.
+    fn ensure_row(&mut self, func: FunctionId, f: &FunctionProfile) -> usize {
+        let idx = func.as_usize();
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, || None);
+        }
+        if self.rows[idx].is_none() {
+            self.rows[idx] = Some(Box::new(self.build_static(f)));
+        }
+        // Refresh the CI-dependent composites when the epoch moved.
+        let minute = self.minute.expect("refresh() must run before row access");
+        let needs_refresh = self.rows[idx].as_ref().expect("row built").minute != Some(minute);
+        if needs_refresh {
+            let mut row = self.rows[idx].take().expect("row built");
+            self.refresh_row(&mut row);
+            self.rows[idx] = Some(row);
+        }
+        idx
+    }
+
+    /// Build the CI-independent half of a function's row.
+    fn build_static(&self, f: &FunctionProfile) -> FunctionTables {
+        let cost = &self.cost;
+        let fleet = cost.fleet();
+        let carbon = cost.carbon_model();
+        let n = fleet.len();
+        let mut t = FunctionTables {
+            warm_ms: Vec::with_capacity(n),
+            cold_ms: Vec::with_capacity(n),
+            warm_energy_kwh: Vec::with_capacity(n),
+            cold_energy_kwh: Vec::with_capacity(n),
+            warm_embodied_g: Vec::with_capacity(n),
+            cold_embodied_g: Vec::with_capacity(n),
+            ka_max_energy_kwh: Vec::with_capacity(n),
+            ka_max_embodied_g: Vec::with_capacity(n),
+            s_max: cost.s_max(f),
+            minute: None,
+            warm_carbon_g: vec![0.0; n],
+            cold_carbon_g: vec![0.0; n],
+            sc_max: 0.0,
+            kc_max: 0.0,
+            epdm_best: NodeId(0),
+        };
+        for l in fleet.ids() {
+            let node = fleet.node(l);
+            let warm_ms = cost.warm_service_ms(l, f);
+            let cold_ms = cost.cold_service_ms(l, f);
+            t.warm_ms.push(warm_ms);
+            t.cold_ms.push(cold_ms);
+            t.warm_energy_kwh.push(cost.service_energy_kwh(l, f, true));
+            t.cold_energy_kwh.push(cost.service_energy_kwh(l, f, false));
+            // `active_phase` at CI 0 isolates the embodied grams as the
+            // exact `f64` every other `active_phase` call produces.
+            t.warm_embodied_g.push(
+                carbon
+                    .active_phase(node, f.memory_mib, warm_ms, 0.0)
+                    .embodied_g,
+            );
+            t.cold_embodied_g.push(
+                carbon
+                    .active_phase(node, f.memory_mib, cold_ms, 0.0)
+                    .embodied_g,
+            );
+            t.ka_max_energy_kwh
+                .push(cost.keepalive_energy_kwh(l, f, cost.max_keepalive_ms));
+            t.ka_max_embodied_g.push(
+                carbon
+                    .keepalive_phase(node, f.memory_mib, cost.max_keepalive_ms, 0.0)
+                    .embodied_g,
+            );
+        }
+        t
+    }
+
+    /// Rebuild a row's CI-dependent composites at the current epoch with
+    /// exactly the operation order of the uncached `CostModel` methods.
+    fn refresh_row(&self, t: &mut FunctionTables) {
+        let cost = &self.cost;
+        let n = cost.fleet().len();
+        for l in 0..n {
+            let ci_l = self.ci_by_node[l];
+            // == `warm/cold_service_carbon_g`: operational (energy × ci)
+            // plus embodied, in that order.
+            t.warm_carbon_g[l] = t.warm_energy_kwh[l] * ci_l + t.warm_embodied_g[l];
+            t.cold_carbon_g[l] = t.cold_energy_kwh[l] * ci_l + t.cold_embodied_g[l];
+        }
+        // == `sc_max` / `kc_max`: fold-max in id order, floored at 1e-12.
+        t.sc_max = t
+            .cold_carbon_g
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        t.kc_max = (0..n)
+            .map(|l| t.ka_max_energy_kwh[l] * self.ci_by_node[l] + t.ka_max_embodied_g[l])
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        // == `epdm_choice(f, ci, None)`: strict-less scan from node 0.
+        let score = |l: usize| -> f64 {
+            let s = t.cold_ms[l] as f64 / t.s_max;
+            let sc = t.cold_carbon_g[l] / t.sc_max;
+            cost.lambda_s * s + cost.lambda_c * sc
+        };
+        let mut best = 0usize;
+        let mut best_score = score(0);
+        for l in 1..n {
+            let sc = score(l);
+            if sc < best_score {
+                best = l;
+                best_score = sc;
+            }
+        }
+        t.epdm_best = NodeId(best as u32);
+        t.minute = self.minute;
+    }
+
+    /// Cached [`CostModel::epdm_choice`] at the current epoch.
+    pub fn epdm_choice(
+        &mut self,
+        func: FunctionId,
+        f: &FunctionProfile,
+        allowed: Option<NodeId>,
+    ) -> NodeId {
+        match allowed {
+            Some(l) => l,
+            None => {
+                let idx = self.ensure_row(func, f);
+                self.rows[idx].as_deref().expect("row built").epdm_best
+            }
+        }
+    }
+
+    /// Fill `out` with the expected objective of every `(node, grid
+    /// index)` keep-alive choice — the whole KDM fitness landscape of one
+    /// decision, so the swarm's 100+ particle evaluations become table
+    /// lookups. `p_warm[i]` / `resident_ms[i]` are the predictor's
+    /// answers for `grid_min[i]`; with `restrict` set only that node's
+    /// stripe is computed (the decode rule never leaves it).
+    ///
+    /// Each entry is numerically identical to
+    /// [`CostModel::expected_objective`] with the same arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill_objective_grid(
+        &mut self,
+        func: FunctionId,
+        f: &FunctionProfile,
+        grid_min: &[u64],
+        p_warm: &[f64],
+        resident_ms: &[f64],
+        restrict: Option<NodeId>,
+        out: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(grid_min.len(), p_warm.len());
+        debug_assert_eq!(grid_min.len(), resident_ms.len());
+        let idx_row = self.ensure_row(func, f);
+        let Self {
+            cost,
+            rows,
+            ci_by_node,
+            minute,
+            ..
+        } = self;
+        let row = rows[idx_row].as_deref().expect("row built");
+        debug_assert_eq!(row.minute, *minute);
+        let n_nodes = row.warm_ms.len();
+        let glen = grid_min.len();
+        out.clear();
+        out.resize(n_nodes * glen, f64::INFINITY);
+
+        // The cold branch executes where the EPDM would place it —
+        // constant across the whole grid (`expected_objective` recomputes
+        // it per call; the value is identical).
+        let cold_loc = restrict.unwrap_or(row.epdm_best).index();
+        let s_cold = row.cold_ms[cold_loc] as f64;
+        let sc_cold = row.cold_carbon_g[cold_loc];
+
+        let nodes: std::ops::Range<usize> = match restrict {
+            Some(l) => l.index()..l.index() + 1,
+            None => 0..n_nodes,
+        };
+        for l in nodes {
+            let ci_l = ci_by_node[l];
+            let s_warm = row.warm_ms[l] as f64;
+            let sc_warm = row.warm_carbon_g[l];
+            for (idx, &k_min) in grid_min.iter().enumerate() {
+                let k_ms = k_min * MINUTE_MS;
+                let p = if k_ms == 0 {
+                    0.0
+                } else {
+                    p_warm[idx].clamp(0.0, 1.0)
+                };
+                let e_s = p * s_warm + (1.0 - p) * s_cold;
+                let e_sc = p * sc_warm + (1.0 - p) * sc_cold;
+                let resident = resident_ms[idx].clamp(0.0, k_ms as f64);
+                let kc = if k_ms == 0 {
+                    0.0
+                } else {
+                    cost.keepalive_carbon_g(NodeId(l as u32), f, resident.round() as u64, ci_l)
+                };
+                out[l * glen + idx] = cost.lambda_s * e_s / row.s_max
+                    + cost.lambda_c * e_sc / row.sc_max
+                    + cost.lambda_c * kc / row.kc_max;
+            }
+        }
+    }
+
+    /// Memoized [`CostModel::transfer_ranking`]: the ranking depends only
+    /// on `(exclude, per-node intensity vector)`, and the intensity
+    /// vector is constant within a minute — so overflow storms within a
+    /// reconciliation period reuse one sort instead of re-ranking the
+    /// fleet per displaced container. `ci_by_node` must be the intensity
+    /// snapshot at `t_ms` (what the engine hands `OverflowCtx`).
+    pub fn transfer_ranking(
+        &mut self,
+        exclude: NodeId,
+        t_ms: u64,
+        ci_by_node: &[f64],
+    ) -> &[NodeId] {
+        let minute = t_ms / MINUTE_MS;
+        let Self { cost, transfer, .. } = self;
+        let slot = &mut transfer[exclude.index()];
+        let stale = !matches!(slot, Some((m, _)) if *m == minute);
+        if stale {
+            *slot = Some((minute, cost.transfer_ranking(exclude, ci_by_node)));
+        }
+        &slot.as_ref().expect("just filled").1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,6 +914,81 @@ mod tests {
         let warm = m.service_energy_kwh(Generation::New, &f, true);
         assert!(cold > warm);
         assert!(m.keepalive_energy_kwh(Generation::Old, &f, 600_000) > 0.0);
+    }
+
+    #[test]
+    fn tables_reproduce_expected_objective_bit_for_bit() {
+        use ecolife_carbon::{CarbonIntensityTrace, CiProvider};
+        let fleet = skus::fleet_three_generations();
+        let cost = CostModel::new(fleet.clone(), CarbonModel::default(), 0.5, 0.5, 50, 600_000);
+        let mut tables = ObjectiveTables::new(cost.clone());
+        let ci = CarbonIntensityTrace::synthetic(ecolife_hw::Region::Caiso, 120, 9);
+        let provider = CiProvider::shared(&ci, &fleet);
+        let grid: Vec<u64> = (0..=10).collect();
+        let p_warm: Vec<f64> = grid.iter().map(|&m| 0.08 * m as f64 + 0.05).collect();
+        let resident: Vec<f64> = grid.iter().map(|&m| 0.4 * (m * 60_000) as f64).collect();
+        let catalog = WorkloadCatalog::sebs();
+        let mut out = Vec::new();
+        for t_ms in [0u64, 30_000, 61_000, 45 * 60_000] {
+            tables.refresh(&provider, t_ms);
+            let ci_by_node = provider.at_each_node(t_ms);
+            assert_eq!(tables.ci_by_node(), &ci_by_node[..]);
+            for (func, f) in catalog.iter().take(4) {
+                for restrict in [None, Some(NodeId(1))] {
+                    assert_eq!(
+                        tables.epdm_choice(func, f, restrict),
+                        cost.epdm_choice(f, &ci_by_node, restrict)
+                    );
+                    tables.fill_objective_grid(
+                        func, f, &grid, &p_warm, &resident, restrict, &mut out,
+                    );
+                    let nodes: Vec<NodeId> = match restrict {
+                        Some(l) => vec![l],
+                        None => fleet.ids().collect(),
+                    };
+                    for &l in &nodes {
+                        for (idx, &k_min) in grid.iter().enumerate() {
+                            let want = cost.expected_objective(
+                                f,
+                                l,
+                                k_min * 60_000,
+                                p_warm[idx],
+                                resident[idx],
+                                &ci_by_node,
+                                restrict,
+                            );
+                            let got = out[l.index() * grid.len() + idx];
+                            assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "t={t_ms} f={func} l={l} k={k_min}: {got} vs {want}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_transfer_ranking_matches_and_memoizes() {
+        use ecolife_carbon::{CarbonIntensityTrace, CiProvider};
+        let fleet = skus::fleet_three_generations();
+        let cost = CostModel::new(fleet.clone(), CarbonModel::default(), 0.5, 0.5, 50, 600_000);
+        let mut tables = ObjectiveTables::new(cost.clone());
+        let ci = CarbonIntensityTrace::synthetic(ecolife_hw::Region::Texas, 60, 4);
+        let provider = CiProvider::shared(&ci, &fleet);
+        for t_ms in [10_000u64, 20_000, 70_000] {
+            tables.refresh(&provider, t_ms);
+            let ci_by_node = provider.at_each_node(t_ms);
+            for l in fleet.ids().collect::<Vec<_>>() {
+                assert_eq!(
+                    tables.transfer_ranking(l, t_ms, &ci_by_node),
+                    &cost.transfer_ranking(l, &ci_by_node)[..],
+                    "t={t_ms} exclude={l}"
+                );
+            }
+        }
     }
 
     #[test]

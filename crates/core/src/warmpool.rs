@@ -12,6 +12,7 @@
 //! the other generation's memory if there is enough space").
 
 use crate::objective::CostModel;
+use ecolife_hw::NodeId;
 use ecolife_sim::{AdjustPlan, OverflowCtx};
 use ecolife_trace::{FunctionId, WorkloadCatalog};
 
@@ -40,6 +41,22 @@ pub fn priority_adjustment_weighted(
     catalog: &WorkloadCatalog,
     ctx: &OverflowCtx<'_>,
     reuse_weight: &dyn Fn(FunctionId) -> f64,
+) -> AdjustPlan {
+    let targets = cost.transfer_ranking(ctx.location, &ctx.ci_by_node);
+    priority_adjustment_with_targets(cost, catalog, ctx, reuse_weight, targets)
+}
+
+/// [`priority_adjustment_weighted`] with a precomputed transfer-target
+/// ranking — the ranking depends only on `(overflowing node, per-node
+/// intensity)` and intensities move at most once per minute, so EcoLife
+/// serves it from the [`ObjectiveTables`](crate::objective::ObjectiveTables)
+/// memo instead of re-sorting the fleet on every displaced container.
+pub fn priority_adjustment_with_targets(
+    cost: &CostModel,
+    catalog: &WorkloadCatalog,
+    ctx: &OverflowCtx<'_>,
+    reuse_weight: &dyn Fn(FunctionId) -> f64,
+    transfer_targets: Vec<NodeId>,
 ) -> AdjustPlan {
     struct Candidate {
         func: FunctionId,
@@ -100,7 +117,7 @@ pub fn priority_adjustment_weighted(
     AdjustPlan {
         displace,
         place_incoming: keep_incoming,
-        transfer_targets: Some(cost.transfer_ranking(ctx.location, ci_by_node)),
+        transfer_targets: Some(transfer_targets),
     }
 }
 

@@ -27,7 +27,7 @@
 use crate::cluster::Cluster;
 use crate::container::WarmContainer;
 use crate::metrics::{InvocationRecord, RunMetrics};
-use crate::parallel::{default_threads, parallel_map_threads};
+use crate::parallel::{default_threads, WorkerPool};
 use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
 use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
 use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider};
@@ -328,6 +328,12 @@ impl<'a> Simulation<'a> {
         let ledger = MemoryLedger::new(n_shards, n_nodes);
         let mut ledger_peak_mib = vec![0u64; n_nodes];
 
+        // One persistent worker pool for the whole run: periods are
+        // barrier-separated batches over the same threads, instead of a
+        // fresh scoped-thread set per reconciliation period (hundreds of
+        // spawn/join cycles on an hours-long trace).
+        let mut pool = WorkerPool::new(workers.min(n_shards));
+
         for &period in &periods {
             let t_start = period.saturating_mul(opts.period_ms);
             let t_end = t_start.saturating_add(opts.period_ms);
@@ -342,11 +348,11 @@ impl<'a> Simulation<'a> {
 
             // Parallel phase: each worker first pulls its shard's
             // cross-shard pressure snapshot from the ledger (concurrent
-            // reads of values fixed before the spawn — deterministic),
+            // reads of values fixed before the batch — deterministic),
             // then replays its slice of the period against its own
             // pools. Which worker runs which shard never affects the
             // outcome.
-            states = parallel_map_threads(workers, states, |mut state| {
+            states = pool.run_map(states, |mut state| {
                 for &id in &node_ids {
                     let pressure = ledger.external_mib(state.shard_id, id);
                     state.cluster.pool_mut(id).set_external_used_mib(pressure);

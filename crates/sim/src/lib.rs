@@ -23,7 +23,9 @@
 //! * **shards** ([`shard`]) — the million-invocation scale path:
 //!   [`Simulation::run_sharded`] partitions the trace by `FunctionId`
 //!   hash into shards, each owning its warm pools, scheduler state, and
-//!   metrics, replayed in parallel over [`parallel::parallel_map`]. The
+//!   metrics, replayed in parallel over one persistent
+//!   [`parallel::WorkerPool`] (threads live across all reconciliation
+//!   periods, with a barrier per period batch). The
 //!   one cross-shard interaction — per-node memory capacity — goes
 //!   through an atomic per-`NodeId` memory ledger: shards admit against
 //!   start-of-period snapshots and a deterministic reconciliation pass
@@ -52,7 +54,10 @@ pub use engine::{
     evaluate, evaluate_regional, evaluate_sharded, evaluate_sharded_regional, SimConfig, Simulation,
 };
 pub use metrics::{InvocationRecord, RunMetrics};
-pub use parallel::{parallel_map, parallel_map_threads};
+pub use parallel::{
+    next_arrival_gaps_bucketed, next_arrival_gaps_parallel, parallel_map, parallel_map_threads,
+    WorkerPool,
+};
 pub use pool::WarmPool;
 pub use scheduler::{
     AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler,

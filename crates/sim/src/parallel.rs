@@ -4,17 +4,39 @@
 //! both the sharded replay engine and the experiment/planner layers above
 //! share one implementation; `ecolife_core::runner` re-exports it for the
 //! original callers.
+//!
+//! Two layers:
+//!
+//! * [`WorkerPool`] — a persistent set of worker threads executing
+//!   *batches* of indexed jobs with a barrier between batches. The
+//!   sharded replay engine keeps one pool alive across its per-period
+//!   fan-outs (an hours-long trace has hundreds of reconciliation
+//!   periods; spawning a fresh scoped-thread set per period was pure
+//!   overhead).
+//! * [`parallel_map`] / [`parallel_map_threads`] — the one-shot
+//!   fan-out-and-collect API, now a thin wrapper that builds a transient
+//!   pool for the single batch.
+//!
+//! Work distribution never affects results: workers claim job *indices*
+//! from a shared atomic counter, and each job reads/writes only its own
+//! slot — which worker runs which job is scheduling, not semantics.
 
-/// Fan independent jobs out over scoped worker threads and collect
-/// results in input order, using [`std::thread::available_parallelism`]
-/// workers. See [`parallel_map_threads`] for the explicit-thread-count
-/// variant (determinism tests force `threads ∈ {1, 2, 4, …}` through it).
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Fan independent jobs out over worker threads and collect results in
+/// input order, using [`std::thread::available_parallelism`] workers. See
+/// [`parallel_map_threads`] for the explicit-thread-count variant
+/// (determinism tests force `threads ∈ {1, 2, 4, …}` through it).
 ///
 /// At most `available_parallelism` workers are spawned — a sweep of
 /// hundreds of configurations never spawns one OS thread per job — and
-/// they pull from a shared queue, so a few expensive configurations
-/// cannot serialize behind each other while the other workers idle. The
-/// per-job lock cost is irrelevant next to a simulation run.
+/// they pull from a shared index counter, so a few expensive
+/// configurations cannot serialize behind each other while the other
+/// workers idle. The per-job synchronization cost is irrelevant next to a
+/// simulation run.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -48,24 +70,294 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads.min(n);
+    let mut pool = WorkerPool::new(threads.min(n));
+    pool.run_map(inputs, f)
+}
 
-    let queue = std::sync::Mutex::new(inputs.into_iter().enumerate());
-    let done = std::sync::Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").next();
-                let Some((index, input)) = job else { break };
-                let result = f(input);
-                done.lock().expect("results lock").push((index, result));
-            });
+/// Lifetime-erased pointer to a batch's job closure. Soundness rests on
+/// the [`WorkerPool::run`] barrier: the pointer is installed when a batch
+/// starts and every worker has finished using it before `run` returns,
+/// so the borrow it was erased from is alive for every dereference.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (shared calls from many threads are the
+// point) and the barrier protocol above bounds its lifetime.
+unsafe impl Send for JobPtr {}
+
+/// State shared between the pool's owner and its workers.
+struct PoolShared {
+    state: Mutex<BatchState>,
+    /// Owner → workers: a new batch was posted (or shutdown).
+    work_ready: Condvar,
+    /// Workers → owner: the last worker finished the batch.
+    work_done: Condvar,
+    /// Next unclaimed job index of the current batch.
+    next: AtomicUsize,
+    /// The first panic payload of the current batch, re-raised by the
+    /// owner so the original assertion message/location survives (the
+    /// scoped-thread implementation this pool replaced propagated it
+    /// intact too).
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct BatchState {
+    /// Bumped per batch; workers wait for it to move.
+    epoch: u64,
+    n_jobs: usize,
+    job: Option<JobPtr>,
+    /// Workers still working on (or not yet done observing) the current
+    /// batch; the owner waits for 0.
+    active_workers: usize,
+    shutdown: bool,
+}
+
+/// A persistent pool of worker threads executing batches of indexed jobs.
+///
+/// ```
+/// # use ecolife_sim::parallel::WorkerPool;
+/// let mut pool = WorkerPool::new(4);
+/// let mut out = vec![0u64; 16];
+/// for round in 0..3u64 {
+///     // Reuses the same OS threads every round; `run_map` blocks until
+///     // the whole batch completed (the per-period barrier).
+///     out = pool.run_map(out, |v| v + round);
+/// }
+/// assert!(out.iter().all(|&v| v == 3));
+/// ```
+///
+/// Threads are spawned once in [`WorkerPool::new`], parked on a condvar
+/// between batches, and joined on drop. Batches run through
+/// [`WorkerPool::run`] (indexed jobs) or [`WorkerPool::run_map`]
+/// (move-in/move-out values); both block until every job completed, so
+/// job closures may freely borrow the caller's stack.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` persistent workers (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(BatchState {
+                epoch: 0,
+                n_jobs: 0,
+                job: None,
+                active_workers: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            next: AtomicUsize::new(0),
+            panic_payload: Mutex::new(None),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute one batch: `job(i)` for every `i in 0..n_jobs`, distributed
+    /// over the workers, returning when all completed. If a job panicked,
+    /// the first payload is re-raised here (after the batch drains), so
+    /// the original assertion message and location survive.
+    pub fn run(&mut self, n_jobs: usize, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: `run` blocks until every worker reported done for this
+        // batch and clears the pointer before returning, so the erased
+        // borrow outlives every use (same layout: both are fat pointers
+        // to the same trait object, only the lifetime is erased).
+        let ptr = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), JobPtr>(job) };
+        let mut st = self.shared.state.lock().expect("pool state");
+        debug_assert_eq!(st.active_workers, 0, "batches never overlap");
+        self.shared.next.store(0, Ordering::Relaxed);
+        *self.shared.panic_payload.lock().expect("panic slot") = None;
+        st.job = Some(ptr);
+        st.n_jobs = n_jobs;
+        st.active_workers = self.workers.len();
+        st.epoch += 1;
+        self.shared.work_ready.notify_all();
+        while st.active_workers > 0 {
+            st = self.shared.work_done.wait(st).expect("pool state");
         }
+        st.job = None;
+        drop(st);
+        // Take the payload in its own statement: an `if let` scrutinee
+        // would keep the guard alive across `resume_unwind`, poisoning
+        // the mutex for the pool's next batch.
+        let payload = self.shared.panic_payload.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Run `f` over every input (workers claim inputs from a shared
+    /// counter) and collect the results in input order.
+    pub fn run_map<T, R, F>(&mut self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = inputs.len();
+        let slots: Vec<Mutex<Option<T>>> =
+            inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.run(n, &|i: usize| {
+            let input = slots[i]
+                .lock()
+                .expect("input slot")
+                .take()
+                .expect("each index claimed once");
+            let result = f(input);
+            *out[i].lock().expect("output slot") = Some(result);
+        });
+        out.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("workers joined")
+                    .expect("batch completed every job")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Park until a new batch (or shutdown).
+        let (job, n_jobs) = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                st = shared.work_ready.wait(st).expect("pool state");
+            }
+            seen_epoch = st.epoch;
+            (st.job.expect("posted batch carries a job"), st.n_jobs)
+        };
+        // Claim-and-run until the batch is exhausted.
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                break;
+            }
+            // SAFETY: see `JobPtr` — the owner blocks in `run` until this
+            // batch completes, keeping the erased borrow alive.
+            let f = unsafe { &*job.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                // Keep the first payload for the owner to re-raise.
+                let mut slot = shared.panic_payload.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+                // Abandon the rest of the batch: later claims see an
+                // exhausted counter. (`store(n_jobs)`, not `usize::MAX`,
+                // so concurrent `fetch_add`s cannot wrap.)
+                shared.next.store(n_jobs, Ordering::Relaxed);
+            }
+        }
+        let mut st = shared.state.lock().expect("pool state");
+        st.active_workers -= 1;
+        if st.active_workers == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+/// Sharded [`Trace::next_arrival_gaps`](ecolife_trace::Trace::next_arrival_gaps):
+/// the oracle-family future-knowledge precompute, fanned out over
+/// function buckets with [`parallel_map`] and scattered back into index
+/// order.
+///
+/// One sequential pass partitions invocation indices by splitmix-hashed
+/// function id; each bucket then runs the reverse gap scan over *its own
+/// index list only* (per-function chains never cross buckets), so total
+/// work stays O(n) regardless of bucket count, with the scan half
+/// parallel. The merged result is bit-identical to the sequential scan
+/// at any worker count — this is purely a wall-clock play for
+/// 10⁶–10⁷-invocation traces, where the precompute is a noticeable
+/// slice of `BruteForce::prepare`. Small traces (and single-core hosts)
+/// take the sequential path directly.
+pub fn next_arrival_gaps_parallel(trace: &ecolife_trace::Trace) -> Vec<Option<u64>> {
+    let threads = default_threads();
+    if threads == 1 || trace.len() < 1 << 16 {
+        return trace.next_arrival_gaps();
+    }
+    // One bucket per worker: the splitmix spread below gives buckets
+    // near-uniform function mass, so oversubscribing buys nothing.
+    let n_buckets = threads.min(trace.catalog().len().max(1));
+    next_arrival_gaps_bucketed(trace, n_buckets)
+}
+
+/// The bucketed fan-out behind [`next_arrival_gaps_parallel`], with an
+/// explicit bucket count — public so tests and the CI smoke bench can
+/// force the partition/merge path regardless of host parallelism or
+/// trace size (the automatic entry point falls back to the sequential
+/// scan below its profitability threshold, which would leave this path
+/// untested on small inputs).
+pub fn next_arrival_gaps_bucketed(
+    trace: &ecolife_trace::Trace,
+    n_buckets: usize,
+) -> Vec<Option<u64>> {
+    let invocations = trace.invocations();
+    let n_functions = trace.catalog().len();
+
+    // Sequential partition pass: each bucket's invocation indices, in
+    // time order. Raw ids are dense, so hash before the modulo (the
+    // `shard_of` idiom) — otherwise hot functions congruent mod
+    // n_buckets would pile onto one bucket.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_buckets];
+    for (i, inv) in invocations.iter().enumerate() {
+        let spread = ecolife_trace::splitmix64(inv.func.as_usize() as u64);
+        buckets[(spread % n_buckets as u64) as usize].push(i);
+    }
+
+    // Parallel reverse scan per bucket, over its own indices only.
+    let parts = parallel_map(buckets, |indices| {
+        let mut next_seen: Vec<Option<u64>> = vec![None; n_functions];
+        let mut part: Vec<(usize, u64)> = Vec::new();
+        for &i in indices.iter().rev() {
+            let inv = &invocations[i];
+            let slot = &mut next_seen[inv.func.as_usize()];
+            if let Some(t) = *slot {
+                part.push((i, t - inv.t_ms));
+            }
+            *slot = Some(inv.t_ms);
+        }
+        part
     });
 
-    let mut done = done.into_inner().expect("workers joined");
-    done.sort_unstable_by_key(|(index, _)| *index);
-    done.into_iter().map(|(_, result)| result).collect()
+    let mut gaps = vec![None; trace.len()];
+    for part in parts {
+        for (i, gap) in part {
+            gaps[i] = Some(gap);
+        }
+    }
+    gaps
 }
 
 #[cfg(test)]
@@ -82,7 +374,7 @@ mod tests {
     fn handles_empty_and_oversized_batches() {
         assert_eq!(parallel_map(Vec::<u32>::new(), |i| i), Vec::<u32>::new());
         // Far more jobs than cores: with one-thread-per-job this would
-        // spawn 2048 OS threads; chunking bounds it at the worker count.
+        // spawn 2048 OS threads; the pool bounds it at the worker count.
         let n = 2048u64;
         let out = parallel_map((0..n).collect(), |i: u64| i + 1);
         assert_eq!(out.len(), n as usize);
@@ -103,5 +395,88 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         parallel_map_threads(0, vec![1], |i: i32| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_thread_pool_rejected() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // The run_sharded shape: one pool, hundreds of barrier-separated
+        // batches, state threaded through run_map.
+        let mut pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let mut values: Vec<u64> = (0..17).collect();
+        for round in 0..200u64 {
+            values = pool.run_map(values, |v| v + round);
+        }
+        let offset: u64 = (0..200).sum();
+        assert_eq!(
+            values,
+            (0..17).map(|i| i + offset).collect::<Vec<_>>(),
+            "every batch must complete before the next starts"
+        );
+    }
+
+    #[test]
+    fn pool_batches_may_borrow_the_stack() {
+        let mut pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..64).collect();
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        pool.run(data.len(), &|i| {
+            sum.fetch_add(data[i], Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_runs_empty_batches() {
+        let mut pool = WorkerPool::new(2);
+        pool.run(0, &|_| unreachable!("no jobs to claim"));
+        let out: Vec<u32> = pool.run_map(Vec::<u32>::new(), |v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bucketed_gaps_match_the_sequential_scan() {
+        use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
+        let trace = SynthTraceConfig {
+            n_functions: 64,
+            duration_min: 120,
+            ..SynthTraceConfig::small(13)
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let sequential = trace.next_arrival_gaps();
+        for n_buckets in [1usize, 2, 5, 16] {
+            assert_eq!(
+                next_arrival_gaps_bucketed(&trace, n_buckets),
+                sequential,
+                "n_buckets = {n_buckets}"
+            );
+        }
+        // The public entry point agrees regardless of which path it takes.
+        assert_eq!(next_arrival_gaps_parallel(&trace), sequential);
+    }
+
+    #[test]
+    fn pool_propagates_job_panics() {
+        let mut pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        // The *original* payload reaches the caller — a shard assertion
+        // failure must surface its message, not a generic wrapper.
+        let payload = caught.expect_err("job panic must propagate to the caller");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        // The pool remains usable for the next batch.
+        let out = pool.run_map(vec![1u32, 2, 3], |v| v * 2);
+        assert_eq!(out, vec![2, 4, 6]);
     }
 }

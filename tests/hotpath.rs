@@ -1,0 +1,197 @@
+//! The cached decision hot path is an *optimization*, never a semantic
+//! change: EcoLife with `ObjectiveTables` (the default) must make
+//! bit-identical decisions — every float of every record equal — to the
+//! uncached reference path (`EcoLifeConfig::without_cached_tables`), on
+//! multi-region fleets, under memory pressure (the memoized transfer
+//! ranking), restricted to one node, sequentially and through
+//! `run_sharded` at any worker-thread count.
+
+use ecolife::prelude::*;
+use ecolife::sim::ShardOptions;
+
+/// A multi-region workload: one hardware pair per grid region (ten
+/// nodes, five grids), synthetic per-region CI feeds, 16 functions.
+fn multi_region_setup() -> (Trace, CiBundle, Fleet) {
+    let trace = SynthTraceConfig {
+        n_functions: 16,
+        duration_min: 120,
+        seed: 21,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let bundle = CiBundle::synthetic_all(150, 21);
+    let fleet = skus::fleet_five_regions().with_uniform_keepalive_budget_mib(16 * 1024);
+    (trace, bundle, fleet)
+}
+
+fn cached(fleet: &Fleet) -> EcoLife {
+    EcoLife::new(fleet.clone(), EcoLifeConfig::default())
+}
+
+fn uncached(fleet: &Fleet) -> EcoLife {
+    EcoLife::new(
+        fleet.clone(),
+        EcoLifeConfig::default().without_cached_tables(),
+    )
+}
+
+/// One record, every float as exact bits:
+/// `(t, warm, node, service_ms, service_g, keepalive_g, energy)`.
+type RecordBits = (u64, bool, u64, u64, u64, u64, u64);
+
+/// Everything decision-dependent in a run, floats compared exactly
+/// (decision overhead is wall-clock and excluded; the per-node gram
+/// *sums* are compared separately — see [`by_node_bits`] — because they
+/// are only bit-stable between runs of the same shard layout).
+fn fingerprint(m: &RunMetrics) -> (Vec<RecordBits>, u64, u64) {
+    (
+        m.records
+            .iter()
+            .map(|r| {
+                (
+                    r.t_ms,
+                    r.warm,
+                    r.exec_location.0 as u64,
+                    r.service_ms,
+                    r.service_carbon.total_g().to_bits(),
+                    r.keepalive_carbon.total_g().to_bits(),
+                    r.energy_kwh.to_bits(),
+                )
+            })
+            .collect(),
+        m.evicted_functions,
+        m.transfers,
+    )
+}
+
+/// Per-node keep-alive gram totals, bit-exact. Only comparable between
+/// runs with the same shard layout (summation order is per shard).
+fn by_node_bits(m: &RunMetrics) -> Vec<u64> {
+    m.keepalive_g_by_node.iter().map(|g| g.to_bits()).collect()
+}
+
+#[test]
+fn cached_tables_are_bit_identical_on_a_multi_region_fleet() {
+    let (trace, bundle, fleet) = multi_region_setup();
+    let run = |mut eco: EcoLife| {
+        Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+            .unwrap()
+            .run(&mut eco)
+    };
+    let fast = run(cached(&fleet));
+    let reference = run(uncached(&fleet));
+    assert_eq!(
+        fingerprint(&fast),
+        fingerprint(&reference),
+        "cached tables changed a decision on the multi-region fleet"
+    );
+    assert_eq!(by_node_bits(&fast), by_node_bits(&reference));
+}
+
+#[test]
+fn cached_tables_are_bit_identical_sharded_at_any_thread_count() {
+    let (trace, bundle, fleet) = multi_region_setup();
+    let sim = Simulation::try_new_regional(&trace, &bundle, fleet.clone()).unwrap();
+    let sequential = fingerprint(&sim.run(&mut cached(&fleet)));
+    for threads in [1usize, 2, 4] {
+        let fast = sim.run_sharded(
+            |_| cached(&fleet),
+            &ShardOptions::new(8).with_threads(threads),
+        );
+        let reference = sim.run_sharded(
+            |_| uncached(&fleet),
+            &ShardOptions::new(8).with_threads(threads),
+        );
+        assert_eq!(
+            fingerprint(&fast),
+            fingerprint(&reference),
+            "cached vs uncached diverged sharded at {threads} workers"
+        );
+        // Same shard layout → the per-node gram sums are bit-stable too.
+        assert_eq!(by_node_bits(&fast), by_node_bits(&reference));
+        assert_eq!(
+            fingerprint(&fast),
+            sequential,
+            "sharded run diverged from the sequential path at {threads} workers"
+        );
+    }
+}
+
+/// Memory pressure drives the overflow path — priority adjustment plus
+/// the (memoized) transfer-target ranking — which must not change a
+/// single displacement either.
+#[test]
+fn cached_tables_are_bit_identical_under_memory_pressure() {
+    let trace = SynthTraceConfig {
+        n_functions: 24,
+        duration_min: 90,
+        seed: 23,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 120, 23);
+    let fleet = Fleet::from(skus::pair_a()).with_uniform_keepalive_budget_mib(6 * 1024);
+    let run = |mut eco: EcoLife| Simulation::new(&trace, &ci, fleet.clone()).run(&mut eco);
+    let fast = run(cached(&fleet));
+    let reference = run(uncached(&fleet));
+    assert!(
+        reference.transfers > 0,
+        "workload must exercise the overflow/transfer path"
+    );
+    assert_eq!(fingerprint(&fast), fingerprint(&reference));
+    assert_eq!(by_node_bits(&fast), by_node_bits(&reference));
+}
+
+#[test]
+fn cached_tables_are_bit_identical_when_restricted_to_one_node() {
+    let trace = SynthTraceConfig::small(7).generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Texas, 120, 7);
+    let fleet = skus::fleet_three_generations();
+    for node in [NodeId(0), NodeId(1), NodeId(2)] {
+        let run = |cfg: EcoLifeConfig| {
+            let mut eco = EcoLife::new(fleet.clone(), cfg.restricted_to(node));
+            Simulation::new(&trace, &ci, fleet.clone()).run(&mut eco)
+        };
+        let fast = run(EcoLifeConfig::default());
+        let reference = run(EcoLifeConfig::default().without_cached_tables());
+        assert_eq!(
+            fingerprint(&fast),
+            fingerprint(&reference),
+            "restricted-to-{node} runs diverged"
+        );
+        assert!(fast.records.iter().all(|r| r.exec_location == node));
+    }
+}
+
+/// The oracle's sharded future-knowledge precompute is a pure wall-clock
+/// play: `prepare` must produce the same gaps (and therefore the same
+/// decisions) as the sequential scan at any bucket/worker count.
+#[test]
+fn sharded_gap_precompute_leaves_oracle_decisions_unchanged() {
+    let trace = SynthTraceConfig {
+        n_functions: 12,
+        duration_min: 90,
+        seed: 31,
+        ..Default::default()
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let sequential = trace.next_arrival_gaps();
+    // Force the bucketed partition/merge path (the automatic entry point
+    // would take the sequential fallback on a trace this small).
+    for n_buckets in [1usize, 2, 4, 16] {
+        assert_eq!(
+            ecolife::sim::next_arrival_gaps_bucketed(&trace, n_buckets),
+            sequential,
+            "bucketed gaps diverged at {n_buckets} buckets"
+        );
+    }
+    assert_eq!(ecolife::sim::next_arrival_gaps_parallel(&trace), sequential);
+    // And end to end: the oracle's run is deterministic across prepares.
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 120, 31);
+    let fleet = skus::fleet_a();
+    let run = || {
+        let mut oracle = BruteForce::oracle(fleet.clone(), ci.clone());
+        Simulation::new(&trace, &ci, fleet.clone()).run(&mut oracle)
+    };
+    assert_eq!(fingerprint(&run()), fingerprint(&run()));
+}
