@@ -1,23 +1,37 @@
-//! Sharded replay engine throughput: 1 vs N shards on a
-//! million-invocation synthetic trace.
+//! Sharded replay engine throughput: expiry timeline vs the scan
+//! reference, 1 vs N shards, on million- and ten-million-invocation
+//! synthetic traces.
 //!
 //! The simulator is the inner loop of everything above it (every planner
-//! fitness evaluation is a replay), so this bench tracks the one number
-//! the sharding tentpole exists for: wall-clock over a ≥10⁶-invocation
-//! workload, sequential vs `Simulation::run_sharded` at 8 shards — for
-//! the bare engine (fixed policy) and for the full EcoLife scheduler
-//! (per-function DPSO, the realistic hot path). Headline numbers land in
-//! `BENCH_sim.json` at the repo root, alongside the host's CPU budget:
-//! shards only buy wall-clock on real cores, so the recorded
-//! `host_cpus` is what any speedup claim must be read against (a 1-CPU
-//! container measures parity; the sharded path's work distribution and
-//! determinism are locked by the test suite either way).
+//! fitness evaluation is a replay), so this bench tracks the numbers the
+//! replay-core tentpoles exist for:
+//!
+//! * **expiry timeline** — engine wall-clock over the ≥10⁶-invocation
+//!   workload with the min-heap expiry timeline (the default) against
+//!   the original full-pool scan (`ExpiryMode::Scan`). The scan is
+//!   O(pool) per invocation, the timeline a heap-top peek, so this
+//!   speedup is *core-count independent* — the headline on a 1-CPU host;
+//! * **sharding** — sequential vs `Simulation::run_sharded` at 8 shards,
+//!   bare engine and full EcoLife. Shards only buy wall-clock on real
+//!   cores; the recorded `host_cpus` is what any speedup claim must be
+//!   read against (a 1-CPU container measures parity);
+//! * **10⁷ scale** — the bare engine over `SynthTraceConfig::
+//!   ten_million`, the first entry at that scale: period-batched shard
+//!   cursors and the chunk-preallocated trace loader are what make the
+//!   run build and finish without per-invocation allocation.
+//!
+//! Headline numbers land in `BENCH_sim.json` at the repo root.
+//!
+//! Smoke mode (`SIM_BENCH_SMOKE=1`, the CI `bench-smoke` job): a
+//! pressured tiny-trace run that *asserts* the timeline and the scan
+//! produce record-identical runs — sequentially and sharded — and
+//! prints timings, without the multi-minute full measurement.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ecolife_carbon::{CarbonIntensityTrace, Region};
 use ecolife_core::{EcoLife, EcoLifeConfig, FixedPolicy};
 use ecolife_hw::{skus, Fleet};
-use ecolife_sim::{ShardOptions, Simulation};
+use ecolife_sim::{ExpiryMode, ShardOptions, SimConfig, Simulation};
 use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
 use std::time::Instant;
 
@@ -41,15 +55,81 @@ fn wall_ms<F: FnOnce()>(f: F) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+fn scan_config() -> SimConfig {
+    SimConfig::default().with_expiry(ExpiryMode::Scan)
+}
+
+/// Pressured tiny-trace smoke: timeline ≡ scan asserted, sub-second.
+fn smoke() {
+    let trace = SynthTraceConfig {
+        n_functions: 24,
+        duration_min: 60,
+        ..SynthTraceConfig::small(7)
+    }
+    .generate(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 90, 7);
+    // Squeezed pools so expiry interleaves with overflow and transfers.
+    let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(4 * 1024);
+    let timeline_sim = Simulation::new(&trace, &ci, fleet.clone());
+    let scan_sim = Simulation::new(&trace, &ci, fleet.clone()).with_config(scan_config());
+
+    let mut timeline_metrics = None;
+    let timeline_ms = wall_ms(|| {
+        timeline_metrics = Some(timeline_sim.run(&mut FixedPolicy::pinned(fleet.newest(), 10)));
+    });
+    let mut scan_metrics = None;
+    let scan_ms = wall_ms(|| {
+        scan_metrics = Some(scan_sim.run(&mut FixedPolicy::pinned(fleet.newest(), 10)));
+    });
+    let (timeline, scan) = (timeline_metrics.unwrap(), scan_metrics.unwrap());
+    assert_eq!(
+        timeline.records, scan.records,
+        "smoke: expiry timeline changed a record"
+    );
+    assert_eq!(timeline.transfers, scan.transfers);
+    assert_eq!(timeline.expiry.expired, scan.expiry.expired);
+    assert!(
+        scan.expiry.expired > 0,
+        "smoke trace never expires anything"
+    );
+
+    // Sharded too: the period-batched path must agree mode for mode.
+    let sharded_timeline = timeline_sim.run_sharded(
+        |_| FixedPolicy::pinned(fleet.newest(), 10),
+        &ShardOptions::new(4),
+    );
+    let sharded_scan = scan_sim.run_sharded(
+        |_| FixedPolicy::pinned(fleet.newest(), 10),
+        &ShardOptions::new(4),
+    );
+    assert_eq!(
+        sharded_timeline.records, sharded_scan.records,
+        "smoke: sharded expiry timeline changed a record"
+    );
+    println!(
+        "smoke ok: {} invocations, {} expiries, timeline {timeline_ms:.0} ms vs scan \
+         {scan_ms:.0} ms, records bit-identical (sequential and 4-shard)",
+        trace.len(),
+        scan.expiry.expired,
+    );
+}
+
 fn write_json() {
     let (trace, ci, fleet) = million_setup();
     let sim = Simulation::new(&trace, &ci, fleet.clone());
+    let sim_scan = Simulation::new(&trace, &ci, fleet.clone()).with_config(scan_config());
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let threads = SHARDS.min(host_cpus);
 
-    // Bare engine (fixed 10-minute policy): replay overhead only.
+    // Bare engine (fixed 10-minute policy): replay overhead only. The
+    // scan number is the seed's expiry path, kept as the baseline the
+    // timeline speedup is quoted against.
+    let engine_scan_ms = wall_ms(|| {
+        let mut s = FixedPolicy::pinned(fleet.newest(), 10);
+        black_box(sim_scan.run(&mut s));
+    });
     let engine_seq_ms = wall_ms(|| {
         let mut s = FixedPolicy::pinned(fleet.newest(), 10);
         black_box(sim.run(&mut s));
@@ -72,20 +152,47 @@ fn write_json() {
         black_box(sim.run_sharded(|_| eco(), &ShardOptions::new(SHARDS).with_threads(threads)));
     });
 
+    // The 10⁷ row: bare engine over the ten_million preset — first
+    // build the trace through the preallocating loader, then replay.
+    let catalog = WorkloadCatalog::sebs();
+    let big_config = SynthTraceConfig::ten_million(41);
+    let mut big = None;
+    let ten_m_build_ms = wall_ms(|| big = Some(big_config.generate_scaled(&catalog)));
+    let big = big.unwrap();
+    assert!(big.len() >= 10_000_000, "only {} invocations", big.len());
+    let ci_big = CarbonIntensityTrace::synthetic(Region::Caiso, 1_560, 41);
+    let sim_big = Simulation::new(&big, &ci_big, fleet.clone());
+    let ten_m_seq_ms = wall_ms(|| {
+        let mut s = FixedPolicy::pinned(fleet.newest(), 10);
+        black_box(sim_big.run(&mut s));
+    });
+    let ten_m_sharded_ms = wall_ms(|| {
+        black_box(sim_big.run_sharded(
+            |_| FixedPolicy::pinned(fleet.newest(), 10),
+            &ShardOptions::new(SHARDS).with_threads(threads),
+        ));
+    });
+
     let json = format!(
-        "{{\n  \"bench\": \"sim_sharded\",\n  \"trace_invocations\": {},\n  \"trace_functions\": {},\n  \"fleet_nodes\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"engine_sequential_ms\": {:.0},\n  \"engine_sharded_ms\": {:.0},\n  \"engine_speedup\": {:.2},\n  \"ecolife_sequential_ms\": {:.0},\n  \"ecolife_sharded_ms\": {:.0},\n  \"ecolife_speedup\": {:.2},\n  \"note\": \"speedup = sequential/sharded wall-clock on this host; shards are perfectly partitioned, so expected speedup approaches min(shards, cores) — on a 1-CPU host this records parity by construction\"\n}}\n",
+        "{{\n  \"bench\": \"sim_sharded\",\n  \"trace_invocations\": {},\n  \"trace_functions\": {},\n  \"fleet_nodes\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"engine_sequential_scan_ms\": {:.0},\n  \"engine_sequential_ms\": {:.0},\n  \"expiry_timeline_speedup\": {:.2},\n  \"engine_sharded_ms\": {:.0},\n  \"engine_speedup\": {:.2},\n  \"ecolife_sequential_ms\": {:.0},\n  \"ecolife_sharded_ms\": {:.0},\n  \"ecolife_speedup\": {:.2},\n  \"ten_million_invocations\": {},\n  \"ten_million_build_ms\": {:.0},\n  \"engine_ten_million_sequential_ms\": {:.0},\n  \"engine_ten_million_sharded_ms\": {:.0},\n  \"note\": \"engine_sequential_scan_ms replays with ExpiryMode::Scan (the seed's O(pool) expiry sweep); engine_sequential_ms is the default min-heap expiry timeline — bit-identical runs (tests/expiry_timeline.rs), so expiry_timeline_speedup is pure mechanism and core-count independent. Shard speedups approach min(shards, cores) and record parity by construction on a 1-CPU host. The ten_million rows replay SynthTraceConfig::ten_million through the preallocating trace loader.\"\n}}\n",
         trace.len(),
         trace.catalog().len(),
         fleet.len(),
         SHARDS,
         threads,
         host_cpus,
+        engine_scan_ms,
         engine_seq_ms,
+        engine_scan_ms / engine_seq_ms.max(1.0),
         engine_sharded_ms,
         engine_seq_ms / engine_sharded_ms.max(1.0),
         eco_seq_ms,
         eco_sharded_ms,
         eco_seq_ms / eco_sharded_ms.max(1.0),
+        big.len(),
+        ten_m_build_ms,
+        ten_m_seq_ms,
+        ten_m_sharded_ms,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, &json).expect("write BENCH_sim.json");
@@ -93,6 +200,12 @@ fn write_json() {
 }
 
 fn bench(c: &mut Criterion) {
+    let smoke_flag = std::env::var("SIM_BENCH_SMOKE").unwrap_or_default();
+    if !smoke_flag.is_empty() && smoke_flag != "0" {
+        smoke();
+        return;
+    }
+
     write_json();
 
     // Timed loop on a ~100k-invocation slice of the same distribution so
@@ -107,11 +220,18 @@ fn bench(c: &mut Criterion) {
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
     let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(512 * 1024);
     let sim = Simulation::new(&trace, &ci, fleet.clone());
+    let sim_scan = Simulation::new(&trace, &ci, fleet.clone()).with_config(scan_config());
 
     c.bench_function("sim/engine_sequential_100k", |b| {
         b.iter(|| {
             let mut s = FixedPolicy::pinned(fleet.newest(), 10);
             black_box(sim.run(&mut s))
+        })
+    });
+    c.bench_function("sim/engine_sequential_scan_100k", |b| {
+        b.iter(|| {
+            let mut s = FixedPolicy::pinned(fleet.newest(), 10);
+            black_box(sim_scan.run(&mut s))
         })
     });
     c.bench_function("sim/engine_sharded8_100k", |b| {

@@ -67,6 +67,11 @@ pub struct PlannerConfig {
     /// The inner keep-alive scheduler evaluated on every candidate
     /// fleet (its `seed` field is overridden per candidate).
     pub scheduler: EcoLifeConfig,
+    /// Engine knobs for the inner replay of every candidate — the
+    /// default keeps the expiry-timeline fast path
+    /// ([`ecolife_sim::ExpiryMode::Timeline`]); scores are bit-identical
+    /// under the reference scan, only slower.
+    pub sim: ecolife_sim::SimConfig,
 }
 
 impl Default for PlannerConfig {
@@ -79,6 +84,7 @@ impl Default for PlannerConfig {
             parallel: true,
             sim_shards: 1,
             scheduler: EcoLifeConfig::default(),
+            sim: ecolife_sim::SimConfig::default(),
         }
     }
 }
@@ -238,36 +244,45 @@ impl<'a> PlanEvaluator<'a> {
             seed: self.config.seed ^ plan.genome_key(),
             ..self.config.scheduler.clone()
         };
-        // Bundle coverage was validated at evaluator construction, so
-        // the regional paths cannot fail per candidate.
+        // Build the simulation directly (not through the `evaluate*`
+        // helpers) so the planner's engine knobs — expiry timeline,
+        // setup delay, carbon model — reach every inner replay. Bundle
+        // coverage was validated at evaluator construction, so the
+        // regional paths cannot fail per candidate.
         let metrics = match (&self.ci, self.config.sim_shards > 1) {
             // Million-invocation workloads: fan the replay itself out
             // over function-hash shards (one EcoLife per shard — its
             // state is per-function, so the shard split is exact; see
             // the determinism suite).
-            (CiSource::Shared(ci), true) => ecolife_sim::evaluate_sharded(
-                self.trace,
-                ci,
-                fleet.clone(),
-                |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
-                &ecolife_sim::ShardOptions::new(self.config.sim_shards),
-            ),
+            (CiSource::Shared(ci), true) => {
+                ecolife_sim::Simulation::new(self.trace, ci, fleet.clone())
+                    .with_config(self.config.sim)
+                    .run_sharded(
+                        |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
+                        &ecolife_sim::ShardOptions::new(self.config.sim_shards),
+                    )
+            }
             (CiSource::Shared(ci), false) => {
                 let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
-                ecolife_sim::evaluate(self.trace, ci, fleet, &mut scheduler)
+                ecolife_sim::Simulation::new(self.trace, ci, fleet)
+                    .with_config(self.config.sim)
+                    .run(&mut scheduler)
             }
-            (CiSource::Bundle(bundle), true) => ecolife_sim::evaluate_sharded_regional(
-                self.trace,
-                bundle,
-                fleet.clone(),
-                |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
-                &ecolife_sim::ShardOptions::new(self.config.sim_shards),
-            )
-            .expect("bundle validated at construction"),
+            (CiSource::Bundle(bundle), true) => {
+                ecolife_sim::Simulation::try_new_regional(self.trace, bundle, fleet.clone())
+                    .expect("bundle validated at construction")
+                    .with_config(self.config.sim)
+                    .run_sharded(
+                        |_| EcoLife::new(fleet.clone(), scheduler_config.clone()),
+                        &ecolife_sim::ShardOptions::new(self.config.sim_shards),
+                    )
+            }
             (CiSource::Bundle(bundle), false) => {
                 let mut scheduler = EcoLife::new(fleet.clone(), scheduler_config);
-                ecolife_sim::evaluate_regional(self.trace, bundle, fleet, &mut scheduler)
+                ecolife_sim::Simulation::try_new_regional(self.trace, bundle, fleet)
                     .expect("bundle validated at construction")
+                    .with_config(self.config.sim)
+                    .run(&mut scheduler)
             }
         };
         self.simulations.fetch_add(1, Ordering::Relaxed);
@@ -495,6 +510,42 @@ mod tests {
         );
         assert_eq!(sequential.score(&plan), sharded.score(&plan));
         assert_eq!(sharded.simulations(), 1);
+    }
+
+    #[test]
+    fn expiry_timeline_scores_identically_to_the_reference_scan() {
+        // The planner's inner loop rides the timeline fast path; a plan's
+        // score — a pure function of the replay records — must match the
+        // scan reference to the last bit, sequential and sharded.
+        let (trace, ci) = setup();
+        let plan = FleetPlan {
+            counts: vec![1, 1],
+            mem_budget_mib: 4_096,
+        };
+        for shards in [1usize, 2] {
+            let with_expiry = |mode| PlannerConfig {
+                sim: ecolife_sim::SimConfig::default().with_expiry(mode),
+                sim_shards: shards,
+                ..quick_config()
+            };
+            let timeline = PlanEvaluator::new(
+                space(),
+                &trace,
+                &ci,
+                with_expiry(ecolife_sim::ExpiryMode::Timeline),
+            );
+            let scan = PlanEvaluator::new(
+                space(),
+                &trace,
+                &ci,
+                with_expiry(ecolife_sim::ExpiryMode::Scan),
+            );
+            assert_eq!(
+                timeline.score(&plan),
+                scan.score(&plan),
+                "expiry modes diverged at {shards} inner shards"
+            );
+        }
     }
 
     #[test]

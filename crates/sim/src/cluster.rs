@@ -1,6 +1,6 @@
 //! Cluster state: an N-node fleet plus one warm pool per node.
 
-use crate::pool::WarmPool;
+use crate::pool::{ExpiryMode, WarmPool};
 use ecolife_hw::{Fleet, HardwareNode, NodeId};
 use ecolife_trace::FunctionId;
 
@@ -25,12 +25,18 @@ pub struct Cluster {
 
 impl Cluster {
     /// Build a cluster; pool budgets come from each node's
-    /// `keepalive_mem_mib`.
+    /// `keepalive_mem_mib`. Pools run the default expiry timeline.
     pub fn new(fleet: impl Into<Fleet>) -> Self {
+        Self::with_expiry(fleet, ExpiryMode::default())
+    }
+
+    /// Build a cluster whose pools use an explicit expiry implementation
+    /// (the engine threads [`SimConfig::expiry`](crate::SimConfig) here).
+    pub fn with_expiry(fleet: impl Into<Fleet>, mode: ExpiryMode) -> Self {
         let fleet = fleet.into();
         let pools = fleet
             .iter()
-            .map(|n| WarmPool::new(n.keepalive_mem_mib))
+            .map(|n| WarmPool::with_mode(n.keepalive_mem_mib, mode))
             .collect();
         let warm_order = fleet.warm_preference();
         Cluster {

@@ -28,6 +28,7 @@ use crate::cluster::Cluster;
 use crate::container::WarmContainer;
 use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::parallel::{default_threads, WorkerPool};
+use crate::pool::ExpiryMode;
 use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
 use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
 use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider};
@@ -43,6 +44,12 @@ pub struct SimConfig {
     pub setup_delay_ms: u64,
     /// The carbon model (embodied scaling etc.).
     pub carbon_model: CarbonModel,
+    /// How warm pools find lapsed containers: the expiry timeline
+    /// (default — a min-heap peek instead of a per-invocation pool
+    /// scan) or the original scan, kept as the bit-identity reference
+    /// ([`ExpiryMode::Scan`]). Records are identical either way; only
+    /// wall-clock differs.
+    pub expiry: ExpiryMode,
 }
 
 impl Default for SimConfig {
@@ -50,7 +57,16 @@ impl Default for SimConfig {
         SimConfig {
             setup_delay_ms: 50,
             carbon_model: CarbonModel::default(),
+            expiry: ExpiryMode::default(),
         }
+    }
+}
+
+impl SimConfig {
+    /// This config with an explicit expiry implementation.
+    pub fn with_expiry(mut self, expiry: ExpiryMode) -> Self {
+        self.expiry = expiry;
+        self
     }
 }
 
@@ -129,15 +145,11 @@ struct ShardState<S> {
     jobs: Vec<usize>,
     /// Next unprocessed entry of `jobs`.
     cursor: usize,
-}
-
-impl<S> ShardState<S> {
-    fn used_mib_by_node(&self, node_ids: &[NodeId]) -> Vec<u64> {
-        node_ids
-            .iter()
-            .map(|&id| self.cluster.pool(id).used_mib())
-            .collect()
-    }
+    /// Period span cursors: `jobs[..ends[k]]` is exactly the prefix due
+    /// by the end of active period `k` (jobs are time-ordered because
+    /// the trace is), precomputed once so the replay loop runs each
+    /// period's span without a per-invocation time comparison.
+    ends: Vec<usize>,
 }
 
 /// A configured simulation, ready to run against any scheduler.
@@ -233,7 +245,7 @@ impl<'a> Simulation<'a> {
     /// shards and is record-for-record identical whenever shards never
     /// contend for a node's memory.
     pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunMetrics {
-        let mut cluster = Cluster::new(self.fleet.clone());
+        let mut cluster = Cluster::with_expiry(self.fleet.clone(), self.config.expiry);
         let mut metrics = RunMetrics {
             keepalive_g_by_node: vec![0.0; self.fleet.len()],
             ..RunMetrics::default()
@@ -298,7 +310,7 @@ impl<'a> Simulation<'a> {
                 scheduler.prepare(self.trace);
                 ShardState {
                     shard_id: s,
-                    cluster: Cluster::new(self.fleet.clone()),
+                    cluster: Cluster::with_expiry(self.fleet.clone(), self.config.expiry),
                     metrics: RunMetrics {
                         keepalive_g_by_node: vec![0.0; n_nodes],
                         ..RunMetrics::default()
@@ -306,6 +318,7 @@ impl<'a> Simulation<'a> {
                     scheduler,
                     jobs: Vec::new(),
                     cursor: 0,
+                    ends: Vec::new(),
                 }
             })
             .collect();
@@ -324,6 +337,24 @@ impl<'a> Simulation<'a> {
             .collect();
         periods.dedup();
 
+        // Batch each shard's per-period decision spans up front: one
+        // O(jobs + periods) pass per shard replaces the per-invocation
+        // `t_ms >= t_end` comparison the replay loop used to make.
+        for state in &mut states {
+            let mut j = 0usize;
+            state.ends = Vec::with_capacity(periods.len());
+            for &period in &periods {
+                let t_end = period
+                    .saturating_mul(opts.period_ms)
+                    .saturating_add(opts.period_ms);
+                while j < state.jobs.len() && self.trace.invocations()[state.jobs[j]].t_ms < t_end {
+                    j += 1;
+                }
+                state.ends.push(j);
+            }
+            debug_assert_eq!(state.ends.last().copied().unwrap_or(0), state.jobs.len());
+        }
+
         let workers = opts.threads.unwrap_or_else(default_threads).max(1);
         let ledger = MemoryLedger::new(n_shards, n_nodes);
         let mut ledger_peak_mib = vec![0u64; n_nodes];
@@ -334,35 +365,44 @@ impl<'a> Simulation<'a> {
         // spawn/join cycles on an hours-long trace).
         let mut pool = WorkerPool::new(workers.min(n_shards));
 
-        for &period in &periods {
+        for (k, &period) in periods.iter().enumerate() {
             let t_start = period.saturating_mul(opts.period_ms);
-            let t_end = t_start.saturating_add(opts.period_ms);
 
             // Barrier phase (coordinator, deterministic shard/node
-            // order): reconcile, then publish every shard's
-            // post-reconciliation usage into the ledger's atomic cells.
+            // order): reconcile, then bring the ledger's atomic cells up
+            // to date by applying each pool's accumulated occupancy
+            // delta — the flat per-period buffer every shard's
+            // admissions/expiries/reconcile moves funded — in one pass,
+            // instead of re-snapshotting every pool.
             self.reconcile(t_start, &node_ids, &mut states, &mut ledger_peak_mib);
-            for (s, state) in states.iter().enumerate() {
-                ledger.publish(s, &state.used_mib_by_node(&node_ids));
+            for (s, state) in states.iter_mut().enumerate() {
+                for &id in &node_ids {
+                    let delta = state.cluster.pool_mut(id).take_period_delta_mib();
+                    ledger.adjust(s, id, delta);
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        ledger.cell_mib(s, id),
+                        state.cluster.pool(id).used_mib(),
+                        "delta-maintained ledger cell diverged from pool occupancy"
+                    );
+                }
             }
 
             // Parallel phase: each worker first pulls its shard's
             // cross-shard pressure snapshot from the ledger (concurrent
             // reads of values fixed before the batch — deterministic),
-            // then replays its slice of the period against its own
-            // pools. Which worker runs which shard never affects the
-            // outcome.
+            // then replays its precomputed span of the period against
+            // its own pools. Which worker runs which shard never affects
+            // the outcome.
             states = pool.run_map(states, |mut state| {
                 for &id in &node_ids {
                     let pressure = ledger.external_mib(state.shard_id, id);
                     state.cluster.pool_mut(id).set_external_used_mib(pressure);
                 }
-                while state.cursor < state.jobs.len() {
+                let stop = state.ends[k];
+                while state.cursor < stop {
                     let index = state.jobs[state.cursor];
                     let inv = self.trace.invocations()[index];
-                    if inv.t_ms >= t_end {
-                        break;
-                    }
                     let ShardState {
                         cluster,
                         metrics,
@@ -536,13 +576,15 @@ impl<'a> Simulation<'a> {
     }
 
     /// End-of-run settlement: drain every pool, charging each live
-    /// keep-alive in full (at its expiry).
+    /// keep-alive in full (at its expiry), and fold the pools'
+    /// expiry-machinery counters into the run metrics.
     fn drain(&self, node_ids: &[NodeId], cluster: &mut Cluster, metrics: &mut RunMetrics) {
         for &id in node_ids {
             let remaining = cluster.pool_mut(id).drain_all();
             for c in remaining {
                 self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
             }
+            metrics.expiry.absorb(cluster.pool(id).expiry_stats());
         }
     }
 

@@ -5,7 +5,10 @@
 //! [`Scheduler`] (the paper's two-generation pair is the `N = 2` case):
 //!
 //! * **warm pools** ([`pool`]) — one per fleet node, memory-bounded,
-//!   holding the containers kept alive between invocations;
+//!   holding the containers kept alive between invocations; expiry runs
+//!   off a min-heap timeline with lazy invalidation (a heap-top peek per
+//!   invocation instead of a pool scan; [`ExpiryMode::Scan`] keeps the
+//!   original scan as the bit-identity reference);
 //! * **engine** ([`engine`]) — advances invocation by invocation,
 //!   expiring containers, classifying warm/cold starts, computing service
 //!   time via the node performance model and carbon via the Sec. II
@@ -55,10 +58,10 @@ pub use engine::{
 };
 pub use metrics::{InvocationRecord, RunMetrics};
 pub use parallel::{
-    next_arrival_gaps_bucketed, next_arrival_gaps_parallel, parallel_map, parallel_map_threads,
-    WorkerPool,
+    next_arrival_gaps_bucketed, next_arrival_gaps_parallel, next_arrival_gaps_strategy,
+    parallel_map, parallel_map_threads, GapsStrategy, WorkerPool,
 };
-pub use pool::WarmPool;
+pub use pool::{ExpiryMode, ExpiryStats, WarmPool};
 pub use scheduler::{
     AdjustPlan, Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler,
 };

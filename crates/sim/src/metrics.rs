@@ -5,6 +5,7 @@
 //! operational), per-invocation CDFs (Fig. 8), P95 latency, warm-start
 //! rates, and eviction counts (Fig. 11).
 
+use crate::pool::ExpiryStats;
 use ecolife_carbon::CarbonFootprint;
 use ecolife_hw::{Fleet, NodeId, Region};
 use ecolife_trace::FunctionId;
@@ -69,6 +70,11 @@ pub struct RunMetrics {
     /// keepalive_mem_mib[n]`; empty for sequential runs (whose pools
     /// enforce capacity on every insert).
     pub ledger_peak_mib: Vec<u64>,
+    /// Expiry-machinery counters summed over every pool the run touched
+    /// (`expired` is mode-independent; `timeline_pops`/`stale_pops`
+    /// measure the timeline's lazy-invalidation overhead, `scanned` the
+    /// reference scan's work — see [`ExpiryStats`]).
+    pub expiry: ExpiryStats,
 }
 
 impl RunMetrics {

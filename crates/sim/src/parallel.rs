@@ -303,14 +303,49 @@ fn worker_loop(shared: &PoolShared) {
 /// slice of `BruteForce::prepare`. Small traces (and single-core hosts)
 /// take the sequential path directly.
 pub fn next_arrival_gaps_parallel(trace: &ecolife_trace::Trace) -> Vec<Option<u64>> {
+    match next_arrival_gaps_strategy(trace) {
+        GapsStrategy::Sequential => trace.next_arrival_gaps(),
+        GapsStrategy::Bucketed { n_buckets } => next_arrival_gaps_bucketed(trace, n_buckets),
+    }
+}
+
+/// Which path [`next_arrival_gaps_parallel`] takes for `trace` on this
+/// host. Exposed so benchmarks can *report* the path they actually
+/// measured: on a single-core host the bucketed partition/merge is pure
+/// overhead (≈3× slower than the scan at 10⁶ invocations), and a bench
+/// that silently forces it publishes a number no caller would ever see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapsStrategy {
+    /// The plain sequential reverse scan — chosen when only one worker
+    /// thread is available or the trace is too small for the fan-out to
+    /// pay for its partition pass.
+    Sequential,
+    /// Partition by splitmix-hashed function id into `n_buckets`, scan
+    /// in parallel, scatter-merge.
+    Bucketed { n_buckets: usize },
+}
+
+impl GapsStrategy {
+    /// Short label for benchmark JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GapsStrategy::Sequential => "sequential",
+            GapsStrategy::Bucketed { .. } => "bucketed",
+        }
+    }
+}
+
+/// The strategy decision behind [`next_arrival_gaps_parallel`].
+pub fn next_arrival_gaps_strategy(trace: &ecolife_trace::Trace) -> GapsStrategy {
     let threads = default_threads();
     if threads == 1 || trace.len() < 1 << 16 {
-        return trace.next_arrival_gaps();
+        return GapsStrategy::Sequential;
     }
     // One bucket per worker: the splitmix spread below gives buckets
     // near-uniform function mass, so oversubscribing buys nothing.
-    let n_buckets = threads.min(trace.catalog().len().max(1));
-    next_arrival_gaps_bucketed(trace, n_buckets)
+    GapsStrategy::Bucketed {
+        n_buckets: threads.min(trace.catalog().len().max(1)),
+    }
 }
 
 /// The bucketed fan-out behind [`next_arrival_gaps_parallel`], with an
@@ -323,6 +358,12 @@ pub fn next_arrival_gaps_bucketed(
     trace: &ecolife_trace::Trace,
     n_buckets: usize,
 ) -> Vec<Option<u64>> {
+    if n_buckets <= 1 {
+        // One bucket is the sequential scan with a partition pass and a
+        // scatter-merge bolted on; skip straight to the scan (the result
+        // is bit-identical either way).
+        return trace.next_arrival_gaps();
+    }
     let invocations = trace.invocations();
     let n_functions = trace.catalog().len();
 

@@ -1,9 +1,61 @@
 //! A memory-bounded warm pool: the set of containers kept alive on one
 //! generation's node.
+//!
+//! Expiry — the most frequent event in a replay (every invocation lapses
+//! every node's overdue containers before anything else happens) — runs
+//! off a per-pool **expiry timeline**: a min-heap of `(expiry_ms,
+//! FunctionId)` entries with *lazy invalidation*. Inserts push an entry;
+//! removals (warm reuse, keep-alive replacement, transfer, revocation)
+//! leave their entry behind as a tombstone that is recognized and
+//! skipped when popped (the resident container's `expiry_ms` no longer
+//! matches). [`WarmPool::expire_until`] is therefore O(1) when nothing
+//! is due — a heap-top peek — instead of a scan of every resident
+//! container, and pops only actually-lapsed containers otherwise. The
+//! scan implementation survives behind [`ExpiryMode::Scan`] as the
+//! bit-identity reference the property suite replays against.
 
 use crate::container::WarmContainer;
 use ecolife_trace::FunctionId;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How a pool finds its lapsed containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpiryMode {
+    /// The expiry-timeline fast path (min-heap + lazy invalidation):
+    /// `expire_until` peeks the heap top and pops only due entries.
+    #[default]
+    Timeline,
+    /// The original full-pool scan — O(residents) per call. Kept as the
+    /// reference implementation: the timeline must reproduce its
+    /// records bit-for-bit (tests/expiry_timeline.rs, CI smoke bench).
+    Scan,
+}
+
+/// Expiry-machinery observability counters (surfaced per run through
+/// [`RunMetrics`](crate::RunMetrics)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpiryStats {
+    /// Containers actually reclaimed by expiry (identical across modes).
+    pub expired: u64,
+    /// Timeline entries popped (valid + stale); `Timeline` mode only.
+    pub timeline_pops: u64,
+    /// Popped entries that were tombstones of removed/replaced
+    /// containers (the lazy-invalidation overhead); `Timeline` only.
+    pub stale_pops: u64,
+    /// Residents examined by the reference scan; `Scan` mode only.
+    pub scanned: u64,
+}
+
+impl ExpiryStats {
+    /// Accumulate another pool's counters into this one.
+    pub fn absorb(&mut self, other: ExpiryStats) {
+        self.expired += other.expired;
+        self.timeline_pops += other.timeline_pops;
+        self.stale_pops += other.stale_pops;
+        self.scanned += other.scanned;
+    }
+}
 
 /// Warm pool with a hard memory budget. At most one container per
 /// function per pool (re-keep-alive replaces the entry).
@@ -22,15 +74,37 @@ pub struct WarmPool {
     /// refreshed from the memory ledger at each reconciliation.
     external_used_mib: u64,
     containers: HashMap<FunctionId, WarmContainer>,
+    /// The expiry timeline: min-heap of `(expiry_ms, func)`. Entries are
+    /// pushed on insert and lazily invalidated (skipped on pop) when the
+    /// resident container for `func` is gone or carries a different
+    /// expiry. Unused (empty) in [`ExpiryMode::Scan`].
+    timeline: BinaryHeap<Reverse<(u64, FunctionId)>>,
+    mode: ExpiryMode,
+    stats: ExpiryStats,
+    /// Net occupancy change (MiB) since the last
+    /// [`WarmPool::take_period_delta_mib`] — the sharded engine's
+    /// per-period admissions buffer, applied to the memory ledger in one
+    /// pass at reconciliation instead of re-snapshotting every pool.
+    period_delta_mib: i64,
 }
 
 impl WarmPool {
     pub fn new(capacity_mib: u64) -> Self {
+        Self::with_mode(capacity_mib, ExpiryMode::Timeline)
+    }
+
+    /// A pool with an explicit expiry implementation (the engine threads
+    /// [`SimConfig::expiry`](crate::SimConfig) through here).
+    pub fn with_mode(capacity_mib: u64, mode: ExpiryMode) -> Self {
         WarmPool {
             capacity_mib,
             used_mib: 0,
             external_used_mib: 0,
             containers: HashMap::new(),
+            timeline: BinaryHeap::new(),
+            mode,
+            stats: ExpiryStats::default(),
+            period_delta_mib: 0,
         }
     }
 
@@ -44,6 +118,18 @@ impl WarmPool {
         self.used_mib
     }
 
+    /// The expiry implementation this pool runs.
+    #[inline]
+    pub fn mode(&self) -> ExpiryMode {
+        self.mode
+    }
+
+    /// Expiry-machinery counters accumulated so far.
+    #[inline]
+    pub fn expiry_stats(&self) -> ExpiryStats {
+        self.stats
+    }
+
     /// Other shards' bytes currently charged against this node's budget.
     #[inline]
     pub fn external_used_mib(&self) -> u64 {
@@ -55,6 +141,16 @@ impl WarmPool {
     #[inline]
     pub fn set_external_used_mib(&mut self, mib: u64) {
         self.external_used_mib = mib;
+    }
+
+    /// Net occupancy change (MiB, signed) since the last call — and
+    /// reset. The sharded engine drains this per period and applies it
+    /// to the cross-shard memory ledger in one pass; every mutation path
+    /// (insert, remove, expiry, drain) funds it, so
+    /// `previous_published + delta == used_mib` always holds.
+    #[inline]
+    pub fn take_period_delta_mib(&mut self) -> i64 {
+        std::mem::take(&mut self.period_delta_mib)
     }
 
     #[inline]
@@ -98,19 +194,29 @@ impl WarmPool {
         if !self.fits(&container) {
             return Err(container);
         }
+        if self.mode == ExpiryMode::Timeline {
+            self.timeline
+                .push(Reverse((container.expiry_ms, container.func)));
+        }
         let old = self.containers.insert(container.func, container);
         if let Some(ref o) = old {
+            // The replaced entry's timeline node becomes a tombstone
+            // (its expiry no longer matches the resident container).
             self.used_mib -= o.memory_mib;
+            self.period_delta_mib -= o.memory_mib as i64;
         }
         self.used_mib += container.memory_mib;
+        self.period_delta_mib += container.memory_mib as i64;
         Ok(old)
     }
 
-    /// Remove and return the container for `func`.
+    /// Remove and return the container for `func`. Its timeline entry is
+    /// left behind as a tombstone, recognized when popped.
     pub fn remove(&mut self, func: FunctionId) -> Option<WarmContainer> {
         let c = self.containers.remove(&func);
         if let Some(ref c) = c {
             self.used_mib -= c.memory_mib;
+            self.period_delta_mib -= c.memory_mib as i64;
         }
         c
     }
@@ -126,22 +232,64 @@ impl WarmPool {
     /// gram totals, and HashMap iteration order varies per instance —
     /// sorting here is what makes those sums bit-reproducible run to
     /// run (the determinism suite compares them exactly).
+    ///
+    /// Timeline mode answers the overwhelmingly common nothing-is-due
+    /// case with one heap-top peek; the scan reference walks every
+    /// resident. Both return the identical container sequence.
     pub fn expire_until(&mut self, t_ms: u64) -> Vec<WarmContainer> {
-        let mut expired: Vec<FunctionId> = self
-            .containers
-            .values()
-            .filter(|c| c.expiry_ms <= t_ms)
-            .map(|c| c.func)
-            .collect();
-        expired.sort_unstable();
-        expired.into_iter().filter_map(|f| self.remove(f)).collect()
+        match self.mode {
+            ExpiryMode::Timeline => {
+                // Fast path: nothing due (or nothing resident at all).
+                match self.timeline.peek() {
+                    Some(&Reverse((expiry, _))) if expiry <= t_ms => {}
+                    _ => return Vec::new(),
+                }
+                let mut dead: Vec<WarmContainer> = Vec::new();
+                while let Some(&Reverse((expiry, func))) = self.timeline.peek() {
+                    if expiry > t_ms {
+                        break;
+                    }
+                    self.timeline.pop();
+                    self.stats.timeline_pops += 1;
+                    // Valid only if the resident container still carries
+                    // this exact expiry; anything else is a tombstone of
+                    // a reused/replaced/transferred/revoked container.
+                    match self.containers.get(&func) {
+                        Some(c) if c.expiry_ms == expiry => {
+                            let c = self.remove(func).expect("resident container");
+                            dead.push(c);
+                        }
+                        _ => self.stats.stale_pops += 1,
+                    }
+                }
+                // The heap yields (expiry, func) order; the engine pins
+                // FunctionId order (see above).
+                dead.sort_unstable_by_key(|c| c.func);
+                self.stats.expired += dead.len() as u64;
+                dead
+            }
+            ExpiryMode::Scan => {
+                self.stats.scanned += self.containers.len() as u64;
+                let mut expired: Vec<FunctionId> = self
+                    .containers
+                    .values()
+                    .filter(|c| c.expiry_ms <= t_ms)
+                    .map(|c| c.func)
+                    .collect();
+                expired.sort_unstable();
+                self.stats.expired += expired.len() as u64;
+                expired.into_iter().filter_map(|f| self.remove(f)).collect()
+            }
+        }
     }
 
     /// Drain every container (end-of-run settlement), in `FunctionId`
     /// order for the same bit-reproducibility reason as
     /// [`WarmPool::expire_until`].
     pub fn drain_all(&mut self) -> Vec<WarmContainer> {
+        self.period_delta_mib -= self.used_mib as i64;
         self.used_mib = 0;
+        self.timeline.clear();
         let mut drained: Vec<WarmContainer> = self.containers.drain().map(|(_, c)| c).collect();
         drained.sort_unstable_by_key(|c| c.func);
         drained
@@ -167,110 +315,234 @@ mod tests {
         }
     }
 
+    /// Run a test body against both expiry implementations.
+    fn both_modes(test: impl Fn(fn(u64) -> WarmPool)) {
+        test(|cap| WarmPool::with_mode(cap, ExpiryMode::Timeline));
+        test(|cap| WarmPool::with_mode(cap, ExpiryMode::Scan));
+    }
+
     #[test]
     fn insert_tracks_memory() {
-        let mut p = WarmPool::new(1_000);
-        p.insert(c(0, 400, 0, 100)).unwrap();
-        p.insert(c(1, 500, 0, 100)).unwrap();
-        assert_eq!(p.used_mib(), 900);
-        assert_eq!(p.free_mib(), 100);
-        assert_eq!(p.len(), 2);
+        both_modes(|pool| {
+            let mut p = pool(1_000);
+            p.insert(c(0, 400, 0, 100)).unwrap();
+            p.insert(c(1, 500, 0, 100)).unwrap();
+            assert_eq!(p.used_mib(), 900);
+            assert_eq!(p.free_mib(), 100);
+            assert_eq!(p.len(), 2);
+        });
     }
 
     #[test]
     fn insert_rejects_over_capacity_without_mutation() {
-        let mut p = WarmPool::new(1_000);
-        p.insert(c(0, 800, 0, 100)).unwrap();
-        let rejected = p.insert(c(1, 300, 0, 100));
-        assert!(rejected.is_err());
-        assert_eq!(p.used_mib(), 800);
-        assert_eq!(p.len(), 1);
+        both_modes(|pool| {
+            let mut p = pool(1_000);
+            p.insert(c(0, 800, 0, 100)).unwrap();
+            let rejected = p.insert(c(1, 300, 0, 100));
+            assert!(rejected.is_err());
+            assert_eq!(p.used_mib(), 800);
+            assert_eq!(p.len(), 1);
+        });
     }
 
     #[test]
     fn replacing_same_function_reclaims_memory() {
-        let mut p = WarmPool::new(1_000);
-        p.insert(c(0, 800, 0, 100)).unwrap();
-        // Same function, smaller footprint: must fit via reclaim.
-        let old = p.insert(c(0, 600, 10, 200)).unwrap();
-        assert_eq!(old.unwrap().memory_mib, 800);
-        assert_eq!(p.used_mib(), 600);
-        assert_eq!(p.len(), 1);
-        assert_eq!(p.get(FunctionId(0)).unwrap().expiry_ms, 200);
+        both_modes(|pool| {
+            let mut p = pool(1_000);
+            p.insert(c(0, 800, 0, 100)).unwrap();
+            // Same function, smaller footprint: must fit via reclaim.
+            let old = p.insert(c(0, 600, 10, 200)).unwrap();
+            assert_eq!(old.unwrap().memory_mib, 800);
+            assert_eq!(p.used_mib(), 600);
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.get(FunctionId(0)).unwrap().expiry_ms, 200);
+        });
     }
 
     #[test]
     fn fits_accounts_for_replacement() {
-        let mut p = WarmPool::new(1_000);
-        p.insert(c(0, 900, 0, 100)).unwrap();
-        assert!(p.fits(&c(0, 1_000, 0, 100)));
-        assert!(!p.fits(&c(1, 200, 0, 100)));
+        both_modes(|pool| {
+            let mut p = pool(1_000);
+            p.insert(c(0, 900, 0, 100)).unwrap();
+            assert!(p.fits(&c(0, 1_000, 0, 100)));
+            assert!(!p.fits(&c(1, 200, 0, 100)));
+        });
     }
 
     #[test]
     fn expire_until_removes_only_lapsed() {
-        let mut p = WarmPool::new(10_000);
-        p.insert(c(0, 100, 0, 50)).unwrap();
-        p.insert(c(1, 100, 0, 150)).unwrap();
-        p.insert(c(2, 100, 0, 100)).unwrap();
-        let mut dead = p.expire_until(100);
-        dead.sort_by_key(|c| c.func);
-        assert_eq!(dead.len(), 2);
-        assert_eq!(dead[0].func, FunctionId(0));
-        assert_eq!(dead[1].func, FunctionId(2));
-        assert_eq!(p.len(), 1);
-        assert_eq!(p.used_mib(), 100);
+        both_modes(|pool| {
+            let mut p = pool(10_000);
+            p.insert(c(0, 100, 0, 50)).unwrap();
+            p.insert(c(1, 100, 0, 150)).unwrap();
+            p.insert(c(2, 100, 0, 100)).unwrap();
+            let dead = p.expire_until(100);
+            // Returned in FunctionId order by contract (no re-sort here).
+            assert_eq!(dead.len(), 2);
+            assert_eq!(dead[0].func, FunctionId(0));
+            assert_eq!(dead[1].func, FunctionId(2));
+            assert_eq!(p.len(), 1);
+            assert_eq!(p.used_mib(), 100);
+            assert_eq!(p.expiry_stats().expired, 2);
+        });
+    }
+
+    #[test]
+    fn expire_order_is_function_id_not_expiry_time() {
+        // f5 expires before f2, but a single expire_until call must
+        // return FunctionId order — the settle order the sequential
+        // engine pinned long before the timeline existed.
+        both_modes(|pool| {
+            let mut p = pool(10_000);
+            p.insert(c(5, 100, 0, 10)).unwrap();
+            p.insert(c(2, 100, 0, 20)).unwrap();
+            let dead = p.expire_until(30);
+            assert_eq!(dead[0].func, FunctionId(2));
+            assert_eq!(dead[1].func, FunctionId(5));
+        });
     }
 
     #[test]
     fn remove_missing_is_none() {
-        let mut p = WarmPool::new(100);
-        assert!(p.remove(FunctionId(9)).is_none());
+        both_modes(|pool| {
+            let mut p = pool(100);
+            assert!(p.remove(FunctionId(9)).is_none());
+        });
     }
 
     #[test]
     fn drain_all_resets() {
-        let mut p = WarmPool::new(1_000);
-        p.insert(c(0, 100, 0, 50)).unwrap();
-        p.insert(c(1, 100, 0, 50)).unwrap();
-        let drained = p.drain_all();
-        assert_eq!(drained.len(), 2);
-        assert!(p.is_empty());
-        assert_eq!(p.used_mib(), 0);
+        both_modes(|pool| {
+            let mut p = pool(1_000);
+            p.insert(c(0, 100, 0, 50)).unwrap();
+            p.insert(c(1, 100, 0, 50)).unwrap();
+            let drained = p.drain_all();
+            assert_eq!(drained.len(), 2);
+            assert!(p.is_empty());
+            assert_eq!(p.used_mib(), 0);
+            // A drained pool's timeline holds no live entries: nothing
+            // can "expire" afterwards.
+            assert!(p.expire_until(u64::MAX).is_empty());
+        });
     }
 
     #[test]
     fn external_pressure_counts_toward_admission() {
-        let mut p = WarmPool::new(1_000);
-        p.insert(c(0, 400, 0, 100)).unwrap();
-        assert_eq!(p.free_mib(), 600);
-        p.set_external_used_mib(500);
-        assert_eq!(p.free_mib(), 100);
-        // 200 MiB no longer fits (400 own + 500 external + 200 > 1000)…
-        assert!(p.insert(c(1, 200, 0, 100)).is_err());
-        // …but replacing the resident 400-MiB entry still reclaims it.
-        assert!(p.fits(&c(0, 500, 10, 200)));
-        // Releasing the pressure restores admission; own usage was never
-        // confused with the external share.
-        p.set_external_used_mib(0);
-        assert_eq!(p.used_mib(), 400);
-        p.insert(c(1, 200, 0, 100)).unwrap();
-        assert_eq!(p.used_mib(), 600);
+        both_modes(|pool| {
+            let mut p = pool(1_000);
+            p.insert(c(0, 400, 0, 100)).unwrap();
+            assert_eq!(p.free_mib(), 600);
+            p.set_external_used_mib(500);
+            assert_eq!(p.free_mib(), 100);
+            // 200 MiB no longer fits (400 own + 500 external + 200 > 1000)…
+            assert!(p.insert(c(1, 200, 0, 100)).is_err());
+            // …but replacing the resident 400-MiB entry still reclaims it.
+            assert!(p.fits(&c(0, 500, 10, 200)));
+            // Releasing the pressure restores admission; own usage was never
+            // confused with the external share.
+            p.set_external_used_mib(0);
+            assert_eq!(p.used_mib(), 400);
+            p.insert(c(1, 200, 0, 100)).unwrap();
+            assert_eq!(p.used_mib(), 600);
+        });
     }
 
     #[test]
     fn memory_invariant_under_churn() {
         // used_mib must always equal the sum of resident footprints.
-        let mut p = WarmPool::new(5_000);
-        for i in 0..20u32 {
-            let _ = p.insert(c(i % 7, 100 + (i as u64 * 37) % 400, 0, 1 + i as u64 * 10));
-            let expected: u64 = p.iter().map(|c| c.memory_mib).sum();
-            assert_eq!(p.used_mib(), expected);
-            if i % 3 == 0 {
-                p.expire_until(i as u64 * 5);
+        both_modes(|pool| {
+            let mut p = pool(5_000);
+            for i in 0..20u32 {
+                let _ = p.insert(c(i % 7, 100 + (i as u64 * 37) % 400, 0, 1 + i as u64 * 10));
                 let expected: u64 = p.iter().map(|c| c.memory_mib).sum();
                 assert_eq!(p.used_mib(), expected);
+                if i % 3 == 0 {
+                    p.expire_until(i as u64 * 5);
+                    let expected: u64 = p.iter().map(|c| c.memory_mib).sum();
+                    assert_eq!(p.used_mib(), expected);
+                }
             }
-        }
+        });
+    }
+
+    #[test]
+    fn timeline_skips_tombstones_of_removed_containers() {
+        // Warm reuse: the container leaves via remove(); its timeline
+        // entry must be recognized as stale, not resurrect an expiry.
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 100, 0, 50)).unwrap();
+        assert!(p.remove(FunctionId(0)).is_some());
+        assert!(p.expire_until(100).is_empty());
+        let stats = p.expiry_stats();
+        assert_eq!(stats.stale_pops, 1);
+        assert_eq!(stats.expired, 0);
+    }
+
+    #[test]
+    fn timeline_tracks_keepalive_extension() {
+        // Re-keep-alive replaces the entry with a later expiry: the old
+        // timeline node is a tombstone, the new one fires at the new time.
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 100, 0, 50)).unwrap();
+        p.insert(c(0, 100, 10, 500)).unwrap(); // extension
+        assert!(p.expire_until(100).is_empty(), "extended, must not lapse");
+        assert_eq!(p.expiry_stats().stale_pops, 1, "old entry tombstoned");
+        let dead = p.expire_until(500);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].expiry_ms, 500);
+    }
+
+    #[test]
+    fn timeline_handles_reinserted_same_expiry() {
+        // Remove + re-insert with the *same* expiry leaves two live-
+        // looking heap entries for one container; exactly one may expire.
+        let mut p = WarmPool::new(1_000);
+        p.insert(c(0, 100, 0, 50)).unwrap();
+        let taken = p.remove(FunctionId(0)).unwrap();
+        p.insert(taken).unwrap();
+        let dead = p.expire_until(50);
+        assert_eq!(dead.len(), 1);
+        assert!(p.is_empty());
+        assert_eq!(p.expiry_stats().expired, 1);
+        assert_eq!(p.expiry_stats().stale_pops, 1);
+    }
+
+    #[test]
+    fn expiry_counters_split_by_mode() {
+        let mut timeline = WarmPool::new(1_000);
+        timeline.insert(c(0, 100, 0, 50)).unwrap();
+        timeline.expire_until(10); // heap-top peek only — no pops
+        timeline.expire_until(60);
+        let t = timeline.expiry_stats();
+        assert_eq!((t.expired, t.timeline_pops, t.scanned), (1, 1, 0));
+
+        let mut scan = WarmPool::with_mode(1_000, ExpiryMode::Scan);
+        scan.insert(c(0, 100, 0, 50)).unwrap();
+        scan.expire_until(10);
+        scan.expire_until(60);
+        let s = scan.expiry_stats();
+        assert_eq!((s.expired, s.timeline_pops), (1, 0));
+        assert_eq!(s.scanned, 2, "one resident examined per call");
+    }
+
+    #[test]
+    fn period_delta_follows_every_mutation_path() {
+        let mut p = WarmPool::new(1_000);
+        assert_eq!(p.take_period_delta_mib(), 0);
+        p.insert(c(0, 400, 0, 100)).unwrap();
+        p.insert(c(1, 300, 0, 50)).unwrap();
+        assert_eq!(p.take_period_delta_mib(), 700);
+        // Replacement: -400 + 250.
+        p.insert(c(0, 250, 10, 200)).unwrap();
+        assert_eq!(p.take_period_delta_mib(), -150);
+        // Expiry of f1 releases 300.
+        p.expire_until(50);
+        assert_eq!(p.take_period_delta_mib(), -300);
+        // Remove + drain.
+        p.insert(c(2, 100, 0, 500)).unwrap();
+        p.remove(FunctionId(2));
+        p.drain_all();
+        assert_eq!(p.take_period_delta_mib(), -250);
+        assert_eq!(p.used_mib(), 0);
     }
 }

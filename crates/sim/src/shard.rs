@@ -110,14 +110,41 @@ impl MemoryLedger {
         }
     }
 
-    /// Publish `shard`'s current per-node usage (called by the
-    /// coordinator after each reconciliation pass, before the workers
-    /// spawn).
+    /// Publish `shard`'s current per-node usage as a full snapshot. The
+    /// engine now maintains the cells incrementally via
+    /// [`MemoryLedger::adjust`]; the snapshot form remains as the test
+    /// reference the deltas are checked against.
+    #[cfg(test)]
     pub(crate) fn publish(&self, shard: usize, used_mib_by_node: &[u64]) {
         debug_assert_eq!(used_mib_by_node.len(), self.n_nodes);
         for (node, &used) in used_mib_by_node.iter().enumerate() {
             self.cells[shard * self.n_nodes + node].store(used, Ordering::Relaxed);
         }
+    }
+
+    /// Apply a signed occupancy delta to `(shard, node)` — the batched
+    /// form of [`MemoryLedger::publish`]: instead of re-snapshotting
+    /// every pool each period, the coordinator applies each pool's
+    /// accumulated net change
+    /// ([`WarmPool::take_period_delta_mib`](crate::WarmPool::take_period_delta_mib))
+    /// in one pass. Coordinator-only (single writer, workers parked).
+    pub(crate) fn adjust(&self, shard: usize, node: NodeId, delta_mib: i64) {
+        if delta_mib == 0 {
+            return;
+        }
+        let cell = &self.cells[shard * self.n_nodes + node.index()];
+        let current = cell.load(Ordering::Relaxed);
+        let next = current
+            .checked_add_signed(delta_mib)
+            .expect("ledger cell under/overflow: delta disagrees with published usage");
+        cell.store(next, Ordering::Relaxed);
+    }
+
+    /// The published usage of `(shard, node)` — for asserting the
+    /// delta-maintained cells against the pools' ground truth.
+    #[cfg(debug_assertions)]
+    pub(crate) fn cell_mib(&self, shard: usize, node: NodeId) -> u64 {
+        self.cells[shard * self.n_nodes + node.index()].load(Ordering::Relaxed)
     }
 
     /// Total bytes on `node` across all shards.
@@ -178,6 +205,7 @@ pub(crate) fn merge_metrics(
         merged.transfers += part.transfers;
         merged.decision_overhead_ns += part.decision_overhead_ns;
         merged.reconcile_revocations += part.reconcile_revocations;
+        merged.expiry.absorb(part.expiry);
         for (node, g) in part.keepalive_g_by_node.iter().enumerate() {
             merged.keepalive_g_by_node[node] += g;
         }
@@ -238,6 +266,19 @@ mod tests {
         // Re-publishing overwrites (it is a snapshot, not an increment).
         ledger.publish(1, &[0, 0]);
         assert_eq!(ledger.total_mib(NodeId(0)), 400);
+    }
+
+    #[test]
+    fn ledger_adjust_is_incremental_publish() {
+        let ledger = MemoryLedger::new(2, 2);
+        ledger.publish(0, &[100, 10]);
+        ledger.adjust(0, NodeId(0), 50);
+        ledger.adjust(0, NodeId(1), -10);
+        ledger.adjust(1, NodeId(0), 7);
+        ledger.adjust(1, NodeId(1), 0); // no-op
+        assert_eq!(ledger.total_mib(NodeId(0)), 157);
+        assert_eq!(ledger.total_mib(NodeId(1)), 0);
+        assert_eq!(ledger.external_mib(1, NodeId(0)), 150);
     }
 
     #[test]

@@ -23,8 +23,7 @@ pub struct Trace {
 impl Trace {
     /// Build a trace; invocations are sorted by arrival time (stable, so
     /// equal-timestamp order is preserved from the input).
-    pub fn new(catalog: WorkloadCatalog, mut invocations: Vec<Invocation>) -> Self {
-        invocations.sort_by_key(|i| i.t_ms);
+    pub fn new(catalog: WorkloadCatalog, invocations: Vec<Invocation>) -> Self {
         for inv in &invocations {
             assert!(
                 inv.func.as_usize() < catalog.len(),
@@ -33,6 +32,19 @@ impl Trace {
                 catalog.len()
             );
         }
+        Self::from_prevalidated(catalog, invocations)
+    }
+
+    /// Construction tail shared with [`TraceLoader`](crate::TraceLoader)
+    /// (which validates function ids via a running maximum instead of
+    /// the per-invocation pass above). The **stable** sort is load-
+    /// bearing: equal-timestamp order is preserved from the input, so a
+    /// loader-built trace is byte-identical to the `Trace::new` path.
+    pub(crate) fn from_prevalidated(
+        catalog: WorkloadCatalog,
+        mut invocations: Vec<Invocation>,
+    ) -> Self {
+        invocations.sort_by_key(|i| i.t_ms);
         let horizon_ms = invocations.last().map(|i| i.t_ms).unwrap_or(0);
         Trace {
             catalog,

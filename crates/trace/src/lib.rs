@@ -22,11 +22,13 @@
 
 pub mod azure;
 pub mod invocation;
+pub mod loader;
 pub mod stats;
 pub mod synth;
 pub mod workload;
 
 pub use invocation::{Invocation, Trace};
+pub use loader::TraceLoader;
 pub use stats::InterArrivalStats;
 pub use synth::{ArrivalClass, SynthTraceConfig};
 pub use workload::{FunctionId, FunctionProfile, WorkloadCatalog};

@@ -1,0 +1,251 @@
+//! The expiry timeline is an *optimization*, never a semantic change:
+//! the min-heap timeline with lazy invalidation (`ExpiryMode::Timeline`,
+//! the default) must produce bit-identical runs — every float of every
+//! record equal — to the original full-pool scan
+//! (`ExpiryMode::Scan`, kept as the reference), under memory pressure
+//! with transfers and revocations, sequentially and through
+//! `run_sharded` at shard counts {1, 2, 8} × worker threads {1, 2, 4}.
+//!
+//! The directed matrix pins the exact configurations the ISSUE names;
+//! the proptest block then fuzzes workloads, fleets, and budgets around
+//! them. Both paths also cross-check the expiry counters: the two modes
+//! must agree on *how many* containers lapsed, while each mode's own
+//! mechanism counters (`scanned` vs `timeline_pops`) prove which code
+//! path actually ran.
+
+use ecolife::prelude::*;
+use ecolife::sim::{ExpiryMode, ShardOptions};
+use proptest::prelude::*;
+
+/// A random fleet of 1–4 nodes drawn from the SKU catalog (duplicates
+/// allowed), with one shared keep-alive budget.
+fn fleet_from(sku_picks: &[usize], budget_mib: u64) -> Fleet {
+    let catalog = skus::catalog();
+    let skus: Vec<Sku> = sku_picks
+        .iter()
+        .map(|&i| catalog[i % catalog.len()])
+        .collect();
+    skus::fleet_of(&skus).with_uniform_keepalive_budget_mib(budget_mib)
+}
+
+fn workload(n_functions: usize, duration_min: u64, seed: u64) -> (Trace, CarbonIntensityTrace) {
+    let trace = SynthTraceConfig {
+        n_functions,
+        duration_min,
+        seed,
+        ..Default::default()
+    }
+    .generate_scaled(&WorkloadCatalog::sebs());
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, duration_min as usize + 30, seed);
+    (trace, ci)
+}
+
+/// One record, every float as exact bits:
+/// `(func, t, node, warm, service_ms, service_g, keepalive_g, energy)`.
+type RecordBits = (u32, u64, u64, bool, u64, u64, u64, u64);
+
+/// Everything decision-dependent in a run, floats compared exactly
+/// (decision overhead is wall-clock and excluded).
+fn fingerprint(m: &RunMetrics) -> (Vec<RecordBits>, u64, u64) {
+    (
+        m.records
+            .iter()
+            .map(|r| {
+                (
+                    r.func.0,
+                    r.t_ms,
+                    r.exec_location.0 as u64,
+                    r.warm,
+                    r.service_ms,
+                    r.service_carbon.total_g().to_bits(),
+                    r.keepalive_carbon.total_g().to_bits(),
+                    r.energy_kwh.to_bits(),
+                )
+            })
+            .collect(),
+        m.evicted_functions,
+        m.transfers,
+    )
+}
+
+/// Per-node keep-alive gram totals, bit-exact. Only comparable between
+/// runs with the same shard layout (summation order is per shard).
+fn by_node_bits(m: &RunMetrics) -> Vec<u64> {
+    m.keepalive_g_by_node.iter().map(|g| g.to_bits()).collect()
+}
+
+fn config_for(mode: ExpiryMode) -> SimConfig {
+    SimConfig::default().with_expiry(mode)
+}
+
+fn run_sequential(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    fleet: &Fleet,
+    mode: ExpiryMode,
+) -> RunMetrics {
+    let config = EcoLifeConfig {
+        pso_iters: 2,
+        ..EcoLifeConfig::default()
+    };
+    Simulation::new(trace, ci, fleet.clone())
+        .with_config(config_for(mode))
+        .run(&mut EcoLife::new(fleet.clone(), config))
+}
+
+fn run_sharded(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    fleet: &Fleet,
+    mode: ExpiryMode,
+    shards: usize,
+    threads: usize,
+) -> RunMetrics {
+    let config = EcoLifeConfig {
+        pso_iters: 2,
+        ..EcoLifeConfig::default()
+    };
+    Simulation::new(trace, ci, fleet.clone())
+        .with_config(config_for(mode))
+        .run_sharded(
+            |_| EcoLife::new(fleet.clone(), config.clone()),
+            &ShardOptions::new(shards).with_threads(threads),
+        )
+}
+
+/// A workload + fleet squeezed hard enough that the warm pools overflow:
+/// the run must exhibit transfers (and, sharded, revocations are live),
+/// so the equality below covers the adversarial paths — eviction,
+/// transfer re-insertion, reconciliation expiry — not just happy aging.
+fn pressured_setup() -> (Trace, CarbonIntensityTrace, Fleet) {
+    let (trace, ci) = workload(14, 60, 11);
+    let fleet = fleet_from(&[0, 2], 3_000);
+    (trace, ci, fleet)
+}
+
+#[test]
+fn timeline_matches_scan_sequentially_under_pressure() {
+    let (trace, ci, fleet) = pressured_setup();
+    let scan = run_sequential(&trace, &ci, &fleet, ExpiryMode::Scan);
+    let timeline = run_sequential(&trace, &ci, &fleet, ExpiryMode::Timeline);
+
+    // The setup must actually exercise the adversarial paths.
+    assert!(scan.transfers > 0, "setup no longer forces transfers");
+    assert!(scan.expiry.expired > 0, "setup never expires a container");
+
+    assert_eq!(fingerprint(&timeline), fingerprint(&scan));
+    assert_eq!(by_node_bits(&timeline), by_node_bits(&scan));
+
+    // Same lapse count, different mechanism — and proof each mode ran
+    // its own code path.
+    assert_eq!(timeline.expiry.expired, scan.expiry.expired);
+    assert!(scan.expiry.scanned > 0, "scan mode never scanned");
+    assert_eq!(
+        timeline.expiry.scanned, 0,
+        "timeline mode fell back to scanning"
+    );
+    assert_eq!(scan.expiry.timeline_pops, 0, "scan mode touched the heap");
+    assert!(
+        timeline.expiry.timeline_pops >= timeline.expiry.expired,
+        "every expiry must come off the heap"
+    );
+}
+
+#[test]
+fn timeline_matches_scan_across_the_shard_thread_matrix() {
+    let (trace, ci, fleet) = pressured_setup();
+    let reference = run_sequential(&trace, &ci, &fleet, ExpiryMode::Scan);
+    assert!(reference.transfers > 0, "setup no longer forces transfers");
+
+    for &shards in &[1usize, 2, 8] {
+        let scan = run_sharded(&trace, &ci, &fleet, ExpiryMode::Scan, shards, 1);
+        for &threads in &[1usize, 2, 4] {
+            let timeline = run_sharded(&trace, &ci, &fleet, ExpiryMode::Timeline, shards, threads);
+            assert_eq!(
+                fingerprint(&timeline),
+                fingerprint(&scan),
+                "records diverged at shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                by_node_bits(&timeline),
+                by_node_bits(&scan),
+                "per-node grams diverged at shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                timeline.ledger_peak_mib, scan.ledger_peak_mib,
+                "ledger peaks diverged at shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                timeline.reconcile_revocations, scan.reconcile_revocations,
+                "revocations diverged at shards={shards} threads={threads}"
+            );
+            assert_eq!(timeline.expiry.expired, scan.expiry.expired);
+            assert_eq!(timeline.expiry.scanned, 0);
+        }
+        // One shard with the scan reference must also equal the plain
+        // sequential run — the batching layer adds nothing.
+        if shards == 1 {
+            assert_eq!(fingerprint(&scan), fingerprint(&reference));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sequential bit-identity over random workloads, fleets, and
+    /// keep-alive budgets — roomy and brutal alike (FixedPolicy's long
+    /// 10-minute keep-alive maximizes resident containers, so small
+    /// budgets overflow constantly).
+    #[test]
+    fn timeline_equals_scan_sequential(
+        seed in 0u64..1_000_000,
+        n_functions in 4usize..16,
+        duration_min in 20u64..60,
+        sku_picks in prop::collection::vec(0usize..4, 1..5),
+        budget_mib in 512u64..8_000,
+    ) {
+        let (trace, ci) = workload(n_functions, duration_min, seed);
+        let fleet = fleet_from(&sku_picks, budget_mib);
+        let run = |mode: ExpiryMode| {
+            Simulation::new(&trace, &ci, fleet.clone())
+                .with_config(config_for(mode))
+                .run(&mut FixedPolicy::pinned(fleet.newest(), 10))
+        };
+        let scan = run(ExpiryMode::Scan);
+        let timeline = run(ExpiryMode::Timeline);
+        prop_assert_eq!(fingerprint(&timeline), fingerprint(&scan));
+        prop_assert_eq!(by_node_bits(&timeline), by_node_bits(&scan));
+        prop_assert_eq!(timeline.expiry.expired, scan.expiry.expired);
+    }
+
+    /// Sharded bit-identity: same fuzz, arbitrary shard/thread counts,
+    /// pressured budgets so reconciliation revokes and transfers.
+    #[test]
+    fn timeline_equals_scan_sharded(
+        seed in 0u64..1_000_000,
+        n_functions in 4usize..16,
+        sku_picks in prop::collection::vec(0usize..4, 1..4),
+        budget_mib in 512u64..6_000,
+        shards in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+    ) {
+        let (trace, ci) = workload(n_functions, 30, seed);
+        let fleet = fleet_from(&sku_picks, budget_mib);
+        let run = |mode: ExpiryMode| {
+            Simulation::new(&trace, &ci, fleet.clone())
+                .with_config(config_for(mode))
+                .run_sharded(
+                    |_| FixedPolicy::pinned(fleet.newest(), 10),
+                    &ShardOptions::new(shards).with_threads(threads),
+                )
+        };
+        let scan = run(ExpiryMode::Scan);
+        let timeline = run(ExpiryMode::Timeline);
+        prop_assert_eq!(fingerprint(&timeline), fingerprint(&scan));
+        prop_assert_eq!(by_node_bits(&timeline), by_node_bits(&scan));
+        prop_assert_eq!(timeline.ledger_peak_mib.clone(), scan.ledger_peak_mib.clone());
+        prop_assert_eq!(timeline.reconcile_revocations, scan.reconcile_revocations);
+        prop_assert_eq!(timeline.expiry.expired, scan.expiry.expired);
+    }
+}
