@@ -16,6 +16,7 @@
 //! the multi-minute full measurement.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecolife_bench::report::BenchJson;
 use ecolife_carbon::{CarbonIntensityTrace, Region};
 use ecolife_core::{EcoLife, EcoLifeConfig};
 use ecolife_hw::{skus, Fleet};
@@ -24,6 +25,9 @@ use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
 use std::time::Instant;
 
 const SHARDS: usize = 8;
+
+/// The workload seed of the million-invocation setup.
+const SEED: u64 = 41;
 
 fn cached(fleet: &Fleet) -> EcoLife {
     EcoLife::new(fleet.clone(), EcoLifeConfig::default())
@@ -81,9 +85,9 @@ fn smoke() {
 }
 
 fn million_setup() -> (Trace, CarbonIntensityTrace, Fleet) {
-    let trace = SynthTraceConfig::million(41).generate_scaled(&WorkloadCatalog::sebs());
+    let trace = SynthTraceConfig::million(SEED).generate_scaled(&WorkloadCatalog::sebs());
     assert!(trace.len() >= 1_000_000, "only {} invocations", trace.len());
-    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, SEED);
     // Pools sized so the run never overflows: this measures decision
     // throughput, not eviction churn.
     let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(32_000_000);
@@ -135,26 +139,31 @@ fn write_json() {
         black_box(ecolife_sim::next_arrival_gaps_parallel(&trace));
     });
 
-    let json = format!(
-        "{{\n  \"bench\": \"ecolife_hotpath\",\n  \"trace_invocations\": {},\n  \"trace_functions\": {},\n  \"fleet_nodes\": {},\n  \"host_cpus\": {},\n  \"ecolife_uncached_sequential_ms\": {:.0},\n  \"ecolife_cached_sequential_ms\": {:.0},\n  \"hotpath_speedup\": {:.2},\n  \"ecolife_cached_sharded_ms\": {:.0},\n  \"shards\": {},\n  \"threads\": {},\n  \"oracle_gaps_sequential_ms\": {:.0},\n  \"oracle_gaps_bucketed_ms\": {:.0},\n  \"oracle_gaps_auto_ms\": {:.0},\n  \"oracle_gaps_auto_path\": \"{}\",\n  \"note\": \"uncached = the pre-tables decision loop (fleet-wide objective scans per DPSO particle evaluation); cached = ObjectiveTables + scratch-buffer hot path. Decisions are bit-identical (tests/hotpath.rs). hotpath_speedup is sequential/sequential on this host and core-count independent; the sharded number and the bucketed gap precompute (forced here even on 1 CPU) additionally need a multi-core host. oracle_gaps_auto_* records the production entry point: it picks the sequential pass when only one effective thread exists, so a 1-CPU host no longer pays the bucketing overhead.\"\n}}\n",
-        trace.len(),
-        trace.catalog().len(),
-        fleet.len(),
-        host_cpus,
-        uncached_ms,
-        cached_ms,
-        uncached_ms / cached_ms.max(1.0),
-        sharded_ms,
-        SHARDS,
-        threads,
-        gaps_seq_ms,
-        gaps_bucketed_ms,
-        gaps_auto_ms,
-        gaps_auto_path,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ecolife.json");
-    std::fs::write(path, &json).expect("write BENCH_ecolife.json");
-    println!("wrote {path}:\n{json}");
+    BenchJson::new("ecolife_hotpath", SEED, trace.len())
+        .int("trace_functions", trace.catalog().len() as u64)
+        .int("fleet_nodes", fleet.len() as u64)
+        .float("ecolife_uncached_sequential_ms", uncached_ms, 0)
+        .float("ecolife_cached_sequential_ms", cached_ms, 0)
+        .float("hotpath_speedup", uncached_ms / cached_ms.max(1.0), 2)
+        .float("ecolife_cached_sharded_ms", sharded_ms, 0)
+        .int("shards", SHARDS as u64)
+        .int("threads", threads as u64)
+        .float("oracle_gaps_sequential_ms", gaps_seq_ms, 0)
+        .float("oracle_gaps_bucketed_ms", gaps_bucketed_ms, 0)
+        .float("oracle_gaps_auto_ms", gaps_auto_ms, 0)
+        .text("oracle_gaps_auto_path", gaps_auto_path)
+        .text(
+            "note",
+            "uncached = the pre-tables decision loop (fleet-wide objective scans per DPSO \
+             particle evaluation); cached = ObjectiveTables + scratch-buffer hot path. Decisions \
+             are bit-identical (tests/hotpath.rs). hotpath_speedup is sequential/sequential on \
+             this host and core-count independent; the sharded number and the bucketed gap \
+             precompute (forced here even on 1 CPU) additionally need a multi-core host. \
+             oracle_gaps_auto_* records the production entry point: it picks the sequential pass \
+             when only one effective thread exists, so a 1-CPU host no longer pays the bucketing \
+             overhead.",
+        )
+        .write("BENCH_ecolife.json");
 }
 
 fn bench(c: &mut Criterion) {
@@ -171,11 +180,11 @@ fn bench(c: &mut Criterion) {
     let trace = SynthTraceConfig {
         n_functions: 600,
         duration_min: 600,
-        seed: 41,
+        seed: SEED,
         ..Default::default()
     }
     .generate_scaled(&WorkloadCatalog::sebs());
-    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, SEED);
     let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(512 * 1024);
     let sim = Simulation::new(&trace, &ci, fleet.clone());
     c.bench_function("ecolife/cached_sequential_100k", |b| {
@@ -188,7 +197,7 @@ fn bench(c: &mut Criterion) {
     let small = SynthTraceConfig {
         n_functions: 120,
         duration_min: 600,
-        seed: 41,
+        seed: SEED,
         ..Default::default()
     }
     .generate_scaled(&WorkloadCatalog::sebs());

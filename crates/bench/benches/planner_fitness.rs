@@ -8,17 +8,21 @@
 //! so the planner's hot path has a tracked trajectory.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecolife_bench::report::BenchJson;
 use ecolife_carbon::CarbonIntensityTrace;
 use ecolife_hw::Sku;
 use ecolife_planner::{FleetPlan, PlanEvaluator, PlanSpace, PlannerConfig};
 use ecolife_trace::{SynthTraceConfig, Trace, WorkloadCatalog};
 use std::time::Instant;
 
+/// The workload seed of the planner fixture.
+const SEED: u64 = 41;
+
 fn setup() -> (Trace, CarbonIntensityTrace) {
     let trace = SynthTraceConfig {
         n_functions: 8,
         duration_min: 45,
-        seed: 41,
+        seed: SEED,
         ..Default::default()
     }
     .generate(&WorkloadCatalog::sebs());
@@ -94,21 +98,19 @@ fn write_json(trace: &Trace, ci: &CarbonIntensityTrace) {
         black_box(eval.fitness_batch(&generation));
     });
 
-    let json = format!
-        (
-        "{{\n  \"bench\": \"planner_fitness\",\n  \"trace_invocations\": {},\n  \"generation_plans\": {},\n  \"uncached_eval_ms\": {:.3},\n  \"memoized_eval_ns\": {:.0},\n  \"memo_speedup\": {:.0},\n  \"generation_parallel_ms\": {:.3},\n  \"generation_serial_ms\": {:.3},\n  \"parallel_speedup\": {:.2}\n}}\n",
-        trace.len(),
-        generation.len(),
-        uncached_ns / 1e6,
-        memoized_ns,
-        uncached_ns / memoized_ns.max(1.0),
-        generation_parallel_ns / 1e6,
-        generation_serial_ns / 1e6,
-        generation_serial_ns / generation_parallel_ns.max(1.0),
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
-    std::fs::write(path, &json).expect("write BENCH_planner.json");
-    println!("wrote {path}:\n{json}");
+    BenchJson::new("planner_fitness", SEED, trace.len())
+        .int("generation_plans", generation.len() as u64)
+        .float("uncached_eval_ms", uncached_ns / 1e6, 3)
+        .float("memoized_eval_ns", memoized_ns, 0)
+        .float("memo_speedup", uncached_ns / memoized_ns.max(1.0), 0)
+        .float("generation_parallel_ms", generation_parallel_ns / 1e6, 3)
+        .float("generation_serial_ms", generation_serial_ns / 1e6, 3)
+        .float(
+            "parallel_speedup",
+            generation_serial_ns / generation_parallel_ns.max(1.0),
+            2,
+        )
+        .write("BENCH_planner.json");
 }
 
 fn bench(c: &mut Criterion) {

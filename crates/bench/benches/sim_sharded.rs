@@ -28,6 +28,7 @@
 //! prints timings, without the multi-minute full measurement.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecolife_bench::report::BenchJson;
 use ecolife_carbon::{CarbonIntensityTrace, Region};
 use ecolife_core::{EcoLife, EcoLifeConfig, FixedPolicy};
 use ecolife_hw::{skus, Fleet};
@@ -38,10 +39,13 @@ use std::time::Instant;
 /// The benchmark's shard fan-out width (and target worker count).
 const SHARDS: usize = 8;
 
+/// The workload seed every trace and CI series below derives from.
+const SEED: u64 = 41;
+
 fn million_setup() -> (Trace, CarbonIntensityTrace, Fleet) {
-    let trace = SynthTraceConfig::million(41).generate_scaled(&WorkloadCatalog::sebs());
+    let trace = SynthTraceConfig::million(SEED).generate_scaled(&WorkloadCatalog::sebs());
     assert!(trace.len() >= 1_000_000, "only {} invocations", trace.len());
-    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, SEED);
     // Pools sized so the million-invocation run never overflows: the
     // bench measures replay throughput, not eviction churn (the
     // contention path has its own adversarial + property tests).
@@ -155,12 +159,12 @@ fn write_json() {
     // The 10⁷ row: bare engine over the ten_million preset — first
     // build the trace through the preallocating loader, then replay.
     let catalog = WorkloadCatalog::sebs();
-    let big_config = SynthTraceConfig::ten_million(41);
+    let big_config = SynthTraceConfig::ten_million(SEED);
     let mut big = None;
     let ten_m_build_ms = wall_ms(|| big = Some(big_config.generate_scaled(&catalog)));
     let big = big.unwrap();
     assert!(big.len() >= 10_000_000, "only {} invocations", big.len());
-    let ci_big = CarbonIntensityTrace::synthetic(Region::Caiso, 1_560, 41);
+    let ci_big = CarbonIntensityTrace::synthetic(Region::Caiso, 1_560, SEED);
     let sim_big = Simulation::new(&big, &ci_big, fleet.clone());
     let ten_m_seq_ms = wall_ms(|| {
         let mut s = FixedPolicy::pinned(fleet.newest(), 10);
@@ -173,30 +177,43 @@ fn write_json() {
         ));
     });
 
-    let json = format!(
-        "{{\n  \"bench\": \"sim_sharded\",\n  \"trace_invocations\": {},\n  \"trace_functions\": {},\n  \"fleet_nodes\": {},\n  \"shards\": {},\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"engine_sequential_scan_ms\": {:.0},\n  \"engine_sequential_ms\": {:.0},\n  \"expiry_timeline_speedup\": {:.2},\n  \"engine_sharded_ms\": {:.0},\n  \"engine_speedup\": {:.2},\n  \"ecolife_sequential_ms\": {:.0},\n  \"ecolife_sharded_ms\": {:.0},\n  \"ecolife_speedup\": {:.2},\n  \"ten_million_invocations\": {},\n  \"ten_million_build_ms\": {:.0},\n  \"engine_ten_million_sequential_ms\": {:.0},\n  \"engine_ten_million_sharded_ms\": {:.0},\n  \"note\": \"engine_sequential_scan_ms replays with ExpiryMode::Scan (the seed's O(pool) expiry sweep); engine_sequential_ms is the default min-heap expiry timeline — bit-identical runs (tests/expiry_timeline.rs), so expiry_timeline_speedup is pure mechanism and core-count independent. Shard speedups approach min(shards, cores) and record parity by construction on a 1-CPU host. The ten_million rows replay SynthTraceConfig::ten_million through the preallocating trace loader.\"\n}}\n",
-        trace.len(),
-        trace.catalog().len(),
-        fleet.len(),
-        SHARDS,
-        threads,
-        host_cpus,
-        engine_scan_ms,
-        engine_seq_ms,
-        engine_scan_ms / engine_seq_ms.max(1.0),
-        engine_sharded_ms,
-        engine_seq_ms / engine_sharded_ms.max(1.0),
-        eco_seq_ms,
-        eco_sharded_ms,
-        eco_seq_ms / eco_sharded_ms.max(1.0),
-        big.len(),
-        ten_m_build_ms,
-        ten_m_seq_ms,
-        ten_m_sharded_ms,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-    std::fs::write(path, &json).expect("write BENCH_sim.json");
-    println!("wrote {path}:\n{json}");
+    BenchJson::new("sim_sharded", SEED, trace.len())
+        .int("trace_functions", trace.catalog().len() as u64)
+        .int("fleet_nodes", fleet.len() as u64)
+        .int("shards", SHARDS as u64)
+        .int("threads", threads as u64)
+        .float("engine_sequential_scan_ms", engine_scan_ms, 0)
+        .float("engine_sequential_ms", engine_seq_ms, 0)
+        .float(
+            "expiry_timeline_speedup",
+            engine_scan_ms / engine_seq_ms.max(1.0),
+            2,
+        )
+        .float("engine_sharded_ms", engine_sharded_ms, 0)
+        .float(
+            "engine_speedup",
+            engine_seq_ms / engine_sharded_ms.max(1.0),
+            2,
+        )
+        .float("ecolife_sequential_ms", eco_seq_ms, 0)
+        .float("ecolife_sharded_ms", eco_sharded_ms, 0)
+        .float("ecolife_speedup", eco_seq_ms / eco_sharded_ms.max(1.0), 2)
+        .int("ten_million_invocations", big.len() as u64)
+        .float("ten_million_build_ms", ten_m_build_ms, 0)
+        .float("engine_ten_million_sequential_ms", ten_m_seq_ms, 0)
+        .float("engine_ten_million_sharded_ms", ten_m_sharded_ms, 0)
+        .text(
+            "note",
+            "engine_sequential_scan_ms replays with ExpiryMode::Scan (the seed's O(pool) expiry \
+             sweep); engine_sequential_ms is the default min-heap expiry timeline — bit-identical \
+             runs (tests/expiry_timeline.rs), so expiry_timeline_speedup is pure mechanism and \
+             core-count independent. Shard speedups approach min(shards, cores) and record parity \
+             by construction on a 1-CPU host. The ten_million rows replay \
+             SynthTraceConfig::ten_million through the preallocating trace loader. All engine rows \
+             run with the telemetry NullSink (the default `run` entry points), i.e. they double as \
+             the zero-overhead check for the event-stream instrumentation.",
+        )
+        .write("BENCH_sim.json");
 }
 
 fn bench(c: &mut Criterion) {
@@ -213,11 +230,11 @@ fn bench(c: &mut Criterion) {
     let trace = SynthTraceConfig {
         n_functions: 600,
         duration_min: 600,
-        seed: 41,
+        seed: SEED,
         ..Default::default()
     }
     .generate_scaled(&WorkloadCatalog::sebs());
-    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, 41);
+    let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 630, SEED);
     let fleet = skus::fleet_three_generations().with_uniform_keepalive_budget_mib(512 * 1024);
     let sim = Simulation::new(&trace, &ci, fleet.clone());
     let sim_scan = Simulation::new(&trace, &ci, fleet.clone()).with_config(scan_config());

@@ -8,6 +8,8 @@
 //! B/C, N-node configurations) go through [`EvalSetup::sized`], which
 //! accepts anything convertible to a [`Fleet`].
 
+pub mod report;
+
 use ecolife_carbon::{CarbonIntensityTrace, Region};
 use ecolife_core::{
     compare, run_scheme, BruteForce, Comparison, EcoLife, EcoLifeConfig, FixedPolicy, RunSummary,

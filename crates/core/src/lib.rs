@@ -49,4 +49,7 @@ pub use ecolife::EcoLife;
 pub use objective::{CostModel, ObjectiveTables};
 pub use partition::{Partition, PartitionedScheduler};
 pub use predictor::FunctionPredictor;
-pub use runner::{compare, run_scheme, run_scheme_regional, Comparison, RunSummary};
+pub use runner::{
+    compare, run_scheme, run_scheme_regional, run_scheme_regional_traced, run_scheme_traced,
+    Comparison, RunSummary,
+};

@@ -4,7 +4,7 @@
 use ecolife_carbon::{CarbonIntensityTrace, CiBundle, CiError};
 use ecolife_hw::Fleet;
 use ecolife_sim::metrics::percent_increase;
-use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation};
+use ecolife_sim::{EventSink, RunMetrics, Scheduler, SimConfig, Simulation};
 use ecolife_trace::Trace;
 
 /// Headline numbers of one run.
@@ -89,6 +89,40 @@ pub fn run_scheme_with<S: Scheduler>(
         RunSummary::from_metrics(scheduler.name(), &metrics),
         metrics,
     )
+}
+
+/// [`run_scheme`] with a telemetry sink: the engine additionally emits
+/// its hash-chained golden-trace event stream into `sink` (see
+/// `ecolife-telemetry`). With
+/// [`NullSink`](ecolife_sim::NullSink) this is exactly [`run_scheme`].
+pub fn run_scheme_traced<S: Scheduler, K: EventSink>(
+    trace: &Trace,
+    ci: &CarbonIntensityTrace,
+    fleet: &Fleet,
+    scheduler: &mut S,
+    sink: &mut K,
+) -> (RunSummary, RunMetrics) {
+    let metrics = Simulation::new(trace, ci, fleet.clone()).run_with_sink(scheduler, sink);
+    (
+        RunSummary::from_metrics(scheduler.name(), &metrics),
+        metrics,
+    )
+}
+
+/// [`run_scheme_regional`] with a telemetry sink.
+pub fn run_scheme_regional_traced<S: Scheduler, K: EventSink>(
+    trace: &Trace,
+    bundle: &CiBundle,
+    fleet: &Fleet,
+    scheduler: &mut S,
+    sink: &mut K,
+) -> Result<(RunSummary, RunMetrics), CiError> {
+    let metrics =
+        Simulation::try_new_regional(trace, bundle, fleet.clone())?.run_with_sink(scheduler, sink);
+    Ok((
+        RunSummary::from_metrics(scheduler.name(), &metrics),
+        metrics,
+    ))
 }
 
 /// A scheme's position relative to the two *-Opt anchors — the axes of

@@ -23,6 +23,22 @@
 //! million-invocation path: `FunctionId`-hash shards replayed in
 //! parallel, cross-shard node memory reconciled deterministically per
 //! period — see [`crate::shard`]).
+//!
+//! ## Telemetry
+//!
+//! Every observable action can additionally be emitted as a
+//! hash-chained event stream ([`ecolife_telemetry`]): pass a sink to
+//! [`Simulation::run_with_sink`] / [`Simulation::run_sharded_with_sink`].
+//! Both engines *collect* `(EventKey, Event)` pairs and only sort,
+//! number, and hash them at end of run, under canonical keys (global
+//! invocation index anchors — see [`ecolife_telemetry::event`]), so the
+//! sharded stream is byte-identical to the sequential one whenever the
+//! runs themselves are (no reconciliation revocations). The sink is a
+//! *type* parameter: with [`NullSink`] (`ENABLED = false`, what
+//! [`Simulation::run`] uses) every collection site is
+//! compile-time dead code, which is why telemetry lives here as a
+//! generic rather than a `SimConfig` field — `SimConfig` is `Copy`, and
+//! monomorphization is what makes the disabled path cost nothing.
 
 use crate::cluster::Cluster;
 use crate::container::WarmContainer;
@@ -33,7 +49,61 @@ use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
 use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
 use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider};
 use ecolife_hw::{Fleet, HardwareNode, NodeId, PerfModel};
+use ecolife_telemetry::{finalize, lane, Event, EventKey, EventSink, NullSink, ReleaseCause};
 use ecolife_trace::{Invocation, Trace};
+
+/// Collected-but-not-yet-finalized telemetry: canonical key + event.
+type EventList = Vec<(EventKey, Event)>;
+
+/// What one settlement charged — returned by `settle` so call sites
+/// (which know *why* the container left: expiry, reuse, replacement,
+/// displacement, revocation) can emit the matching event. `None` means
+/// the stay had zero duration and nothing was charged.
+#[derive(Debug, Clone, Copy, Default)]
+struct Settlement {
+    keepalive_g: f64,
+    energy_kwh: f64,
+}
+
+/// Per-invocation event emission: numbers lane-6 events in code order so
+/// the finalized stream reads exactly like the sequential engine
+/// executed the step.
+struct StepEvents<'e> {
+    index: usize,
+    sub: u32,
+    buf: &'e mut EventList,
+}
+
+impl StepEvents<'_> {
+    #[inline]
+    fn push(&mut self, event: Event) {
+        self.buf.push((
+            EventKey::new(self.index as u64, lane::INVOCATION, self.sub, 0),
+            event,
+        ));
+        self.sub += 1;
+    }
+}
+
+/// Build the `Released` event for a container that left `node`'s pool at
+/// `end_ms` (call before any mutation of `c.warm_since_ms`).
+fn released(
+    cause: ReleaseCause,
+    node: NodeId,
+    c: &WarmContainer,
+    end_ms: u64,
+    s: Settlement,
+) -> Event {
+    Event::Released {
+        cause,
+        node: node.0,
+        func: c.func.0,
+        since_ms: c.warm_since_ms,
+        end_ms,
+        keepalive_g: s.keepalive_g,
+        energy_kwh: s.energy_kwh,
+    }
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +220,10 @@ struct ShardState<S> {
     /// the trace is), precomputed once so the replay loop runs each
     /// period's span without a per-invocation time comparison.
     ends: Vec<usize>,
+    /// This shard's collected telemetry (empty unless the run's sink is
+    /// enabled); the coordinator concatenates and finalization sorts by
+    /// canonical key.
+    events: EventList,
 }
 
 /// A configured simulation, ready to run against any scheduler.
@@ -245,6 +319,17 @@ impl<'a> Simulation<'a> {
     /// shards and is record-for-record identical whenever shards never
     /// contend for a node's memory.
     pub fn run<S: Scheduler>(&self, scheduler: &mut S) -> RunMetrics {
+        self.run_with_sink(scheduler, &mut NullSink)
+    }
+
+    /// [`Simulation::run`], additionally emitting the hash-chained event
+    /// stream through `sink` (see the module docs). With [`NullSink`]
+    /// this *is* `run` — every collection site is compile-time dead code.
+    pub fn run_with_sink<S: Scheduler, K: EventSink>(
+        &self,
+        scheduler: &mut S,
+        sink: &mut K,
+    ) -> RunMetrics {
         let mut cluster = Cluster::with_expiry(self.fleet.clone(), self.config.expiry);
         let mut metrics = RunMetrics {
             keepalive_g_by_node: vec![0.0; self.fleet.len()],
@@ -254,13 +339,26 @@ impl<'a> Simulation<'a> {
         scheduler.prepare(self.trace);
 
         let node_ids: Vec<NodeId> = self.fleet.ids().collect();
+        let mut events: EventList = Vec::new();
 
         for (index, inv) in self.trace.invocations().iter().enumerate() {
-            self.step(index, inv, &node_ids, &mut cluster, scheduler, &mut metrics);
+            self.step::<S, K>(
+                index,
+                inv,
+                &node_ids,
+                &mut cluster,
+                scheduler,
+                &mut metrics,
+                &mut events,
+            );
         }
 
         // End-of-run settlement: every live keep-alive is charged in full.
-        self.drain(&node_ids, &mut cluster, &mut metrics);
+        self.drain::<K>(&node_ids, &mut cluster, &mut metrics, &mut events);
+
+        if K::ENABLED {
+            self.finish_stream(events, &metrics, sink);
+        }
         metrics
     }
 
@@ -292,6 +390,29 @@ impl<'a> Simulation<'a> {
         S: Scheduler + Send,
         F: Fn(usize) -> S,
     {
+        self.run_sharded_with_sink(factory, opts, &mut NullSink)
+    }
+
+    /// [`Simulation::run_sharded`], additionally emitting the
+    /// hash-chained event stream through `sink`.
+    ///
+    /// Shards collect events locally under canonical global-index keys;
+    /// the coordinator concatenates and finalization sorts — the same
+    /// discipline as the `RunMetrics` merge — so the serialized stream
+    /// (and therefore the chain tip) is identical at any shard/thread
+    /// count, and byte-identical to the sequential stream whenever the
+    /// runs themselves are (`reconcile_revocations == 0`).
+    pub fn run_sharded_with_sink<S, F, K>(
+        &self,
+        factory: F,
+        opts: &ShardOptions,
+        sink: &mut K,
+    ) -> RunMetrics
+    where
+        S: Scheduler + Send,
+        F: Fn(usize) -> S,
+        K: EventSink,
+    {
         // `ShardOptions`' fields are public; re-validate here so a
         // hand-built value fails with a clear message instead of a
         // divide-by-zero below.
@@ -319,6 +440,7 @@ impl<'a> Simulation<'a> {
                     jobs: Vec::new(),
                     cursor: 0,
                     ends: Vec::new(),
+                    events: Vec::new(),
                 }
             })
             .collect();
@@ -374,7 +496,7 @@ impl<'a> Simulation<'a> {
             // delta — the flat per-period buffer every shard's
             // admissions/expiries/reconcile moves funded — in one pass,
             // instead of re-snapshotting every pool.
-            self.reconcile(t_start, &node_ids, &mut states, &mut ledger_peak_mib);
+            self.reconcile::<S, K>(t_start, &node_ids, &mut states, &mut ledger_peak_mib);
             for (s, state) in states.iter_mut().enumerate() {
                 for &id in &node_ids {
                     let delta = state.cluster.pool_mut(id).take_period_delta_mib();
@@ -407,9 +529,10 @@ impl<'a> Simulation<'a> {
                         cluster,
                         metrics,
                         scheduler,
+                        events,
                         ..
                     } = &mut state;
-                    self.step(index, &inv, &node_ids, cluster, scheduler, metrics);
+                    self.step::<S, K>(index, &inv, &node_ids, cluster, scheduler, metrics, events);
                     state.cursor += 1;
                 }
                 state
@@ -422,12 +545,27 @@ impl<'a> Simulation<'a> {
             .last()
             .map(|p| (p + 1).saturating_mul(opts.period_ms))
             .unwrap_or(0);
-        self.reconcile(t_final, &node_ids, &mut states, &mut ledger_peak_mib);
+        self.reconcile::<S, K>(t_final, &node_ids, &mut states, &mut ledger_peak_mib);
         for state in &mut states {
-            self.drain(&node_ids, &mut state.cluster, &mut state.metrics);
+            let ShardState {
+                cluster,
+                metrics,
+                events,
+                ..
+            } = state;
+            self.drain::<K>(&node_ids, cluster, metrics, events);
         }
 
-        merge_metrics(
+        // Gather every shard's collected telemetry before the states are
+        // consumed by the merge; finalization sorts by canonical key.
+        let mut stream: EventList = Vec::new();
+        if K::ENABLED {
+            for state in &mut states {
+                stream.append(&mut state.events);
+            }
+        }
+
+        let metrics = merge_metrics(
             self.trace.len(),
             n_nodes,
             // A shard's records were pushed in `jobs` order and every
@@ -435,7 +573,11 @@ impl<'a> Simulation<'a> {
             // index map.
             states.into_iter().map(|s| (s.jobs, s.metrics)).collect(),
             ledger_peak_mib,
-        )
+        );
+        if K::ENABLED {
+            self.finish_stream(stream, &metrics, sink);
+        }
+        metrics
     }
 
     /// One invocation of the replay loop (shared verbatim by the
@@ -445,7 +587,8 @@ impl<'a> Simulation<'a> {
     /// (what `InvocationCtx::index` promises schedulers); the record
     /// lands at `metrics.records.len()`, which the sharded path maps
     /// back to `index` when merging.
-    fn step<S: Scheduler>(
+    #[allow(clippy::too_many_arguments)]
+    fn step<S: Scheduler, K: EventSink>(
         &self,
         index: usize,
         inv: &Invocation,
@@ -453,6 +596,7 @@ impl<'a> Simulation<'a> {
         cluster: &mut Cluster,
         scheduler: &mut S,
         metrics: &mut RunMetrics,
+        events: &mut EventList,
     ) {
         let t = inv.t_ms;
         let profile = self.trace.catalog().profile(inv.func);
@@ -461,9 +605,19 @@ impl<'a> Simulation<'a> {
         for &id in node_ids {
             let expired = cluster.pool_mut(id).expire_until(t);
             for c in expired {
-                self.settle(&c, cluster.node(id), c.expiry_ms, metrics);
+                let s = self.settle(&c, cluster.node(id), c.expiry_ms, metrics);
+                if K::ENABLED {
+                    events.push(self.expired_event(id, &c, s));
+                }
             }
         }
+
+        // Per-invocation (lane-6) events are numbered in code order.
+        let mut ev = StepEvents {
+            index,
+            sub: 0,
+            buf: events,
+        };
 
         // (2) Warm or cold?
         let warm_at = cluster.warm_location(inv.func, t);
@@ -496,10 +650,31 @@ impl<'a> Simulation<'a> {
         let exec_loc = warm_at.unwrap_or(decision.exec);
         let warm = warm_at.is_some();
 
+        if K::ENABLED {
+            let (ka_node, ka_ms) = match decision.keepalive {
+                Some(ka) => (ka.location.0 as i64, ka.duration_ms),
+                None => (-1, 0),
+            };
+            ev.push(Event::DecisionMade {
+                index: index as u64,
+                func: inv.func.0,
+                t_ms: t,
+                exec_node: decision.exec.0,
+                warm,
+                ka_node,
+                ka_ms,
+            });
+        }
+
         // A consumed warm container is settled up to the reuse instant.
         if warm {
             if let Some(c) = cluster.pool_mut(exec_loc).remove(inv.func) {
-                self.settle(&c, cluster.node(exec_loc), t, metrics);
+                let s = self.settle(&c, cluster.node(exec_loc), t, metrics);
+                if K::ENABLED {
+                    if let Some(s) = s {
+                        ev.push(released(ReleaseCause::Reused, exec_loc, &c, t, s));
+                    }
+                }
             }
         }
 
@@ -540,6 +715,32 @@ impl<'a> Simulation<'a> {
             energy_kwh,
         });
 
+        if K::ENABLED {
+            let (func, node) = (inv.func.0, exec_loc.0);
+            let service_g = service_carbon.total_g();
+            ev.push(if warm {
+                Event::WarmHit {
+                    index: index as u64,
+                    func,
+                    node,
+                    t_ms: t,
+                    service_ms,
+                    service_g,
+                    energy_kwh,
+                }
+            } else {
+                Event::ColdStarted {
+                    index: index as u64,
+                    func,
+                    node,
+                    t_ms: t,
+                    service_ms,
+                    service_g,
+                    energy_kwh,
+                }
+            });
+        }
+
         // (5) Install the keep-alive.
         if let Some(ka) = decision.keepalive {
             assert!(
@@ -558,7 +759,15 @@ impl<'a> Simulation<'a> {
                     expiry_ms: end_of_service + ka.duration_ms,
                     origin_record: record_index,
                 };
-                self.install_keepalive(container, ka.location, t, scheduler, cluster, metrics);
+                self.install_keepalive::<S, K>(
+                    container,
+                    ka.location,
+                    t,
+                    scheduler,
+                    cluster,
+                    metrics,
+                    &mut ev,
+                );
             }
         }
 
@@ -578,11 +787,20 @@ impl<'a> Simulation<'a> {
     /// End-of-run settlement: drain every pool, charging each live
     /// keep-alive in full (at its expiry), and fold the pools'
     /// expiry-machinery counters into the run metrics.
-    fn drain(&self, node_ids: &[NodeId], cluster: &mut Cluster, metrics: &mut RunMetrics) {
+    fn drain<K: EventSink>(
+        &self,
+        node_ids: &[NodeId],
+        cluster: &mut Cluster,
+        metrics: &mut RunMetrics,
+        events: &mut EventList,
+    ) {
         for &id in node_ids {
             let remaining = cluster.pool_mut(id).drain_all();
             for c in remaining {
-                self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
+                let s = self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
+                if K::ENABLED {
+                    events.push(self.expired_event(id, &c, s));
+                }
             }
             metrics.expiry.absorb(cluster.pool(id).expiry_stats());
         }
@@ -600,7 +818,7 @@ impl<'a> Simulation<'a> {
     ///    the most recent optimistic admission — settle its stay, and
     ///    retry it against the other nodes in id order with true
     ///    cross-shard headroom (a transfer), else evict it.
-    fn reconcile<S: Scheduler>(
+    fn reconcile<S: Scheduler, K: EventSink>(
         &self,
         t_now: u64,
         node_ids: &[NodeId],
@@ -609,15 +827,37 @@ impl<'a> Simulation<'a> {
     ) {
         // (1) Eager expiry: the sequential engine expires on every
         // invocation; shards expire their own pools mid-period, so this
-        // only brings the ledger's cross-shard view up to date.
+        // only brings the ledger's cross-shard view up to date. Expiry
+        // events carry their *canonical* anchor (the global expiry
+        // trigger), so sweeping a container here instead of mid-step
+        // lands it at the exact position the sequential stream has it.
         for state in states.iter_mut() {
             for &id in node_ids {
                 let expired = state.cluster.pool_mut(id).expire_until(t_now);
                 for c in expired {
-                    self.settle(&c, self.fleet.node(id), c.expiry_ms, &mut state.metrics);
+                    let s = self.settle(&c, self.fleet.node(id), c.expiry_ms, &mut state.metrics);
+                    if K::ENABLED {
+                        state.events.push(self.expired_event(id, &c, s));
+                    }
                 }
             }
         }
+
+        // Reconcile-lane events (revocations and their transfer
+        // retries) are anchored at the boundary's global position and
+        // numbered in coordinator execution order — deterministic, and
+        // absent entirely from uncontended runs.
+        let rc_pos = if K::ENABLED {
+            self.trigger_pos(t_now)
+        } else {
+            0
+        };
+        let mut rc_sub = 0u32;
+        let mut rc_key = || {
+            let key = EventKey::new(rc_pos, lane::RECONCILE, rc_sub, 0);
+            rc_sub += 1;
+            key
+        };
 
         // (2) Capacity reconciliation, node by node in id order.
         for &id in node_ids {
@@ -649,8 +889,24 @@ impl<'a> Simulation<'a> {
                     .pool_mut(id)
                     .remove(func)
                     .expect("victim is resident");
-                self.settle(&container, self.fleet.node(id), t_now, &mut state.metrics);
+                let s = self.settle(&container, self.fleet.node(id), t_now, &mut state.metrics);
                 state.metrics.reconcile_revocations += 1;
+                if K::ENABLED {
+                    // Revocations are always emitted, even when the settle
+                    // charged nothing — the revocation itself is the
+                    // observable act.
+                    let s = s.unwrap_or_default();
+                    state.events.push((
+                        rc_key(),
+                        Event::Revoked {
+                            node: id.0,
+                            func: func.0,
+                            t_ms: t_now,
+                            keepalive_g: s.keepalive_g,
+                            energy_kwh: s.energy_kwh,
+                        },
+                    ));
+                }
 
                 // Retry on the remaining nodes (id order), against true
                 // cross-shard headroom at this instant. Phase 1 removed
@@ -687,14 +943,39 @@ impl<'a> Simulation<'a> {
                     match pool.insert(container) {
                         Ok(replaced) => {
                             if let Some(old) = replaced {
-                                self.settle(
+                                let s = self.settle(
                                     &old,
                                     self.fleet.node(target),
                                     t_now,
                                     &mut states[owner].metrics,
                                 );
+                                if K::ENABLED {
+                                    if let Some(s) = s {
+                                        states[owner].events.push((
+                                            rc_key(),
+                                            released(
+                                                ReleaseCause::Replaced,
+                                                target,
+                                                &old,
+                                                t_now,
+                                                s,
+                                            ),
+                                        ));
+                                    }
+                                }
                             }
                             states[owner].metrics.transfers += 1;
+                            if K::ENABLED {
+                                states[owner].events.push((
+                                    rc_key(),
+                                    Event::Transferred {
+                                        func: func.0,
+                                        from: id.0,
+                                        to: target.0,
+                                        t_ms: t_now,
+                                    },
+                                ));
+                            }
                             placed = true;
                         }
                         Err(c) => {
@@ -724,7 +1005,8 @@ impl<'a> Simulation<'a> {
 
     /// Insert `container` into `location`'s pool, running the scheduler's
     /// warm-pool adjustment when it does not fit.
-    fn install_keepalive<S: Scheduler>(
+    #[allow(clippy::too_many_arguments)]
+    fn install_keepalive<S: Scheduler, K: EventSink>(
         &self,
         container: WarmContainer,
         location: NodeId,
@@ -732,12 +1014,18 @@ impl<'a> Simulation<'a> {
         scheduler: &mut S,
         cluster: &mut Cluster,
         metrics: &mut RunMetrics,
+        ev: &mut StepEvents<'_>,
     ) {
         // Settle a replaced container of the same function (its keep-alive
         // ends now).
         if cluster.pool(location).get(container.func).is_some() {
             if let Some(old) = cluster.pool_mut(location).remove(container.func) {
-                self.settle(&old, cluster.node(location), t, metrics);
+                let s = self.settle(&old, cluster.node(location), t, metrics);
+                if K::ENABLED {
+                    if let Some(s) = s {
+                        ev.push(released(ReleaseCause::Replaced, location, &old, t, s));
+                    }
+                }
             }
         }
 
@@ -781,7 +1069,18 @@ impl<'a> Simulation<'a> {
                         continue; // plan referenced a non-resident function
                     };
                     // Its stay on this node ends now.
-                    self.settle(&displaced, cluster.node(location), t, metrics);
+                    let s = self.settle(&displaced, cluster.node(location), t, metrics);
+                    if K::ENABLED {
+                        if let Some(s) = s {
+                            ev.push(released(
+                                ReleaseCause::Displaced,
+                                location,
+                                &displaced,
+                                t,
+                                s,
+                            ));
+                        }
+                    }
                     // Restart the remaining keep-alive on the first
                     // transfer target with room.
                     displaced.warm_since_ms = t;
@@ -796,9 +1095,28 @@ impl<'a> Simulation<'a> {
                                     // keep-alive became warm): its stay ends
                                     // here and must still be charged.
                                     if let Some(old) = replaced {
-                                        self.settle(&old, cluster.node(target), t, metrics);
+                                        let s = self.settle(&old, cluster.node(target), t, metrics);
+                                        if K::ENABLED {
+                                            if let Some(s) = s {
+                                                ev.push(released(
+                                                    ReleaseCause::Replaced,
+                                                    target,
+                                                    &old,
+                                                    t,
+                                                    s,
+                                                ));
+                                            }
+                                        }
                                     }
                                     metrics.transfers += 1;
+                                    if K::ENABLED {
+                                        ev.push(Event::Transferred {
+                                            func: func.0,
+                                            from: location.0,
+                                            to: target.0,
+                                            t_ms: t,
+                                        });
+                                    }
                                     placed = true;
                                     break;
                                 }
@@ -824,17 +1142,18 @@ impl<'a> Simulation<'a> {
     }
 
     /// Charge a container's keep-alive period `[warm_since, end)` to its
-    /// origin record.
+    /// origin record. Returns what was charged (for the event stream), or
+    /// `None` when the stay had zero duration and nothing was charged.
     fn settle(
         &self,
         container: &WarmContainer,
         node: &HardwareNode,
         end_ms: u64,
         metrics: &mut RunMetrics,
-    ) {
+    ) -> Option<Settlement> {
         let duration = container.resident_ms(end_ms);
         if duration == 0 {
-            return;
+            return None;
         }
         // Charged on the *hosting node's* grid.
         let ci_avg = self.ci.average_over(
@@ -847,12 +1166,135 @@ impl<'a> Simulation<'a> {
                 .carbon_model
                 .keepalive_phase(node, container.memory_mib, duration, ci_avg);
         metrics.keepalive_g_by_node[node.id.index()] += fp.total_g();
-        let rec = &mut metrics.records[container.origin_record];
-        rec.keepalive_carbon += fp;
-        rec.energy_kwh +=
+        let energy =
             self.config
                 .carbon_model
                 .keepalive_energy_kwh(node, container.memory_mib, duration);
+        let rec = &mut metrics.records[container.origin_record];
+        rec.keepalive_carbon += fp;
+        rec.energy_kwh += energy;
+        Some(Settlement {
+            keepalive_g: fp.total_g(),
+            energy_kwh: energy,
+        })
+    }
+
+    /// The canonical stream position for an engine action triggered at
+    /// `t_ms`: the index of the first invocation at or after it. This is
+    /// exactly where the sequential engine's lazy sweep observes an
+    /// expiry, so shards can anchor the same action at the same place
+    /// without replaying the sequential schedule.
+    fn trigger_pos(&self, t_ms: u64) -> u64 {
+        self.trace
+            .invocations()
+            .partition_point(|inv| inv.t_ms < t_ms) as u64
+    }
+
+    /// An [`Event::Expired`] at its canonical key. Works for mid-run
+    /// sweeps, period-boundary sweeps, and the end-of-run drain alike:
+    /// the key depends only on the expiry instant, never on which path
+    /// happened to collect the container.
+    fn expired_event(
+        &self,
+        id: NodeId,
+        c: &WarmContainer,
+        s: Option<Settlement>,
+    ) -> (EventKey, Event) {
+        let s = s.unwrap_or_default();
+        (
+            EventKey::new(self.trigger_pos(c.expiry_ms), lane::EXPIRY, id.0, c.func.0),
+            Event::Expired {
+                node: id.0,
+                func: c.func.0,
+                since_ms: c.warm_since_ms,
+                expiry_ms: c.expiry_ms,
+                keepalive_g: s.keepalive_g,
+                energy_kwh: s.energy_kwh,
+            },
+        )
+    }
+
+    /// Events derivable from inputs alone — run start, period boundaries,
+    /// per-region CI observations. Both engine paths derive these from
+    /// the global trace, so they are identical by construction
+    /// (telemetry periods are the trace's *active minutes*, independent
+    /// of [`ShardOptions::period_ms`]).
+    fn skeleton_events(&self) -> EventList {
+        let mut events: EventList = Vec::new();
+        events.push((
+            EventKey::new(0, lane::RUN_STARTED, 0, 0),
+            Event::RunStarted {
+                invocations: self.trace.len() as u64,
+                functions: self.trace.catalog().len() as u64,
+                nodes: self.fleet.len() as u64,
+                horizon_ms: if self.trace.is_empty() {
+                    0
+                } else {
+                    self.trace.horizon_ms()
+                },
+            },
+        ));
+        let regions: Vec<(String, &CarbonIntensityTrace)> = self
+            .ci
+            .distinct_regions()
+            .map(|(r, tr)| (r.label().to_string(), tr))
+            .collect();
+        let mut open: Option<u64> = None;
+        for (i, inv) in self.trace.invocations().iter().enumerate() {
+            let minute = inv.t_ms / crate::MINUTE_MS;
+            if open == Some(minute) {
+                continue;
+            }
+            let i = i as u64;
+            if let Some(prev) = open {
+                events.push((
+                    EventKey::new(i, lane::PERIOD_ENDED, 0, 0),
+                    Event::PeriodEnded { minute: prev },
+                ));
+            }
+            events.push((
+                EventKey::new(i, lane::PERIOD_STARTED, 0, 0),
+                Event::PeriodStarted { minute },
+            ));
+            let t_ms = minute * crate::MINUTE_MS;
+            for (ri, (label, series)) in regions.iter().enumerate() {
+                events.push((
+                    EventKey::new(i, lane::CI_OBSERVED, ri as u32, 0),
+                    Event::CiObserved {
+                        region: label.clone(),
+                        t_ms,
+                        gco2_per_kwh: series.at(t_ms),
+                    },
+                ));
+            }
+            open = Some(minute);
+        }
+        if let Some(prev) = open {
+            events.push((
+                EventKey::new(self.trace.len() as u64, lane::PERIOD_ENDED, 0, 0),
+                Event::PeriodEnded { minute: prev },
+            ));
+        }
+        events
+    }
+
+    /// Merge the run body with the input-derived skeleton, cap with
+    /// [`Event::RunEnded`], and hand the whole collection to
+    /// [`finalize`] for sorting, numbering, hash-chaining, and emission.
+    fn finish_stream<K: EventSink>(&self, body: EventList, metrics: &RunMetrics, sink: &mut K) {
+        let mut stream = self.skeleton_events();
+        stream.extend(body);
+        stream.push((
+            EventKey::new(self.trace.len() as u64, lane::RUN_ENDED, 0, 0),
+            Event::RunEnded {
+                invocations: metrics.invocations() as u64,
+                transfers: metrics.transfers,
+                evictions: metrics.evicted_functions,
+                revocations: metrics.reconcile_revocations,
+                expired: metrics.expiry.expired,
+            },
+        ));
+        finalize(stream, sink);
     }
 }
 

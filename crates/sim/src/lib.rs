@@ -40,6 +40,13 @@
 //! The sequential engine ([`Simulation::run`]) remains the
 //! single-threaded reference; experiment sweeps additionally fan whole
 //! simulations out over [`parallel::parallel_map`].
+//!
+//! Both paths can additionally emit a hash-chained golden-trace event
+//! stream ([`Simulation::run_with_sink`] /
+//! [`Simulation::run_sharded_with_sink`], sinks from
+//! `ecolife-telemetry`): byte-identical between sequential and sharded
+//! execution, and zero-cost when disabled ([`NullSink`] monomorphizes
+//! every emission away). See the telemetry section of [`engine`]'s docs.
 
 pub mod cluster;
 pub mod container;
@@ -53,6 +60,11 @@ pub mod shard;
 pub use cluster::Cluster;
 pub use container::WarmContainer;
 pub use ecolife_carbon::{CiBundle, CiError, CiProvider};
+// Telemetry surface: sinks plug into `run_with_sink` /
+// `run_sharded_with_sink`; everything else reads the emitted lines.
+pub use ecolife_telemetry::{
+    CaptureSink, ChainSummary, Event, EventSink, GoldenSnapshot, JsonlSink, NullSink,
+};
 pub use engine::{
     evaluate, evaluate_regional, evaluate_sharded, evaluate_sharded_regional, SimConfig, Simulation,
 };

@@ -1,0 +1,228 @@
+//! `ecolife-trace` — tail, filter, verify, and diff engine event streams.
+//!
+//! ```text
+//! ecolife-trace tail   <run.jsonl> [-n N]
+//! ecolife-trace filter <run.jsonl> [--type T] [--node N] [--func F]
+//!                                  [--from MS] [--to MS] [--pretty]
+//! ecolife-trace verify <run.jsonl>
+//! ecolife-trace diff   <a.jsonl> <b.jsonl>
+//! ```
+//!
+//! Exit codes: `verify` exits 2 on a broken chain, `diff` exits 1 on
+//! divergence — so both slot straight into CI.
+
+use ecolife_telemetry::{diff_lines, pretty, str_field, u64_field, verify_lines};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ecolife-trace tail   <run.jsonl> [-n N]\n  ecolife-trace filter <run.jsonl> \
+         [--type T] [--node N] [--func F] [--from MS] [--to MS] [--pretty]\n  ecolife-trace \
+         verify <run.jsonl>\n  ecolife-trace diff   <a.jsonl> <b.jsonl>"
+    );
+    ExitCode::from(64)
+}
+
+fn read_lines(path: &str) -> Result<Vec<String>, ExitCode> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text.lines().map(str::to_string).collect()),
+        Err(e) => {
+            eprintln!("ecolife-trace: cannot read {path}: {e}");
+            Err(ExitCode::from(66))
+        }
+    }
+}
+
+/// The instant a line is "about", for `--from`/`--to`: its `t_ms` when
+/// present, else the expiry instant, else the period minute. Lines with
+/// no time anchor (run start/end) always pass the range filter.
+fn event_time(line: &str) -> Option<u64> {
+    u64_field(line, "t_ms")
+        .or_else(|| u64_field(line, "expiry_ms"))
+        .or_else(|| u64_field(line, "end_ms"))
+        .or_else(|| u64_field(line, "minute").map(|m| m * 60_000))
+}
+
+struct Filter {
+    type_name: Option<String>,
+    node: Option<u64>,
+    func: Option<u64>,
+    from_ms: Option<u64>,
+    to_ms: Option<u64>,
+}
+
+impl Filter {
+    fn keep(&self, line: &str) -> bool {
+        if let Some(ref want) = self.type_name {
+            if str_field(line, "type") != Some(want.as_str()) {
+                return false;
+            }
+        }
+        if let Some(node) = self.node {
+            // An event "touches" a node through any of its node-valued
+            // fields (transfers carry two).
+            let touches = [
+                u64_field(line, "node"),
+                u64_field(line, "exec_node"),
+                u64_field(line, "from"),
+                u64_field(line, "to"),
+            ]
+            .into_iter()
+            .flatten()
+            .any(|n| n == node);
+            if !touches {
+                return false;
+            }
+        }
+        if let Some(func) = self.func {
+            if u64_field(line, "func") != Some(func) {
+                return false;
+            }
+        }
+        if self.from_ms.is_some() || self.to_ms.is_some() {
+            if let Some(t) = event_time(line) {
+                if self.from_ms.is_some_and(|from| t < from) {
+                    return false;
+                }
+                if self.to_ms.is_some_and(|to| t > to) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn parse_u64_arg(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, ExitCode> {
+    let v = args.next().ok_or_else(|| {
+        eprintln!("ecolife-trace: {flag} needs a value");
+        ExitCode::from(64)
+    })?;
+    v.parse().map_err(|_| {
+        eprintln!("ecolife-trace: {flag} expects an integer, got '{v}'");
+        ExitCode::from(64)
+    })
+}
+
+fn run() -> Result<ExitCode, ExitCode> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "tail" => {
+            let mut rest = args[1..].iter();
+            let mut path = None;
+            let mut n = 10usize;
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "-n" => n = parse_u64_arg(&mut rest, "-n")? as usize,
+                    _ if path.is_none() => path = Some(arg.clone()),
+                    _ => return Err(usage()),
+                }
+            }
+            let lines = read_lines(&path.ok_or_else(usage)?)?;
+            let start = lines.len().saturating_sub(n);
+            for line in &lines[start..] {
+                println!("{line}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "filter" => {
+            let mut rest = args[1..].iter();
+            let mut path = None;
+            let mut pretty_out = false;
+            let mut filter = Filter {
+                type_name: None,
+                node: None,
+                func: None,
+                from_ms: None,
+                to_ms: None,
+            };
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--type" => {
+                        filter.type_name = Some(
+                            rest.next()
+                                .ok_or_else(|| {
+                                    eprintln!("ecolife-trace: --type needs a value");
+                                    ExitCode::from(64)
+                                })?
+                                .clone(),
+                        )
+                    }
+                    "--node" => filter.node = Some(parse_u64_arg(&mut rest, "--node")?),
+                    "--func" => filter.func = Some(parse_u64_arg(&mut rest, "--func")?),
+                    "--from" => filter.from_ms = Some(parse_u64_arg(&mut rest, "--from")?),
+                    "--to" => filter.to_ms = Some(parse_u64_arg(&mut rest, "--to")?),
+                    "--pretty" => pretty_out = true,
+                    _ if path.is_none() => path = Some(arg.clone()),
+                    _ => return Err(usage()),
+                }
+            }
+            let lines = read_lines(&path.ok_or_else(usage)?)?;
+            let mut matched = 0u64;
+            for line in &lines {
+                if filter.keep(line) {
+                    matched += 1;
+                    if pretty_out {
+                        println!("{}", pretty(line));
+                    } else {
+                        println!("{line}");
+                    }
+                }
+            }
+            eprintln!("{matched} of {} events matched", lines.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let [_, path] = args.as_slice() else {
+                return Err(usage());
+            };
+            let lines = read_lines(path)?;
+            match verify_lines(lines.iter().map(String::as_str)) {
+                Ok(summary) => {
+                    println!(
+                        "ok: {} events, chain tip {} ({path})",
+                        summary.events, summary.tip
+                    );
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        "diff" => {
+            let [_, left_path, right_path] = args.as_slice() else {
+                return Err(usage());
+            };
+            let left = read_lines(left_path)?;
+            let right = read_lines(right_path)?;
+            let l: Vec<&str> = left.iter().map(String::as_str).collect();
+            let r: Vec<&str> = right.iter().map(String::as_str).collect();
+            match diff_lines(&l, &r) {
+                None => {
+                    println!(
+                        "identical: {} events ({left_path} vs {right_path})",
+                        l.len()
+                    );
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(div) => {
+                    println!("{left_path} vs {right_path}\n{div}");
+                    Ok(ExitCode::from(1))
+                }
+            }
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}

@@ -1,0 +1,250 @@
+//! The event taxonomy and the canonical merge key.
+//!
+//! One [`Event`] per observable engine action, TRACE-style: if it wasn't
+//! emitted by the runtime, it didn't happen. Field types are primitives
+//! (`NodeId` → `u32` index, `FunctionId` → `u32`, `Region` → its label)
+//! so the telemetry crate stays dependency-free and a stream is
+//! self-describing without the workspace's types.
+//!
+//! ## Stream identity across engines
+//!
+//! The sequential and sharded engines must serialize to *byte-identical*
+//! streams. Both collect `(EventKey, Event)` pairs and only sort, number,
+//! and hash them at end of run ([`crate::finalize`]): identity is then
+//! structural — same event set, same keys ⇒ same bytes — instead of
+//! depending on interleaving. The key is a total order designed so the
+//! sorted stream reads like the sequential engine executed:
+//!
+//! * `pos` — the global invocation index the event is anchored to: the
+//!   invocation being replayed (decision/start/release lanes), the
+//!   *expiry trigger* for container expiries (the first invocation index
+//!   at or after the expiry instant — exactly where the sequential
+//!   engine's lazy sweep settles it), or the first index of a period for
+//!   boundary events. `trace.len()` anchors end-of-run events.
+//! * `lane` — orders event classes at the same `pos`: run start, then
+//!   the previous period closing, a period opening, CI observations,
+//!   container expiries, reconciliation ops, per-invocation ops, run end.
+//! * `a`, `b` — disambiguate within a lane (node/function for expiries,
+//!   an emission counter for per-invocation and reconciliation ops).
+//!
+//! Keys are unique per run (debug-asserted in [`crate::finalize`]), so
+//! the stable sort admits exactly one serialization.
+
+/// Lane constants for [`EventKey`]: the within-`pos` ordering of event
+/// classes. `PERIOD_ENDED < PERIOD_STARTED` because at a boundary index
+/// the previous period closes before the next opens.
+pub mod lane {
+    pub const RUN_STARTED: u8 = 0;
+    pub const PERIOD_ENDED: u8 = 1;
+    pub const PERIOD_STARTED: u8 = 2;
+    pub const CI_OBSERVED: u8 = 3;
+    pub const EXPIRY: u8 = 4;
+    pub const RECONCILE: u8 = 5;
+    pub const INVOCATION: u8 = 6;
+    pub const RUN_ENDED: u8 = 7;
+}
+
+/// The canonical sort key every emitted event carries until
+/// finalization. Ordering is the derived lexicographic
+/// `(pos, lane, a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Global invocation index anchor (see module docs).
+    pub pos: u64,
+    /// Event-class lane (see [`lane`]).
+    pub lane: u8,
+    /// Within-lane discriminator: node index (expiries), region index
+    /// (CI observations), or emission counter (invocation/reconcile ops).
+    pub a: u32,
+    /// Second discriminator: function id for expiries, else 0.
+    pub b: u32,
+}
+
+impl EventKey {
+    pub const fn new(pos: u64, lane: u8, a: u32, b: u32) -> Self {
+        EventKey { pos, lane, a, b }
+    }
+}
+
+/// Why a warm container left its pool before expiring on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseCause {
+    /// Consumed by a warm start of its own function.
+    Reused,
+    /// Replaced by a newer keep-alive of the same function (at install
+    /// or as a transfer landed on its node).
+    Replaced,
+    /// Displaced by the scheduler's warm-pool adjustment to make room
+    /// for an incoming container.
+    Displaced,
+}
+
+impl ReleaseCause {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReleaseCause::Reused => "reused",
+            ReleaseCause::Replaced => "replaced",
+            ReleaseCause::Displaced => "displaced",
+        }
+    }
+}
+
+/// One observable action of the replay engine.
+///
+/// Settlement-bearing events (`Expired`, `Released`) are emitted only
+/// when the container actually accrued resident time (mirroring the
+/// engine's accounting, which skips zero-duration settlements);
+/// `Revoked` is always emitted — the revocation itself is observable
+/// even when the stay settled to nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Replay begins: workload shape and fleet size.
+    RunStarted {
+        invocations: u64,
+        functions: u64,
+        nodes: u64,
+        horizon_ms: u64,
+    },
+    /// An active wall-clock minute opens (minutes with no arrivals are
+    /// skipped, same as the engine's period batching).
+    PeriodStarted { minute: u64 },
+    /// The previous active minute closes.
+    PeriodEnded { minute: u64 },
+    /// Carbon intensity observed at a period boundary, once per
+    /// *distinct* grid region backing the fleet.
+    CiObserved {
+        region: String,
+        t_ms: u64,
+        gco2_per_kwh: f64,
+    },
+    /// The scheduler's raw placement for one invocation. `exec_node` is
+    /// the scheduler's choice — a warm hit overrides it with the warm
+    /// location (see the matching `WarmHit`). `ka_node` is `-1` when no
+    /// keep-alive was scheduled.
+    DecisionMade {
+        index: u64,
+        func: u32,
+        t_ms: u64,
+        exec_node: u32,
+        warm: bool,
+        ka_node: i64,
+        ka_ms: u64,
+    },
+    /// A cold start: where it actually executed and what it cost.
+    ColdStarted {
+        index: u64,
+        func: u32,
+        node: u32,
+        t_ms: u64,
+        service_ms: u64,
+        service_g: f64,
+        energy_kwh: f64,
+    },
+    /// A warm start served from `node`'s pool.
+    WarmHit {
+        index: u64,
+        func: u32,
+        node: u32,
+        t_ms: u64,
+        service_ms: u64,
+        service_g: f64,
+        energy_kwh: f64,
+    },
+    /// A keep-alive lapsed on its own and was settled at its expiry.
+    Expired {
+        node: u32,
+        func: u32,
+        since_ms: u64,
+        expiry_ms: u64,
+        keepalive_g: f64,
+        energy_kwh: f64,
+    },
+    /// A container left its pool early; `keepalive_g`/`energy_kwh` are
+    /// the settled cost of its actual stay `[since_ms, end_ms)`.
+    Released {
+        cause: ReleaseCause,
+        node: u32,
+        func: u32,
+        since_ms: u64,
+        end_ms: u64,
+        keepalive_g: f64,
+        energy_kwh: f64,
+    },
+    /// A displaced or revoked container restarted its keep-alive on
+    /// another node.
+    Transferred {
+        func: u32,
+        from: u32,
+        to: u32,
+        t_ms: u64,
+    },
+    /// Ledger reconciliation revoked an optimistic cross-shard
+    /// admission (sharded engine only; the container is then transferred
+    /// or evicted).
+    Revoked {
+        node: u32,
+        func: u32,
+        t_ms: u64,
+        keepalive_g: f64,
+        energy_kwh: f64,
+    },
+    /// Replay ends: the run's headline counters.
+    RunEnded {
+        invocations: u64,
+        transfers: u64,
+        evictions: u64,
+        revocations: u64,
+        expired: u64,
+    },
+}
+
+impl Event {
+    /// The `"type"` tag serialized into every line.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "RunStarted",
+            Event::PeriodStarted { .. } => "PeriodStarted",
+            Event::PeriodEnded { .. } => "PeriodEnded",
+            Event::CiObserved { .. } => "CiObserved",
+            Event::DecisionMade { .. } => "DecisionMade",
+            Event::ColdStarted { .. } => "ColdStarted",
+            Event::WarmHit { .. } => "WarmHit",
+            Event::Expired { .. } => "Expired",
+            Event::Released { .. } => "Released",
+            Event::Transferred { .. } => "Transferred",
+            Event::Revoked { .. } => "Revoked",
+            Event::RunEnded { .. } => "RunEnded",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_is_pos_then_lane_then_discriminators() {
+        let mut keys = vec![
+            EventKey::new(3, lane::INVOCATION, 1, 0),
+            EventKey::new(3, lane::EXPIRY, 0, 7),
+            EventKey::new(3, lane::EXPIRY, 0, 2),
+            EventKey::new(2, lane::RUN_ENDED, 0, 0),
+            EventKey::new(3, lane::PERIOD_ENDED, 0, 0),
+            EventKey::new(3, lane::PERIOD_STARTED, 0, 0),
+            EventKey::new(3, lane::INVOCATION, 0, 0),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                EventKey::new(2, lane::RUN_ENDED, 0, 0),
+                EventKey::new(3, lane::PERIOD_ENDED, 0, 0),
+                EventKey::new(3, lane::PERIOD_STARTED, 0, 0),
+                EventKey::new(3, lane::EXPIRY, 0, 2),
+                EventKey::new(3, lane::EXPIRY, 0, 7),
+                EventKey::new(3, lane::INVOCATION, 0, 0),
+                EventKey::new(3, lane::INVOCATION, 1, 0),
+            ]
+        );
+    }
+}

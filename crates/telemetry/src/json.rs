@@ -1,0 +1,305 @@
+//! Hand-rolled flat JSON for event lines: a writer that serializes every
+//! event the same way on every platform, and a field extractor for the
+//! controlled format the writer emits.
+//!
+//! Floats are written with Rust's shortest-roundtrip `Display` — the
+//! minimal decimal string that parses back to the identical bits — so a
+//! line (and therefore the hash chain over it) is a bit-exact encoding
+//! of the run, stable across platforms. Scientific notation never
+//! appears (`Display` for `f64` does not produce it), and non-finite
+//! values are a bug upstream (debug-asserted).
+
+use crate::event::Event;
+
+/// Append `"key":value` (with a leading comma) for a u64.
+fn push_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn push_i64(out: &mut String, key: &str, v: i64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+fn push_bool(out: &mut String, key: &str, v: bool) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(if v { "true" } else { "false" });
+}
+
+/// Append a float in shortest-roundtrip form: `v.to_string()` produces
+/// the fewest digits that parse back bit-exactly (and never scientific
+/// notation), which is what makes hash chains platform-stable.
+fn push_f64(out: &mut String, key: &str, v: f64) {
+    debug_assert!(v.is_finite(), "non-finite {key} in event stream: {v}");
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&v.to_string());
+}
+
+/// Append a string value. Event strings (region labels, causes, type
+/// names) are controlled ASCII, but escape defensively anyway.
+fn push_str(out: &mut String, key: &str, v: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize the event's payload fields (everything after the `"type"`
+/// tag) onto `out`, each with its leading comma.
+pub fn write_payload(event: &Event, out: &mut String) {
+    match event {
+        Event::RunStarted {
+            invocations,
+            functions,
+            nodes,
+            horizon_ms,
+        } => {
+            push_u64(out, "invocations", *invocations);
+            push_u64(out, "functions", *functions);
+            push_u64(out, "nodes", *nodes);
+            push_u64(out, "horizon_ms", *horizon_ms);
+        }
+        Event::PeriodStarted { minute } | Event::PeriodEnded { minute } => {
+            push_u64(out, "minute", *minute);
+        }
+        Event::CiObserved {
+            region,
+            t_ms,
+            gco2_per_kwh,
+        } => {
+            push_str(out, "region", region);
+            push_u64(out, "t_ms", *t_ms);
+            push_f64(out, "gco2_per_kwh", *gco2_per_kwh);
+        }
+        Event::DecisionMade {
+            index,
+            func,
+            t_ms,
+            exec_node,
+            warm,
+            ka_node,
+            ka_ms,
+        } => {
+            push_u64(out, "index", *index);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "exec_node", *exec_node as u64);
+            push_bool(out, "warm", *warm);
+            push_i64(out, "ka_node", *ka_node);
+            push_u64(out, "ka_ms", *ka_ms);
+        }
+        Event::ColdStarted {
+            index,
+            func,
+            node,
+            t_ms,
+            service_ms,
+            service_g,
+            energy_kwh,
+        }
+        | Event::WarmHit {
+            index,
+            func,
+            node,
+            t_ms,
+            service_ms,
+            service_g,
+            energy_kwh,
+        } => {
+            push_u64(out, "index", *index);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "service_ms", *service_ms);
+            push_f64(out, "service_g", *service_g);
+            push_f64(out, "energy_kwh", *energy_kwh);
+        }
+        Event::Expired {
+            node,
+            func,
+            since_ms,
+            expiry_ms,
+            keepalive_g,
+            energy_kwh,
+        } => {
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "since_ms", *since_ms);
+            push_u64(out, "expiry_ms", *expiry_ms);
+            push_f64(out, "keepalive_g", *keepalive_g);
+            push_f64(out, "energy_kwh", *energy_kwh);
+        }
+        Event::Released {
+            cause,
+            node,
+            func,
+            since_ms,
+            end_ms,
+            keepalive_g,
+            energy_kwh,
+        } => {
+            push_str(out, "cause", cause.as_str());
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "since_ms", *since_ms);
+            push_u64(out, "end_ms", *end_ms);
+            push_f64(out, "keepalive_g", *keepalive_g);
+            push_f64(out, "energy_kwh", *energy_kwh);
+        }
+        Event::Transferred {
+            func,
+            from,
+            to,
+            t_ms,
+        } => {
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "from", *from as u64);
+            push_u64(out, "to", *to as u64);
+            push_u64(out, "t_ms", *t_ms);
+        }
+        Event::Revoked {
+            node,
+            func,
+            t_ms,
+            keepalive_g,
+            energy_kwh,
+        } => {
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_f64(out, "keepalive_g", *keepalive_g);
+            push_f64(out, "energy_kwh", *energy_kwh);
+        }
+        Event::RunEnded {
+            invocations,
+            transfers,
+            evictions,
+            revocations,
+            expired,
+        } => {
+            push_u64(out, "invocations", *invocations);
+            push_u64(out, "transfers", *transfers);
+            push_u64(out, "evictions", *evictions);
+            push_u64(out, "revocations", *revocations);
+            push_u64(out, "expired", *expired);
+        }
+    }
+}
+
+/// Extract the raw value slice of `key` from a flat event line:
+/// `field(line, "func")` on `…,"func":17,…` yields `17`; string values
+/// keep their quotes (strip with [`str_field`]). Safe on the writer's
+/// output because values never contain `,"` (strings are controlled
+/// labels/hex, numbers have no commas); this is a field *extractor* for
+/// the one format the sink writes, not a JSON parser.
+pub fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(",\"").unwrap_or_else(|| {
+        // Last field: drop the closing brace.
+        rest.len().saturating_sub(1)
+    });
+    Some(&rest[..end])
+}
+
+/// [`field`] with string quotes stripped.
+pub fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let raw = field(line, key)?;
+    raw.strip_prefix('"').and_then(|r| r.strip_suffix('"'))
+}
+
+/// [`field`] parsed as u64.
+pub fn u64_field(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReleaseCause;
+
+    #[test]
+    fn payload_is_flat_and_extractable() {
+        let ev = Event::Released {
+            cause: ReleaseCause::Displaced,
+            node: 3,
+            func: 17,
+            since_ms: 61_000,
+            end_ms: 64_500,
+            keepalive_g: 0.1,
+            energy_kwh: 2.5e-7,
+        };
+        let mut line = String::from("{\"seq\":9,\"prev\":\"aa\",\"type\":\"Released\"");
+        write_payload(&ev, &mut line);
+        line.push('}');
+        assert_eq!(str_field(&line, "cause"), Some("displaced"));
+        assert_eq!(u64_field(&line, "node"), Some(3));
+        assert_eq!(u64_field(&line, "func"), Some(17));
+        assert_eq!(u64_field(&line, "end_ms"), Some(64_500));
+        // Last field: extractor must stop at the closing brace.
+        let kwh: f64 = field(&line, "energy_kwh").unwrap().parse().unwrap();
+        assert_eq!(kwh.to_bits(), 2.5e-7f64.to_bits());
+    }
+
+    /// Shortest-roundtrip: every finite f64 serialized by the sink
+    /// parses back to the identical bits. Random bit patterns from a
+    /// local xorshift (the telemetry crate has no rand dependency).
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut checked = 0u32;
+        while checked < 4_000 {
+            let bits = step();
+            let v = f64::from_bits(bits);
+            if !v.is_finite() {
+                continue;
+            }
+            let s = v.to_string();
+            assert!(
+                !s.contains(['e', 'E']),
+                "scientific notation would change the contract: {s}"
+            );
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "{v} serialized as {s} parsed back to {back}"
+            );
+            checked += 1;
+        }
+        // And the awkward fixed points.
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX, 2.5e-7] {
+            let back: f64 = v.to_string().parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+}

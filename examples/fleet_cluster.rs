@@ -103,6 +103,33 @@ fn main() {
             "carbon g per node:",
             carbon_row(&fleet, &m)
         );
+        println!(
+            "{:<10} {:>37} {} expired, {} timeline pops ({} stale), {} scanned",
+            "",
+            "warm-pool churn:",
+            m.expiry.expired,
+            m.expiry.timeline_pops,
+            m.expiry.stale_pops,
+            m.expiry.scanned,
+        );
+    }
+
+    // The same EcoLife run through the sharded engine: the per-node
+    // memory-ledger peaks show how close each warm pool came to its
+    // keep-alive budget (the capacity guarantee is peak <= budget).
+    let sharded = Simulation::new(&trace, &ci, fleet.clone()).run_sharded(
+        |_| EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+        &ecolife::sim::ShardOptions::new(4),
+    );
+    println!("\nsharded replay, warm-pool peak occupancy (MiB):");
+    for (node, &peak) in fleet.iter().zip(&sharded.ledger_peak_mib) {
+        println!(
+            "  {}  {:>6} / {:>6} ({:>4.1}%)",
+            node.id,
+            peak,
+            node.keepalive_mem_mib,
+            100.0 * peak as f64 / node.keepalive_mem_mib as f64
+        );
     }
 
     println!(

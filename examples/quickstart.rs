@@ -36,21 +36,25 @@ fn main() {
     let mut new_only = FixedPolicy::new_only();
 
     println!(
-        "\n{:<10} {:>13} {:>11} {:>10} {:>9}",
+        "\n{:<10} {:>13} {:>11} {:>10} {:>9}   warm-pool churn",
         "scheme", "service ms", "carbon g", "warm rate", "evicted"
     );
-    for summary in [
-        run_scheme(&trace, &ci, &fleet, &mut oracle).0,
-        run_scheme(&trace, &ci, &fleet, &mut ecolife).0,
-        run_scheme(&trace, &ci, &fleet, &mut new_only).0,
+    for (summary, m) in [
+        run_scheme(&trace, &ci, &fleet, &mut oracle),
+        run_scheme(&trace, &ci, &fleet, &mut ecolife),
+        run_scheme(&trace, &ci, &fleet, &mut new_only),
     ] {
         println!(
-            "{:<10} {:>13} {:>11.2} {:>10.3} {:>9}",
+            "{:<10} {:>13} {:>11.2} {:>10.3} {:>9}   {} expired ({} timeline pops, {} stale, {} scanned)",
             summary.name,
             summary.total_service_ms,
             summary.total_carbon_g,
             summary.warm_rate,
-            summary.evicted_functions
+            summary.evicted_functions,
+            m.expiry.expired,
+            m.expiry.timeline_pops,
+            m.expiry.stale_pops,
+            m.expiry.scanned,
         );
     }
 

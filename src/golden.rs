@@ -1,0 +1,111 @@
+//! The repository's golden-trace workloads: three small, fully
+//! deterministic runs — one per flagship example — whose complete event
+//! streams are checked into `tests/golden/` as `<name>.jsonl` plus a
+//! `<name>.golden` summary (event count + chain-tip hash).
+//!
+//! Any engine change that alters observable behavior moves a hash and
+//! fails both the `tests/golden_traces.rs` pin and the CI
+//! `golden-traces` job, which reports the *first divergent event* via
+//! [`ecolife_telemetry::diff_lines`]. Intentional changes regenerate
+//! the baselines with `cargo run --release --bin golden_traces -- emit`.
+//!
+//! The workloads are scaled-down twins of `examples/quickstart.rs`,
+//! `examples/fleet_cluster.rs`, and `examples/carbon_region_study.rs`
+//! (same fleets, schedulers, and seeds; shorter traces keep the
+//! checked-in streams small). `fleet_cluster` runs through the
+//! *sharded* engine on purpose: its golden pins the
+//! sharded-equals-sequential stream discipline at a fixed shard layout.
+
+use ecolife_carbon::{CarbonIntensityTrace, CiBundle, Region};
+use ecolife_core::{EcoLife, EcoLifeConfig};
+use ecolife_hw::skus;
+use ecolife_sim::{CaptureSink, ShardOptions, Simulation};
+use ecolife_telemetry::GoldenSnapshot;
+use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
+
+/// The golden workload names, in emission order.
+pub const GOLDEN_WORKLOADS: [&str; 3] = ["quickstart", "fleet_cluster", "carbon_region_study"];
+
+/// Replay one golden workload and capture its full event stream.
+///
+/// Panics on an unknown name — the caller iterates
+/// [`GOLDEN_WORKLOADS`].
+pub fn run_golden(name: &str) -> CaptureSink {
+    let mut sink = CaptureSink::default();
+    match name {
+        // examples/quickstart.rs in miniature: pair-A fleet, CISO grid,
+        // EcoLife, sequential engine.
+        "quickstart" => {
+            let trace = SynthTraceConfig {
+                n_functions: 8,
+                duration_min: 45,
+                seed: 42,
+                ..Default::default()
+            }
+            .generate(&WorkloadCatalog::sebs());
+            let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 60, 42);
+            let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(10 * 1024);
+            Simulation::new(&trace, &ci, fleet.clone()).run_with_sink(
+                &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+                &mut sink,
+            );
+        }
+        // examples/fleet_cluster.rs in miniature: three CPU generations,
+        // EcoLife — replayed through the *sharded* engine so the golden
+        // also pins the merged-stream discipline.
+        "fleet_cluster" => {
+            let trace = SynthTraceConfig {
+                n_functions: 10,
+                duration_min: 45,
+                seed: 7,
+                ..Default::default()
+            }
+            .generate(&WorkloadCatalog::sebs());
+            let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 60, 7);
+            let fleet = skus::fleet_of(&[
+                ecolife_hw::Sku::I3Metal,
+                ecolife_hw::Sku::M5Metal,
+                ecolife_hw::Sku::M5znMetal,
+            ])
+            .with_uniform_keepalive_budget_mib(10 * 1024);
+            Simulation::new(&trace, &ci, fleet.clone()).run_sharded_with_sink(
+                |_| EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+                &ShardOptions::new(4).with_threads(2),
+                &mut sink,
+            );
+        }
+        // examples/carbon_region_study.rs in miniature: the ten-node
+        // five-region fleet, one free EcoLife, per-node grid series.
+        "carbon_region_study" => {
+            let trace = SynthTraceConfig {
+                n_functions: 8,
+                duration_min: 45,
+                seed: 1234,
+                ..Default::default()
+            }
+            .generate(&WorkloadCatalog::sebs());
+            let bundle = CiBundle::synthetic_all(60, 1234);
+            let fleet = skus::fleet_five_regions().with_uniform_keepalive_budget_mib(12 * 1024);
+            Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+                .expect("five-region bundle covers the fleet")
+                .run_with_sink(
+                    &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+                    &mut sink,
+                );
+        }
+        other => panic!("unknown golden workload '{other}'"),
+    }
+    sink
+}
+
+/// The `<name>.golden` summary for a captured stream.
+pub fn snapshot(name: &str, sink: &CaptureSink) -> GoldenSnapshot {
+    let tip = sink
+        .tip()
+        .expect("golden workloads emit at least RunStarted/RunEnded");
+    GoldenSnapshot {
+        workload: name.to_string(),
+        events: sink.len() as u64,
+        tip: tip.to_string(),
+    }
+}

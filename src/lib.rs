@@ -72,12 +72,15 @@
 //! assert!(metrics.records.iter().all(|r| fleet.contains(r.exec_location)));
 //! ```
 
+pub mod golden;
+
 pub use ecolife_carbon as carbon;
 pub use ecolife_core as core;
 pub use ecolife_hw as hw;
 pub use ecolife_planner as planner;
 pub use ecolife_pso as pso;
 pub use ecolife_sim as sim;
+pub use ecolife_telemetry as telemetry;
 pub use ecolife_trace as trace;
 
 /// Convenient single-import surface for examples and downstream users.
@@ -89,8 +92,9 @@ pub mod prelude {
         placements_to_markdown, summaries_to_csv, summaries_to_markdown,
     };
     pub use ecolife_core::{
-        compare, run_scheme, run_scheme_regional, BruteForce, Comparison, CostModel, EcoLife,
-        EcoLifeConfig, FixedPolicy, OptTarget, Partition, PartitionedScheduler, RunSummary,
+        compare, run_scheme, run_scheme_regional, run_scheme_regional_traced, run_scheme_traced,
+        BruteForce, Comparison, CostModel, EcoLife, EcoLifeConfig, FixedPolicy, OptTarget,
+        Partition, PartitionedScheduler, RunSummary,
     };
     pub use ecolife_hw::{
         skus, Fleet, Generation, HardwareNode, HardwarePair, NodeId, PairId, Sku,
@@ -103,7 +107,10 @@ pub mod prelude {
         BatchOptimizer, DpsoConfig, DynamicPso, GaConfig, GeneticAlgorithm, Optimizer, Pso,
         PsoConfig, SaConfig, SearchSpace, SimulatedAnnealing,
     };
-    pub use ecolife_sim::{RunMetrics, Scheduler, SimConfig, Simulation, MINUTE_MS};
+    pub use ecolife_sim::{
+        CaptureSink, Event, EventSink, GoldenSnapshot, JsonlSink, NullSink, RunMetrics, Scheduler,
+        SimConfig, Simulation, MINUTE_MS,
+    };
     pub use ecolife_trace::{
         FunctionId, FunctionProfile, Invocation, SynthTraceConfig, Trace, WorkloadCatalog,
     };
