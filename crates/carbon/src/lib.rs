@@ -27,8 +27,10 @@ pub mod bundle;
 pub mod footprint;
 pub mod intensity;
 pub mod model;
+pub mod transfer;
 
 pub use bundle::{CiBundle, CiError, CiProvider};
 pub use footprint::CarbonFootprint;
 pub use intensity::{CarbonIntensityTrace, Region, RegionProfile};
 pub use model::{CarbonModel, CarbonModelConfig};
+pub use transfer::TransferCost;

@@ -1,5 +1,6 @@
 //! EcoLife configuration.
 
+use ecolife_carbon::TransferCost;
 use ecolife_hw::NodeId;
 use ecolife_pso::DpsoConfig;
 
@@ -36,6 +37,12 @@ pub struct EcoLifeConfig {
     /// reference path, kept for the bit-identity pin and the
     /// `ecolife_hotpath` before/after bench.
     pub cached_tables: bool,
+    /// Price of a cross-node container migration: egress grams at the
+    /// source grid plus re-warm latency. Threads into the cost model's
+    /// transfer ranking (paying moves ahead of losing ones).
+    /// [`TransferCost::free`] by default — rankings, decisions, and
+    /// every existing golden are then exactly the unpriced ones.
+    pub transfer_cost: TransferCost,
     /// Underlying (D)PSO parameters.
     pub dpso: DpsoConfig,
     /// ΔF observation window (ms).
@@ -55,6 +62,7 @@ impl Default for EcoLifeConfig {
             warm_pool_adjustment: true,
             restrict_to: None,
             cached_tables: true,
+            transfer_cost: TransferCost::free(),
             dpso: DpsoConfig::default(),
             delta_f_window_ms: 5 * 60_000,
             seed: 0xEC0_11FE,
@@ -109,6 +117,13 @@ impl EcoLifeConfig {
     /// fleet-wide per particle evaluation.
     pub fn without_cached_tables(mut self) -> Self {
         self.cached_tables = false;
+        self
+    }
+
+    /// Priced cross-node migrations (see
+    /// [`EcoLifeConfig::transfer_cost`]).
+    pub fn with_transfer_cost(mut self, transfer_cost: TransferCost) -> Self {
+        self.transfer_cost = transfer_cost;
         self
     }
 }

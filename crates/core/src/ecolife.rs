@@ -218,7 +218,8 @@ impl EcoLife {
             config.lambda_c,
             ecolife_sim::SimConfig::default().setup_delay_ms,
             max_k_ms,
-        );
+        )
+        .with_transfer_cost(config.transfer_cost);
         EcoLife {
             config,
             tables: ObjectiveTables::new(cost),

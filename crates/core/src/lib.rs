@@ -46,6 +46,7 @@ pub use baselines::fixed::FixedPolicy;
 pub use baselines::oracle::{BruteForce, OptTarget};
 pub use config::EcoLifeConfig;
 pub use ecolife::EcoLife;
+pub use ecolife_carbon::TransferCost;
 pub use objective::{CostModel, ObjectiveTables};
 pub use partition::{Partition, PartitionedScheduler};
 pub use predictor::FunctionPredictor;

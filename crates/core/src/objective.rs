@@ -22,7 +22,7 @@
 //! (`*_carbon_g`) remain per-node quantities: the caller passes that
 //! node's intensity.
 
-use ecolife_carbon::{CarbonModel, CiProvider};
+use ecolife_carbon::{CarbonModel, CiProvider, TransferCost};
 use ecolife_hw::{Fleet, NodeId, PerfModel};
 use ecolife_trace::{FunctionId, FunctionProfile};
 
@@ -37,6 +37,11 @@ pub struct CostModel {
     pub setup_delay_ms: u64,
     /// Largest keep-alive period on the grid (ms) — KC_max's duration.
     pub max_keepalive_ms: u64,
+    /// What a cross-node migration costs (see
+    /// [`CostModel::transfer_ranking`]); [`TransferCost::free`] by
+    /// default, which leaves every ranking exactly as it was when
+    /// transfers were unpriced.
+    pub transfer: TransferCost,
 }
 
 impl CostModel {
@@ -56,7 +61,14 @@ impl CostModel {
             lambda_c,
             setup_delay_ms,
             max_keepalive_ms,
+            transfer: TransferCost::free(),
         }
+    }
+
+    /// This model with priced migrations (builder style).
+    pub fn with_transfer_cost(mut self, transfer: TransferCost) -> Self {
+        self.transfer = transfer;
+        self
     }
 
     #[inline]
@@ -313,6 +325,15 @@ impl CostModel {
     /// one-minute reference residency, each node priced at its own
     /// grid's intensity; ties resolve to the lowest id). The engine
     /// tries displaced containers against this ranking in order.
+    ///
+    /// When migrations are priced ([`CostModel::transfer`]), targets
+    /// whose reference keep-alive saving beats the egress price (the
+    /// same 1-GiB reference, charged at the *source* grid's intensity)
+    /// are stably moved ahead of those that don't — a displaced
+    /// container still prefers any warm slot over eviction, but never
+    /// pays egress for a dirtier grid while a paying move exists. With
+    /// [`TransferCost::free`] the partition is the identity and the
+    /// ranking is exactly the unpriced one.
     pub fn transfer_ranking(&self, exclude: NodeId, ci_by_node: &[f64]) -> Vec<NodeId> {
         // 1-GiB reference container over one minute: enough to order the
         // nodes; the ordering is memory-size-independent to first order
@@ -329,6 +350,15 @@ impl CostModel {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(b))
         });
+        if !self.transfer.is_free() {
+            let stay_g = reference(exclude);
+            let egress_g = self.transfer.grams(1024, self.ci_at(ci_by_node, exclude));
+            let (paying, losing): (Vec<NodeId>, Vec<NodeId>) = targets
+                .into_iter()
+                .partition(|&l| stay_g - reference(l) > egress_g);
+            targets = paying;
+            targets.extend(losing);
+        }
         targets
     }
 }

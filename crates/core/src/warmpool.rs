@@ -151,6 +151,7 @@ mod tests {
             warm_since_ms: 0,
             expiry_ms: expiry,
             origin_record: 0,
+            transfer_latency_ms: 0,
         }
     }
 

@@ -21,6 +21,11 @@ pub struct Cluster {
     /// Node ids in warm-serving preference order (fastest first), fixed
     /// at construction so the per-invocation lookup does not re-rank.
     warm_order: Vec<NodeId>,
+    /// Fleet membership: inactive nodes (left for maintenance /
+    /// autoscale-down) accept no keep-alives and no transfers. Execution
+    /// routing is unaffected — a leave is a warm-pool drain, not a
+    /// capacity change for running invocations.
+    active: Vec<bool>,
 }
 
 impl Cluster {
@@ -39,10 +44,12 @@ impl Cluster {
             .map(|n| WarmPool::with_mode(n.keepalive_mem_mib, mode))
             .collect();
         let warm_order = fleet.warm_preference();
+        let active = vec![true; fleet.len()];
         Cluster {
             fleet,
             pools,
             warm_order,
+            active,
         }
     }
 
@@ -86,6 +93,19 @@ impl Cluster {
     pub fn total_warm(&self) -> usize {
         self.pools.iter().map(|p| p.len()).sum()
     }
+
+    /// Whether `id` is currently a fleet member (keep-alives and
+    /// transfers may land there).
+    #[inline]
+    pub fn is_active(&self, id: impl Into<NodeId>) -> bool {
+        self.active[id.into().index()]
+    }
+
+    /// Flip a node's membership (the engine's membership timeline calls
+    /// this; a leave drains the pool first).
+    pub fn set_active(&mut self, id: impl Into<NodeId>, active: bool) {
+        self.active[id.into().index()] = active;
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +121,7 @@ mod tests {
             warm_since_ms: since,
             expiry_ms: expiry,
             origin_record: 0,
+            transfer_latency_ms: 0,
         }
     }
 

@@ -18,6 +18,12 @@ pub struct WarmContainer {
     /// Index of the invocation record that scheduled this keep-alive —
     /// its keep-alive carbon is attributed there.
     pub origin_record: usize,
+    /// Latency debt from priced migrations: every transfer this
+    /// container survived adds [`TransferCost::latency_ms`]
+    /// (`ecolife_carbon::TransferCost`), and the next warm start pays
+    /// it on top of its service time. 0 for fresh containers and under
+    /// free transfer pricing.
+    pub transfer_latency_ms: u64,
 }
 
 impl WarmContainer {
@@ -49,6 +55,7 @@ mod tests {
             warm_since_ms: 1_000,
             expiry_ms: 61_000,
             origin_record: 0,
+            transfer_latency_ms: 0,
         }
     }
 

@@ -42,12 +42,15 @@
 
 use crate::cluster::Cluster;
 use crate::container::WarmContainer;
+use crate::membership::{MembershipEvent, MembershipPlan};
 use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::parallel::{default_threads, WorkerPool};
 use crate::pool::ExpiryMode;
 use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
 use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
-use ecolife_carbon::{CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider};
+use ecolife_carbon::{
+    CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider, TransferCost,
+};
 use ecolife_hw::{Fleet, HardwareNode, NodeId, PerfModel};
 use ecolife_telemetry::{finalize, lane, Event, EventKey, EventSink, NullSink, ReleaseCause};
 use ecolife_trace::{Invocation, Trace};
@@ -120,6 +123,19 @@ pub struct SimConfig {
     /// ([`ExpiryMode::Scan`]). Records are identical either way; only
     /// wall-clock differs.
     pub expiry: ExpiryMode,
+    /// Price of a cross-node container migration (egress grams at the
+    /// source grid + re-warm latency). Defaults to
+    /// [`TransferCost::free`]: every charge site adds `+ 0.0`/`+ 0`, so
+    /// a free-priced run is bit-identical to the pre-pricing engine.
+    pub transfer_cost: TransferCost,
+    /// Cadence of the periodic re-placement pass, in minutes; `0`
+    /// (default) disables it. Every `N` minutes the engine ranks each
+    /// node's long-lived warm containers against `(current CI,
+    /// migration cost)` and drains them toward the cleanest grid when
+    /// the remaining keep-alive on a cleaner node — plus the egress
+    /// price — beats staying put. Pure in `(t, region)`, so sharded
+    /// replay stays thread-invariant.
+    pub replacement_every_min: u64,
 }
 
 impl Default for SimConfig {
@@ -128,6 +144,8 @@ impl Default for SimConfig {
             setup_delay_ms: 50,
             carbon_model: CarbonModel::default(),
             expiry: ExpiryMode::default(),
+            transfer_cost: TransferCost::free(),
+            replacement_every_min: 0,
         }
     }
 }
@@ -137,6 +155,42 @@ impl SimConfig {
     pub fn with_expiry(mut self, expiry: ExpiryMode) -> Self {
         self.expiry = expiry;
         self
+    }
+
+    /// This config with priced migrations.
+    pub fn with_transfer_cost(mut self, cost: TransferCost) -> Self {
+        self.transfer_cost = cost;
+        self
+    }
+
+    /// This config with the re-placement pass running every
+    /// `every_min` minutes (`0` disables).
+    pub fn with_replacement_every_min(mut self, every_min: u64) -> Self {
+        self.replacement_every_min = every_min;
+        self
+    }
+}
+
+/// Cursors into the engine's fleet timeline (re-placement passes +
+/// membership events), advanced lazily: before each invocation and once
+/// more at the horizon, every due event is applied in time order.
+/// Each shard owns one — the timeline is replayed identically against
+/// every cluster slice.
+#[derive(Debug, Clone, Copy)]
+struct FleetTimeline {
+    /// Next re-placement pass index (pass `k` fires at
+    /// `k * replacement_every_min * MINUTE_MS`; `k = 0` never fires).
+    next_pass: u64,
+    /// Next unapplied entry of the membership plan.
+    next_member: usize,
+}
+
+impl FleetTimeline {
+    fn new() -> Self {
+        FleetTimeline {
+            next_pass: 1,
+            next_member: 0,
+        }
     }
 }
 
@@ -224,6 +278,10 @@ struct ShardState<S> {
     /// enabled); the coordinator concatenates and finalization sorts by
     /// canonical key.
     events: EventList,
+    /// This shard's cursors into the fleet timeline (re-placement passes
+    /// and membership events) — every shard replays the same timeline
+    /// against its own cluster slice.
+    timeline: FleetTimeline,
 }
 
 /// A configured simulation, ready to run against any scheduler.
@@ -233,6 +291,7 @@ pub struct Simulation<'a> {
     ci: CiProvider<'a>,
     fleet: Fleet,
     config: SimConfig,
+    membership: MembershipPlan,
 }
 
 impl<'a> Simulation<'a> {
@@ -299,11 +358,21 @@ impl<'a> Simulation<'a> {
             ci,
             fleet,
             config: SimConfig::default(),
+            membership: MembershipPlan::default(),
         })
     }
 
     pub fn with_config(mut self, config: SimConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attach an online-membership timeline (see
+    /// [`MembershipPlan`]): nodes leave (their warm pools drain through
+    /// the priced migration ranking) and rejoin mid-trace. The default
+    /// empty plan is exactly the fixed-fleet engine.
+    pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
+        self.membership = plan;
         self
     }
 
@@ -333,6 +402,7 @@ impl<'a> Simulation<'a> {
         let mut cluster = Cluster::with_expiry(self.fleet.clone(), self.config.expiry);
         let mut metrics = RunMetrics {
             keepalive_g_by_node: vec![0.0; self.fleet.len()],
+            transfer_g_by_node: vec![0.0; self.fleet.len()],
             ..RunMetrics::default()
         };
         metrics.records.reserve(self.trace.len());
@@ -340,8 +410,16 @@ impl<'a> Simulation<'a> {
 
         let node_ids: Vec<NodeId> = self.fleet.ids().collect();
         let mut events: EventList = Vec::new();
+        let mut timeline = FleetTimeline::new();
 
         for (index, inv) in self.trace.invocations().iter().enumerate() {
+            self.catch_up::<K>(
+                &mut timeline,
+                &mut cluster,
+                &mut metrics,
+                &mut events,
+                inv.t_ms,
+            );
             self.step::<S, K>(
                 index,
                 inv,
@@ -352,6 +430,21 @@ impl<'a> Simulation<'a> {
                 &mut events,
             );
         }
+
+        // Fleet-timeline events due between the last arrival and the
+        // horizon still fire (nothing fires past the horizon).
+        let horizon = if self.trace.is_empty() {
+            0
+        } else {
+            self.trace.horizon_ms()
+        };
+        self.catch_up::<K>(
+            &mut timeline,
+            &mut cluster,
+            &mut metrics,
+            &mut events,
+            horizon,
+        );
 
         // End-of-run settlement: every live keep-alive is charged in full.
         self.drain::<K>(&node_ids, &mut cluster, &mut metrics, &mut events);
@@ -434,6 +527,7 @@ impl<'a> Simulation<'a> {
                     cluster: Cluster::with_expiry(self.fleet.clone(), self.config.expiry),
                     metrics: RunMetrics {
                         keepalive_g_by_node: vec![0.0; n_nodes],
+                        transfer_g_by_node: vec![0.0; n_nodes],
                         ..RunMetrics::default()
                     },
                     scheduler,
@@ -441,6 +535,7 @@ impl<'a> Simulation<'a> {
                     cursor: 0,
                     ends: Vec::new(),
                     events: Vec::new(),
+                    timeline: FleetTimeline::new(),
                 }
             })
             .collect();
@@ -530,8 +625,10 @@ impl<'a> Simulation<'a> {
                         metrics,
                         scheduler,
                         events,
+                        timeline,
                         ..
                     } = &mut state;
+                    self.catch_up::<K>(timeline, cluster, metrics, events, inv.t_ms);
                     self.step::<S, K>(index, &inv, &node_ids, cluster, scheduler, metrics, events);
                     state.cursor += 1;
                 }
@@ -551,8 +648,19 @@ impl<'a> Simulation<'a> {
                 cluster,
                 metrics,
                 events,
+                timeline,
                 ..
             } = state;
+            // Idempotent horizon catch-up: reconcile already advanced
+            // every shard to `min(t_final, horizon)`, but an empty trace
+            // has no periods (and thus no reconcile calls) — timeline
+            // events at t = 0 must still fire before the drain.
+            let horizon = if self.trace.is_empty() {
+                0
+            } else {
+                self.trace.horizon_ms()
+            };
+            self.catch_up::<K>(timeline, cluster, metrics, events, horizon);
             self.drain::<K>(&node_ids, cluster, metrics, events);
         }
 
@@ -667,8 +775,13 @@ impl<'a> Simulation<'a> {
         }
 
         // A consumed warm container is settled up to the reuse instant.
+        // A migrated container additionally carries its accumulated
+        // transfer latency, paid once, on the first service after the
+        // move (the paper's re-warm penalty).
+        let mut transfer_debt_ms = 0u64;
         if warm {
             if let Some(c) = cluster.pool_mut(exec_loc).remove(inv.func) {
+                transfer_debt_ms = c.transfer_latency_ms;
                 let s = self.settle(&c, cluster.node(exec_loc), t, metrics);
                 if K::ENABLED {
                     if let Some(s) = s {
@@ -690,7 +803,7 @@ impl<'a> Simulation<'a> {
                 profile.cpu_sensitivity,
             )
         };
-        let service_ms = work_ms + self.config.setup_delay_ms;
+        let service_ms = work_ms + self.config.setup_delay_ms + transfer_debt_ms;
         // CI is read on the *executing node's* grid — the heart of the
         // multi-region accounting.
         let ci_avg = self.ci.average_over(exec_loc, t, t + service_ms);
@@ -758,6 +871,7 @@ impl<'a> Simulation<'a> {
                     warm_since_ms: end_of_service,
                     expiry_ms: end_of_service + ka.duration_ms,
                     origin_record: record_index,
+                    transfer_latency_ms: 0,
                 };
                 self.install_keepalive::<S, K>(
                     container,
@@ -825,6 +939,32 @@ impl<'a> Simulation<'a> {
         states: &mut [ShardState<S>],
         ledger_peak_mib: &mut [u64],
     ) {
+        // (0) Fleet-timeline catch-up, *before* the expiry sweep: a
+        // re-placement pass or membership drain due at `tm < t_now`
+        // would — in the sequential engine — have migrated containers
+        // whose keep-alive then straddles the boundary; expiring them
+        // first would settle the full stay on the source node and
+        // diverge. A pending pass at a barrier sees exactly the pool
+        // state the sequential pass at `tm` sees (no shard invocation
+        // lands in `[tm, t_now)` by construction), so replaying it here
+        // is order-exact. Capped at the horizon: the final reconcile
+        // runs past the last arrival, where nothing fires.
+        let t_cap = if self.trace.is_empty() {
+            0
+        } else {
+            self.trace.horizon_ms()
+        };
+        for state in states.iter_mut() {
+            let ShardState {
+                cluster,
+                metrics,
+                events,
+                timeline,
+                ..
+            } = state;
+            self.catch_up::<K>(timeline, cluster, metrics, events, t_now.min(t_cap));
+        }
+
         // (1) Eager expiry: the sequential engine expires on every
         // invocation; shards expire their own pools mid-period, so this
         // only brings the ledger's cross-shard view up to date. Expiry
@@ -918,8 +1058,18 @@ impl<'a> Simulation<'a> {
                     "victim survived phase-1 expiry"
                 );
                 container.warm_since_ms = container.warm_since_ms.max(t_now);
+                let egress_g = self
+                    .config
+                    .transfer_cost
+                    .grams(container.memory_mib, self.ci.at(id, t_now));
+                container.transfer_latency_ms += self.config.transfer_cost.latency_ms;
                 let mut placed = false;
                 for &target in &self.fleet.transfer_candidates(id) {
+                    // The owner shard's membership view is authoritative
+                    // (every shard replays the identical timeline).
+                    if !states[owner].cluster.is_active(target) {
+                        continue;
+                    }
                     let target_capacity = self.fleet.node(target).keepalive_mem_mib;
                     let reclaimed = states[owner]
                         .cluster
@@ -965,6 +1115,10 @@ impl<'a> Simulation<'a> {
                                 }
                             }
                             states[owner].metrics.transfers += 1;
+                            states[owner].metrics.transfer_g += egress_g;
+                            states[owner].metrics.transfer_g_by_node[id.index()] += egress_g;
+                            states[owner].metrics.transfer_ms +=
+                                self.config.transfer_cost.latency_ms;
                             if K::ENABLED {
                                 states[owner].events.push((
                                     rc_key(),
@@ -973,6 +1127,8 @@ impl<'a> Simulation<'a> {
                                         from: id.0,
                                         to: target.0,
                                         t_ms: t_now,
+                                        egress_g,
+                                        latency_ms: self.config.transfer_cost.latency_ms,
                                     },
                                 ));
                             }
@@ -1016,6 +1172,13 @@ impl<'a> Simulation<'a> {
         metrics: &mut RunMetrics,
         ev: &mut StepEvents<'_>,
     ) {
+        // A node that has left the fleet accepts no keep-alives: the
+        // choice is simply dropped (the scheduler's view of membership is
+        // advisory; the engine's is authoritative).
+        if !cluster.is_active(location) {
+            metrics.evicted_functions += 1;
+            return;
+        }
         // Settle a replaced container of the same function (its keep-alive
         // ends now).
         if cluster.pool(location).get(container.func).is_some() {
@@ -1055,13 +1218,21 @@ impl<'a> Simulation<'a> {
             OverflowAction::Adjust(plan) => {
                 // Transfer targets: the plan's explicit ranking (the
                 // overflowing pool itself is never valid), or every other
-                // node in id order.
+                // node in id order. Inactive nodes never receive
+                // transfers.
                 let targets: Vec<NodeId> = match plan.transfer_targets {
-                    None => self.fleet.transfer_candidates(location),
+                    None => self
+                        .fleet
+                        .transfer_candidates(location)
+                        .into_iter()
+                        .filter(|&id| cluster.is_active(id))
+                        .collect(),
                     Some(ref ranked) => ranked
                         .iter()
                         .copied()
-                        .filter(|&id| id != location && self.fleet.contains(id))
+                        .filter(|&id| {
+                            id != location && self.fleet.contains(id) && cluster.is_active(id)
+                        })
                         .collect(),
                 };
                 for func in plan.displace {
@@ -1082,10 +1253,19 @@ impl<'a> Simulation<'a> {
                         }
                     }
                     // Restart the remaining keep-alive on the first
-                    // transfer target with room.
+                    // transfer target with room. The move is priced:
+                    // egress grams at the *source* grid's intensity now,
+                    // latency carried by the container until its next
+                    // service (both zero under `TransferCost::free()` —
+                    // charged only when a target accepts).
                     displaced.warm_since_ms = t;
                     if displaced.expiry_ms > t {
+                        let egress_g = self
+                            .config
+                            .transfer_cost
+                            .grams(displaced.memory_mib, self.ci.at(location, t));
                         let mut pending = displaced;
+                        pending.transfer_latency_ms += self.config.transfer_cost.latency_ms;
                         let mut placed = false;
                         for &target in &targets {
                             match cluster.pool_mut(target).insert(pending) {
@@ -1109,12 +1289,17 @@ impl<'a> Simulation<'a> {
                                         }
                                     }
                                     metrics.transfers += 1;
+                                    metrics.transfer_g += egress_g;
+                                    metrics.transfer_g_by_node[location.index()] += egress_g;
+                                    metrics.transfer_ms += self.config.transfer_cost.latency_ms;
                                     if K::ENABLED {
                                         ev.push(Event::Transferred {
                                             func: func.0,
                                             from: location.0,
                                             to: target.0,
                                             t_ms: t,
+                                            egress_g,
+                                            latency_ms: self.config.transfer_cost.latency_ms,
                                         });
                                     }
                                     placed = true;
@@ -1136,6 +1321,296 @@ impl<'a> Simulation<'a> {
                     }
                 } else {
                     metrics.evicted_functions += 1;
+                }
+            }
+        }
+    }
+
+    /// Advance the fleet timeline to `t_limit` (inclusive): apply every
+    /// due membership event and re-placement pass in time order, ties
+    /// resolved membership-first (matching the stream's lane order).
+    /// With the default config (no passes, empty plan) this returns
+    /// immediately — the pre-pricing engine, bit for bit.
+    fn catch_up<K: EventSink>(
+        &self,
+        tl: &mut FleetTimeline,
+        cluster: &mut Cluster,
+        metrics: &mut RunMetrics,
+        events: &mut EventList,
+        t_limit: u64,
+    ) {
+        let every_ms = self
+            .config
+            .replacement_every_min
+            .saturating_mul(crate::MINUTE_MS);
+        loop {
+            let t_pass = if every_ms == 0 {
+                u64::MAX
+            } else {
+                tl.next_pass.saturating_mul(every_ms)
+            };
+            let t_member = self
+                .membership
+                .events()
+                .get(tl.next_member)
+                .map(|e| e.t_ms)
+                .unwrap_or(u64::MAX);
+            let t_next = t_pass.min(t_member);
+            if t_next > t_limit || t_next == u64::MAX {
+                return;
+            }
+            if t_member <= t_pass {
+                let idx = tl.next_member;
+                let e = self.membership.events()[idx];
+                self.apply_membership::<K>(idx, e, cluster, metrics, events);
+                tl.next_member += 1;
+            } else {
+                self.replacement_pass::<K>(tl.next_pass, t_pass, cluster, metrics, events);
+                tl.next_pass += 1;
+            }
+        }
+    }
+
+    /// Migration targets from `exclude`, cleanest grid first: every
+    /// *active* other node ranked by the cost-model's reference
+    /// keep-alive phase (1 GiB for one minute) at its region's CI *now*,
+    /// ties toward the lower node id — the same reference quantity the
+    /// scheduler-side transfer ranking uses, so engine drains and policy
+    /// rankings agree on what "cleaner" means.
+    fn migration_ranking(&self, exclude: NodeId, cluster: &Cluster, t: u64) -> Vec<NodeId> {
+        let mut ranked: Vec<(f64, NodeId)> = self
+            .fleet
+            .ids()
+            .filter(|&id| id != exclude && cluster.is_active(id))
+            .map(|id| {
+                let g = self
+                    .config
+                    .carbon_model
+                    .keepalive_phase(
+                        self.fleet.node(id),
+                        1024,
+                        crate::MINUTE_MS,
+                        self.ci.at(id, t),
+                    )
+                    .total_g();
+                (g, id)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("CI-derived grams are never NaN")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        ranked.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Apply membership event `m_idx`: a join re-activates the node; a
+    /// leave drains its warm pool through the priced migration ranking
+    /// (settle the stay, pay egress at the *leaving* grid, restart on
+    /// the cleanest active node with room — else evict) and deactivates
+    /// it. Containers never stack: a target already holding the function
+    /// is skipped, so drain events collide with nothing.
+    fn apply_membership<K: EventSink>(
+        &self,
+        m_idx: usize,
+        e: MembershipEvent,
+        cluster: &mut Cluster,
+        metrics: &mut RunMetrics,
+        events: &mut EventList,
+    ) {
+        // Canonical expiry sweep first: anything lapsed by `t` dies as an
+        // expiry (its canonical anchor), never as a drain.
+        let node_ids: Vec<NodeId> = self.fleet.ids().collect();
+        for &id in &node_ids {
+            let expired = cluster.pool_mut(id).expire_until(e.t_ms);
+            for c in expired {
+                let s = self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
+                if K::ENABLED {
+                    events.push(self.expired_event(id, &c, s));
+                }
+            }
+        }
+        if e.join {
+            cluster.set_active(e.node, true);
+            return;
+        }
+        cluster.set_active(e.node, false);
+        let pos = if K::ENABLED {
+            self.trigger_pos(e.t_ms)
+        } else {
+            0
+        };
+        let ranking = self.migration_ranking(e.node, cluster, e.t_ms);
+        let mut residents: Vec<WarmContainer> = cluster.pool(e.node).iter().copied().collect();
+        residents.sort_by_key(|c| c.func.0);
+        for c in residents {
+            let mut c = cluster
+                .pool_mut(e.node)
+                .remove(c.func)
+                .expect("resident listed from the pool");
+            let s = self.settle(&c, self.fleet.node(e.node), e.t_ms, metrics);
+            if K::ENABLED {
+                if let Some(s) = s {
+                    events.push((
+                        EventKey::new(pos, lane::MEMBER_OUT, m_idx as u32, c.func.0),
+                        released(ReleaseCause::Displaced, e.node, &c, e.t_ms, s),
+                    ));
+                }
+            }
+            c.warm_since_ms = c.warm_since_ms.max(e.t_ms);
+            let egress_g = self
+                .config
+                .transfer_cost
+                .grams(c.memory_mib, self.ci.at(e.node, e.t_ms));
+            c.transfer_latency_ms += self.config.transfer_cost.latency_ms;
+            let mut placed = false;
+            for &target in &ranking {
+                if cluster.pool(target).get(c.func).is_some() || !cluster.pool(target).fits(&c) {
+                    continue;
+                }
+                let func = c.func.0;
+                cluster
+                    .pool_mut(target)
+                    .insert(c)
+                    .expect("fits-checked insert cannot reject");
+                metrics.transfers += 1;
+                metrics.transfer_g += egress_g;
+                metrics.transfer_g_by_node[e.node.index()] += egress_g;
+                metrics.transfer_ms += self.config.transfer_cost.latency_ms;
+                if K::ENABLED {
+                    events.push((
+                        EventKey::new(pos, lane::MEMBER_IN, m_idx as u32, func),
+                        Event::Transferred {
+                            func,
+                            from: e.node.0,
+                            to: target.0,
+                            t_ms: e.t_ms,
+                            egress_g,
+                            latency_ms: self.config.transfer_cost.latency_ms,
+                        },
+                    ));
+                }
+                placed = true;
+                break;
+            }
+            if !placed {
+                metrics.evicted_functions += 1;
+            }
+        }
+    }
+
+    /// Re-placement pass `k` at `tm`: follow the sun. For every active
+    /// node's long-lived residents (warm *before* `tm` — this pass's own
+    /// migrants and not-yet-warm keep-alives are excluded), migrate to
+    /// the first cleaner node where the remaining keep-alive **plus the
+    /// egress price** beats staying put. Pure in `(tm, cluster state)`,
+    /// so every shard replays it identically.
+    fn replacement_pass<K: EventSink>(
+        &self,
+        k: u64,
+        tm: u64,
+        cluster: &mut Cluster,
+        metrics: &mut RunMetrics,
+        events: &mut EventList,
+    ) {
+        let node_ids: Vec<NodeId> = self.fleet.ids().collect();
+        for &id in &node_ids {
+            let expired = cluster.pool_mut(id).expire_until(tm);
+            for c in expired {
+                let s = self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
+                if K::ENABLED {
+                    events.push(self.expired_event(id, &c, s));
+                }
+            }
+        }
+        let pos = if K::ENABLED { self.trigger_pos(tm) } else { 0 };
+        for &src in &node_ids {
+            if !cluster.is_active(src) || cluster.pool(src).is_empty() {
+                continue;
+            }
+            let ranking = self.migration_ranking(src, cluster, tm);
+            if ranking.is_empty() {
+                continue;
+            }
+            let src_ci = self.ci.at(src, tm);
+            let mut residents: Vec<WarmContainer> = cluster
+                .pool(src)
+                .iter()
+                .filter(|c| c.warm_since_ms < tm)
+                .copied()
+                .collect();
+            residents.sort_by_key(|c| c.func.0);
+            for probe in residents {
+                let dur = probe.expiry_ms - tm;
+                let stay_g = self
+                    .config
+                    .carbon_model
+                    .keepalive_phase(self.fleet.node(src), probe.memory_mib, dur, src_ci)
+                    .total_g();
+                let egress_g = self.config.transfer_cost.grams(probe.memory_mib, src_ci);
+                for &target in &ranking {
+                    let move_g = self
+                        .config
+                        .carbon_model
+                        .keepalive_phase(
+                            self.fleet.node(target),
+                            probe.memory_mib,
+                            dur,
+                            self.ci.at(target, tm),
+                        )
+                        .total_g()
+                        + egress_g;
+                    if move_g >= stay_g {
+                        continue;
+                    }
+                    if cluster.pool(target).get(probe.func).is_some()
+                        || !cluster.pool(target).fits(&probe)
+                    {
+                        continue;
+                    }
+                    let mut c = cluster
+                        .pool_mut(src)
+                        .remove(probe.func)
+                        .expect("resident listed from the pool");
+                    let s = self.settle(&c, self.fleet.node(src), tm, metrics);
+                    if K::ENABLED {
+                        if let Some(s) = s {
+                            events.push((
+                                EventKey::new(
+                                    pos,
+                                    lane::REPLACE_OUT,
+                                    c.func.0,
+                                    (k as u32) << 16 | src.0,
+                                ),
+                                released(ReleaseCause::Displaced, src, &c, tm, s),
+                            ));
+                        }
+                    }
+                    c.warm_since_ms = tm;
+                    c.transfer_latency_ms += self.config.transfer_cost.latency_ms;
+                    let func = c.func.0;
+                    cluster
+                        .pool_mut(target)
+                        .insert(c)
+                        .expect("fits-checked insert cannot reject");
+                    metrics.transfers += 1;
+                    metrics.transfer_g += egress_g;
+                    metrics.transfer_g_by_node[src.index()] += egress_g;
+                    metrics.transfer_ms += self.config.transfer_cost.latency_ms;
+                    if K::ENABLED {
+                        events.push((
+                            EventKey::new(pos, lane::REPLACE_IN, func, (k as u32) << 16 | src.0),
+                            Event::Transferred {
+                                func,
+                                from: src.0,
+                                to: target.0,
+                                t_ms: tm,
+                                egress_g,
+                                latency_ms: self.config.transfer_cost.latency_ms,
+                            },
+                        ));
+                    }
+                    break;
                 }
             }
         }
@@ -1273,6 +1748,28 @@ impl<'a> Simulation<'a> {
             events.push((
                 EventKey::new(self.trace.len() as u64, lane::PERIOD_ENDED, 0, 0),
                 Event::PeriodEnded { minute: prev },
+            ));
+        }
+        // Membership changes are input-derived too (the plan is fixed
+        // before the run), so the coordinator emits them exactly once —
+        // every shard *applies* the timeline, none narrates it. Events
+        // past the horizon never fire and are not emitted.
+        let horizon = if self.trace.is_empty() {
+            0
+        } else {
+            self.trace.horizon_ms()
+        };
+        for (m_idx, e) in self.membership.events().iter().enumerate() {
+            if e.t_ms > horizon {
+                break;
+            }
+            events.push((
+                EventKey::new(self.trigger_pos(e.t_ms), lane::MEMBERSHIP, m_idx as u32, 0),
+                Event::MembershipChanged {
+                    node: e.node.0,
+                    t_ms: e.t_ms,
+                    joined: e.join,
+                },
             ));
         }
         events

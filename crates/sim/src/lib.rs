@@ -51,6 +51,7 @@
 pub mod cluster;
 pub mod container;
 pub mod engine;
+pub mod membership;
 pub mod metrics;
 pub mod parallel;
 pub mod pool;
@@ -59,7 +60,8 @@ pub mod shard;
 
 pub use cluster::Cluster;
 pub use container::WarmContainer;
-pub use ecolife_carbon::{CiBundle, CiError, CiProvider};
+pub use ecolife_carbon::{CiBundle, CiError, CiProvider, TransferCost};
+pub use membership::{MembershipEvent, MembershipPlan};
 // Telemetry surface: sinks plug into `run_with_sink` /
 // `run_sharded_with_sink`; everything else reads the emitted lines.
 pub use ecolife_telemetry::{

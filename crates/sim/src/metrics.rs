@@ -48,6 +48,19 @@ pub struct RunMetrics {
     pub evicted_functions: u64,
     /// Containers displaced across fleet nodes by warm-pool adjustment.
     pub transfers: u64,
+    /// Egress carbon (g) of priced cross-node migrations, charged at
+    /// the *source* node's grid CI at transfer time. 0 under the
+    /// default [`TransferCost::free`](ecolife_carbon::TransferCost)
+    /// pricing.
+    pub transfer_g: f64,
+    /// Total transfer latency (ms) attached to migrated containers —
+    /// each migrated container's next warm start pays its share on top
+    /// of the service time.
+    pub transfer_ms: u64,
+    /// Egress carbon (g) by *source* node (index = `NodeId`): the grid
+    /// that powered the send side owns the grams. Sized by the engine
+    /// like `keepalive_g_by_node`; empty on a default value.
+    pub transfer_g_by_node: Vec<f64>,
     /// Total wall-clock nanoseconds spent inside `Scheduler::decide`
     /// (the decision-making overhead the paper bounds at <0.4% of
     /// service time).
@@ -112,9 +125,10 @@ impl RunMetrics {
         }
     }
 
-    /// Total carbon footprint (g): service + keep-alive.
+    /// Total carbon footprint (g): service + keep-alive + migration
+    /// egress.
     pub fn total_carbon_g(&self) -> f64 {
-        self.records.iter().map(|r| r.total_carbon_g()).sum()
+        self.records.iter().map(|r| r.total_carbon_g()).sum::<f64>() + self.transfer_g
     }
 
     /// Total carbon split (operational, embodied).
@@ -164,8 +178,9 @@ impl RunMetrics {
         v
     }
 
-    /// Total carbon (g) by fleet node: each node's hosted keep-alive
-    /// plus the service carbon of the executions placed on it. Sums to
+    /// Total carbon (g) by fleet node: each node's hosted keep-alive,
+    /// the service carbon of the executions placed on it, and the
+    /// egress carbon of migrations it sourced. Sums to
     /// [`RunMetrics::total_carbon_g`]. The vector covers every node the
     /// engine simulated (zero-traffic nodes included).
     pub fn carbon_g_by_node(&self) -> Vec<f64> {
@@ -174,10 +189,14 @@ impl RunMetrics {
             .iter()
             .map(|r| r.exec_location.index() + 1)
             .chain([self.keepalive_g_by_node.len()])
+            .chain([self.transfer_g_by_node.len()])
             .max()
             .unwrap_or(0);
         let mut by_node = vec![0.0; n];
         by_node[..self.keepalive_g_by_node.len()].copy_from_slice(&self.keepalive_g_by_node);
+        for (node, g) in self.transfer_g_by_node.iter().enumerate() {
+            by_node[node] += g;
+        }
         for r in &self.records {
             by_node[r.exec_location.index()] += r.service_carbon.total_g();
         }
@@ -321,6 +340,21 @@ mod tests {
         assert!((by_node.iter().sum::<f64>() - m.total_carbon_g()).abs() < 1e-12);
         assert!((by_node[0] - 0.05).abs() < 1e-12);
         assert!((by_node[1] - (1.0 + 0.10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priced_transfers_stay_in_the_per_node_sum() {
+        let mut m = metrics();
+        m.keepalive_g_by_node = vec![0.05, 0.10];
+        // Node 0 sourced priced migrations worth 0.02 g of egress.
+        m.transfers = 3;
+        m.transfer_g = 0.02;
+        m.transfer_ms = 750;
+        m.transfer_g_by_node = vec![0.02, 0.0];
+        let by_node = m.carbon_g_by_node();
+        assert!((by_node.iter().sum::<f64>() - m.total_carbon_g()).abs() < 1e-12);
+        assert!((by_node[0] - 0.07).abs() < 1e-12);
+        assert!((m.total_carbon_g() - 1.17).abs() < 1e-12);
     }
 
     #[test]

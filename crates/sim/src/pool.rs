@@ -312,6 +312,7 @@ mod tests {
             warm_since_ms: since,
             expiry_ms: expiry,
             origin_record: 0,
+            transfer_latency_ms: 0,
         }
     }
 

@@ -191,6 +191,7 @@ pub(crate) fn merge_metrics(
     let mut merged = RunMetrics {
         records: vec![placeholder; total_records],
         keepalive_g_by_node: vec![0.0; n_nodes],
+        transfer_g_by_node: vec![0.0; n_nodes],
         ledger_peak_mib,
         ..RunMetrics::default()
     };
@@ -203,11 +204,16 @@ pub(crate) fn merge_metrics(
         }
         merged.evicted_functions += part.evicted_functions;
         merged.transfers += part.transfers;
+        merged.transfer_g += part.transfer_g;
+        merged.transfer_ms += part.transfer_ms;
         merged.decision_overhead_ns += part.decision_overhead_ns;
         merged.reconcile_revocations += part.reconcile_revocations;
         merged.expiry.absorb(part.expiry);
         for (node, g) in part.keepalive_g_by_node.iter().enumerate() {
             merged.keepalive_g_by_node[node] += g;
+        }
+        for (node, g) in part.transfer_g_by_node.iter().enumerate() {
+            merged.transfer_g_by_node[node] += g;
         }
     }
     assert_eq!(

@@ -39,6 +39,7 @@ proptest! {
                         warm_since_ms: 0,
                         expiry_ms: expiry,
                         origin_record: 0,
+                        transfer_latency_ms: 0,
                     });
                 }
                 Op::Remove { func } => {
@@ -69,6 +70,7 @@ proptest! {
                 warm_since_ms: 0,
                 expiry_ms: *expiry,
                 origin_record: 0,
+                transfer_latency_ms: 0,
             });
         }
         let dead = pool.expire_until(t);

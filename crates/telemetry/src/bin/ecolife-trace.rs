@@ -1,22 +1,32 @@
 //! `ecolife-trace` — tail, filter, verify, and diff engine event streams.
 //!
 //! ```text
-//! ecolife-trace tail   <run.jsonl> [-n N]
+//! ecolife-trace tail   <run.jsonl> [-n N] [--follow] [--poll-ms MS]
+//!                                  [--max-polls N]
 //! ecolife-trace filter <run.jsonl> [--type T] [--node N] [--func F]
 //!                                  [--from MS] [--to MS] [--pretty]
 //! ecolife-trace verify <run.jsonl>
 //! ecolife-trace diff   <a.jsonl> <b.jsonl>
 //! ```
 //!
-//! Exit codes: `verify` exits 2 on a broken chain, `diff` exits 1 on
-//! divergence — so both slot straight into CI.
+//! `tail --follow` polls the file (a live [`JsonlSink`] stream) and
+//! hash-chain-verifies every event *incrementally* as it lands — a
+//! writer crash mid-line, a truncated file, or any tampering breaks the
+//! chain and the command exits 2 on the spot. It stops cleanly at
+//! `RunEnded`, or after `--max-polls` consecutive idle polls when set.
+//!
+//! Exit codes: `verify` and a broken `--follow` chain exit 2, `diff`
+//! exits 1 on divergence — so all three slot straight into CI.
+//!
+//! [`JsonlSink`]: ecolife_telemetry::JsonlSink
 
-use ecolife_telemetry::{diff_lines, pretty, str_field, u64_field, verify_lines};
+use ecolife_telemetry::{diff_lines, pretty, str_field, u64_field, verify_lines, ChainWalker};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ecolife-trace tail   <run.jsonl> [-n N]\n  ecolife-trace filter <run.jsonl> \
+        "usage:\n  ecolife-trace tail   <run.jsonl> [-n N] [--follow] [--poll-ms MS] \
+         [--max-polls N]\n  ecolife-trace filter <run.jsonl> \
          [--type T] [--node N] [--func F] [--from MS] [--to MS] [--pretty]\n  ecolife-trace \
          verify <run.jsonl>\n  ecolife-trace diff   <a.jsonl> <b.jsonl>"
     );
@@ -104,6 +114,89 @@ fn parse_u64_arg(args: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<
     })
 }
 
+/// Follow a live JSONL stream: poll the file, feed each *complete* new
+/// line through a [`ChainWalker`] (incremental hash-chain verify — exit
+/// 2 the moment a link breaks or the file is truncated), and echo the
+/// verified lines to stdout (the last `n` of the initial backlog, then
+/// everything as it lands). Status goes to stderr so stdout stays pure
+/// JSONL. Stops at `RunEnded`, or after `max_polls` consecutive idle
+/// polls when `max_polls > 0`.
+fn tail_follow(path: &str, n: usize, poll_ms: u64, max_polls: u64) -> Result<ExitCode, ExitCode> {
+    let mut walker = ChainWalker::new();
+    let mut consumed = 0usize;
+    let mut backlog_shown = false;
+    let mut idle = 0u64;
+    loop {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            // Not-yet-created counts as an idle poll: the writer may
+            // still be opening the sink.
+            Err(_) if consumed == 0 => String::new(),
+            Err(e) => {
+                eprintln!("ecolife-trace: cannot read {path}: {e}");
+                return Err(ExitCode::from(66));
+            }
+        };
+        // A writer may be mid-line; only lines sealed by '\n' count.
+        let complete = match text.rfind('\n') {
+            Some(end) => &text[..end],
+            None => "",
+        };
+        let lines: Vec<&str> = if complete.is_empty() {
+            Vec::new()
+        } else {
+            complete.lines().collect()
+        };
+        if lines.len() < consumed {
+            eprintln!(
+                "{path}: truncated while following ({} events verified, now {} lines)",
+                consumed,
+                lines.len()
+            );
+            return Ok(ExitCode::from(2));
+        }
+        let fresh = &lines[consumed..];
+        let print_from = if backlog_shown {
+            0
+        } else {
+            fresh.len().saturating_sub(n)
+        };
+        for (i, line) in fresh.iter().enumerate() {
+            if let Err(e) = walker.push(line) {
+                eprintln!("{path}: {e}");
+                return Ok(ExitCode::from(2));
+            }
+            if i >= print_from {
+                println!("{line}");
+            }
+            if str_field(line, "type") == Some("RunEnded") {
+                let s = walker.summary();
+                eprintln!(
+                    "follow: run ended — {} events, chain tip {}",
+                    s.events, s.tip
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+        consumed = lines.len();
+        if !fresh.is_empty() {
+            backlog_shown = true;
+            idle = 0;
+        } else {
+            idle += 1;
+            if max_polls > 0 && idle >= max_polls {
+                let s = walker.summary();
+                eprintln!(
+                    "follow: idle after {idle} polls — {} events verified, chain tip {}",
+                    s.events, s.tip
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
 fn run() -> Result<ExitCode, ExitCode> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -114,14 +207,24 @@ fn run() -> Result<ExitCode, ExitCode> {
             let mut rest = args[1..].iter();
             let mut path = None;
             let mut n = 10usize;
+            let mut follow = false;
+            let mut poll_ms = 200u64;
+            let mut max_polls = 0u64; // 0 = follow until RunEnded
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
                     "-n" => n = parse_u64_arg(&mut rest, "-n")? as usize,
+                    "--follow" | "-f" => follow = true,
+                    "--poll-ms" => poll_ms = parse_u64_arg(&mut rest, "--poll-ms")?,
+                    "--max-polls" => max_polls = parse_u64_arg(&mut rest, "--max-polls")?,
                     _ if path.is_none() => path = Some(arg.clone()),
                     _ => return Err(usage()),
                 }
             }
-            let lines = read_lines(&path.ok_or_else(usage)?)?;
+            let path = path.ok_or_else(usage)?;
+            if follow {
+                return tail_follow(&path, n, poll_ms, max_polls);
+            }
+            let lines = read_lines(&path)?;
             let start = lines.len().saturating_sub(n);
             for line in &lines[start..] {
                 println!("{line}");

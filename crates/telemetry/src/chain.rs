@@ -123,18 +123,40 @@ impl std::fmt::Display for ChainError {
     }
 }
 
-/// Re-walk a serialized stream: re-hash every line's head, check the
-/// embedded hash, the `prev` linkage, and the sequence numbering.
-/// Returns the verified [`ChainSummary`] or the first break.
-pub fn verify_lines<'a, I>(lines: I) -> Result<ChainSummary, ChainError>
-where
-    I: IntoIterator<Item = &'a str>,
-{
-    let mut prev = GENESIS.to_string();
-    let mut count = 0u64;
-    for (i, line) in lines.into_iter().enumerate() {
+/// Incremental chain verification: feed lines one at a time as they
+/// appear (a live `tail --follow`, a streaming reader) and fail at the
+/// first break. [`verify_lines`] is a walk over a complete stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainWalker {
+    prev: String,
+    count: u64,
+}
+
+impl ChainWalker {
+    pub fn new() -> Self {
+        ChainWalker {
+            prev: GENESIS.to_string(),
+            count: 0,
+        }
+    }
+
+    /// Lines verified so far.
+    pub fn events(&self) -> u64 {
+        self.count
+    }
+
+    /// Current chain tip ([`GENESIS`] before the first line).
+    pub fn tip(&self) -> &str {
+        &self.prev
+    }
+
+    /// Verify the next line: re-hash its head, check the embedded hash,
+    /// the `prev` linkage against the walker's tip, and the sequence
+    /// number. On success the walker advances; on failure it is
+    /// unchanged (the same line can be retried after repair).
+    pub fn push(&mut self, line: &str) -> Result<(), ChainError> {
         let err = |reason: String| ChainError {
-            seq: i as u64,
+            seq: self.count,
             reason,
             line: line.to_string(),
         };
@@ -158,26 +180,54 @@ where
             .and_then(|p| p.strip_prefix('"'))
             .and_then(|p| p.strip_suffix('"'))
             .ok_or_else(|| err("missing prev field".into()))?;
-        if claimed_prev != prev {
+        if claimed_prev != self.prev {
             return Err(err(format!(
-                "prev linkage broken: line claims {claimed_prev}, chain is at {prev}"
+                "prev linkage broken: line claims {claimed_prev}, chain is at {}",
+                self.prev
             )));
         }
         let seq = field(line, "seq")
             .and_then(|s| s.parse::<u64>().ok())
             .ok_or_else(|| err("missing seq field".into()))?;
-        if seq != i as u64 {
+        if seq != self.count {
             return Err(err(format!(
-                "sequence gap: line claims seq {seq}, expected {i}"
+                "sequence gap: line claims seq {seq}, expected {}",
+                self.count
             )));
         }
-        prev = recomputed.clone();
-        count += 1;
+        self.prev = recomputed;
+        self.count += 1;
+        Ok(())
     }
-    Ok(ChainSummary {
-        events: count,
-        tip: prev,
-    })
+
+    /// Close the walk into the summary a full [`verify_lines`] pass
+    /// would have returned.
+    pub fn summary(&self) -> ChainSummary {
+        ChainSummary {
+            events: self.count,
+            tip: self.prev.clone(),
+        }
+    }
+}
+
+impl Default for ChainWalker {
+    fn default() -> Self {
+        ChainWalker::new()
+    }
+}
+
+/// Re-walk a serialized stream: re-hash every line's head, check the
+/// embedded hash, the `prev` linkage, and the sequence numbering.
+/// Returns the verified [`ChainSummary`] or the first break.
+pub fn verify_lines<'a, I>(lines: I) -> Result<ChainSummary, ChainError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut walker = ChainWalker::new();
+    for line in lines {
+        walker.push(line)?;
+    }
+    Ok(walker.summary())
 }
 
 #[cfg(test)]

@@ -17,6 +17,14 @@ pub struct Divergence {
 }
 
 /// Compare two streams line by line; `None` means byte-identical.
+/// The canonical spelling for identity assertions — the bit-identity
+/// suites pin "no first divergence" instead of comparing record
+/// structs, so a claim of sameness also covers event emission.
+pub fn first_divergence(left: &[&str], right: &[&str]) -> Option<Divergence> {
+    diff_lines(left, right)
+}
+
+/// Compare two streams line by line; `None` means byte-identical.
 pub fn diff_lines(left: &[&str], right: &[&str]) -> Option<Divergence> {
     let n = left.len().max(right.len());
     for i in 0..n {

@@ -23,7 +23,9 @@
 //!   boundary events. `trace.len()` anchors end-of-run events.
 //! * `lane` — orders event classes at the same `pos`: run start, then
 //!   the previous period closing, a period opening, CI observations,
-//!   container expiries, reconciliation ops, per-invocation ops, run end.
+//!   container expiries, reconciliation ops, fleet-membership changes
+//!   and their pool drains, re-placement-pass migrations,
+//!   per-invocation ops, run end.
 //! * `a`, `b` — disambiguate within a lane (node/function for expiries,
 //!   an emission counter for per-invocation and reconciliation ops).
 //!
@@ -40,8 +42,20 @@ pub mod lane {
     pub const CI_OBSERVED: u8 = 3;
     pub const EXPIRY: u8 = 4;
     pub const RECONCILE: u8 = 5;
-    pub const INVOCATION: u8 = 6;
-    pub const RUN_ENDED: u8 = 7;
+    /// A fleet-membership change (node join/leave) at its trigger index.
+    pub const MEMBERSHIP: u8 = 6;
+    /// Containers released from a leaving node's pool (`a` = membership
+    /// event index, `b` = function id).
+    pub const MEMBER_OUT: u8 = 7;
+    /// Drained containers landing on their transfer targets.
+    pub const MEMBER_IN: u8 = 8;
+    /// Containers released by the periodic re-placement pass (`a` =
+    /// function id, `b` = `pass_index << 16 | source_node`).
+    pub const REPLACE_OUT: u8 = 9;
+    /// Re-placed containers landing on their targets.
+    pub const REPLACE_IN: u8 = 10;
+    pub const INVOCATION: u8 = 11;
+    pub const RUN_ENDED: u8 = 12;
 }
 
 /// The canonical sort key every emitted event carries until
@@ -171,13 +185,22 @@ pub enum Event {
         energy_kwh: f64,
     },
     /// A displaced or revoked container restarted its keep-alive on
-    /// another node.
+    /// another node. `egress_g` is the priced migration's network
+    /// carbon, charged to the *source* node's grid at `t_ms`;
+    /// `latency_ms` is the re-warm debt added to the function's next
+    /// service. Both are 0 under [`TransferCost::free`]-style configs.
     Transferred {
         func: u32,
         from: u32,
         to: u32,
         t_ms: u64,
+        egress_g: f64,
+        latency_ms: u64,
     },
+    /// A node joined or left the fleet mid-trace (maintenance /
+    /// autoscale event). A leaving node has already drained its pool
+    /// (see the `MEMBER_OUT`/`MEMBER_IN` lanes).
+    MembershipChanged { node: u32, t_ms: u64, joined: bool },
     /// Ledger reconciliation revoked an optimistic cross-shard
     /// admission (sharded engine only; the container is then transferred
     /// or evicted).
@@ -212,6 +235,7 @@ impl Event {
             Event::Expired { .. } => "Expired",
             Event::Released { .. } => "Released",
             Event::Transferred { .. } => "Transferred",
+            Event::MembershipChanged { .. } => "MembershipChanged",
             Event::Revoked { .. } => "Revoked",
             Event::RunEnded { .. } => "RunEnded",
         }

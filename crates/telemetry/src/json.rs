@@ -173,11 +173,20 @@ pub fn write_payload(event: &Event, out: &mut String) {
             from,
             to,
             t_ms,
+            egress_g,
+            latency_ms,
         } => {
             push_u64(out, "func", *func as u64);
             push_u64(out, "from", *from as u64);
             push_u64(out, "to", *to as u64);
             push_u64(out, "t_ms", *t_ms);
+            push_f64(out, "egress_g", *egress_g);
+            push_u64(out, "latency_ms", *latency_ms);
+        }
+        Event::MembershipChanged { node, t_ms, joined } => {
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_bool(out, "joined", *joined);
         }
         Event::Revoked {
             node,

@@ -35,8 +35,10 @@ pub mod json;
 pub mod sha256;
 pub mod sink;
 
-pub use chain::{finalize, verify_lines, ChainError, ChainSummary, SequencedEvent, GENESIS};
-pub use diff::{diff_lines, pretty, Divergence};
+pub use chain::{
+    finalize, verify_lines, ChainError, ChainSummary, ChainWalker, SequencedEvent, GENESIS,
+};
+pub use diff::{diff_lines, first_divergence, pretty, Divergence};
 pub use event::{lane, Event, EventKey, ReleaseCause};
 pub use golden::GoldenSnapshot;
 pub use json::{field, str_field, u64_field};

@@ -1,0 +1,162 @@
+//! End-to-end tests for the `ecolife-trace` binary's `tail --follow`
+//! mode: spawn the real executable against a JSONL file that grows
+//! under it, and pin the three exits — clean at `RunEnded`, idle after
+//! `--max-polls`, and non-zero the moment the hash chain breaks.
+
+use ecolife_telemetry::{finalize, lane, CaptureSink, Event, EventKey};
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// A short, fully valid hash-chained stream.
+fn chained_lines() -> Vec<String> {
+    let events = vec![
+        (
+            EventKey::new(0, lane::RUN_STARTED, 0, 0),
+            Event::RunStarted {
+                invocations: 2,
+                functions: 1,
+                nodes: 1,
+                horizon_ms: 60_000,
+            },
+        ),
+        (
+            EventKey::new(0, lane::PERIOD_STARTED, 0, 0),
+            Event::PeriodStarted { minute: 0 },
+        ),
+        (
+            EventKey::new(0, lane::CI_OBSERVED, 0, 0),
+            Event::CiObserved {
+                region: "CAL".to_string(),
+                t_ms: 0,
+                gco2_per_kwh: 250.0,
+            },
+        ),
+        (
+            EventKey::new(2, lane::RUN_ENDED, 0, 0),
+            Event::RunEnded {
+                invocations: 2,
+                transfers: 0,
+                evictions: 0,
+                revocations: 0,
+                expired: 0,
+            },
+        ),
+    ];
+    let mut sink = CaptureSink::default();
+    finalize(events, &mut sink);
+    sink.lines().iter().map(|l| l.to_string()).collect()
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ecolife-trace-{tag}-{}.jsonl", std::process::id()));
+    p
+}
+
+fn follow_cmd(path: &std::path::Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ecolife-trace"));
+    cmd.arg("tail")
+        .arg(path)
+        .args(["--follow", "--poll-ms", "10"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+#[test]
+fn follow_verifies_a_growing_stream_and_stops_at_run_ended() {
+    let lines = chained_lines();
+    let path = scratch_path("grow");
+    // Start with only the first event on disk…
+    std::fs::write(&path, format!("{}\n", lines[0])).unwrap();
+    let child = follow_cmd(&path, &[]).spawn().unwrap();
+    // …then let the "engine" append the rest, one poll apart, the last
+    // write split mid-line to prove partial lines are held back.
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(f, "{}", lines[1]).unwrap();
+    f.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    let tail = format!("{}\n{}\n", lines[2], lines[3]);
+    let (a, b) = tail.split_at(tail.len() / 2);
+    f.write_all(a.as_bytes()).unwrap();
+    f.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    f.write_all(b.as_bytes()).unwrap();
+    f.flush().unwrap();
+
+    let out = child.wait_with_output().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for line in &lines {
+        assert!(
+            stdout.contains(line.as_str()),
+            "missing echoed event: {line}"
+        );
+    }
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("run ended"), "stderr: {stderr}");
+    assert!(stderr.contains("4 events"), "stderr: {stderr}");
+}
+
+#[test]
+fn follow_gives_up_cleanly_after_max_idle_polls() {
+    let lines = chained_lines();
+    let path = scratch_path("idle");
+    // A valid prefix that never reaches RunEnded.
+    std::fs::write(&path, format!("{}\n{}\n", lines[0], lines[1])).unwrap();
+    let out = follow_cmd(&path, &["--max-polls", "3"])
+        .spawn()
+        .unwrap()
+        .wait_with_output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("idle"), "stderr: {stderr}");
+    assert!(stderr.contains("2 events verified"), "stderr: {stderr}");
+}
+
+#[test]
+fn follow_exits_two_on_a_broken_chain() {
+    let lines = chained_lines();
+    let path = scratch_path("broken");
+    std::fs::write(&path, format!("{}\n", lines[0])).unwrap();
+    let child = follow_cmd(&path, &["--max-polls", "50"]).spawn().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    // Append an event whose `prev` does not match the tip: tamper one
+    // hex digit of the second line's prev-hash.
+    let tampered = if lines[1].contains("\"prev\":\"a") {
+        lines[1].replacen("\"prev\":\"a", "\"prev\":\"b", 1)
+    } else {
+        let i = lines[1].find("\"prev\":\"").unwrap() + "\"prev\":\"".len();
+        let mut s = lines[1].clone();
+        let old = s.as_bytes()[i];
+        let new = if old == b'0' { '1' } else { '0' };
+        s.replace_range(i..i + 1, &new.to_string());
+        s
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    writeln!(f, "{tampered}").unwrap();
+    f.flush().unwrap();
+    let out = child.wait_with_output().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

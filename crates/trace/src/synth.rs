@@ -44,6 +44,14 @@ pub struct SynthTraceConfig {
     pub seed: u64,
     /// Class mix (fractions; must sum to ≈1): poisson, periodic, bursty.
     pub class_mix: [f64; 3],
+    /// Time-zone phase shift (minutes): every arrival is rotated by this
+    /// offset **modulo the trace duration** — the same diurnal rhythm,
+    /// started later in the day. Five configs differing only in offset
+    /// model five regions' local working hours against one wall clock
+    /// (the follow-the-sun workload). `0` (the default) is the identity:
+    /// the generated trace is byte-identical to the pre-offset
+    /// generator's.
+    pub phase_offset_min: u64,
 }
 
 impl Default for SynthTraceConfig {
@@ -55,11 +63,20 @@ impl Default for SynthTraceConfig {
             // Azure: most load from frequently invoked apps; timers are a
             // large trigger class; true bursts are the minority.
             class_mix: [0.55, 0.30, 0.15],
+            phase_offset_min: 0,
         }
     }
 }
 
 impl SynthTraceConfig {
+    /// This config with its arrivals rotated `offset_min` minutes into
+    /// the trace (modulo the duration) — see
+    /// [`SynthTraceConfig::phase_offset_min`].
+    pub fn with_phase_offset_min(mut self, offset_min: u64) -> Self {
+        self.phase_offset_min = offset_min;
+        self
+    }
+
     /// Small config for fast unit tests.
     pub fn small(seed: u64) -> Self {
         SynthTraceConfig {
@@ -255,6 +272,22 @@ impl SynthTraceConfig {
         horizon_ms: u64,
         out: &mut TraceLoader,
     ) {
+        // Time-zone rotation: the RNG draws are untouched (the stream is
+        // identical for any offset); only the wall-clock placement moves,
+        // wrapping past the horizon back to the start of the trace. With
+        // a zero offset this is the identity.
+        let offset_ms = self
+            .phase_offset_min
+            .checked_mul(60_000)
+            .expect("phase offset overflows ms")
+            % horizon_ms.max(1);
+        let shift = |t: u64| -> u64 {
+            if offset_ms == 0 {
+                t
+            } else {
+                (t + offset_ms) % horizon_ms
+            }
+        };
         match class {
             ArrivalClass::Poisson { rate_per_min } => {
                 if rate_per_min <= 0.0 {
@@ -265,7 +298,7 @@ impl SynthTraceConfig {
                 while (t as u64) < horizon_ms {
                     out.push(Invocation {
                         func,
-                        t_ms: t as u64,
+                        t_ms: shift(t as u64),
                     });
                     t += exp_sample(rng, mean_gap_ms);
                 }
@@ -280,7 +313,10 @@ impl SynthTraceConfig {
                     let jitter = rng.gen_range(-jitter_frac..jitter_frac) * period_ms;
                     let at = (t + jitter).max(0.0) as u64;
                     if at < horizon_ms {
-                        out.push(Invocation { func, t_ms: at });
+                        out.push(Invocation {
+                            func,
+                            t_ms: shift(at),
+                        });
                     }
                     t += period_ms;
                 }
@@ -298,7 +334,7 @@ impl SynthTraceConfig {
                     while bt < burst_end && (bt as u64) < horizon_ms {
                         out.push(Invocation {
                             func,
-                            t_ms: bt as u64,
+                            t_ms: shift(bt as u64),
                         });
                         bt += exp_sample(rng, mean_gap_ms);
                     }
@@ -379,6 +415,7 @@ mod tests {
             duration_min: 600,
             seed: 3,
             class_mix: [0.0, 1.0, 0.0],
+            phase_offset_min: 0,
         };
         let t = cfg.generate(&catalog());
         let times: Vec<u64> = t.invocations().iter().map(|i| i.t_ms).collect();
@@ -483,6 +520,30 @@ mod tests {
             cfg.generate_scaled(&catalog()),
             cfg.generate_scaled(&catalog())
         );
+    }
+
+    #[test]
+    fn phase_offset_rotates_arrivals_modulo_duration() {
+        let base = SynthTraceConfig::small(31); // 60-minute duration
+        let a = base.clone().generate(&catalog());
+        let b = base.clone().with_phase_offset_min(20).generate(&catalog());
+        assert_eq!(a.len(), b.len(), "rotation must not add or drop arrivals");
+        let key = |func: u32, t: u64| (func, t);
+        let mut rotated: Vec<(u32, u64)> = a
+            .invocations()
+            .iter()
+            .map(|i| key(i.func.0, (i.t_ms + 20 * 60_000) % (60 * 60_000)))
+            .collect();
+        rotated.sort_unstable();
+        let mut got: Vec<(u32, u64)> = b
+            .invocations()
+            .iter()
+            .map(|i| key(i.func.0, i.t_ms))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(rotated, got);
+        // Zero offset is the identity.
+        assert_eq!(a, base.with_phase_offset_min(0).generate(&catalog()));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Follow the sun: priced cross-region migration over a five-region
+//! fleet with time-zone-shifted diurnal load.
+//!
+//! Five regions (TEN TEX FLA NY CAL), each contributing a synthetic
+//! Azure-like arrival stream phase-shifted by its "time zone"
+//! ([`SynthTraceConfig::phase_offset_min`]), replayed against
+//! Electricity Maps-style CSV intensity feeds
+//! ([`CarbonIntensityTrace::parse_csv`] + [`CiBundle`]). The engine's
+//! periodic re-placement pass ([`SimConfig::with_replacement_every_min`])
+//! drains long-lived warm pools toward the cleanest grid — but a
+//! migration is no longer free: it pays egress grams at the *source*
+//! grid ([`TransferCost`]) and a re-warm latency charged to the next
+//! service. Mid-trace, one Tennessee node leaves the fleet for
+//! maintenance and rejoins two hours later
+//! ([`Simulation::with_membership`]); its pool drains through the same
+//! priced ranking.
+//!
+//! The example pins the migration economics both ways:
+//!
+//! * **cheap egress** (below the grid swing): the pass migrates
+//!   (`transfers > 0`) and the fleet's total carbon — egress included —
+//!   beats the same run with the pass disabled;
+//! * **dear egress** (above any possible keep-alive saving): the pass
+//!   never fires a migration, and the run's records are bit-identical
+//!   to the pass-disabled baseline;
+//! * the sequential and sharded engines emit **byte-identical** golden
+//!   streams at worker-thread counts 1, 2, and 4.
+//!
+//! Run with: `cargo run --release --example follow_the_sun`
+
+use ecolife::prelude::*;
+use ecolife::telemetry::diff::first_divergence;
+
+/// One day of Electricity Maps-style CSV for `region`: a pure sinusoid
+/// on the region's published mean/amplitude (deterministic — no noise,
+/// so the example's economics are exactly reproducible).
+fn region_csv(region: Region, minutes: usize) -> String {
+    let p = region.profile();
+    let mut out = String::from("minute,gco2_per_kwh\n");
+    for m in 0..minutes {
+        let w = 2.0 * std::f64::consts::PI * (m as f64 - p.phase_min) / 1440.0;
+        let ci = (p.mean_g_per_kwh + p.diurnal_amplitude * w.sin()).max(20.0);
+        out.push_str(&format!("{m},{ci:.3}\n"));
+    }
+    out
+}
+
+/// Five phase-shifted diurnal streams merged into one trace: region
+/// `i`'s workload is the same generator rotated `i`/5 of a day, so the
+/// fleet always has one region near its local peak.
+fn merged_diurnal_trace(duration_min: u64) -> Trace {
+    let base = WorkloadCatalog::sebs();
+    let mut catalog = WorkloadCatalog::default();
+    let mut invocations: Vec<Invocation> = Vec::new();
+    for (i, _region) in Region::ALL.iter().enumerate() {
+        let stream = SynthTraceConfig {
+            n_functions: 8,
+            duration_min,
+            seed: 0x50_1A_12 + i as u64,
+            phase_offset_min: i as u64 * duration_min / 5,
+            ..Default::default()
+        }
+        .generate(&base);
+        let offset = catalog.len() as u32;
+        for (_, profile) in stream.catalog().iter() {
+            catalog.push(profile.clone());
+        }
+        invocations.extend(stream.invocations().iter().map(|inv| Invocation {
+            func: FunctionId(inv.func.0 + offset),
+            t_ms: inv.t_ms,
+        }));
+    }
+    Trace::new(catalog, invocations)
+}
+
+fn main() {
+    let duration_min = 720u64;
+    let trace = merged_diurnal_trace(duration_min);
+    let bundle = CiBundle::new(
+        Region::ALL
+            .iter()
+            .map(|&r| {
+                let csv = region_csv(r, duration_min as usize + 20);
+                (
+                    r,
+                    CarbonIntensityTrace::parse_csv(&csv).expect("well-formed synthetic CSV"),
+                )
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("five distinct regions, equal spans");
+
+    // Ample budgets: memory pressure never binds, so every migration in
+    // this example is an economics decision, not an eviction.
+    let fleet = skus::fleet_five_regions().with_uniform_keepalive_budget_mib(64 * 1024);
+
+    // Node 0 (Tennessee, old generation) leaves for maintenance at hour
+    // 5 and rejoins at hour 7; its warm pool drains through the priced
+    // ranking on the way out.
+    let membership = MembershipPlan::default()
+        .leave(5 * 60 * MINUTE_MS, NodeId(0))
+        .join(7 * 60 * MINUTE_MS, NodeId(0));
+
+    let cheap = TransferCost {
+        egress_kwh_per_mib: 2.0e-9,
+        latency_ms: 50,
+    };
+    let dear = TransferCost {
+        egress_kwh_per_mib: 1.0,
+        latency_ms: 50,
+    };
+
+    let run = |transfer: TransferCost, replacement_every_min: u64| -> RunMetrics {
+        let config = SimConfig::default()
+            .with_transfer_cost(transfer)
+            .with_replacement_every_min(replacement_every_min);
+        let mut scheduler = EcoLife::new(
+            fleet.clone(),
+            EcoLifeConfig::default().with_transfer_cost(transfer),
+        );
+        Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+            .expect("bundle covers the workload span")
+            .with_config(config)
+            .with_membership(membership.clone())
+            .run(&mut scheduler)
+    };
+
+    let baseline = run(cheap, 0); // pass disabled, migrations still priced
+    let priced = run(cheap, 10); // follow the sun every 10 minutes
+    let dear_run = run(dear, 10); // egress dwarfs any grid swing
+
+    println!(
+        "follow_the_sun: {} invocations over {} nodes / 5 regions, {}h horizon\n",
+        trace.len(),
+        fleet.len(),
+        duration_min / 60
+    );
+    println!(
+        "{:<34} {:>12} {:>12} {:>12}",
+        "run", "carbon g", "transfers", "egress g"
+    );
+    for (name, m) in [
+        ("no re-placement (baseline)", &baseline),
+        ("re-placement, cheap egress", &priced),
+        ("re-placement, dear egress", &dear_run),
+    ] {
+        println!(
+            "{:<34} {:>12.3} {:>12} {:>12.6}",
+            name,
+            m.total_carbon_g(),
+            m.transfers,
+            m.transfer_g
+        );
+    }
+
+    // Cheap egress: the sun is worth chasing. The pass migrates, and the
+    // whole bill — egress and re-warm latency included — goes down.
+    assert!(
+        priced.transfers > baseline.transfers,
+        "cheap egress must trigger re-placement migrations \
+         ({} vs baseline {})",
+        priced.transfers,
+        baseline.transfers
+    );
+    assert!(
+        priced.transfer_g > 0.0,
+        "priced migrations must charge egress"
+    );
+    assert!(
+        priced.total_carbon_g() < baseline.total_carbon_g(),
+        "migration must pay off when the grid swing exceeds the egress price \
+         ({:.3} g vs {:.3} g)",
+        priced.total_carbon_g(),
+        baseline.total_carbon_g()
+    );
+
+    // Dear egress: no keep-alive saving can cover it, so the pass never
+    // moves a container and the replay is bit-identical to the
+    // pass-disabled baseline.
+    assert_eq!(
+        dear_run.transfers, baseline.transfers,
+        "over-priced egress must suppress every re-placement migration"
+    );
+    assert_eq!(
+        dear_run.records, baseline.records,
+        "with no migrations the pass must be invisible, record for record"
+    );
+
+    // The priced, membership-churned, re-placed run stays bit-identical
+    // between the sequential engine and the sharded engine at any worker
+    // count: identical golden streams, byte for byte.
+    let config = SimConfig::default()
+        .with_transfer_cost(cheap)
+        .with_replacement_every_min(10);
+    let mut seq_sink = CaptureSink::default();
+    let mut seq_sched = EcoLife::new(
+        fleet.clone(),
+        EcoLifeConfig::default().with_transfer_cost(cheap),
+    );
+    let seq = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .expect("bundle covers the workload span")
+        .with_config(config)
+        .with_membership(membership.clone())
+        .run_with_sink(&mut seq_sched, &mut seq_sink);
+    for threads in [1usize, 2, 4] {
+        let mut sink = CaptureSink::default();
+        let opts = ShardOptions::new(4).with_threads(threads);
+        let sharded = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+            .expect("bundle covers the workload span")
+            .with_config(config)
+            .with_membership(membership.clone())
+            .run_sharded_with_sink(
+                |_| {
+                    EcoLife::new(
+                        fleet.clone(),
+                        EcoLifeConfig::default().with_transfer_cost(cheap),
+                    )
+                },
+                &opts,
+                &mut sink,
+            );
+        assert_eq!(sharded.records, seq.records, "{threads}-thread records");
+        if let Some(d) = first_divergence(&seq_sink.lines(), &sink.lines()) {
+            panic!("{threads}-thread stream diverged: {d:?}");
+        }
+        assert_eq!(sink.tip(), seq_sink.tip(), "{threads}-thread chain tip");
+    }
+    println!(
+        "\nasserted: cheap egress migrates and saves; dear egress never moves;\n\
+         sequential and 4-shard streams are byte-identical at 1/2/4 worker threads\n\
+         (chain tip {})",
+        seq_sink.tip().unwrap_or("<empty>")
+    );
+}

@@ -16,15 +16,20 @@
 //! *sharded* engine on purpose: its golden pins the
 //! sharded-equals-sequential stream discipline at a fixed shard layout.
 
-use ecolife_carbon::{CarbonIntensityTrace, CiBundle, Region};
+use ecolife_carbon::{CarbonIntensityTrace, CiBundle, Region, TransferCost};
 use ecolife_core::{EcoLife, EcoLifeConfig};
-use ecolife_hw::skus;
-use ecolife_sim::{CaptureSink, ShardOptions, Simulation};
+use ecolife_hw::{skus, NodeId};
+use ecolife_sim::{CaptureSink, MembershipPlan, ShardOptions, SimConfig, Simulation};
 use ecolife_telemetry::GoldenSnapshot;
-use ecolife_trace::{SynthTraceConfig, WorkloadCatalog};
+use ecolife_trace::{FunctionId, Invocation, SynthTraceConfig, Trace, WorkloadCatalog};
 
 /// The golden workload names, in emission order.
-pub const GOLDEN_WORKLOADS: [&str; 3] = ["quickstart", "fleet_cluster", "carbon_region_study"];
+pub const GOLDEN_WORKLOADS: [&str; 4] = [
+    "quickstart",
+    "fleet_cluster",
+    "carbon_region_study",
+    "follow_the_sun",
+];
 
 /// Replay one golden workload and capture its full event stream.
 ///
@@ -90,6 +95,60 @@ pub fn run_golden(name: &str) -> CaptureSink {
                 .expect("five-region bundle covers the fleet")
                 .run_with_sink(
                     &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+                    &mut sink,
+                );
+        }
+        // examples/follow_the_sun.rs in miniature: priced migrations,
+        // the engine's periodic re-placement pass, and a mid-trace
+        // leave/join, over the five-region fleet with phase-shifted
+        // diurnal arrivals. This golden pins the priced-migration
+        // economics end to end: egress grams, latency debt, membership
+        // drains, and their event-stream keys.
+        "follow_the_sun" => {
+            let base = WorkloadCatalog::sebs();
+            let mut catalog = WorkloadCatalog::default();
+            let mut invocations: Vec<Invocation> = Vec::new();
+            for i in 0..5u64 {
+                let stream = SynthTraceConfig {
+                    n_functions: 4,
+                    duration_min: 60,
+                    seed: 0x50_1A_12 + i,
+                    phase_offset_min: i * 12,
+                    ..Default::default()
+                }
+                .generate(&base);
+                let offset = catalog.len() as u32;
+                for (_, profile) in stream.catalog().iter() {
+                    catalog.push(profile.clone());
+                }
+                invocations.extend(stream.invocations().iter().map(|inv| Invocation {
+                    func: FunctionId(inv.func.0 + offset),
+                    t_ms: inv.t_ms,
+                }));
+            }
+            let trace = Trace::new(catalog, invocations);
+            let bundle = CiBundle::synthetic_all(80, 99);
+            let fleet = skus::fleet_five_regions().with_uniform_keepalive_budget_mib(64 * 1024);
+            let cost = TransferCost {
+                egress_kwh_per_mib: 2.0e-9,
+                latency_ms: 50,
+            };
+            let membership = MembershipPlan::default()
+                .leave(20 * 60_000, NodeId(0))
+                .join(40 * 60_000, NodeId(0));
+            Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+                .expect("five-region bundle covers the fleet")
+                .with_config(
+                    SimConfig::default()
+                        .with_transfer_cost(cost)
+                        .with_replacement_every_min(10),
+                )
+                .with_membership(membership)
+                .run_with_sink(
+                    &mut EcoLife::new(
+                        fleet.clone(),
+                        EcoLifeConfig::default().with_transfer_cost(cost),
+                    ),
                     &mut sink,
                 );
         }

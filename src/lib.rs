@@ -108,8 +108,9 @@ pub mod prelude {
         PsoConfig, SaConfig, SearchSpace, SimulatedAnnealing,
     };
     pub use ecolife_sim::{
-        CaptureSink, Event, EventSink, GoldenSnapshot, JsonlSink, NullSink, RunMetrics, Scheduler,
-        SimConfig, Simulation, MINUTE_MS,
+        CaptureSink, Event, EventSink, GoldenSnapshot, JsonlSink, MembershipEvent, MembershipPlan,
+        NullSink, RunMetrics, Scheduler, ShardOptions, SimConfig, Simulation, TransferCost,
+        MINUTE_MS,
     };
     pub use ecolife_trace::{
         FunctionId, FunctionProfile, Invocation, SynthTraceConfig, Trace, WorkloadCatalog,

@@ -1,13 +1,17 @@
 //! The cached decision hot path is an *optimization*, never a semantic
-//! change: EcoLife with `ObjectiveTables` (the default) must make
-//! bit-identical decisions — every float of every record equal — to the
-//! uncached reference path (`EcoLifeConfig::without_cached_tables`), on
-//! multi-region fleets, under memory pressure (the memoized transfer
-//! ranking), restricted to one node, sequentially and through
-//! `run_sharded` at any worker-thread count.
+//! change: EcoLife with `ObjectiveTables` (the default) must replay
+//! **byte-identically** to the uncached reference path
+//! (`EcoLifeConfig::without_cached_tables`) — compared on the engines'
+//! hash-chained telemetry streams ([`CaptureSink`] +
+//! [`first_divergence`]), so every placement, displacement, gram, and
+//! expiry is covered by a single chain-tip equality — on multi-region
+//! fleets, under memory pressure (the memoized transfer ranking),
+//! restricted to one node, sequentially and through `run_sharded` at
+//! any worker-thread count.
 
 use ecolife::prelude::*;
 use ecolife::sim::ShardOptions;
+use ecolife::telemetry::diff::first_divergence;
 
 /// A multi-region workload: one hardware pair per grid region (ten
 /// nodes, five grids), synthetic per-region CI feeds, 16 functions.
@@ -35,84 +39,60 @@ fn uncached(fleet: &Fleet) -> EcoLife {
     )
 }
 
-/// One record, every float as exact bits:
-/// `(t, warm, node, service_ms, service_g, keepalive_g, energy)`.
-type RecordBits = (u64, bool, u64, u64, u64, u64, u64);
-
-/// Everything decision-dependent in a run, floats compared exactly
-/// (decision overhead is wall-clock and excluded; the per-node gram
-/// *sums* are compared separately — see [`by_node_bits`] — because they
-/// are only bit-stable between runs of the same shard layout).
-fn fingerprint(m: &RunMetrics) -> (Vec<RecordBits>, u64, u64) {
-    (
-        m.records
-            .iter()
-            .map(|r| {
-                (
-                    r.t_ms,
-                    r.warm,
-                    r.exec_location.0 as u64,
-                    r.service_ms,
-                    r.service_carbon.total_g().to_bits(),
-                    r.keepalive_carbon.total_g().to_bits(),
-                    r.energy_kwh.to_bits(),
-                )
-            })
-            .collect(),
-        m.evicted_functions,
-        m.transfers,
-    )
-}
-
-/// Per-node keep-alive gram totals, bit-exact. Only comparable between
-/// runs with the same shard layout (summation order is per shard).
-fn by_node_bits(m: &RunMetrics) -> Vec<u64> {
-    m.keepalive_g_by_node.iter().map(|g| g.to_bits()).collect()
+/// Byte-identical streams or a panic naming the first divergent event.
+fn assert_same_stream(reference: &CaptureSink, candidate: &CaptureSink, what: &str) {
+    if let Some(d) = first_divergence(&reference.lines(), &candidate.lines()) {
+        panic!("{what}: streams diverged: {d:?}");
+    }
+    assert_eq!(candidate.tip(), reference.tip(), "{what}: chain tip");
 }
 
 #[test]
 fn cached_tables_are_bit_identical_on_a_multi_region_fleet() {
     let (trace, bundle, fleet) = multi_region_setup();
     let run = |mut eco: EcoLife| {
+        let mut sink = CaptureSink::default();
         Simulation::try_new_regional(&trace, &bundle, fleet.clone())
             .unwrap()
-            .run(&mut eco)
+            .run_with_sink(&mut eco, &mut sink);
+        sink
     };
     let fast = run(cached(&fleet));
     let reference = run(uncached(&fleet));
-    assert_eq!(
-        fingerprint(&fast),
-        fingerprint(&reference),
-        "cached tables changed a decision on the multi-region fleet"
+    assert_same_stream(
+        &reference,
+        &fast,
+        "cached tables changed a decision on the multi-region fleet",
     );
-    assert_eq!(by_node_bits(&fast), by_node_bits(&reference));
 }
 
 #[test]
 fn cached_tables_are_bit_identical_sharded_at_any_thread_count() {
     let (trace, bundle, fleet) = multi_region_setup();
     let sim = Simulation::try_new_regional(&trace, &bundle, fleet.clone()).unwrap();
-    let sequential = fingerprint(&sim.run(&mut cached(&fleet)));
+    let mut sequential = CaptureSink::default();
+    sim.run_with_sink(&mut cached(&fleet), &mut sequential);
     for threads in [1usize, 2, 4] {
-        let fast = sim.run_sharded(
-            |_| cached(&fleet),
-            &ShardOptions::new(8).with_threads(threads),
+        let run_sharded = |make: &dyn Fn() -> EcoLife| {
+            let mut sink = CaptureSink::default();
+            sim.run_sharded_with_sink(
+                |_| make(),
+                &ShardOptions::new(8).with_threads(threads),
+                &mut sink,
+            );
+            sink
+        };
+        let fast = run_sharded(&|| cached(&fleet));
+        let reference = run_sharded(&|| uncached(&fleet));
+        assert_same_stream(
+            &reference,
+            &fast,
+            &format!("cached vs uncached sharded at {threads} workers"),
         );
-        let reference = sim.run_sharded(
-            |_| uncached(&fleet),
-            &ShardOptions::new(8).with_threads(threads),
-        );
-        assert_eq!(
-            fingerprint(&fast),
-            fingerprint(&reference),
-            "cached vs uncached diverged sharded at {threads} workers"
-        );
-        // Same shard layout → the per-node gram sums are bit-stable too.
-        assert_eq!(by_node_bits(&fast), by_node_bits(&reference));
-        assert_eq!(
-            fingerprint(&fast),
-            sequential,
-            "sharded run diverged from the sequential path at {threads} workers"
+        assert_same_stream(
+            &sequential,
+            &fast,
+            &format!("sharded vs sequential at {threads} workers"),
         );
     }
 }
@@ -131,15 +111,18 @@ fn cached_tables_are_bit_identical_under_memory_pressure() {
     .generate(&WorkloadCatalog::sebs());
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 120, 23);
     let fleet = Fleet::from(skus::pair_a()).with_uniform_keepalive_budget_mib(6 * 1024);
-    let run = |mut eco: EcoLife| Simulation::new(&trace, &ci, fleet.clone()).run(&mut eco);
-    let fast = run(cached(&fleet));
-    let reference = run(uncached(&fleet));
+    let run = |mut eco: EcoLife| {
+        let mut sink = CaptureSink::default();
+        let m = Simulation::new(&trace, &ci, fleet.clone()).run_with_sink(&mut eco, &mut sink);
+        (m, sink)
+    };
+    let (_, fast) = run(cached(&fleet));
+    let (reference_m, reference) = run(uncached(&fleet));
     assert!(
-        reference.transfers > 0,
+        reference_m.transfers > 0,
         "workload must exercise the overflow/transfer path"
     );
-    assert_eq!(fingerprint(&fast), fingerprint(&reference));
-    assert_eq!(by_node_bits(&fast), by_node_bits(&reference));
+    assert_same_stream(&reference, &fast, "cached tables under memory pressure");
 }
 
 #[test]
@@ -150,16 +133,14 @@ fn cached_tables_are_bit_identical_when_restricted_to_one_node() {
     for node in [NodeId(0), NodeId(1), NodeId(2)] {
         let run = |cfg: EcoLifeConfig| {
             let mut eco = EcoLife::new(fleet.clone(), cfg.restricted_to(node));
-            Simulation::new(&trace, &ci, fleet.clone()).run(&mut eco)
+            let mut sink = CaptureSink::default();
+            let m = Simulation::new(&trace, &ci, fleet.clone()).run_with_sink(&mut eco, &mut sink);
+            (m, sink)
         };
-        let fast = run(EcoLifeConfig::default());
-        let reference = run(EcoLifeConfig::default().without_cached_tables());
-        assert_eq!(
-            fingerprint(&fast),
-            fingerprint(&reference),
-            "restricted-to-{node} runs diverged"
-        );
-        assert!(fast.records.iter().all(|r| r.exec_location == node));
+        let (fast_m, fast) = run(EcoLifeConfig::default());
+        let (_, reference) = run(EcoLifeConfig::default().without_cached_tables());
+        assert_same_stream(&reference, &fast, &format!("restricted-to-{node} runs"));
+        assert!(fast_m.records.iter().all(|r| r.exec_location == node));
     }
 }
 
@@ -186,12 +167,15 @@ fn sharded_gap_precompute_leaves_oracle_decisions_unchanged() {
         );
     }
     assert_eq!(ecolife::sim::next_arrival_gaps_parallel(&trace), sequential);
-    // And end to end: the oracle's run is deterministic across prepares.
+    // And end to end: the oracle's replay stream is deterministic across
+    // prepares.
     let ci = CarbonIntensityTrace::synthetic(Region::Caiso, 120, 31);
     let fleet = skus::fleet_a();
     let run = || {
         let mut oracle = BruteForce::oracle(fleet.clone(), ci.clone());
-        Simulation::new(&trace, &ci, fleet.clone()).run(&mut oracle)
+        let mut sink = CaptureSink::default();
+        Simulation::new(&trace, &ci, fleet.clone()).run_with_sink(&mut oracle, &mut sink);
+        sink
     };
-    assert_eq!(fingerprint(&run()), fingerprint(&run()));
+    assert_same_stream(&run(), &run(), "oracle repeat runs");
 }

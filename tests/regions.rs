@@ -10,6 +10,7 @@
 
 use ecolife::prelude::*;
 use ecolife::sim::{InvocationRecord, RunMetrics, ShardOptions};
+use ecolife::telemetry::diff::first_divergence;
 
 const SEED: u64 = 0x000F_1614;
 const MINUTES: usize = 70;
@@ -131,37 +132,44 @@ fn multi_region_sharded_replay_is_thread_invariant() {
     // fleet: sequential vs `run_sharded` at worker threads {1, 2, 4}
     // must be bit-identical — the per-region ΔCI state is a pure
     // function of (t, region), so shard membership cannot leak into
-    // decisions.
+    // decisions. Compared on the full hash-chained telemetry stream:
+    // one chain-tip equality covers every record, gram, and expiry.
     let trace = workload();
     let fleet = skus::fleet_five_regions();
     let b = bundle();
 
+    let mut seq_sink = CaptureSink::default();
     let sequential = Simulation::try_new_regional(&trace, &b, fleet.clone())
         .unwrap()
-        .run(&mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()));
+        .run_with_sink(
+            &mut EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
+            &mut seq_sink,
+        );
 
     for threads in [1, 2, 4] {
+        let mut sink = CaptureSink::default();
         let sharded = Simulation::try_new_regional(&trace, &b, fleet.clone())
             .unwrap()
-            .run_sharded(
+            .run_sharded_with_sink(
                 |_| EcoLife::new(fleet.clone(), EcoLifeConfig::default()),
                 &ShardOptions::new(8).with_threads(threads),
+                &mut sink,
             );
         assert_eq!(sharded.reconcile_revocations, 0, "uncontended workload");
-        assert_eq!(
-            sequential.records, sharded.records,
-            "threads={threads} diverged from the sequential multi-region run"
-        );
         assert_eq!(sequential.evicted_functions, sharded.evicted_functions);
         assert_eq!(sequential.transfers, sharded.transfers);
+        if let Some(d) = first_divergence(&seq_sink.lines(), &sink.lines()) {
+            panic!("threads={threads} diverged from the sequential multi-region run: {d:?}");
+        }
+        assert_eq!(sink.tip(), seq_sink.tip(), "threads={threads} chain tip");
     }
 }
 
 #[test]
 fn partitioned_run_is_shardable_and_thread_invariant() {
     // The partitioned form of the Fig. 14 study itself, through
-    // `run_sharded` at threads {1, 2, 4}: same records as the
-    // sequential partitioned run.
+    // `run_sharded` at threads {1, 2, 4}: a byte-identical event stream
+    // (and chain tip) against the sequential partitioned run.
     let trace = workload();
     let make = || {
         PartitionedScheduler::new(
@@ -180,14 +188,23 @@ fn partitioned_run_is_shardable_and_thread_invariant() {
     let merged_fleet = make().merged_fleet();
     let b = bundle();
 
-    let sequential = Simulation::try_new_regional(&merged_trace, &b, merged_fleet.clone())
+    let mut seq_sink = CaptureSink::default();
+    Simulation::try_new_regional(&merged_trace, &b, merged_fleet.clone())
         .unwrap()
-        .run(&mut make());
+        .run_with_sink(&mut make(), &mut seq_sink);
     for threads in [1, 2, 4] {
-        let sharded = Simulation::try_new_regional(&merged_trace, &b, merged_fleet.clone())
+        let mut sink = CaptureSink::default();
+        Simulation::try_new_regional(&merged_trace, &b, merged_fleet.clone())
             .unwrap()
-            .run_sharded(|_| make(), &ShardOptions::new(8).with_threads(threads));
-        assert_eq!(sequential.records, sharded.records, "threads={threads}");
+            .run_sharded_with_sink(
+                |_| make(),
+                &ShardOptions::new(8).with_threads(threads),
+                &mut sink,
+            );
+        if let Some(d) = first_divergence(&seq_sink.lines(), &sink.lines()) {
+            panic!("threads={threads}: partitioned sharded stream diverged: {d:?}");
+        }
+        assert_eq!(sink.tip(), seq_sink.tip(), "threads={threads} chain tip");
     }
 }
 
