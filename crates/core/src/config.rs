@@ -43,6 +43,15 @@ pub struct EcoLifeConfig {
     /// [`TransferCost::free`] by default — rankings, decisions, and
     /// every existing golden are then exactly the unpriced ones.
     pub transfer_cost: TransferCost,
+    /// Fold measured per-node executor backlog into EPDM cold
+    /// placement (`λs · Q_r / S_max` added to each node's fscore; see
+    /// `CostModel::epdm_choice_queued`). Only meaningful on runs with
+    /// bounded executors (`SimConfig::with_bounded_executors` in
+    /// `ecolife-sim`) — without them every queue reads zero and the
+    /// term vanishes, so decisions (and all existing goldens) are
+    /// bit-identical to the classic scan. Scope: execution placement
+    /// only; the KDM keep-alive optimization is untouched.
+    pub queue_aware_placement: bool,
     /// Underlying (D)PSO parameters.
     pub dpso: DpsoConfig,
     /// ΔF observation window (ms).
@@ -63,6 +72,7 @@ impl Default for EcoLifeConfig {
             restrict_to: None,
             cached_tables: true,
             transfer_cost: TransferCost::free(),
+            queue_aware_placement: false,
             dpso: DpsoConfig::default(),
             delta_f_window_ms: 5 * 60_000,
             seed: 0xEC0_11FE,
@@ -124,6 +134,14 @@ impl EcoLifeConfig {
     /// [`EcoLifeConfig::transfer_cost`]).
     pub fn with_transfer_cost(mut self, transfer_cost: TransferCost) -> Self {
         self.transfer_cost = transfer_cost;
+        self
+    }
+
+    /// Queue-aware EPDM placement (see
+    /// [`EcoLifeConfig::queue_aware_placement`]); pair with
+    /// `SimConfig::with_bounded_executors` to give the term a signal.
+    pub fn with_queue_aware_placement(mut self) -> Self {
+        self.queue_aware_placement = true;
         self
     }
 }

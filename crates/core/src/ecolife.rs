@@ -124,6 +124,8 @@ struct DecideScratch {
     /// Predictor snapshot over the keep-alive grid.
     p_warm: Vec<f64>,
     resident: Vec<f64>,
+    /// Per-node executor backlog read for queue-aware placement.
+    queue_ms: Vec<u64>,
     /// The `(node, grid index)` objective landscape of this decision
     /// (row-major by node) — the fitness the swarm optimizes, as lookups.
     objective: Vec<f64>,
@@ -259,7 +261,18 @@ impl EcoLife {
     fn decide_cached(&mut self, ctx: &InvocationCtx<'_>, dci: f64) -> Decision {
         let restrict = self.config.restrict_to;
         self.tables.refresh(ctx.ci, ctx.t_ms);
-        let exec = self.tables.epdm_choice(ctx.func, ctx.profile, restrict);
+        let exec = if self.config.queue_aware_placement && ctx.cluster.executors_enabled() {
+            self.scratch.queue_ms.clear();
+            for l in self.tables.cost().fleet().ids() {
+                self.scratch
+                    .queue_ms
+                    .push(ctx.cluster.queue_wait_ms(l, ctx.t_ms));
+            }
+            self.tables
+                .epdm_choice_queued(ctx.func, ctx.profile, restrict, &self.scratch.queue_ms)
+        } else {
+            self.tables.epdm_choice(ctx.func, ctx.profile, restrict)
+        };
 
         let n_nodes = self.tables.cost().fleet().len();
         let grid_len = self.config.keepalive_grid_min.len();
@@ -340,10 +353,24 @@ impl EcoLife {
     fn decide_uncached(&mut self, ctx: &InvocationCtx<'_>, dci: f64) -> Decision {
         let restrict = self.config.restrict_to;
         let ci_by_node = ctx.ci.at_each_node(ctx.t_ms);
-        let exec = self
-            .tables
-            .cost()
-            .epdm_choice(ctx.profile, &ci_by_node, restrict);
+        let exec = if self.config.queue_aware_placement && ctx.cluster.executors_enabled() {
+            self.scratch.queue_ms.clear();
+            for l in self.tables.cost().fleet().ids() {
+                self.scratch
+                    .queue_ms
+                    .push(ctx.cluster.queue_wait_ms(l, ctx.t_ms));
+            }
+            self.tables.cost().epdm_choice_queued(
+                ctx.profile,
+                &ci_by_node,
+                restrict,
+                &self.scratch.queue_ms,
+            )
+        } else {
+            self.tables
+                .cost()
+                .epdm_choice(ctx.profile, &ci_by_node, restrict)
+        };
 
         let dynamic = self.config.dynamic_pso;
         let iters = self.config.pso_iters;

@@ -250,6 +250,58 @@ impl CostModel {
         }
     }
 
+    /// Queue-aware EPDM score: the cold-placement `fscore` plus the
+    /// queueing delay an arrival would measure on `r`'s bounded executor
+    /// right now, normalized like any other service-time term
+    /// (`λs · Q_r / S_max`). With `queue_ms == 0` this is *exactly*
+    /// [`CostModel::epdm_score`] — adding a zero term does not perturb
+    /// the float — which is what keeps queue-aware placement
+    /// bit-identical to the classic scan whenever executors are idle or
+    /// disabled.
+    pub fn epdm_score_queued(
+        &self,
+        r: impl Into<NodeId>,
+        f: &FunctionProfile,
+        ci_by_node: &[f64],
+        queue_ms: u64,
+    ) -> f64 {
+        let r = r.into();
+        self.epdm_score(r, f, ci_by_node) + self.lambda_s * (queue_ms as f64 / self.s_max(f))
+    }
+
+    /// Queue-aware [`CostModel::epdm_choice`]: the same strict-less scan
+    /// from node 0, scoring each node with
+    /// [`CostModel::epdm_score_queued`] at `queue_ms[node]` — the
+    /// measured per-node executor backlog
+    /// (`Cluster::queue_wait_ms` in `ecolife-sim`). A node drowning in
+    /// queued work loses placements it would win on carbon alone, so
+    /// EcoLife balances load *and* carbon instead of piling onto the
+    /// greenest node. An all-zero `queue_ms` reproduces `epdm_choice`
+    /// bit-for-bit.
+    pub fn epdm_choice_queued(
+        &self,
+        f: &FunctionProfile,
+        ci_by_node: &[f64],
+        allowed: Option<NodeId>,
+        queue_ms: &[u64],
+    ) -> NodeId {
+        match allowed {
+            Some(l) => l,
+            None => {
+                let mut best = NodeId(0);
+                let mut best_score = self.epdm_score_queued(best, f, ci_by_node, queue_ms[0]);
+                for l in self.fleet.ids().skip(1) {
+                    let score = self.epdm_score_queued(l, f, ci_by_node, queue_ms[l.index()]);
+                    if score < best_score {
+                        best = l;
+                        best_score = score;
+                    }
+                }
+                best
+            }
+        }
+    }
+
     /// The full expected objective of choosing (`l`, `k`) for `f`, given
     /// the online estimates `p_warm = P(gap ≤ k)` and
     /// `expected_resident_ms = E[min(gap, k)]` (pass exact values to turn
@@ -620,6 +672,53 @@ impl ObjectiveTables {
         }
     }
 
+    /// Cached [`CostModel::epdm_choice_queued`] at the current epoch.
+    ///
+    /// Fast path: when every queue term is zero the answer is the
+    /// cached `epdm_best` — no scan, and bit-identical to
+    /// [`ObjectiveTables::epdm_choice`], which is what makes
+    /// queue-aware placement free (and invisible) until a node actually
+    /// saturates. With backlog present, the scan recomputes scores with
+    /// exactly the uncached method's operation order
+    /// (`λs·s + λc·sc` then `+ λs·(Q/S_max)`), so cached and uncached
+    /// queued choices agree bit-for-bit too.
+    pub fn epdm_choice_queued(
+        &mut self,
+        func: FunctionId,
+        f: &FunctionProfile,
+        allowed: Option<NodeId>,
+        queue_ms: &[u64],
+    ) -> NodeId {
+        match allowed {
+            Some(l) => l,
+            None => {
+                let idx = self.ensure_row(func, f);
+                let row = self.rows[idx].as_deref().expect("row built");
+                if queue_ms.iter().all(|&q| q == 0) {
+                    return row.epdm_best;
+                }
+                let cost = &self.cost;
+                let score = |l: usize| -> f64 {
+                    let s = row.cold_ms[l] as f64 / row.s_max;
+                    let sc = row.cold_carbon_g[l] / row.sc_max;
+                    cost.lambda_s * s
+                        + cost.lambda_c * sc
+                        + cost.lambda_s * (queue_ms[l] as f64 / row.s_max)
+                };
+                let mut best = 0usize;
+                let mut best_score = score(0);
+                for l in 1..cost.fleet().len() {
+                    let sc = score(l);
+                    if sc < best_score {
+                        best = l;
+                        best_score = sc;
+                    }
+                }
+                NodeId(best as u32)
+            }
+        }
+    }
+
     /// Fill `out` with the expected objective of every `(node, grid
     /// index)` keep-alive choice — the whole KDM fitness landscape of one
     /// decision, so the swarm's 100+ particle evaluations become table
@@ -879,6 +978,69 @@ mod tests {
             carbon_only.epdm_choice(&f, &carbon_only.uniform_ci(300.0), None),
             NodeId(0)
         );
+    }
+
+    #[test]
+    fn queued_choice_with_zero_backlog_is_the_classic_choice() {
+        let m = model();
+        let f = profile("311.compression");
+        let ci = m.uniform_ci(300.0);
+        let zero = vec![0u64; m.fleet().len()];
+        assert_eq!(
+            m.epdm_choice_queued(&f, &ci, None, &zero),
+            m.epdm_choice(&f, &ci, None)
+        );
+        for l in m.fleet().ids() {
+            assert_eq!(m.epdm_score_queued(l, &f, &ci, 0), m.epdm_score(l, &f, &ci));
+        }
+        // Restriction wins regardless of backlog.
+        assert_eq!(
+            m.epdm_choice_queued(&f, &ci, Some(NodeId(1)), &[1_000_000, 0]),
+            NodeId(1)
+        );
+    }
+
+    #[test]
+    fn backlog_shifts_placement_off_the_saturated_node() {
+        let m = model();
+        let f = profile("311.compression");
+        let ci = m.uniform_ci(300.0);
+        let free = m.epdm_choice(&f, &ci, None);
+        let other = NodeId(1 - free.0);
+        // Pile queueing delay onto the classic winner until the score
+        // gap flips: a λs-weighted S_max of backlog always dominates the
+        // bounded [0, 1]-ish fscore difference.
+        let mut queue = vec![0u64; m.fleet().len()];
+        queue[free.index()] = (4.0 * m.s_max(&f)) as u64;
+        assert_eq!(m.epdm_choice_queued(&f, &ci, None, &queue), other);
+    }
+
+    #[test]
+    fn tables_reproduce_queued_choice_bit_for_bit() {
+        use ecolife_carbon::{CarbonIntensityTrace, CiProvider};
+        let fleet = skus::fleet_three_generations();
+        let cost = CostModel::new(fleet.clone(), CarbonModel::default(), 0.5, 0.5, 50, 600_000);
+        let mut tables = ObjectiveTables::new(cost.clone());
+        let ci = CarbonIntensityTrace::synthetic(ecolife_hw::Region::Caiso, 120, 9);
+        let provider = CiProvider::shared(&ci, &fleet);
+        let catalog = WorkloadCatalog::sebs();
+        for (minute, (func, f)) in catalog.iter().enumerate().take(6) {
+            let t_ms = minute as u64 * 7 * 60_000;
+            tables.refresh(&provider, t_ms);
+            let ci_by_node = provider.at_each_node(t_ms);
+            for queue in [
+                vec![0, 0, 0],
+                vec![900, 0, 0],
+                vec![0, 40_000, 120_000],
+                vec![5_000_000, 5_000_000, 0],
+            ] {
+                assert_eq!(
+                    tables.epdm_choice_queued(func, f, None, &queue),
+                    cost.epdm_choice_queued(f, &ci_by_node, None, &queue),
+                    "fn {func} queue {queue:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,15 @@ impl CpuModel {
     pub fn slowdown(&self) -> f64 {
         1.0 / self.perf_index
     }
+
+    /// Concurrency limit of a bounded executor hosted on this package:
+    /// one in-flight serverless execution per physical core (an execution
+    /// is modelled as owning its core for its service time). Never zero,
+    /// so a degenerate hand-built model still executes.
+    #[inline]
+    pub fn executor_slots(&self) -> usize {
+        self.cores.max(1) as usize
+    }
 }
 
 /// Convert `power_w` sustained for `duration_ms` into kWh.
@@ -142,6 +151,16 @@ mod tests {
     #[test]
     fn slowdown_inverts_perf_index() {
         assert!((sample().slowdown() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn executor_slots_follow_cores_and_never_vanish() {
+        assert_eq!(sample().executor_slots(), 20);
+        let degenerate = CpuModel {
+            cores: 0,
+            ..sample()
+        };
+        assert_eq!(degenerate.executor_slots(), 1);
     }
 
     #[test]

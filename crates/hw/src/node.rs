@@ -152,6 +152,14 @@ impl HardwareNode {
     pub fn year_gap(&self, other: &HardwareNode) -> i32 {
         self.cpu.year as i32 - other.cpu.year as i32
     }
+
+    /// Concurrency limit of this node's bounded executor (see
+    /// [`CpuModel::executor_slots`]): invocations beyond this many
+    /// simultaneous executions queue.
+    #[inline]
+    pub fn executor_slots(&self) -> usize {
+        self.cpu.executor_slots()
+    }
 }
 
 #[cfg(test)]

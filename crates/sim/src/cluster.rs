@@ -1,5 +1,6 @@
 //! Cluster state: an N-node fleet plus one warm pool per node.
 
+use crate::executor::{ExecutorConfig, NodeExecutors};
 use crate::pool::{ExpiryMode, WarmPool};
 use ecolife_hw::{Fleet, HardwareNode, NodeId};
 use ecolife_trace::FunctionId;
@@ -26,6 +27,11 @@ pub struct Cluster {
     /// routing is unaffected — a leave is a warm-pool drain, not a
     /// capacity change for running invocations.
     active: Vec<bool>,
+    /// Bounded per-node executors ([`crate::executor`]), present only
+    /// when the run's [`SimConfig`](crate::SimConfig) enables them. In a
+    /// sharded run each shard's cluster carries its own copy (executors
+    /// see shard-local load only).
+    executors: Option<NodeExecutors>,
 }
 
 impl Cluster {
@@ -50,7 +56,56 @@ impl Cluster {
             pools,
             warm_order,
             active,
+            executors: None,
         }
+    }
+
+    /// Attach bounded per-node executors (the engine calls this when
+    /// [`SimConfig::bounded_executors`](crate::SimConfig) is set).
+    /// Concurrency limits derive from each node's core count.
+    pub fn enable_executors(&mut self, config: ExecutorConfig) {
+        self.executors = Some(NodeExecutors::new(&self.fleet, config));
+    }
+
+    /// Whether this cluster bounds per-node concurrency.
+    #[inline]
+    pub fn executors_enabled(&self) -> bool {
+        self.executors.is_some()
+    }
+
+    /// The queueing delay an arrival at `t_ms` would measure on `id`'s
+    /// executor right now — `0` when executors are disabled or a slot is
+    /// free. Exact during [`Scheduler::decide`](crate::Scheduler)
+    /// (the engine advances executor clocks to the arrival instant
+    /// before deciding), which is how queue-aware placement reads load
+    /// without `&mut` access.
+    #[inline]
+    pub fn queue_wait_ms(&self, id: impl Into<NodeId>, t_ms: u64) -> u64 {
+        match &self.executors {
+            Some(x) => x.queue_wait_ms(id.into(), t_ms),
+            None => 0,
+        }
+    }
+
+    /// Queue depth (admitted, not yet started) on `id` as of the last
+    /// executor advance; `0` when executors are disabled.
+    #[inline]
+    pub fn queue_depth(&self, id: impl Into<NodeId>) -> usize {
+        match &self.executors {
+            Some(x) => x.queue_depth(id.into()),
+            None => 0,
+        }
+    }
+
+    /// Mutable executor access for the engine's admission step.
+    #[inline]
+    pub(crate) fn executors_mut(&mut self) -> Option<&mut NodeExecutors> {
+        self.executors.as_mut()
+    }
+
+    /// Per-node peak executor occupancy, when executors are enabled.
+    pub fn executor_peaks(&self) -> Option<Vec<u32>> {
+        self.executors.as_ref().map(|x| x.peaks())
     }
 
     #[inline]

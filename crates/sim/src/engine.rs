@@ -42,6 +42,7 @@
 
 use crate::cluster::Cluster;
 use crate::container::WarmContainer;
+use crate::executor::{Admission, ExecutorConfig};
 use crate::membership::{MembershipEvent, MembershipPlan};
 use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::parallel::{default_threads, WorkerPool};
@@ -111,9 +112,18 @@ fn released(
 /// Engine knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
-    /// Fixed platform overhead added to every service time (queuing +
-    /// setup delay; the paper's service time "includes queuing delay,
-    /// setup delay, cold start (if applicable), and execution time").
+    /// Fixed platform *setup* overhead added to every service time (ms).
+    ///
+    /// The paper's service time "includes queuing delay, setup delay,
+    /// cold start (if applicable), and execution time". With bounded
+    /// executors **off** (`bounded_executors == None`, the default) the
+    /// replay has unlimited per-node concurrency and no queue to
+    /// measure, so this one constant stands in for *both* queuing and
+    /// setup. With bounded executors **on** the engine measures real
+    /// per-node queueing delay and adds it separately
+    /// ([`InvocationRecord::queue_ms`]); this constant then covers setup
+    /// only — do not inflate it to approximate queuing, or the delay is
+    /// double-counted.
     pub setup_delay_ms: u64,
     /// The carbon model (embodied scaling etc.).
     pub carbon_model: CarbonModel,
@@ -136,6 +146,18 @@ pub struct SimConfig {
     /// price — beats staying put. Pure in `(t, region)`, so sharded
     /// replay stays thread-invariant.
     pub replacement_every_min: u64,
+    /// Bounded per-node executors ([`crate::executor`]): `None`
+    /// (default) replays with unlimited concurrency per node —
+    /// byte-identical to the pre-service engine, goldens included.
+    /// `Some(cfg)` caps each node at its core count
+    /// ([`ecolife_hw::CpuModel::executor_slots`]); saturated nodes
+    /// queue arrivals (measured wait lands in
+    /// [`InvocationRecord::queue_ms`] and the service time), and
+    /// arrivals beyond `cfg.queue_cap` are rejected. In sharded runs
+    /// each shard's executors see only shard-local load, so the
+    /// determinism pin is against the *sequential* engine; replay
+    /// remains thread-invariant at any fixed shard count.
+    pub bounded_executors: Option<ExecutorConfig>,
 }
 
 impl Default for SimConfig {
@@ -146,6 +168,7 @@ impl Default for SimConfig {
             expiry: ExpiryMode::default(),
             transfer_cost: TransferCost::free(),
             replacement_every_min: 0,
+            bounded_executors: None,
         }
     }
 }
@@ -167,6 +190,14 @@ impl SimConfig {
     /// `every_min` minutes (`0` disables).
     pub fn with_replacement_every_min(mut self, every_min: u64) -> Self {
         self.replacement_every_min = every_min;
+        self
+    }
+
+    /// This config with bounded per-node executors (cores-limited
+    /// concurrency, measured queueing delay, admission control). See
+    /// [`SimConfig::bounded_executors`].
+    pub fn with_bounded_executors(mut self, config: ExecutorConfig) -> Self {
+        self.bounded_executors = Some(config);
         self
     }
 }
@@ -399,60 +430,29 @@ impl<'a> Simulation<'a> {
         scheduler: &mut S,
         sink: &mut K,
     ) -> RunMetrics {
-        let mut cluster = Cluster::with_expiry(self.fleet.clone(), self.config.expiry);
-        let mut metrics = RunMetrics {
-            keepalive_g_by_node: vec![0.0; self.fleet.len()],
-            transfer_g_by_node: vec![0.0; self.fleet.len()],
-            ..RunMetrics::default()
-        };
-        metrics.records.reserve(self.trace.len());
+        let engine = self.engine();
+        let mut state = engine.begin();
+        state.metrics.records.reserve(self.trace.len());
         scheduler.prepare(self.trace);
-
-        let node_ids: Vec<NodeId> = self.fleet.ids().collect();
-        let mut events: EventList = Vec::new();
-        let mut timeline = FleetTimeline::new();
-
         for (index, inv) in self.trace.invocations().iter().enumerate() {
-            self.catch_up::<K>(
-                &mut timeline,
-                &mut cluster,
-                &mut metrics,
-                &mut events,
-                inv.t_ms,
-            );
-            self.step::<S, K>(
-                index,
-                inv,
-                &node_ids,
-                &mut cluster,
-                scheduler,
-                &mut metrics,
-                &mut events,
-            );
+            engine.ingest::<S, K>(&mut state, index, inv, scheduler);
         }
+        engine.finish::<K>(&mut state);
+        engine.seal::<K>(state, sink)
+    }
 
-        // Fleet-timeline events due between the last arrival and the
-        // horizon still fire (nothing fires past the horizon).
-        let horizon = if self.trace.is_empty() {
-            0
-        } else {
-            self.trace.horizon_ms()
-        };
-        self.catch_up::<K>(
-            &mut timeline,
-            &mut cluster,
-            &mut metrics,
-            &mut events,
-            horizon,
-        );
-
-        // End-of-run settlement: every live keep-alive is charged in full.
-        self.drain::<K>(&node_ids, &mut cluster, &mut metrics, &mut events);
-
-        if K::ENABLED {
-            self.finish_stream(events, &metrics, sink);
+    /// The shared per-invocation core this simulation drives — the same
+    /// [`Engine`] the live service (`ecolife-service`) re-creates per
+    /// arrival over its growing trace, which is what makes the two
+    /// drivers bit-identical.
+    pub fn engine(&self) -> Engine<'_> {
+        Engine {
+            trace: self.trace,
+            ci: &self.ci,
+            fleet: &self.fleet,
+            config: &self.config,
+            membership: &self.membership,
         }
-        metrics
     }
 
     /// Replay the trace over `shards` function-hash shards in parallel.
@@ -522,12 +522,17 @@ impl<'a> Simulation<'a> {
             .map(|s| {
                 let mut scheduler = factory(s);
                 scheduler.prepare(self.trace);
+                let mut cluster = Cluster::with_expiry(self.fleet.clone(), self.config.expiry);
+                if let Some(cfg) = self.config.bounded_executors {
+                    cluster.enable_executors(cfg);
+                }
                 ShardState {
                     shard_id: s,
-                    cluster: Cluster::with_expiry(self.fleet.clone(), self.config.expiry),
+                    cluster,
                     metrics: RunMetrics {
                         keepalive_g_by_node: vec![0.0; n_nodes],
                         transfer_g_by_node: vec![0.0; n_nodes],
+                        queue_ms_by_node: vec![0; n_nodes],
                         ..RunMetrics::default()
                     },
                     scheduler,
@@ -581,6 +586,7 @@ impl<'a> Simulation<'a> {
         // fresh scoped-thread set per reconciliation period (hundreds of
         // spawn/join cycles on an hours-long trace).
         let mut pool = WorkerPool::new(workers.min(n_shards));
+        let engine = self.engine();
 
         for (k, &period) in periods.iter().enumerate() {
             let t_start = period.saturating_mul(opts.period_ms);
@@ -591,7 +597,7 @@ impl<'a> Simulation<'a> {
             // delta — the flat per-period buffer every shard's
             // admissions/expiries/reconcile moves funded — in one pass,
             // instead of re-snapshotting every pool.
-            self.reconcile::<S, K>(t_start, &node_ids, &mut states, &mut ledger_peak_mib);
+            engine.reconcile::<S, K>(t_start, &node_ids, &mut states, &mut ledger_peak_mib);
             for (s, state) in states.iter_mut().enumerate() {
                 for &id in &node_ids {
                     let delta = state.cluster.pool_mut(id).take_period_delta_mib();
@@ -628,8 +634,9 @@ impl<'a> Simulation<'a> {
                         timeline,
                         ..
                     } = &mut state;
-                    self.catch_up::<K>(timeline, cluster, metrics, events, inv.t_ms);
-                    self.step::<S, K>(index, &inv, &node_ids, cluster, scheduler, metrics, events);
+                    engine.catch_up::<K>(timeline, cluster, metrics, events, inv.t_ms);
+                    engine
+                        .step::<S, K>(index, &inv, &node_ids, cluster, scheduler, metrics, events);
                     state.cursor += 1;
                 }
                 state
@@ -642,7 +649,7 @@ impl<'a> Simulation<'a> {
             .last()
             .map(|p| (p + 1).saturating_mul(opts.period_ms))
             .unwrap_or(0);
-        self.reconcile::<S, K>(t_final, &node_ids, &mut states, &mut ledger_peak_mib);
+        engine.reconcile::<S, K>(t_final, &node_ids, &mut states, &mut ledger_peak_mib);
         for state in &mut states {
             let ShardState {
                 cluster,
@@ -660,8 +667,8 @@ impl<'a> Simulation<'a> {
             } else {
                 self.trace.horizon_ms()
             };
-            self.catch_up::<K>(timeline, cluster, metrics, events, horizon);
-            self.drain::<K>(&node_ids, cluster, metrics, events);
+            engine.catch_up::<K>(timeline, cluster, metrics, events, horizon);
+            engine.drain::<K>(&node_ids, cluster, metrics, events);
         }
 
         // Gather every shard's collected telemetry before the states are
@@ -683,7 +690,159 @@ impl<'a> Simulation<'a> {
             ledger_peak_mib,
         );
         if K::ENABLED {
-            self.finish_stream(stream, &metrics, sink);
+            engine.finish_stream(stream, &metrics, sink);
+        }
+        metrics
+    }
+}
+
+/// The shared per-invocation core both drivers execute: the batch
+/// replayer ([`Simulation::run`] / [`Simulation::run_sharded`]) and the
+/// live service (`ecolife-service`).
+///
+/// An `Engine` is five references — trace, CI resolution, fleet, config,
+/// membership plan — so it is free to re-create per arrival, which is
+/// exactly what the service does over its *growing* trace: after pushing
+/// arrival `i` it rebuilds the engine over the prefix and calls
+/// [`Engine::ingest`]. Because the trace is time-sorted, every canonical
+/// stream anchor ([`ecolife_telemetry::EventKey::pos`], a
+/// `partition_point` over arrival times) computed against the prefix
+/// equals the one computed against the full trace for any instant at or
+/// before the current arrival — so a service-driven run serializes
+/// bit-for-bit like the batch replay of the same workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'r> {
+    trace: &'r Trace,
+    ci: &'r CiProvider<'r>,
+    fleet: &'r Fleet,
+    config: &'r SimConfig,
+    membership: &'r MembershipPlan,
+}
+
+/// The mutable half of one run, owned by whoever drives the [`Engine`]:
+/// cluster (pools + executors), metrics, collected telemetry, and the
+/// fleet-timeline cursors. Built by [`Engine::begin`], advanced by
+/// [`Engine::ingest`], closed by [`Engine::finish`] +
+/// [`Engine::seal`].
+#[derive(Debug)]
+pub struct RunState {
+    cluster: Cluster,
+    metrics: RunMetrics,
+    node_ids: Vec<NodeId>,
+    events: EventList,
+    timeline: FleetTimeline,
+}
+
+impl RunState {
+    /// The metrics accumulated so far (final after [`Engine::finish`]).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The live cluster state (pools, membership, executor occupancy).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl<'r> Engine<'r> {
+    /// Assemble an engine from borrowed parts. [`Simulation::engine`] is
+    /// the batch form; the live service calls this directly with its own
+    /// growing trace. Callers are responsible for CI coverage (the
+    /// service checks each arrival against
+    /// [`CiProvider::min_len_ms`]; [`Simulation`] validates the whole
+    /// horizon at construction).
+    pub fn new(
+        trace: &'r Trace,
+        ci: &'r CiProvider<'r>,
+        fleet: &'r Fleet,
+        config: &'r SimConfig,
+        membership: &'r MembershipPlan,
+    ) -> Self {
+        Engine {
+            trace,
+            ci,
+            fleet,
+            config,
+            membership,
+        }
+    }
+
+    /// Fresh run state: empty pools (executors attached when the config
+    /// bounds them), zeroed metrics sized to the fleet, timeline at the
+    /// origin.
+    pub fn begin(&self) -> RunState {
+        let mut cluster = Cluster::with_expiry((*self.fleet).clone(), self.config.expiry);
+        if let Some(cfg) = self.config.bounded_executors {
+            cluster.enable_executors(cfg);
+        }
+        let n = self.fleet.len();
+        RunState {
+            cluster,
+            metrics: RunMetrics {
+                keepalive_g_by_node: vec![0.0; n],
+                transfer_g_by_node: vec![0.0; n],
+                queue_ms_by_node: vec![0; n],
+                ..RunMetrics::default()
+            },
+            node_ids: self.fleet.ids().collect(),
+            events: Vec::new(),
+            timeline: FleetTimeline::new(),
+        }
+    }
+
+    /// Advance one invocation: replay every fleet-timeline event due by
+    /// its arrival, then run the per-invocation step (expire, classify,
+    /// decide, admit, account, install keep-alive). `index` is the
+    /// invocation's global trace position; arrivals must come in
+    /// nondecreasing `t_ms`, which the sorted trace guarantees for batch
+    /// and the service enforces at its ingest door.
+    pub fn ingest<S: Scheduler, K: EventSink>(
+        &self,
+        state: &mut RunState,
+        index: usize,
+        inv: &Invocation,
+        scheduler: &mut S,
+    ) {
+        let RunState {
+            cluster,
+            metrics,
+            node_ids,
+            events,
+            timeline,
+        } = state;
+        self.catch_up::<K>(timeline, cluster, metrics, events, inv.t_ms);
+        self.step::<S, K>(index, inv, node_ids, cluster, scheduler, metrics, events);
+    }
+
+    /// Close the run: fire remaining fleet-timeline events up to the
+    /// horizon, then settle every live keep-alive in full (and record
+    /// final executor occupancy peaks).
+    pub fn finish<K: EventSink>(&self, state: &mut RunState) {
+        let RunState {
+            cluster,
+            metrics,
+            node_ids,
+            events,
+            timeline,
+        } = state;
+        let horizon = if self.trace.is_empty() {
+            0
+        } else {
+            self.trace.horizon_ms()
+        };
+        self.catch_up::<K>(timeline, cluster, metrics, events, horizon);
+        self.drain::<K>(node_ids, cluster, metrics, events);
+    }
+
+    /// Serialize the collected telemetry (when `K` is enabled) and hand
+    /// back the final metrics. Call after [`Engine::finish`].
+    pub fn seal<K: EventSink>(&self, state: RunState, sink: &mut K) -> RunMetrics {
+        let RunState {
+            metrics, events, ..
+        } = state;
+        if K::ENABLED {
+            self.finish_stream(events, &metrics, sink);
         }
         metrics
     }
@@ -720,6 +879,14 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        // Bounded executors: retire every execution finished (and every
+        // queued start reached) by now, *before* the scheduler decides —
+        // this is what makes [`Cluster::queue_wait_ms`] reads exact
+        // during `decide` without `&mut` access.
+        if let Some(x) = cluster.executors_mut() {
+            x.advance(t);
+        }
+
         // Per-invocation (lane-6) events are numbered in code order.
         let mut ev = StepEvents {
             index,
@@ -739,7 +906,7 @@ impl<'a> Simulation<'a> {
                 profile,
                 t_ms: t,
                 warm_at,
-                ci: &self.ci,
+                ci: self.ci,
                 cluster,
             };
             let started = std::time::Instant::now();
@@ -774,14 +941,106 @@ impl<'a> Simulation<'a> {
             });
         }
 
+        // (4) Execution span: peek the warm container's migration debt
+        // (it is consumed below only once admission succeeds) and price
+        // the time the execution will occupy its core — work + setup +
+        // re-warm debt. Queueing delay, if any, is added on top.
+        let transfer_debt_ms = if warm {
+            cluster
+                .pool(exec_loc)
+                .get(inv.func)
+                .map(|c| c.transfer_latency_ms)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let work_ms = {
+            let node = cluster.node(exec_loc);
+            if warm {
+                PerfModel::warm_service_ms(node, profile.base_exec_ms, profile.cpu_sensitivity)
+            } else {
+                PerfModel::cold_service_ms(
+                    node,
+                    profile.base_exec_ms,
+                    profile.base_cold_ms,
+                    profile.cpu_sensitivity,
+                )
+            }
+        };
+        let exec_ms = work_ms + self.config.setup_delay_ms + transfer_debt_ms;
+
+        // Admission: offer the execution to the node's bounded executor.
+        // A free slot starts it now; a saturated node queues it (the
+        // measured wait feeds the service time); a full queue rejects it.
+        let mut queue_ms = 0u64;
+        if let Some(x) = cluster.executors_mut() {
+            match x.admit(exec_loc, t, exec_ms) {
+                Admission::Rejected { depth } => {
+                    metrics.rejected += 1;
+                    // The decision is void: no execution, no keep-alive
+                    // install, no `observe` — a warm container (if any)
+                    // stays resident for a later arrival. A zero-cost
+                    // record keeps record coverage total (the sharded
+                    // merge asserts every invocation placed exactly one).
+                    metrics.records.push(InvocationRecord {
+                        func: inv.func,
+                        t_ms: t,
+                        exec_location: exec_loc,
+                        warm: false,
+                        service_ms: 0,
+                        queue_ms: 0,
+                        rejected: true,
+                        service_carbon: ecolife_carbon::CarbonFootprint::ZERO,
+                        keepalive_carbon: ecolife_carbon::CarbonFootprint::ZERO,
+                        energy_kwh: 0.0,
+                    });
+                    if K::ENABLED {
+                        ev.push(Event::AdmissionRejected {
+                            index: index as u64,
+                            func: inv.func.0,
+                            node: exec_loc.0,
+                            t_ms: t,
+                            depth,
+                        });
+                    }
+                    return;
+                }
+                Admission::Started {
+                    start_ms,
+                    queue_ms: q,
+                    depth,
+                } => {
+                    queue_ms = q;
+                    if q > 0 {
+                        metrics.queue_ms_by_node[exec_loc.index()] += q;
+                        if K::ENABLED {
+                            ev.push(Event::Enqueued {
+                                index: index as u64,
+                                func: inv.func.0,
+                                node: exec_loc.0,
+                                t_ms: t,
+                                depth,
+                            });
+                            ev.push(Event::Dequeued {
+                                index: index as u64,
+                                func: inv.func.0,
+                                node: exec_loc.0,
+                                start_ms,
+                                queue_ms: q,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
         // A consumed warm container is settled up to the reuse instant.
         // A migrated container additionally carries its accumulated
         // transfer latency, paid once, on the first service after the
         // move (the paper's re-warm penalty).
-        let mut transfer_debt_ms = 0u64;
         if warm {
             if let Some(c) = cluster.pool_mut(exec_loc).remove(inv.func) {
-                transfer_debt_ms = c.transfer_latency_ms;
+                debug_assert_eq!(c.transfer_latency_ms, transfer_debt_ms);
                 let s = self.settle(&c, cluster.node(exec_loc), t, metrics);
                 if K::ENABLED {
                     if let Some(s) = s {
@@ -791,30 +1050,23 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // (4) Service time and carbon.
-        let node = cluster.node(exec_loc);
-        let work_ms = if warm {
-            PerfModel::warm_service_ms(node, profile.base_exec_ms, profile.cpu_sensitivity)
-        } else {
-            PerfModel::cold_service_ms(
-                node,
-                profile.base_exec_ms,
-                profile.base_cold_ms,
-                profile.cpu_sensitivity,
-            )
-        };
-        let service_ms = work_ms + self.config.setup_delay_ms + transfer_debt_ms;
+        // Service time and carbon. The execution burns power over
+        // `[t + queue_ms, t + queue_ms + exec_ms)` — with executors off
+        // that is exactly the pre-service `[t, t + service_ms)` window.
         // CI is read on the *executing node's* grid — the heart of the
         // multi-region accounting.
-        let ci_avg = self.ci.average_over(exec_loc, t, t + service_ms);
+        let service_ms = queue_ms + exec_ms;
+        let start_ms = t + queue_ms;
+        let node = cluster.node(exec_loc);
+        let ci_avg = self.ci.average_over(exec_loc, start_ms, start_ms + exec_ms);
         let service_carbon =
             self.config
                 .carbon_model
-                .active_phase(node, profile.memory_mib, service_ms, ci_avg);
+                .active_phase(node, profile.memory_mib, exec_ms, ci_avg);
         let energy_kwh =
             self.config
                 .carbon_model
-                .active_energy_kwh(node, profile.memory_mib, service_ms);
+                .active_energy_kwh(node, profile.memory_mib, exec_ms);
 
         let record_index = metrics.records.len();
         metrics.records.push(InvocationRecord {
@@ -823,6 +1075,8 @@ impl<'a> Simulation<'a> {
             exec_location: exec_loc,
             warm,
             service_ms,
+            queue_ms,
+            rejected: false,
             service_carbon,
             keepalive_carbon: ecolife_carbon::CarbonFootprint::ZERO,
             energy_kwh,
@@ -892,7 +1146,7 @@ impl<'a> Simulation<'a> {
             profile,
             t_ms: t,
             warm_at,
-            ci: &self.ci,
+            ci: self.ci,
             cluster,
         };
         scheduler.observe(&ctx, service_ms, warm);
@@ -917,6 +1171,9 @@ impl<'a> Simulation<'a> {
                 }
             }
             metrics.expiry.absorb(cluster.pool(id).expiry_stats());
+        }
+        if let Some(peaks) = cluster.executor_peaks() {
+            metrics.executor_peak_by_node = peaks;
         }
     }
 

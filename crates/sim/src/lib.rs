@@ -51,6 +51,7 @@
 pub mod cluster;
 pub mod container;
 pub mod engine;
+pub mod executor;
 pub mod membership;
 pub mod metrics;
 pub mod parallel;
@@ -68,8 +69,10 @@ pub use ecolife_telemetry::{
     CaptureSink, ChainSummary, Event, EventSink, GoldenSnapshot, JsonlSink, NullSink,
 };
 pub use engine::{
-    evaluate, evaluate_regional, evaluate_sharded, evaluate_sharded_regional, SimConfig, Simulation,
+    evaluate, evaluate_regional, evaluate_sharded, evaluate_sharded_regional, Engine, RunState,
+    SimConfig, Simulation,
 };
+pub use executor::{Admission, ExecutorConfig, NodeExecutors};
 pub use metrics::{InvocationRecord, RunMetrics};
 pub use parallel::{
     next_arrival_gaps_bucketed, next_arrival_gaps_parallel, next_arrival_gaps_strategy,

@@ -20,8 +20,17 @@ pub struct InvocationRecord {
     pub exec_location: NodeId,
     /// Warm start?
     pub warm: bool,
-    /// Service time: setup + cold start (if any) + execution (ms).
+    /// Service time (ms): queueing (bounded executors only) + setup +
+    /// cold start (if any) + execution.
     pub service_ms: u64,
+    /// Measured executor queueing delay included in `service_ms`.
+    /// Always 0 when bounded executors are off (the fixed
+    /// `setup_delay_ms` then stands in for queuing).
+    pub queue_ms: u64,
+    /// Turned away by admission control (bounded executors only): the
+    /// invocation never executed, every cost field is zero, and
+    /// `exec_location` is the node whose full queue rejected it.
+    pub rejected: bool,
     /// Carbon emitted during the service period.
     pub service_carbon: CarbonFootprint,
     /// Carbon emitted keeping the function warm *after* this invocation
@@ -83,6 +92,19 @@ pub struct RunMetrics {
     /// keepalive_mem_mib[n]`; empty for sequential runs (whose pools
     /// enforce capacity on every insert).
     pub ledger_peak_mib: Vec<u64>,
+    /// Total executor queueing delay (ms) by node whose executor the
+    /// wait was measured on (index = `NodeId`). Sized by the engine like
+    /// `keepalive_g_by_node`; empty on a default value and all-zero when
+    /// bounded executors are off.
+    pub queue_ms_by_node: Vec<u64>,
+    /// Invocations turned away by admission control (bounded executors
+    /// only). Each still pushes a zero-cost [`InvocationRecord`] with
+    /// `rejected == true`, so record coverage stays total.
+    pub rejected: u64,
+    /// Per-node peak executor occupancy (simultaneously occupied slots;
+    /// index = `NodeId`). Empty unless bounded executors ran; the
+    /// sharded merge takes the elementwise max across shards.
+    pub executor_peak_by_node: Vec<u32>,
     /// Expiry-machinery counters summed over every pool the run touched
     /// (`expired` is mode-independent; `timeline_pops`/`stale_pops`
     /// measure the timeline's lazy-invalidation overhead, `scanned` the
@@ -114,6 +136,12 @@ impl RunMetrics {
     /// Sum of service times (ms).
     pub fn total_service_ms(&self) -> u64 {
         self.records.iter().map(|r| r.service_ms).sum()
+    }
+
+    /// Sum of measured executor queueing delays (ms) — 0 unless bounded
+    /// executors ran and some node saturated.
+    pub fn total_queue_ms(&self) -> u64 {
+        self.records.iter().map(|r| r.queue_ms).sum()
     }
 
     /// Mean service time (ms).
@@ -267,6 +295,8 @@ mod tests {
             exec_location: NodeId(1),
             warm,
             service_ms: service,
+            queue_ms: 0,
+            rejected: false,
             service_carbon: CarbonFootprint::new(carbon, 0.0),
             keepalive_carbon: CarbonFootprint::new(ka, 0.0),
             energy_kwh: 0.001,

@@ -184,6 +184,8 @@ pub(crate) fn merge_metrics(
         exec_location: NodeId(0),
         warm: false,
         service_ms: 0,
+        queue_ms: 0,
+        rejected: false,
         service_carbon: CarbonFootprint::ZERO,
         keepalive_carbon: CarbonFootprint::ZERO,
         energy_kwh: 0.0,
@@ -192,6 +194,7 @@ pub(crate) fn merge_metrics(
         records: vec![placeholder; total_records],
         keepalive_g_by_node: vec![0.0; n_nodes],
         transfer_g_by_node: vec![0.0; n_nodes],
+        queue_ms_by_node: vec![0; n_nodes],
         ledger_peak_mib,
         ..RunMetrics::default()
     };
@@ -208,12 +211,26 @@ pub(crate) fn merge_metrics(
         merged.transfer_ms += part.transfer_ms;
         merged.decision_overhead_ns += part.decision_overhead_ns;
         merged.reconcile_revocations += part.reconcile_revocations;
+        merged.rejected += part.rejected;
         merged.expiry.absorb(part.expiry);
         for (node, g) in part.keepalive_g_by_node.iter().enumerate() {
             merged.keepalive_g_by_node[node] += g;
         }
         for (node, g) in part.transfer_g_by_node.iter().enumerate() {
             merged.transfer_g_by_node[node] += g;
+        }
+        for (node, &q) in part.queue_ms_by_node.iter().enumerate() {
+            merged.queue_ms_by_node[node] += q;
+        }
+        // Peaks are shard-local maxima of simultaneously occupied slots;
+        // the fleet-level view keeps the elementwise max.
+        if merged.executor_peak_by_node.len() < part.executor_peak_by_node.len() {
+            merged
+                .executor_peak_by_node
+                .resize(part.executor_peak_by_node.len(), 0);
+        }
+        for (node, &p) in part.executor_peak_by_node.iter().enumerate() {
+            merged.executor_peak_by_node[node] = merged.executor_peak_by_node[node].max(p);
         }
     }
     assert_eq!(

@@ -211,6 +211,39 @@ pub enum Event {
         keepalive_g: f64,
         energy_kwh: f64,
     },
+    /// Bounded executors only: the invocation found `node`'s executor
+    /// saturated and joined its queue behind `depth - 1` earlier waiters
+    /// (`depth` counts this one). Emitted together with the matching
+    /// [`Event::Dequeued`] — the virtual clock resolves the wait
+    /// immediately.
+    Enqueued {
+        index: u64,
+        func: u32,
+        node: u32,
+        t_ms: u64,
+        depth: u32,
+    },
+    /// Bounded executors only: a queued invocation reached a free slot at
+    /// `start_ms` after waiting `queue_ms` (the measured queueing delay
+    /// added to its service time).
+    Dequeued {
+        index: u64,
+        func: u32,
+        node: u32,
+        start_ms: u64,
+        queue_ms: u64,
+    },
+    /// Bounded executors only: admission control turned the invocation
+    /// away — `node`'s executor queue was already holding `depth` waiters
+    /// (its configured bound). The invocation is recorded as rejected and
+    /// never executes.
+    AdmissionRejected {
+        index: u64,
+        func: u32,
+        node: u32,
+        t_ms: u64,
+        depth: u32,
+    },
     /// Replay ends: the run's headline counters.
     RunEnded {
         invocations: u64,
@@ -237,6 +270,9 @@ impl Event {
             Event::Transferred { .. } => "Transferred",
             Event::MembershipChanged { .. } => "MembershipChanged",
             Event::Revoked { .. } => "Revoked",
+            Event::Enqueued { .. } => "Enqueued",
+            Event::Dequeued { .. } => "Dequeued",
+            Event::AdmissionRejected { .. } => "AdmissionRejected",
             Event::RunEnded { .. } => "RunEnded",
         }
     }

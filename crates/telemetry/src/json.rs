@@ -201,6 +201,39 @@ pub fn write_payload(event: &Event, out: &mut String) {
             push_f64(out, "keepalive_g", *keepalive_g);
             push_f64(out, "energy_kwh", *energy_kwh);
         }
+        Event::Enqueued {
+            index,
+            func,
+            node,
+            t_ms,
+            depth,
+        }
+        | Event::AdmissionRejected {
+            index,
+            func,
+            node,
+            t_ms,
+            depth,
+        } => {
+            push_u64(out, "index", *index);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "depth", *depth as u64);
+        }
+        Event::Dequeued {
+            index,
+            func,
+            node,
+            start_ms,
+            queue_ms,
+        } => {
+            push_u64(out, "index", *index);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "start_ms", *start_ms);
+            push_u64(out, "queue_ms", *queue_ms);
+        }
         Event::RunEnded {
             invocations,
             transfers,

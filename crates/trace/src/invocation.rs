@@ -1,6 +1,46 @@
 //! Invocation events and the trace container.
 
 use crate::workload::{FunctionId, WorkloadCatalog};
+use std::fmt;
+
+/// Why [`Trace::push_arrival`] refused an invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The arrival is earlier than the trace's current horizon. A trace
+    /// is chronologically sorted by construction; live appends must keep
+    /// it that way (equal timestamps are fine — arrival order breaks the
+    /// tie, exactly like the stable sort in batch construction).
+    OutOfOrder {
+        /// The rejected arrival time.
+        t_ms: u64,
+        /// The trace's last-arrival time it would have to rewind past.
+        horizon_ms: u64,
+    },
+    /// The invocation references a function id outside the catalog.
+    UnknownFunction {
+        /// The unresolvable id.
+        func: FunctionId,
+        /// Catalog size (valid ids are `0..catalog_len`).
+        catalog_len: usize,
+    },
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::OutOfOrder { t_ms, horizon_ms } => write!(
+                f,
+                "arrival at {t_ms} ms precedes the trace horizon {horizon_ms} ms"
+            ),
+            PushError::UnknownFunction { func, catalog_len } => write!(
+                f,
+                "invocation references function {func} outside catalog (len {catalog_len})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
 
 /// One function invocation request arriving at the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +149,40 @@ impl Trace {
     pub fn count_for(&self, func: FunctionId) -> usize {
         self.invocations.iter().filter(|i| i.func == func).count()
     }
+
+    /// Stream this trace's invocations in order — the batch workload as
+    /// an [`InvocationSource`](crate::InvocationSource) for the live
+    /// service path.
+    pub fn source(&self) -> crate::source::TraceSource<'_> {
+        crate::source::TraceSource::new(&self.invocations)
+    }
+
+    /// Append one arrival to a live, growing trace, keeping the
+    /// chronological-sort invariant. Returns the invocation's index.
+    ///
+    /// This is the ingest edge of the service path
+    /// (`ecolife-service`): each accepted arrival lands here before the
+    /// engine steps over it, so a service run over a growing trace sees
+    /// exactly the prefix a batch replay of the final trace would see.
+    /// Equal-timestamp appends keep arrival order, matching the stable
+    /// sort of batch construction.
+    pub fn push_arrival(&mut self, inv: Invocation) -> Result<usize, PushError> {
+        if inv.func.as_usize() >= self.catalog.len() {
+            return Err(PushError::UnknownFunction {
+                func: inv.func,
+                catalog_len: self.catalog.len(),
+            });
+        }
+        if inv.t_ms < self.horizon_ms {
+            return Err(PushError::OutOfOrder {
+                t_ms: inv.t_ms,
+                horizon_ms: self.horizon_ms,
+            });
+        }
+        self.horizon_ms = inv.t_ms;
+        self.invocations.push(inv);
+        Ok(self.invocations.len() - 1)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +242,41 @@ mod tests {
         let t = Trace::new(catalog2(), vec![inv(0, 0), inv(1, 1), inv(0, 2)]);
         assert_eq!(t.count_for(FunctionId(0)), 2);
         assert_eq!(t.count_for(FunctionId(1)), 1);
+    }
+
+    #[test]
+    fn push_arrival_appends_monotone() {
+        let mut t = Trace::new(catalog2(), vec![inv(0, 10)]);
+        assert_eq!(t.push_arrival(inv(1, 10)), Ok(1)); // ties allowed
+        assert_eq!(t.push_arrival(inv(0, 25)), Ok(2));
+        assert_eq!(t.horizon_ms(), 25);
+        assert_eq!(
+            t.push_arrival(inv(0, 24)),
+            Err(PushError::OutOfOrder {
+                t_ms: 24,
+                horizon_ms: 25
+            })
+        );
+        assert_eq!(
+            t.push_arrival(inv(9, 30)),
+            Err(PushError::UnknownFunction {
+                func: FunctionId(9),
+                catalog_len: 2
+            })
+        );
+        // Rejected pushes leave the trace untouched.
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.horizon_ms(), 25);
+    }
+
+    #[test]
+    fn pushed_trace_equals_batch_trace() {
+        let batch = Trace::new(catalog2(), vec![inv(0, 0), inv(1, 5), inv(0, 5)]);
+        let mut grown = Trace::new(catalog2(), vec![]);
+        for &i in batch.invocations() {
+            grown.push_arrival(i).unwrap();
+        }
+        assert_eq!(grown, batch);
     }
 
     #[test]

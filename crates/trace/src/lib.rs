@@ -18,17 +18,21 @@
 //!   trace files are not available.
 //!
 //! [`stats`] adds the inter-arrival bookkeeping EcoLife's online predictor
-//! is built on.
+//! is built on, and [`source`] turns workloads into pull-based streams
+//! (batch [`Trace`]s and live bounded-channel lanes behind one
+//! [`InvocationSource`] trait) for the `ecolife-service` ingest path.
 
 pub mod azure;
 pub mod invocation;
 pub mod loader;
+pub mod source;
 pub mod stats;
 pub mod synth;
 pub mod workload;
 
-pub use invocation::{Invocation, Trace};
+pub use invocation::{Invocation, PushError, Trace};
 pub use loader::TraceLoader;
+pub use source::{live_lanes, IngestError, InvocationSource, LaneIngest, LiveSource, TraceSource};
 pub use stats::InterArrivalStats;
 pub use synth::{ArrivalClass, SynthTraceConfig};
 pub use workload::{FunctionId, FunctionProfile, WorkloadCatalog};

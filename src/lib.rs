@@ -37,6 +37,9 @@
 //!   placement spaces;
 //! * [`core`] — the EcoLife scheduler, every baseline of the paper's
 //!   evaluation, and the experiment runner;
+//! * [`service`] — the engine as a live service: streaming ingest over
+//!   bounded channel lanes, bounded per-node executors with typed
+//!   admission, bit-identical to batch replay of the same workload;
 //! * [`planner`] — fleet capacity planning: searches SKU mixes and
 //!   memory budgets against a workload, with the scheduler + simulator
 //!   as the inner evaluator (see `examples/capacity_planning.rs`).
@@ -79,6 +82,7 @@ pub use ecolife_core as core;
 pub use ecolife_hw as hw;
 pub use ecolife_planner as planner;
 pub use ecolife_pso as pso;
+pub use ecolife_service as service;
 pub use ecolife_sim as sim;
 pub use ecolife_telemetry as telemetry;
 pub use ecolife_trace as trace;
@@ -107,12 +111,14 @@ pub mod prelude {
         BatchOptimizer, DpsoConfig, DynamicPso, GaConfig, GeneticAlgorithm, Optimizer, Pso,
         PsoConfig, SaConfig, SearchSpace, SimulatedAnnealing,
     };
+    pub use ecolife_service::{ServeError, Service};
     pub use ecolife_sim::{
-        CaptureSink, Event, EventSink, GoldenSnapshot, JsonlSink, MembershipEvent, MembershipPlan,
-        NullSink, RunMetrics, Scheduler, ShardOptions, SimConfig, Simulation, TransferCost,
-        MINUTE_MS,
+        CaptureSink, Event, EventSink, ExecutorConfig, GoldenSnapshot, JsonlSink, MembershipEvent,
+        MembershipPlan, NullSink, RunMetrics, Scheduler, ShardOptions, SimConfig, Simulation,
+        TransferCost, MINUTE_MS,
     };
     pub use ecolife_trace::{
-        FunctionId, FunctionProfile, Invocation, SynthTraceConfig, Trace, WorkloadCatalog,
+        live_lanes, FunctionId, FunctionProfile, Invocation, InvocationSource, LaneIngest,
+        LiveSource, SynthTraceConfig, Trace, WorkloadCatalog,
     };
 }

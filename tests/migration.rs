@@ -18,6 +18,12 @@
 //!    pricing, re-placement, and membership churn all active produces
 //!    byte-identical event streams at worker threads {1, 2, 4} for each
 //!    shard count.
+//! 4. **Shard-*count* invariance under contention** — on a workload
+//!    engineered so no shard-local budget overflows (every conflict is
+//!    resolved by the global reconcile ledger), the layout itself
+//!    becomes invisible: shard counts {2, 4, 8} × threads {1, 2, 4} all
+//!    emit one identical stream, while the merged load still forces
+//!    revocations at the period boundary.
 
 use ecolife::prelude::*;
 use ecolife::sim::{Decision, InvocationCtx, KeepAliveChoice};
@@ -313,4 +319,100 @@ fn contended_priced_sharded_replay_is_thread_invariant() {
         contended,
         "workload must pressure the ledger into at least one revocation"
     );
+}
+
+/// Pins execution to node 0 and installs a long keep-alive there for
+/// every function except the horizon marker (function 5).
+struct PinAll {
+    keepalive_min: u64,
+}
+
+impl Scheduler for PinAll {
+    fn name(&self) -> &'static str {
+        "pin-all"
+    }
+    fn decide(&mut self, ctx: &InvocationCtx<'_>) -> Decision {
+        let keepalive = (ctx.func != FunctionId(5)).then(|| KeepAliveChoice {
+            location: NodeId(0),
+            duration_ms: self.keepalive_min * MINUTE_MS,
+        });
+        Decision {
+            exec: NodeId(0),
+            keepalive,
+        }
+    }
+}
+
+/// Satellite pin (ISSUE 9): where the previous test only promises
+/// per-layout thread invariance, this workload is engineered so the
+/// shard *count* is invisible too. Thirteen 1-GiB functions; the eight
+/// whose ids hash to per-shard sums ≤ 4 GiB at 2 shards, ≤ 2 GiB at 4,
+/// and ≤ 1 GiB at 8 install keep-alives on node 0 against a 6 GiB
+/// budget — so no shard ever overflows locally and every admission is
+/// optimistic. The merged 8 GiB exceeds the budget, so the global
+/// reconcile at the t = 60 s period boundary must revoke — and since
+/// the ledger sees the same admissions in the same order under every
+/// layout, records, streams, and chain tips are identical across
+/// shard counts {2, 4, 8} and worker threads {1, 2, 4}.
+#[test]
+fn reconcile_resolved_contention_is_shard_count_invariant() {
+    let catalog = WorkloadCatalog::new(
+        (0..13)
+            .map(|i| FunctionProfile::new(&format!("gib-{i}"), 1_000, 300, 1_024, 0.5))
+            .collect(),
+    );
+    // Ids chosen so each shard's keepalive sum stays under 6 GiB at
+    // every layout (verified against `shard_of`'s splitmix64 hash).
+    let chosen: [u32; 8] = [0, 1, 2, 3, 4, 6, 9, 12];
+    let mut invocations: Vec<Invocation> = chosen
+        .iter()
+        .enumerate()
+        .map(|(i, &func)| Invocation {
+            func: FunctionId(func),
+            t_ms: i as u64 * 1_000,
+        })
+        .collect();
+    // Horizon marker in the next period (no keep-alive, so it cannot
+    // itself contend) forces the boundary reconcile to run.
+    invocations.push(Invocation {
+        func: FunctionId(5),
+        t_ms: 90_000,
+    });
+    let trace = Trace::new(catalog, invocations);
+    let ci = CarbonIntensityTrace::constant(300.0, 30);
+    let fleet = skus::fleet_a().with_uniform_keepalive_budget_mib(6 * 1024);
+
+    let mut baseline: Option<(CaptureSink, RunMetrics)> = None;
+    for shards in [2usize, 4, 8] {
+        for threads in [1usize, 2, 4] {
+            let mut sink = CaptureSink::default();
+            let metrics = Simulation::new(&trace, &ci, fleet.clone()).run_sharded_with_sink(
+                |_| PinAll { keepalive_min: 30 },
+                &ShardOptions::new(shards).with_threads(threads),
+                &mut sink,
+            );
+            assert!(
+                metrics.reconcile_revocations > 0,
+                "merged load must overflow the global ledger at {shards} shards"
+            );
+            match &baseline {
+                None => baseline = Some((sink, metrics)),
+                Some((ref_sink, ref_metrics)) => {
+                    assert_eq!(
+                        metrics.records, ref_metrics.records,
+                        "records diverged at {shards} shards / {threads} threads"
+                    );
+                    assert_eq!(
+                        metrics.reconcile_revocations,
+                        ref_metrics.reconcile_revocations
+                    );
+                    assert_eq!(metrics.evicted_functions, ref_metrics.evicted_functions);
+                    if let Some(d) = first_divergence(&ref_sink.lines(), &sink.lines()) {
+                        panic!("stream diverged at {shards} shards / {threads} threads: {d:?}");
+                    }
+                    assert_eq!(sink.tip(), ref_sink.tip());
+                }
+            }
+        }
+    }
 }
