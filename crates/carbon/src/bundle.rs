@@ -147,20 +147,77 @@ impl CiBundle {
     }
 }
 
+/// How long a carbon-intensity feed may serve last-known-good data
+/// before the scheduler stops trusting it.
+///
+/// During a `CiOutage` the provider freezes each affected minute at the
+/// reading taken when the outage began. Up to `max_stale_min` minutes of
+/// that is tolerable — grid intensity moves slowly — but past the bound
+/// the region is considered *blacked out* and the engine falls back to a
+/// carbon-agnostic placement for the duration (counted as
+/// `degraded_decisions` in `RunMetrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalenessPolicy {
+    /// Minutes of last-known-good data the scheduler will still act on.
+    pub max_stale_min: u64,
+    /// Keep-alive minutes the carbon-agnostic fallback grants on the
+    /// execution node (0 disables fallback keep-alives).
+    pub fallback_keepalive_min: u64,
+}
+
+impl Default for StalenessPolicy {
+    fn default() -> Self {
+        StalenessPolicy {
+            max_stale_min: 15,
+            fallback_keepalive_min: 10,
+        }
+    }
+}
+
+impl StalenessPolicy {
+    /// Override the staleness bound.
+    pub fn with_max_stale_min(mut self, minutes: u64) -> Self {
+        self.max_stale_min = minutes;
+        self
+    }
+
+    /// Override the fallback keep-alive duration.
+    pub fn with_fallback_keepalive_min(mut self, minutes: u64) -> Self {
+        self.fallback_keepalive_min = minutes;
+        self
+    }
+
+    /// The staleness bound in milliseconds.
+    pub fn max_stale_ms(&self) -> u64 {
+        self.max_stale_min.saturating_mul(60_000)
+    }
+}
+
 /// Per-node carbon-intensity resolution for one fleet: every node id maps
 /// to the series of its deployment region. This is the object the
 /// simulation engine (and schedulers, via `InvocationCtx::ci`) read CI
 /// through — `at(node, t)` replaces the old fleet-wide `at(t)`.
+///
+/// Fault injection can overlay *degraded* data ([`CiProvider::apply_outages`]):
+/// outage minutes are rewritten to the last-known-good reading, and every
+/// read resolves through the overlay. With no outages applied the overlay
+/// is absent and reads delegate to the original series bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct CiProvider<'a> {
     /// Series per node, indexed by `NodeId`.
     series: Vec<&'a CarbonIntensityTrace>,
+    /// Degraded overlay per node: `Some` only when an outage touches the
+    /// node's region, holding a copy of its series with the outage
+    /// minutes frozen at last-known-good.
+    degraded: Vec<Option<CarbonIntensityTrace>>,
     /// Region tag per node, indexed by `NodeId`.
     regions: Vec<Region>,
     /// Distinct regions in first-appearance (node id) order, each with a
     /// representative node index — the iteration order for per-region
     /// global signals (EcoLife's ΔCI).
     distinct: Vec<(Region, usize)>,
+    /// How long stale data stays actionable (see [`StalenessPolicy`]).
+    staleness: StalenessPolicy,
 }
 
 impl<'a> CiProvider<'a> {
@@ -172,8 +229,10 @@ impl<'a> CiProvider<'a> {
         let series = vec![ci; regions.len()];
         CiProvider {
             distinct: Self::distinct_of(&regions),
+            degraded: (0..series.len()).map(|_| None).collect(),
             series,
             regions,
+            staleness: StalenessPolicy::default(),
         }
     }
 
@@ -191,8 +250,10 @@ impl<'a> CiProvider<'a> {
         }
         Ok(CiProvider {
             distinct: Self::distinct_of(&regions),
+            degraded: (0..series.len()).map(|_| None).collect(),
             series,
             regions,
+            staleness: StalenessPolicy::default(),
         })
     }
 
@@ -211,24 +272,34 @@ impl<'a> CiProvider<'a> {
         self.series.len()
     }
 
+    /// The series `node` actually reads: the degraded overlay when an
+    /// outage touches its region, the original otherwise.
+    #[inline]
+    fn eff(&self, idx: usize) -> &CarbonIntensityTrace {
+        match &self.degraded[idx] {
+            Some(patched) => patched,
+            None => self.series[idx],
+        }
+    }
+
     /// Intensity on `node`'s grid at `t_ms`.
     #[inline]
     pub fn at(&self, node: NodeId, t_ms: u64) -> f64 {
-        self.series[node.index()].at(t_ms)
+        self.eff(node.index()).at(t_ms)
     }
 
     /// Time-weighted average intensity on `node`'s grid over `[t0, t1)`.
     #[inline]
     pub fn average_over(&self, node: NodeId, t0_ms: u64, t1_ms: u64) -> f64 {
-        self.series[node.index()].average_over(t0_ms, t1_ms)
+        self.eff(node.index()).average_over(t0_ms, t1_ms)
     }
 
     /// The full series `node` reads (schedulers must not peek past the
     /// current simulated minute; oracle-family baselines get their future
     /// knowledge explicitly in `prepare`).
     #[inline]
-    pub fn series(&self, node: NodeId) -> &'a CarbonIntensityTrace {
-        self.series[node.index()]
+    pub fn series(&self, node: NodeId) -> &CarbonIntensityTrace {
+        self.eff(node.index())
     }
 
     /// The region `node` is deployed in.
@@ -240,15 +311,15 @@ impl<'a> CiProvider<'a> {
     /// Intensity at `t_ms` on every node's grid, indexed by `NodeId` —
     /// the per-node snapshot EPDM-style placement scores compare.
     pub fn at_each_node(&self, t_ms: u64) -> Vec<f64> {
-        self.series.iter().map(|s| s.at(t_ms)).collect()
+        (0..self.series.len())
+            .map(|i| self.eff(i).at(t_ms))
+            .collect()
     }
 
     /// Distinct (region, series) pairs in first-appearance node order —
     /// the deterministic iteration order for per-region global signals.
-    pub fn distinct_regions(
-        &self,
-    ) -> impl Iterator<Item = (Region, &'a CarbonIntensityTrace)> + '_ {
-        self.distinct.iter().map(|&(r, i)| (r, self.series[i]))
+    pub fn distinct_regions(&self) -> impl Iterator<Item = (Region, &CarbonIntensityTrace)> + '_ {
+        self.distinct.iter().map(|&(r, i)| (r, self.eff(i)))
     }
 
     /// The shortest coverage (ms) across nodes — what span validation
@@ -259,6 +330,49 @@ impl<'a> CiProvider<'a> {
             .map(|s| s.len_ms())
             .min()
             .expect("provider covers a non-empty fleet")
+    }
+
+    /// The staleness policy reads are governed by.
+    #[inline]
+    pub fn staleness(&self) -> StalenessPolicy {
+        self.staleness
+    }
+
+    /// Override the staleness policy (see [`StalenessPolicy`]).
+    pub fn with_staleness(mut self, policy: StalenessPolicy) -> Self {
+        self.staleness = policy;
+        self
+    }
+
+    /// Overlay CI-feed outages: for every `(region, from_ms, to_ms)`
+    /// span, affected nodes read the last-known-good sample (the reading
+    /// at the outage start) for every minute that *begins* inside the
+    /// span. Healing is therefore observed at minute granularity — the
+    /// native resolution of the feeds. Spans outside the series or for
+    /// regions no node reads are ignored; with no applicable outage the
+    /// overlay stays absent and reads are bit-identical to the original.
+    pub fn apply_outages(&mut self, outages: &[(Region, u64, u64)]) {
+        for idx in 0..self.series.len() {
+            let region = self.regions[idx];
+            let mut samples: Option<Vec<f64>> = None;
+            for &(r, from_ms, to_ms) in outages {
+                if r != region || to_ms <= from_ms {
+                    continue;
+                }
+                let base = samples.get_or_insert_with(|| self.series[idx].samples().to_vec());
+                let n = base.len();
+                let from_min = ((from_ms / 60_000) as usize).min(n - 1);
+                let stale = base[from_min];
+                let mut m = from_min + 1;
+                while m < n && (m as u64) * 60_000 < to_ms {
+                    base[m] = stale;
+                    m += 1;
+                }
+            }
+            if let Some(samples) = samples {
+                self.degraded[idx] = Some(CarbonIntensityTrace::from_samples(samples));
+            }
+        }
     }
 }
 
@@ -292,6 +406,34 @@ mod tests {
         assert_eq!(ok.len_ms(), 60 * 60_000);
         assert!(ok.get(Region::Caiso).is_some());
         assert!(ok.get(Region::Texas).is_none());
+    }
+
+    #[test]
+    fn ci_error_displays_and_is_std_error() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(CiError::Empty),
+            Box::new(CiError::DuplicateRegion(Region::Caiso)),
+            Box::new(CiError::UnequalLength {
+                region: Region::Texas,
+                len_minutes: 61,
+                expected_minutes: 60,
+            }),
+            Box::new(CiError::MissingRegion {
+                node: NodeId(3),
+                region: Region::Florida,
+            }),
+            Box::new(CiError::TooShort {
+                region: Region::NewYork,
+                ci_ms: 60_000,
+                required_ms: 120_000,
+            }),
+        ];
+        let rendered: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].contains("no series"));
+        assert!(rendered[1].contains("duplicate carbon-intensity series"));
+        assert!(rendered[2].contains("covers 61 min"));
+        assert!(rendered[3].contains("has no CI series"));
+        assert!(rendered[4].contains("refusing to freeze the last sample"));
     }
 
     #[test]
@@ -335,6 +477,51 @@ mod tests {
         assert_eq!(p.at_each_node(0), vec![400.0, 200.0]);
         let distinct: Vec<Region> = p.distinct_regions().map(|(r, _)| r).collect();
         assert_eq!(distinct, vec![Region::Texas, Region::NewYork]);
+    }
+
+    #[test]
+    fn outage_overlay_freezes_last_known_good_per_minute() {
+        let bundle = CiBundle::new(vec![
+            (
+                Region::Texas,
+                CarbonIntensityTrace::from_samples(vec![400.0, 410.0, 420.0, 430.0]),
+            ),
+            (
+                Region::NewYork,
+                CarbonIntensityTrace::from_samples(vec![200.0, 210.0, 220.0, 230.0]),
+            ),
+        ])
+        .unwrap();
+        let fleet = skus::fleet_a()
+            .with_region(NodeId(0), Region::Texas)
+            .with_region(NodeId(1), Region::NewYork);
+        let mut p = CiProvider::from_bundle(&bundle, &fleet).unwrap();
+        // No outage: the overlay is absent and reads delegate exactly.
+        p.apply_outages(&[(Region::Florida, 0, 240_000)]);
+        assert_eq!(p.at(NodeId(0), 120_000), 420.0);
+        // Outage over minutes 1..3 of Texas: the reading taken in the
+        // minute the outage starts (410) is the last-known-good.
+        p.apply_outages(&[(Region::Texas, 60_000, 180_000)]);
+        assert_eq!(p.at(NodeId(0), 60_000), 410.0);
+        assert_eq!(p.at(NodeId(0), 120_000), 410.0);
+        assert_eq!(p.at(NodeId(0), 180_000), 430.0); // healed
+        assert_eq!(p.at(NodeId(1), 120_000), 220.0); // other region live
+        assert_eq!(p.at_each_node(120_000), vec![410.0, 220.0]);
+        let texas = p
+            .distinct_regions()
+            .find(|&(r, _)| r == Region::Texas)
+            .unwrap()
+            .1;
+        assert_eq!(texas.at(120_000), 410.0);
+    }
+
+    #[test]
+    fn staleness_policy_defaults_and_builders() {
+        let p = StalenessPolicy::default();
+        assert_eq!(p.max_stale_min, 15);
+        assert_eq!(p.max_stale_ms(), 15 * 60_000);
+        let q = p.with_max_stale_min(3).with_fallback_keepalive_min(0);
+        assert_eq!((q.max_stale_min, q.fallback_keepalive_min), (3, 0));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod intensity;
 pub mod model;
 pub mod transfer;
 
-pub use bundle::{CiBundle, CiError, CiProvider};
+pub use bundle::{CiBundle, CiError, CiProvider, StalenessPolicy};
 pub use footprint::CarbonFootprint;
 pub use intensity::{CarbonIntensityTrace, Region, RegionProfile};
 pub use model::{CarbonModel, CarbonModelConfig};

@@ -39,10 +39,11 @@
 //!   through the bounded ingest lanes
 //!   ([`ecolife_trace::LaneIngest::try_send`]).
 
-use ecolife_carbon::{CarbonIntensityTrace, CiBundle, CiError, CiProvider};
+use ecolife_carbon::{CarbonIntensityTrace, CiBundle, CiError, CiProvider, StalenessPolicy};
 use ecolife_hw::Fleet;
 use ecolife_sim::{
-    Engine, EventSink, MembershipPlan, NullSink, RunMetrics, RunState, Scheduler, SimConfig,
+    Engine, EventSink, FaultPlan, MembershipPlan, NullSink, RunMetrics, RunState, Scheduler,
+    SimConfig,
 };
 use ecolife_trace::{FunctionId, InvocationSource, PushError, Trace, WorkloadCatalog};
 use std::fmt;
@@ -149,6 +150,7 @@ pub struct Service<'a> {
     fleet: Fleet,
     config: SimConfig,
     membership: MembershipPlan,
+    faults: FaultPlan,
 }
 
 impl<'a> Service<'a> {
@@ -169,6 +171,7 @@ impl<'a> Service<'a> {
             fleet,
             config: SimConfig::default(),
             membership: MembershipPlan::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -187,6 +190,7 @@ impl<'a> Service<'a> {
             fleet,
             config: SimConfig::default(),
             membership: MembershipPlan::default(),
+            faults: FaultPlan::default(),
         })
     }
 
@@ -201,6 +205,24 @@ impl<'a> Service<'a> {
     /// mid-stream), exactly as on the batch path.
     pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
         self.membership = plan;
+        self
+    }
+
+    /// Attach a deterministic fault-injection timeline
+    /// ([`FaultPlan`]), exactly as on the batch path: CI outages
+    /// overlay the provider with last-known-good data here, once;
+    /// crashes and partitions replay through the engine timeline as
+    /// arrivals come in.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.ci.apply_outages(&plan.outage_spans());
+        self.faults = plan;
+        self
+    }
+
+    /// Override the CI [`StalenessPolicy`], exactly as on the batch
+    /// path ([`Simulation::with_staleness`](ecolife_sim::Simulation)).
+    pub fn with_staleness(mut self, policy: StalenessPolicy) -> Self {
+        self.ci = self.ci.with_staleness(policy);
         self
     }
 
@@ -243,7 +265,7 @@ impl<'a> Service<'a> {
                 });
             }
             let index = self.trace.push_arrival(inv)?;
-            // Five references — free to re-assemble per arrival, and the
+            // Six references — free to re-assemble per arrival, and the
             // borrow of the just-grown trace must be, since `push_arrival`
             // needs the trace back between steps.
             let engine = Engine::new(
@@ -252,6 +274,7 @@ impl<'a> Service<'a> {
                 &self.fleet,
                 &self.config,
                 &self.membership,
+                &self.faults,
             );
             let run = state.get_or_insert_with(|| engine.begin());
             engine.ingest::<S, K>(run, index, &inv, scheduler);
@@ -262,6 +285,7 @@ impl<'a> Service<'a> {
             &self.fleet,
             &self.config,
             &self.membership,
+            &self.faults,
         );
         let mut run = state.unwrap_or_else(|| engine.begin());
         engine.finish::<K>(&mut run);
@@ -312,6 +336,28 @@ mod tests {
         assert_eq!(a.rejected, b.rejected);
         assert_eq!(a.executor_peak_by_node, b.executor_peak_by_node);
         assert_eq!(a.expiry, b.expiry);
+    }
+
+    #[test]
+    fn serve_error_displays_and_is_std_error() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(ServeError::OutOfOrder {
+                t_ms: 5,
+                horizon_ms: 9,
+            }),
+            Box::new(ServeError::UnknownFunction {
+                func: FunctionId(7),
+                catalog_len: 3,
+            }),
+            Box::new(ServeError::CiTooShort {
+                t_ms: 90_000,
+                ci_len_ms: 60_000,
+            }),
+        ];
+        let rendered: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].contains("precedes the ingest horizon 9 ms"));
+        assert!(rendered[1].contains("outside catalog (len 3)"));
+        assert!(rendered[2].contains("does not cover arrival at 90000 ms"));
     }
 
     #[test]

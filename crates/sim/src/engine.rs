@@ -43,14 +43,17 @@
 use crate::cluster::Cluster;
 use crate::container::WarmContainer;
 use crate::executor::{Admission, ExecutorConfig};
+use crate::faults::{Fault, FaultPlan};
 use crate::membership::{MembershipEvent, MembershipPlan};
 use crate::metrics::{InvocationRecord, RunMetrics};
 use crate::parallel::{default_threads, WorkerPool};
 use crate::pool::ExpiryMode;
-use crate::scheduler::{InvocationCtx, OverflowAction, OverflowCtx, Scheduler};
+use crate::scheduler::{
+    Decision, InvocationCtx, KeepAliveChoice, OverflowAction, OverflowCtx, Scheduler,
+};
 use crate::shard::{merge_metrics, shard_of, MemoryLedger, ShardOptions};
 use ecolife_carbon::{
-    CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider, TransferCost,
+    CarbonIntensityTrace, CarbonModel, CiBundle, CiError, CiProvider, StalenessPolicy, TransferCost,
 };
 use ecolife_hw::{Fleet, HardwareNode, NodeId, PerfModel};
 use ecolife_telemetry::{finalize, lane, Event, EventKey, EventSink, NullSink, ReleaseCause};
@@ -203,10 +206,10 @@ impl SimConfig {
 }
 
 /// Cursors into the engine's fleet timeline (re-placement passes +
-/// membership events), advanced lazily: before each invocation and once
-/// more at the horizon, every due event is applied in time order.
-/// Each shard owns one — the timeline is replayed identically against
-/// every cluster slice.
+/// membership events + fault-plan crash instants), advanced lazily:
+/// before each invocation and once more at the horizon, every due event
+/// is applied in time order. Each shard owns one — the timeline is
+/// replayed identically against every cluster slice.
 #[derive(Debug, Clone, Copy)]
 struct FleetTimeline {
     /// Next re-placement pass index (pass `k` fires at
@@ -214,6 +217,10 @@ struct FleetTimeline {
     next_pass: u64,
     /// Next unapplied entry of the membership plan.
     next_member: usize,
+    /// Next unapplied crash instant of the fault plan (recoveries are
+    /// passive — [`FaultPlan::is_crashed`] simply stops matching — so
+    /// only the "down" moments carry state changes).
+    next_fault: usize,
 }
 
 impl FleetTimeline {
@@ -221,6 +228,7 @@ impl FleetTimeline {
         FleetTimeline {
             next_pass: 1,
             next_member: 0,
+            next_fault: 0,
         }
     }
 }
@@ -323,6 +331,7 @@ pub struct Simulation<'a> {
     fleet: Fleet,
     config: SimConfig,
     membership: MembershipPlan,
+    faults: FaultPlan,
 }
 
 impl<'a> Simulation<'a> {
@@ -390,6 +399,7 @@ impl<'a> Simulation<'a> {
             fleet,
             config: SimConfig::default(),
             membership: MembershipPlan::default(),
+            faults: FaultPlan::default(),
         })
     }
 
@@ -404,6 +414,29 @@ impl<'a> Simulation<'a> {
     /// empty plan is exactly the fixed-fleet engine.
     pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
         self.membership = plan;
+        self
+    }
+
+    /// Attach a deterministic fault-injection timeline (see
+    /// [`FaultPlan`]): node crashes drain warm pools ungracefully, CI
+    /// outages freeze the provider at last-known-good data (applied to
+    /// the provider here, once — the overlay is input-derived), and
+    /// partitions make cross-partition transfers fail and retry on the
+    /// plan's deterministic backoff schedule. The default empty plan is
+    /// exactly the fault-free engine, byte for byte.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.ci.apply_outages(&plan.outage_spans());
+        self.faults = plan;
+        self
+    }
+
+    /// Override the CI [`StalenessPolicy`] — how long the scheduler keeps
+    /// trusting last-known-good carbon data during a feed outage before
+    /// switching to the carbon-agnostic fallback, and how long the
+    /// fallback keep-alive runs. The default is
+    /// [`StalenessPolicy::default`].
+    pub fn with_staleness(mut self, policy: StalenessPolicy) -> Self {
+        self.ci = self.ci.with_staleness(policy);
         self
     }
 
@@ -452,6 +485,7 @@ impl<'a> Simulation<'a> {
             fleet: &self.fleet,
             config: &self.config,
             membership: &self.membership,
+            faults: &self.faults,
         }
     }
 
@@ -680,7 +714,7 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        let metrics = merge_metrics(
+        let mut metrics = merge_metrics(
             self.trace.len(),
             n_nodes,
             // A shard's records were pushed in `jobs` order and every
@@ -689,6 +723,9 @@ impl<'a> Simulation<'a> {
             states.into_iter().map(|s| (s.jobs, s.metrics)).collect(),
             ledger_peak_mib,
         );
+        // Input-derived, set once by the coordinator (shards keep 0):
+        // summing it per shard would multiply the same outage span.
+        metrics.stale_ci_minutes = engine.stale_minutes();
         if K::ENABLED {
             engine.finish_stream(stream, &metrics, sink);
         }
@@ -700,8 +737,8 @@ impl<'a> Simulation<'a> {
 /// replayer ([`Simulation::run`] / [`Simulation::run_sharded`]) and the
 /// live service (`ecolife-service`).
 ///
-/// An `Engine` is five references — trace, CI resolution, fleet, config,
-/// membership plan — so it is free to re-create per arrival, which is
+/// An `Engine` is six references — trace, CI resolution, fleet, config,
+/// membership plan, fault plan — so it is free to re-create per arrival, which is
 /// exactly what the service does over its *growing* trace: after pushing
 /// arrival `i` it rebuilds the engine over the prefix and calls
 /// [`Engine::ingest`]. Because the trace is time-sorted, every canonical
@@ -717,6 +754,7 @@ pub struct Engine<'r> {
     fleet: &'r Fleet,
     config: &'r SimConfig,
     membership: &'r MembershipPlan,
+    faults: &'r FaultPlan,
 }
 
 /// The mutable half of one run, owned by whoever drives the [`Engine`]:
@@ -758,6 +796,7 @@ impl<'r> Engine<'r> {
         fleet: &'r Fleet,
         config: &'r SimConfig,
         membership: &'r MembershipPlan,
+        faults: &'r FaultPlan,
     ) -> Self {
         Engine {
             trace,
@@ -765,6 +804,7 @@ impl<'r> Engine<'r> {
             fleet,
             config,
             membership,
+            faults,
         }
     }
 
@@ -833,6 +873,25 @@ impl<'r> Engine<'r> {
         };
         self.catch_up::<K>(timeline, cluster, metrics, events, horizon);
         self.drain::<K>(node_ids, cluster, metrics, events);
+        metrics.stale_ci_minutes = self.stale_minutes();
+    }
+
+    /// Input-derived stale-feed minutes: every CI outage span clipped to
+    /// the horizon, counted only for regions some fleet node actually
+    /// reads. Set once per run (the sharded coordinator applies it after
+    /// the merge), never accumulated per shard.
+    fn stale_minutes(&self) -> u64 {
+        if self.faults.is_empty() {
+            return 0;
+        }
+        let horizon = if self.trace.is_empty() {
+            0
+        } else {
+            self.trace.horizon_ms()
+        };
+        self.faults.stale_ci_minutes(horizon, |r| {
+            self.ci.distinct_regions().any(|(fr, _)| fr == r)
+        })
     }
 
     /// Serialize the collected telemetry (when `K` is enabled) and hand
@@ -897,9 +956,45 @@ impl<'r> Engine<'r> {
         // (2) Warm or cold?
         let warm_at = cluster.warm_location(inv.func, t);
 
+        // Graceful degradation: when some fleet region's CI feed has
+        // been stale past the staleness bound, the carbon data the
+        // scheduler's objective reads is fiction — bypass it entirely
+        // and fall back to a carbon-agnostic choice (warm location if
+        // any, else the fastest reachable node; keep-alive in place for
+        // the policy's fixed budget). Counted per decision so the
+        // degraded window is visible in the run metrics.
+        let degraded = !self.faults.is_empty() && {
+            let bound = self.ci.staleness().max_stale_ms();
+            self.faults
+                .blackout_regions(t, bound)
+                .any(|r| self.ci.distinct_regions().any(|(fr, _)| fr == r))
+        };
+
         // (3) Scheduler decision (timed: this is the paper's
-        // decision-making overhead).
-        let decision = {
+        // decision-making overhead). Degraded decisions bypass the
+        // scheduler and cost no overhead — there is nothing to compute.
+        let decision = if degraded {
+            metrics.degraded_decisions += 1;
+            let exec = warm_at.unwrap_or_else(|| {
+                self.fleet
+                    .warm_preference()
+                    .into_iter()
+                    .find(|&id| cluster.is_active(id) && !self.faults.is_crashed(id, t))
+                    .unwrap_or(NodeId(0))
+            });
+            let ka_ms = self
+                .ci
+                .staleness()
+                .fallback_keepalive_min
+                .saturating_mul(crate::MINUTE_MS);
+            Decision {
+                exec,
+                keepalive: (ka_ms > 0).then_some(KeepAliveChoice {
+                    location: exec,
+                    duration_ms: ka_ms,
+                }),
+            }
+        } else {
             let ctx = InvocationCtx {
                 index,
                 func: inv.func,
@@ -939,6 +1034,37 @@ impl<'r> Engine<'r> {
                 ka_node,
                 ka_ms,
             });
+        }
+
+        // A crashed node serves nothing: the invocation is turned away
+        // at zero carbon and the decision is void — no execution, no
+        // keep-alive, no `observe`. A warm location can never be down
+        // (the crash drain emptied its pool and nothing is installed on
+        // a down node), so only scheduler-chosen placements hit this.
+        if !self.faults.is_empty() && self.faults.is_crashed(exec_loc, t) {
+            debug_assert!(!warm, "warm container resident on a crashed node");
+            metrics.crash_rejected += 1;
+            metrics.records.push(InvocationRecord {
+                func: inv.func,
+                t_ms: t,
+                exec_location: exec_loc,
+                warm: false,
+                service_ms: 0,
+                queue_ms: 0,
+                rejected: true,
+                service_carbon: ecolife_carbon::CarbonFootprint::ZERO,
+                keepalive_carbon: ecolife_carbon::CarbonFootprint::ZERO,
+                energy_kwh: 0.0,
+            });
+            if K::ENABLED {
+                ev.push(Event::CrashRejected {
+                    index: index as u64,
+                    func: inv.func.0,
+                    node: exec_loc.0,
+                    t_ms: t,
+                });
+            }
+            return;
         }
 
         // (4) Execution span: peek the warm container's migration debt
@@ -1323,8 +1449,12 @@ impl<'r> Engine<'r> {
                 let mut placed = false;
                 for &target in &self.fleet.transfer_candidates(id) {
                     // The owner shard's membership view is authoritative
-                    // (every shard replays the identical timeline).
-                    if !states[owner].cluster.is_active(target) {
+                    // (every shard replays the identical timeline), and
+                    // a fault-blocked target is skipped the same way the
+                    // sequential paths skip it.
+                    if !states[owner].cluster.is_active(target)
+                        || !self.reachable(id, target, t_now)
+                    {
                         continue;
                     }
                     let target_capacity = self.fleet.node(target).keepalive_mem_mib;
@@ -1429,10 +1559,13 @@ impl<'r> Engine<'r> {
         metrics: &mut RunMetrics,
         ev: &mut StepEvents<'_>,
     ) {
-        // A node that has left the fleet accepts no keep-alives: the
-        // choice is simply dropped (the scheduler's view of membership is
-        // advisory; the engine's is authoritative).
-        if !cluster.is_active(location) {
+        // A node that has left the fleet — or is down — accepts no
+        // keep-alives: the choice is simply dropped (the scheduler's
+        // view of membership and health is advisory; the engine's is
+        // authoritative).
+        if !cluster.is_active(location)
+            || (!self.faults.is_empty() && self.faults.is_crashed(location, t))
+        {
             metrics.evicted_functions += 1;
             return;
         }
@@ -1476,8 +1609,10 @@ impl<'r> Engine<'r> {
                 // Transfer targets: the plan's explicit ranking (the
                 // overflowing pool itself is never valid), or every other
                 // node in id order. Inactive nodes never receive
-                // transfers.
-                let targets: Vec<NodeId> = match plan.transfer_targets {
+                // transfers; fault-blocked candidates (down, or across
+                // an active partition) are set aside for the bounded
+                // retry below instead of being dropped outright.
+                let candidates: Vec<NodeId> = match plan.transfer_targets {
                     None => self
                         .fleet
                         .transfer_candidates(location)
@@ -1491,6 +1626,13 @@ impl<'r> Engine<'r> {
                             id != location && self.fleet.contains(id) && cluster.is_active(id)
                         })
                         .collect(),
+                };
+                let (targets, blocked): (Vec<NodeId>, Vec<NodeId>) = if self.faults.is_empty() {
+                    (candidates, Vec::new())
+                } else {
+                    candidates
+                        .into_iter()
+                        .partition(|&id| self.reachable(location, id, t))
                 };
                 for func in plan.displace {
                     let Some(mut displaced) = cluster.pool_mut(location).remove(func) else {
@@ -1521,51 +1663,67 @@ impl<'r> Engine<'r> {
                             .config
                             .transfer_cost
                             .grams(displaced.memory_mib, self.ci.at(location, t));
-                        let mut pending = displaced;
-                        pending.transfer_latency_ms += self.config.transfer_cost.latency_ms;
-                        let mut placed = false;
+                        displaced.transfer_latency_ms += self.config.transfer_cost.latency_ms;
+                        let mut pending = Some(displaced);
                         for &target in &targets {
-                            match cluster.pool_mut(target).insert(pending) {
+                            let probe = pending.take().expect("unplaced container");
+                            match cluster.pool_mut(target).insert(probe) {
                                 Ok(replaced) => {
-                                    // The target may already hold a container
-                                    // for this function (installed before our
-                                    // keep-alive became warm): its stay ends
-                                    // here and must still be charged.
-                                    if let Some(old) = replaced {
-                                        let s = self.settle(&old, cluster.node(target), t, metrics);
-                                        if K::ENABLED {
-                                            if let Some(s) = s {
-                                                ev.push(released(
-                                                    ReleaseCause::Replaced,
-                                                    target,
-                                                    &old,
-                                                    t,
-                                                    s,
-                                                ));
-                                            }
-                                        }
-                                    }
-                                    metrics.transfers += 1;
-                                    metrics.transfer_g += egress_g;
-                                    metrics.transfer_g_by_node[location.index()] += egress_g;
-                                    metrics.transfer_ms += self.config.transfer_cost.latency_ms;
-                                    if K::ENABLED {
-                                        ev.push(Event::Transferred {
-                                            func: func.0,
-                                            from: location.0,
-                                            to: target.0,
-                                            t_ms: t,
-                                            egress_g,
-                                            latency_ms: self.config.transfer_cost.latency_ms,
-                                        });
-                                    }
-                                    placed = true;
+                                    self.accept_transfer::<K>(
+                                        replaced, func.0, location, target, t, egress_g, 0,
+                                        cluster, metrics, ev,
+                                    );
                                     break;
                                 }
-                                Err(c) => pending = c,
+                                Err(c) => pending = Some(c),
                             }
                         }
-                        if !placed {
+                        // Fault-blocked candidates get the bounded
+                        // deterministic retry: probe them at the
+                        // virtual instants `t + Σ backoff` (a pure
+                        // function of the invocation index and the
+                        // attempt, so any shard/thread layout replays
+                        // the schedule bit-identically). A probe that
+                        // finds its target reachable — the partition
+                        // healed, the node recovered — and with room
+                        // places the container; the waited backoff is
+                        // charged as transfer latency.
+                        if pending.is_some() && !blocked.is_empty() {
+                            let seq = ev.index as u64;
+                            let mut waited = 0u64;
+                            'retry: for attempt in 1..=self.faults.retry().max_attempts {
+                                let backoff = self.faults.backoff_ms(seq, attempt);
+                                waited += backoff;
+                                let t_probe = t + waited;
+                                metrics.transfer_retries += 1;
+                                if K::ENABLED {
+                                    ev.push(Event::TransferRetried {
+                                        func: func.0,
+                                        node: location.0,
+                                        t_ms: t,
+                                        attempt,
+                                        backoff_ms: backoff,
+                                    });
+                                }
+                                for &target in &blocked {
+                                    if !self.reachable(location, target, t_probe) {
+                                        continue;
+                                    }
+                                    let probe = pending.take().expect("unplaced container");
+                                    match cluster.pool_mut(target).insert(probe) {
+                                        Ok(replaced) => {
+                                            self.accept_transfer::<K>(
+                                                replaced, func.0, location, target, t, egress_g,
+                                                waited, cluster, metrics, ev,
+                                            );
+                                            break 'retry;
+                                        }
+                                        Err(c) => pending = Some(c),
+                                    }
+                                }
+                            }
+                        }
+                        if pending.is_some() {
                             metrics.evicted_functions += 1;
                         }
                     } else {
@@ -1580,6 +1738,51 @@ impl<'r> Engine<'r> {
                     metrics.evicted_functions += 1;
                 }
             }
+        }
+    }
+
+    /// Book one accepted keep-alive transfer `location → target`: settle
+    /// a replaced resident of the target (the stay it cut short must
+    /// still be charged), count the egress and latency, emit the events.
+    /// `waited_ms` is retry backoff served before the move — zero on the
+    /// direct path, which keeps it byte-identical to the pre-fault
+    /// engine.
+    #[allow(clippy::too_many_arguments)]
+    fn accept_transfer<K: EventSink>(
+        &self,
+        replaced: Option<WarmContainer>,
+        func: u32,
+        location: NodeId,
+        target: NodeId,
+        t: u64,
+        egress_g: f64,
+        waited_ms: u64,
+        cluster: &Cluster,
+        metrics: &mut RunMetrics,
+        ev: &mut StepEvents<'_>,
+    ) {
+        if let Some(old) = replaced {
+            let s = self.settle(&old, cluster.node(target), t, metrics);
+            if K::ENABLED {
+                if let Some(s) = s {
+                    ev.push(released(ReleaseCause::Replaced, target, &old, t, s));
+                }
+            }
+        }
+        let latency_ms = self.config.transfer_cost.latency_ms + waited_ms;
+        metrics.transfers += 1;
+        metrics.transfer_g += egress_g;
+        metrics.transfer_g_by_node[location.index()] += egress_g;
+        metrics.transfer_ms += latency_ms;
+        if K::ENABLED {
+            ev.push(Event::Transferred {
+                func,
+                from: location.0,
+                to: target.0,
+                t_ms: t,
+                egress_g,
+                latency_ms,
+            });
         }
     }
 
@@ -1612,15 +1815,28 @@ impl<'r> Engine<'r> {
                 .get(tl.next_member)
                 .map(|e| e.t_ms)
                 .unwrap_or(u64::MAX);
-            let t_next = t_pass.min(t_member);
+            let t_fault = self
+                .faults
+                .crash_changes()
+                .get(tl.next_fault)
+                .map(|&(t, _, _)| t)
+                .unwrap_or(u64::MAX);
+            let t_next = t_pass.min(t_member).min(t_fault);
             if t_next > t_limit || t_next == u64::MAX {
                 return;
             }
-            if t_member <= t_pass {
+            // Tie order membership → crash → pass matches the stream's
+            // lane order (MEMBER_OUT < CRASH_OUT < REPLACE_OUT), so the
+            // applied state transitions read in the emitted order.
+            if t_member <= t_next {
                 let idx = tl.next_member;
                 let e = self.membership.events()[idx];
                 self.apply_membership::<K>(idx, e, cluster, metrics, events);
                 tl.next_member += 1;
+            } else if t_fault <= t_pass {
+                let (t, node, idx) = self.faults.crash_changes()[tl.next_fault];
+                self.apply_crash::<K>(idx, t, node, cluster, metrics, events);
+                tl.next_fault += 1;
             } else {
                 self.replacement_pass::<K>(tl.next_pass, t_pass, cluster, metrics, events);
                 tl.next_pass += 1;
@@ -1639,6 +1855,7 @@ impl<'r> Engine<'r> {
             .fleet
             .ids()
             .filter(|&id| id != exclude && cluster.is_active(id))
+            .filter(|&id| self.reachable(exclude, id, t))
             .map(|id| {
                 let g = self
                     .config
@@ -1659,6 +1876,71 @@ impl<'r> Engine<'r> {
                 .then_with(|| a.1.cmp(&b.1))
         });
         ranked.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Can a transfer leave `from` for `target` at `t`? Always under an
+    /// empty fault plan; with faults, the target must be up and on the
+    /// same side of every active partition.
+    #[inline]
+    fn reachable(&self, from: NodeId, target: NodeId, t: u64) -> bool {
+        self.faults.is_empty()
+            || (!self.faults.is_crashed(target, t)
+                && self
+                    .faults
+                    .link_ok(self.ci.region(from), self.ci.region(target), t))
+    }
+
+    /// Apply crash fault `fault_idx` at `t`: canonical expiry sweep
+    /// first (a container lapsed by `t` dies as an expiry, never as a
+    /// crash loss), then settle and drop every resident of `node`'s warm
+    /// pool — the memory is counted in
+    /// [`RunMetrics::lost_warm_mib`](crate::RunMetrics) and *nothing*
+    /// transfers out; an ungraceful crash gives no time to migrate —
+    /// and clear the node's bounded executor (occupied slots and queued
+    /// waiters vanish). Recovery needs no twin: the plan's pure
+    /// [`FaultPlan::is_crashed`] query simply stops matching, and the
+    /// node accepts placements again.
+    fn apply_crash<K: EventSink>(
+        &self,
+        fault_idx: u32,
+        t: u64,
+        node: NodeId,
+        cluster: &mut Cluster,
+        metrics: &mut RunMetrics,
+        events: &mut EventList,
+    ) {
+        let node_ids: Vec<NodeId> = self.fleet.ids().collect();
+        for &id in &node_ids {
+            let expired = cluster.pool_mut(id).expire_until(t);
+            for c in expired {
+                let s = self.settle(&c, self.fleet.node(id), c.expiry_ms, metrics);
+                if K::ENABLED {
+                    events.push(self.expired_event(id, &c, s));
+                }
+            }
+        }
+        let pos = if K::ENABLED { self.trigger_pos(t) } else { 0 };
+        let mut residents: Vec<WarmContainer> = cluster.pool(node).iter().copied().collect();
+        residents.sort_by_key(|c| c.func.0);
+        for probe in residents {
+            let c = cluster
+                .pool_mut(node)
+                .remove(probe.func)
+                .expect("resident listed from the pool");
+            let s = self.settle(&c, self.fleet.node(node), t, metrics);
+            metrics.lost_warm_mib += c.memory_mib;
+            if K::ENABLED {
+                if let Some(s) = s {
+                    events.push((
+                        EventKey::new(pos, lane::CRASH_OUT, fault_idx, c.func.0),
+                        released(ReleaseCause::Crashed, node, &c, t, s),
+                    ));
+                }
+            }
+        }
+        if let Some(x) = cluster.executors_mut() {
+            x.reset(node);
+        }
     }
 
     /// Apply membership event `m_idx`: a join re-activates the node; a
@@ -1692,6 +1974,14 @@ impl<'r> Engine<'r> {
             return;
         }
         cluster.set_active(e.node, false);
+        // A leave targeting a node that is down at this instant must not
+        // drain: the crash already settled and dropped the pool (ties at
+        // the crash instant apply membership first, and the guard makes
+        // the loss accounting land on the crash either way — counted
+        // once, in `lost_warm_mib`, never doubled as a priced drain).
+        if self.faults.is_crashed(e.node, e.t_ms) {
+            return;
+        }
         let pos = if K::ENABLED {
             self.trigger_pos(e.t_ms)
         } else {
@@ -2028,6 +2318,100 @@ impl<'r> Engine<'r> {
                     joined: e.join,
                 },
             ));
+        }
+        // Fault onsets and clearances are input-derived too: the plan is
+        // fixed before the run, so the coordinator narrates it once —
+        // shards *apply* the crash drains but never emit these markers.
+        // Onsets past the horizon never take effect and are not emitted;
+        // a clearance past the horizon is likewise withheld (the run
+        // ends with the fault still active).
+        for (idx, fault) in self.faults.faults().iter().enumerate() {
+            let idx = idx as u32;
+            match fault {
+                Fault::NodeCrash {
+                    node,
+                    at_ms,
+                    recover_at_ms,
+                } => {
+                    if *at_ms > horizon {
+                        continue;
+                    }
+                    events.push((
+                        EventKey::new(self.trigger_pos(*at_ms), lane::CRASH, idx, 0),
+                        Event::NodeCrashed {
+                            node: node.0,
+                            t_ms: *at_ms,
+                            recover_ms: *recover_at_ms,
+                        },
+                    ));
+                    if *recover_at_ms <= horizon {
+                        events.push((
+                            EventKey::new(self.trigger_pos(*recover_at_ms), lane::CRASH, idx, 1),
+                            Event::NodeRecovered {
+                                node: node.0,
+                                t_ms: *recover_at_ms,
+                            },
+                        ));
+                    }
+                }
+                Fault::CiOutage {
+                    region,
+                    from_ms,
+                    to_ms,
+                } => {
+                    if *from_ms > horizon {
+                        continue;
+                    }
+                    events.push((
+                        EventKey::new(self.trigger_pos(*from_ms), lane::CI_HEALTH, idx, 0),
+                        Event::CiStale {
+                            region: region.label().to_string(),
+                            t_ms: *from_ms,
+                            until_ms: *to_ms,
+                        },
+                    ));
+                    if *to_ms <= horizon {
+                        events.push((
+                            EventKey::new(self.trigger_pos(*to_ms), lane::CI_HEALTH, idx, 1),
+                            Event::CiRestored {
+                                region: region.label().to_string(),
+                                t_ms: *to_ms,
+                            },
+                        ));
+                    }
+                }
+                Fault::Partition {
+                    regions,
+                    from_ms,
+                    to_ms,
+                } => {
+                    if *from_ms > horizon {
+                        continue;
+                    }
+                    let sides = regions
+                        .iter()
+                        .map(|r| r.label())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    events.push((
+                        EventKey::new(self.trigger_pos(*from_ms), lane::PARTITION, idx, 0),
+                        Event::PartitionStarted {
+                            regions: sides.clone(),
+                            t_ms: *from_ms,
+                            until_ms: *to_ms,
+                        },
+                    ));
+                    if *to_ms <= horizon {
+                        events.push((
+                            EventKey::new(self.trigger_pos(*to_ms), lane::PARTITION, idx, 1),
+                            Event::PartitionHealed {
+                                regions: sides,
+                                t_ms: *to_ms,
+                            },
+                        ));
+                    }
+                }
+            }
         }
         events
     }

@@ -196,6 +196,15 @@ impl NodeExecutors {
         self.nodes[node.index()].admit(t, exec_ms, cap)
     }
 
+    /// Clear `node`'s executor outright — a crash loses every occupied
+    /// slot and queued waiter instantly. The observed peak is kept (it
+    /// happened).
+    pub fn reset(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node.index()];
+        n.busy.clear();
+        n.pending.clear();
+    }
+
     /// Per-node peak occupied slots over the run (index = `NodeId`).
     pub fn peaks(&self) -> Vec<u32> {
         self.nodes.iter().map(|n| n.peak).collect()
@@ -291,6 +300,25 @@ mod tests {
         x.admit(n, 0, 100);
         x.admit(n, 0, 100); // queued — still only 2 slots occupied
         assert_eq!(x.peaks(), vec![2, 0]);
+    }
+
+    #[test]
+    fn reset_clears_slots_and_queue_but_keeps_the_peak() {
+        let mut x = two_slot_executors(4);
+        let n = NodeId(0);
+        x.admit(n, 0, 1_000);
+        x.admit(n, 0, 1_000);
+        x.admit(n, 0, 10); // queued
+        assert_eq!(x.queue_depth(n), 1);
+        x.reset(n);
+        assert_eq!(x.queue_depth(n), 0);
+        assert_eq!(x.queue_wait_ms(n, 1), 0);
+        assert_eq!(x.peaks(), vec![2, 0]);
+        // Admission restarts from empty.
+        assert!(matches!(
+            x.admit(n, 1, 10),
+            Admission::Started { queue_ms: 0, .. }
+        ));
     }
 
     #[test]

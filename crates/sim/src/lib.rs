@@ -52,6 +52,7 @@ pub mod cluster;
 pub mod container;
 pub mod engine;
 pub mod executor;
+pub mod faults;
 pub mod membership;
 pub mod metrics;
 pub mod parallel;
@@ -61,7 +62,8 @@ pub mod shard;
 
 pub use cluster::Cluster;
 pub use container::WarmContainer;
-pub use ecolife_carbon::{CiBundle, CiError, CiProvider, TransferCost};
+pub use ecolife_carbon::{CiBundle, CiError, CiProvider, StalenessPolicy, TransferCost};
+pub use faults::{Fault, FaultError, FaultPlan, RetryPolicy};
 pub use membership::{MembershipEvent, MembershipPlan};
 // Telemetry surface: sinks plug into `run_with_sink` /
 // `run_sharded_with_sink`; everything else reads the emitted lines.

@@ -110,6 +110,27 @@ pub struct RunMetrics {
     /// measure the timeline's lazy-invalidation overhead, `scanned` the
     /// reference scan's work — see [`ExpiryStats`]).
     pub expiry: ExpiryStats,
+    /// Warm-pool MiB lost to ungraceful node crashes
+    /// ([`FaultPlan`](crate::FaultPlan)'s `NodeCrash`): the resident set
+    /// at each crash instant, settled and
+    /// dropped with nothing transferred. 0 without faults.
+    pub lost_warm_mib: u64,
+    /// Invocations routed to a node that was crashed at arrival time.
+    /// Each still pushes a zero-cost [`InvocationRecord`] with
+    /// `rejected == true` (the `CrashRejected` event carries the cause).
+    pub crash_rejected: u64,
+    /// Minutes of last-known-good CI data served to fleet regions under
+    /// `CiOutage` faults. Input-derived (outage calendar ∩ horizon), set
+    /// once per run — not summed across shards.
+    pub stale_ci_minutes: u64,
+    /// Invocations placed by the carbon-agnostic fallback because some
+    /// fleet region's CI feed was stale past the
+    /// [`StalenessPolicy`](ecolife_carbon::StalenessPolicy) bound.
+    pub degraded_decisions: u64,
+    /// Keep-alive transfer attempts re-probed after a deterministic
+    /// virtual-clock backoff because every candidate target was
+    /// partitioned away or crashed.
+    pub transfer_retries: u64,
 }
 
 impl RunMetrics {

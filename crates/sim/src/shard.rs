@@ -213,6 +213,12 @@ pub(crate) fn merge_metrics(
         merged.reconcile_revocations += part.reconcile_revocations;
         merged.rejected += part.rejected;
         merged.expiry.absorb(part.expiry);
+        merged.lost_warm_mib += part.lost_warm_mib;
+        merged.crash_rejected += part.crash_rejected;
+        merged.degraded_decisions += part.degraded_decisions;
+        merged.transfer_retries += part.transfer_retries;
+        // stale_ci_minutes is input-derived and set once by the
+        // coordinator after the merge, never per shard.
         for (node, g) in part.keepalive_g_by_node.iter().enumerate() {
             merged.keepalive_g_by_node[node] += g;
         }

@@ -49,13 +49,26 @@ pub mod lane {
     pub const MEMBER_OUT: u8 = 7;
     /// Drained containers landing on their transfer targets.
     pub const MEMBER_IN: u8 = 8;
+    /// A node crash or recovery at its trigger index (`a` = fault
+    /// index, `b` = 0 for the crash, 1 for the recovery).
+    pub const CRASH: u8 = 9;
+    /// Containers lost when their node crashed (`a` = fault index,
+    /// `b` = function id). Crashes are ungraceful: nothing lands
+    /// anywhere, so there is no `CRASH_IN`.
+    pub const CRASH_OUT: u8 = 10;
+    /// A carbon-intensity feed going stale or recovering (`a` = fault
+    /// index, `b` = 0 for stale, 1 for restored).
+    pub const CI_HEALTH: u8 = 11;
+    /// An inter-region partition starting or healing (`a` = fault
+    /// index, `b` = 0 for start, 1 for heal).
+    pub const PARTITION: u8 = 12;
     /// Containers released by the periodic re-placement pass (`a` =
     /// function id, `b` = `pass_index << 16 | source_node`).
-    pub const REPLACE_OUT: u8 = 9;
+    pub const REPLACE_OUT: u8 = 13;
     /// Re-placed containers landing on their targets.
-    pub const REPLACE_IN: u8 = 10;
-    pub const INVOCATION: u8 = 11;
-    pub const RUN_ENDED: u8 = 12;
+    pub const REPLACE_IN: u8 = 14;
+    pub const INVOCATION: u8 = 15;
+    pub const RUN_ENDED: u8 = 16;
 }
 
 /// The canonical sort key every emitted event carries until
@@ -91,6 +104,9 @@ pub enum ReleaseCause {
     /// Displaced by the scheduler's warm-pool adjustment to make room
     /// for an incoming container.
     Displaced,
+    /// Lost when its node crashed ungracefully: the keep-alive is
+    /// settled at the crash instant and nothing is transferred.
+    Crashed,
 }
 
 impl ReleaseCause {
@@ -99,6 +115,7 @@ impl ReleaseCause {
             ReleaseCause::Reused => "reused",
             ReleaseCause::Replaced => "replaced",
             ReleaseCause::Displaced => "displaced",
+            ReleaseCause::Crashed => "crashed",
         }
     }
 }
@@ -244,6 +261,56 @@ pub enum Event {
         t_ms: u64,
         depth: u32,
     },
+    /// A node crashed ungracefully: its warm pool is lost (settled at
+    /// the crash instant in the `CRASH_OUT` lane) and its executor
+    /// queue is cleared. `recover_ms` is when it comes back.
+    NodeCrashed {
+        node: u32,
+        t_ms: u64,
+        recover_ms: u64,
+    },
+    /// A crashed node recovered and accepts placements again (its warm
+    /// pool restarts empty).
+    NodeRecovered { node: u32, t_ms: u64 },
+    /// A region's carbon-intensity feed went stale: until `until_ms`
+    /// the provider serves the last-known-good reading taken at `t_ms`.
+    CiStale {
+        region: String,
+        t_ms: u64,
+        until_ms: u64,
+    },
+    /// A stale carbon-intensity feed recovered to live data.
+    CiRestored { region: String, t_ms: u64 },
+    /// An inter-region partition opened: cross-region transfers between
+    /// `regions` (comma-joined labels) and the rest of the fleet fail
+    /// until `until_ms`.
+    PartitionStarted {
+        regions: String,
+        t_ms: u64,
+        until_ms: u64,
+    },
+    /// A partition healed; inter-region transfers resume.
+    PartitionHealed { regions: String, t_ms: u64 },
+    /// A keep-alive transfer found every candidate target unreachable
+    /// (partitioned or crashed) and probed again after a deterministic
+    /// virtual-clock backoff of `backoff_ms` (attempt `attempt`,
+    /// counted from 1).
+    TransferRetried {
+        func: u32,
+        node: u32,
+        t_ms: u64,
+        attempt: u32,
+        backoff_ms: u64,
+    },
+    /// The invocation was routed to a node that is crashed at `t_ms`;
+    /// it is recorded as a zero-carbon rejected invocation and never
+    /// executes.
+    CrashRejected {
+        index: u64,
+        func: u32,
+        node: u32,
+        t_ms: u64,
+    },
     /// Replay ends: the run's headline counters.
     RunEnded {
         invocations: u64,
@@ -273,6 +340,14 @@ impl Event {
             Event::Enqueued { .. } => "Enqueued",
             Event::Dequeued { .. } => "Dequeued",
             Event::AdmissionRejected { .. } => "AdmissionRejected",
+            Event::NodeCrashed { .. } => "NodeCrashed",
+            Event::NodeRecovered { .. } => "NodeRecovered",
+            Event::CiStale { .. } => "CiStale",
+            Event::CiRestored { .. } => "CiRestored",
+            Event::PartitionStarted { .. } => "PartitionStarted",
+            Event::PartitionHealed { .. } => "PartitionHealed",
+            Event::TransferRetried { .. } => "TransferRetried",
+            Event::CrashRejected { .. } => "CrashRejected",
             Event::RunEnded { .. } => "RunEnded",
         }
     }

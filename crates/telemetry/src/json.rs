@@ -234,6 +234,69 @@ pub fn write_payload(event: &Event, out: &mut String) {
             push_u64(out, "start_ms", *start_ms);
             push_u64(out, "queue_ms", *queue_ms);
         }
+        Event::NodeCrashed {
+            node,
+            t_ms,
+            recover_ms,
+        } => {
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "recover_ms", *recover_ms);
+        }
+        Event::NodeRecovered { node, t_ms } => {
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+        }
+        Event::CiStale {
+            region,
+            t_ms,
+            until_ms,
+        } => {
+            push_str(out, "region", region);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "until_ms", *until_ms);
+        }
+        Event::CiRestored { region, t_ms } => {
+            push_str(out, "region", region);
+            push_u64(out, "t_ms", *t_ms);
+        }
+        Event::PartitionStarted {
+            regions,
+            t_ms,
+            until_ms,
+        } => {
+            push_str(out, "regions", regions);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "until_ms", *until_ms);
+        }
+        Event::PartitionHealed { regions, t_ms } => {
+            push_str(out, "regions", regions);
+            push_u64(out, "t_ms", *t_ms);
+        }
+        Event::TransferRetried {
+            func,
+            node,
+            t_ms,
+            attempt,
+            backoff_ms,
+        } => {
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+            push_u64(out, "attempt", *attempt as u64);
+            push_u64(out, "backoff_ms", *backoff_ms);
+        }
+        Event::CrashRejected {
+            index,
+            func,
+            node,
+            t_ms,
+        } => {
+            push_u64(out, "index", *index);
+            push_u64(out, "func", *func as u64);
+            push_u64(out, "node", *node as u64);
+            push_u64(out, "t_ms", *t_ms);
+        }
         Event::RunEnded {
             invocations,
             transfers,

@@ -64,6 +64,172 @@ fn follow_cmd(path: &std::path::Path, extra: &[&str]) -> Command {
     cmd
 }
 
+/// A valid hash-chained stream that exercises every fault event type:
+/// a crash with a rejected invocation, a stale→restored CI feed, a
+/// partition with a retried transfer, then recovery.
+fn chaos_lines() -> Vec<String> {
+    let events = vec![
+        (
+            EventKey::new(0, lane::RUN_STARTED, 0, 0),
+            Event::RunStarted {
+                invocations: 1,
+                functions: 1,
+                nodes: 2,
+                horizon_ms: 120_000,
+            },
+        ),
+        (
+            EventKey::new(0, lane::CI_HEALTH, 0, 0),
+            Event::CiStale {
+                region: "TEN".to_string(),
+                t_ms: 0,
+                until_ms: 90_000,
+            },
+        ),
+        (
+            EventKey::new(0, lane::CRASH, 1, 0),
+            Event::NodeCrashed {
+                node: 1,
+                t_ms: 10_000,
+                recover_ms: 70_000,
+            },
+        ),
+        (
+            EventKey::new(0, lane::PARTITION, 0, 0),
+            Event::PartitionStarted {
+                regions: "TEN".to_string(),
+                t_ms: 20_000,
+                until_ms: 80_000,
+            },
+        ),
+        (
+            EventKey::new(0, lane::INVOCATION, 0, 0),
+            Event::CrashRejected {
+                index: 0,
+                func: 3,
+                node: 1,
+                t_ms: 30_000,
+            },
+        ),
+        (
+            EventKey::new(0, lane::INVOCATION, 0, 1),
+            Event::TransferRetried {
+                func: 3,
+                node: 0,
+                t_ms: 40_000,
+                attempt: 1,
+                backoff_ms: 250,
+            },
+        ),
+        (
+            EventKey::new(1, lane::CRASH, 1, 0),
+            Event::NodeRecovered {
+                node: 1,
+                t_ms: 70_000,
+            },
+        ),
+        (
+            EventKey::new(1, lane::PARTITION, 0, 0),
+            Event::PartitionHealed {
+                regions: "TEN".to_string(),
+                t_ms: 80_000,
+            },
+        ),
+        (
+            EventKey::new(1, lane::CI_HEALTH, 0, 0),
+            Event::CiRestored {
+                region: "TEN".to_string(),
+                t_ms: 90_000,
+            },
+        ),
+        (
+            EventKey::new(2, lane::RUN_ENDED, 0, 0),
+            Event::RunEnded {
+                invocations: 1,
+                transfers: 0,
+                evictions: 1,
+                revocations: 0,
+                expired: 0,
+            },
+        ),
+    ];
+    let mut sink = CaptureSink::default();
+    finalize(events, &mut sink);
+    sink.lines().iter().map(|l| l.to_string()).collect()
+}
+
+#[test]
+fn verify_and_filter_work_across_a_chaos_stream() {
+    let lines = chaos_lines();
+    let path = scratch_path("chaos");
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+    // The hash chain must verify straight through every fault event.
+    let out = Command::new(env!("CARGO_BIN_EXE_ecolife-trace"))
+        .arg("verify")
+        .arg(&path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "verify failed on a chaos stream: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `--type` must select exactly the named fault events.
+    for (ty, want) in [
+        ("NodeCrashed", 1usize),
+        ("TransferRetried", 1),
+        ("CrashRejected", 1),
+        ("PartitionStarted", 1),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ecolife-trace"))
+            .args(["filter"])
+            .arg(&path)
+            .args(["--type", ty])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "filter --type {ty} failed");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let hits: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(hits.len(), want, "--type {ty} selected: {stdout}");
+        let needle = format!("\"type\":\"{ty}\"");
+        assert!(
+            hits.iter().all(|l| l.contains(&needle)),
+            "--type {ty} leaked other events: {stdout}"
+        );
+    }
+
+    // `--node 1` must pick out the crash lifecycle and the rejected
+    // invocation, and nothing routed at node 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_ecolife-trace"))
+        .args(["filter"])
+        .arg(&path)
+        .args(["--node", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for ty in ["NodeCrashed", "NodeRecovered", "CrashRejected"] {
+        assert!(
+            stdout.contains(&format!("\"type\":\"{ty}\"")),
+            "--node 1 missed {ty}: {stdout}"
+        );
+    }
+    assert!(
+        !stdout.contains("TransferRetried"),
+        "--node 1 leaked node 0's retry: {stdout}"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn follow_verifies_a_growing_stream_and_stops_at_run_ended() {
     let lines = chained_lines();

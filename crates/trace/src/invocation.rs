@@ -280,6 +280,23 @@ mod tests {
     }
 
     #[test]
+    fn push_error_displays_and_is_std_error() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(PushError::OutOfOrder {
+                t_ms: 24,
+                horizon_ms: 25,
+            }),
+            Box::new(PushError::UnknownFunction {
+                func: FunctionId(9),
+                catalog_len: 2,
+            }),
+        ];
+        let rendered: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].contains("precedes the trace horizon 25 ms"));
+        assert!(rendered[1].contains("outside catalog (len 2)"));
+    }
+
+    #[test]
     fn empty_trace() {
         let t = Trace::new(catalog2(), vec![]);
         assert!(t.is_empty());

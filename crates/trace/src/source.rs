@@ -229,6 +229,17 @@ mod tests {
     }
 
     #[test]
+    fn ingest_error_displays_and_is_std_error() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(IngestError::Backpressure(inv(0, 17))),
+            Box::new(IngestError::Closed(inv(0, 23))),
+        ];
+        let rendered: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].contains("backpressure on arrival at 17 ms"));
+        assert!(rendered[1].contains("closed; arrival at 23 ms dropped"));
+    }
+
+    #[test]
     fn try_send_reports_backpressure_without_losing_the_invocation() {
         let (handles, mut source) = live_lanes(1, 1);
         handles[0].try_send(inv(0, 1)).unwrap();

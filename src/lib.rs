@@ -32,7 +32,9 @@
 //!   serverless carbon-footprint model;
 //! * [`trace`] — SeBS workload catalog, Azure trace parser, synthetic
 //!   Azure-like trace generator, inter-arrival statistics;
-//! * [`sim`] — the discrete-event serverless cluster simulator;
+//! * [`sim`] — the discrete-event serverless cluster simulator, with
+//!   deterministic fault injection ([`FaultPlan`](sim::FaultPlan):
+//!   crashes, stale grids, partitions) and graceful degradation;
 //! * [`pso`] — PSO / Dynamic PSO / GA / SA optimizers over fleet-sized
 //!   placement spaces;
 //! * [`core`] — the EcoLife scheduler, every baseline of the paper's
@@ -113,9 +115,10 @@ pub mod prelude {
     };
     pub use ecolife_service::{ServeError, Service};
     pub use ecolife_sim::{
-        CaptureSink, Event, EventSink, ExecutorConfig, GoldenSnapshot, JsonlSink, MembershipEvent,
-        MembershipPlan, NullSink, RunMetrics, Scheduler, ShardOptions, SimConfig, Simulation,
-        TransferCost, MINUTE_MS,
+        CaptureSink, Event, EventSink, ExecutorConfig, Fault, FaultError, FaultPlan,
+        GoldenSnapshot, JsonlSink, MembershipEvent, MembershipPlan, NullSink, RetryPolicy,
+        RunMetrics, Scheduler, ShardOptions, SimConfig, Simulation, StalenessPolicy, TransferCost,
+        MINUTE_MS,
     };
     pub use ecolife_trace::{
         live_lanes, FunctionId, FunctionProfile, Invocation, InvocationSource, LaneIngest,

@@ -1,0 +1,288 @@
+//! Deterministic fault injection + graceful degradation (ISSUE 10).
+//!
+//! Pins on the chaos-replay contract:
+//!
+//! 1. **Chaos ≡ chaos, everywhere** — the `chaos_day` scenario (CI
+//!    outage → degraded decisions, partition → transfer retries, two
+//!    crashes → ungraceful warm-pool loss) replays bit-identically
+//!    (records, stream, chain tip) sequential vs `run_sharded` at
+//!    shards {1, 2, 8} × threads {1, 2, 4}, and through the live
+//!    service at producer counts {1, 2, 4}.
+//! 2. **The counters actually fire** — `lost_warm_mib`,
+//!    `degraded_decisions`, `transfer_retries`, and `stale_ci_minutes`
+//!    are all non-zero under the chaos timeline, and exactly zero
+//!    under the empty plan.
+//! 3. **Leave ∘ crash does not double-drain** — a membership leave
+//!    targeting an already-crashed node is a no-op on its (already
+//!    empty, already settled) warm pool.
+//! 4. **Zero-duration faults are no-ops** — property-tested: a plan
+//!    whose every fault has an empty span produces records, metrics,
+//!    and a chain tip bit-equal to the fault-free run.
+
+use ecolife::golden::{chaos_day_faults, chaos_day_parts, ChaosScheduler};
+use ecolife::prelude::*;
+use ecolife::sim::MINUTE_MS;
+use ecolife::telemetry::diff::first_divergence;
+use proptest::prelude::*;
+
+fn chaos_scheduler(fleet: &Fleet, _cost: TransferCost) -> ChaosScheduler {
+    ChaosScheduler::new(fleet)
+}
+
+#[test]
+fn chaos_run_is_bit_identical_sequential_vs_sharded() {
+    let (trace, bundle, fleet, cost) = chaos_day_parts();
+    let config = SimConfig::default().with_transfer_cost(cost);
+
+    let mut seq_sink = CaptureSink::default();
+    let seq = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .unwrap()
+        .with_config(config)
+        .with_faults(chaos_day_faults())
+        .run_with_sink(&mut chaos_scheduler(&fleet, cost), &mut seq_sink);
+
+    // The scenario must actually exercise every degradation surface —
+    // a chaos run where nothing went wrong pins nothing.
+    assert!(seq.lost_warm_mib > 0, "crashes must lose warm state");
+    assert!(
+        seq.degraded_decisions > 0,
+        "the CI outage must out-stale the policy bound"
+    );
+    assert!(
+        seq.transfer_retries > 0,
+        "the partition must block displacement transfers"
+    );
+    assert!(seq.stale_ci_minutes > 0);
+
+    for shards in [1usize, 2, 8] {
+        for threads in [1usize, 2, 4] {
+            let mut sink = CaptureSink::default();
+            let m = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+                .unwrap()
+                .with_config(config)
+                .with_faults(chaos_day_faults())
+                .run_sharded_with_sink(
+                    |_| chaos_scheduler(&fleet, cost),
+                    &ShardOptions::new(shards).with_threads(threads),
+                    &mut sink,
+                );
+            assert_eq!(
+                m.reconcile_revocations, 0,
+                "{shards}x{threads}: optimistic admission must stay consistent"
+            );
+            assert_eq!(m.records, seq.records, "{shards}x{threads}: records");
+            assert_eq!(m.lost_warm_mib, seq.lost_warm_mib);
+            assert_eq!(m.crash_rejected, seq.crash_rejected);
+            assert_eq!(m.stale_ci_minutes, seq.stale_ci_minutes);
+            assert_eq!(m.degraded_decisions, seq.degraded_decisions);
+            assert_eq!(m.transfer_retries, seq.transfer_retries);
+            if let Some(d) = first_divergence(&seq_sink.lines(), &sink.lines()) {
+                panic!("stream diverged at {shards} shards x {threads} threads: {d:?}");
+            }
+            assert_eq!(sink.tip(), seq_sink.tip());
+        }
+    }
+}
+
+#[test]
+fn chaos_service_matches_batch_at_any_producer_count() {
+    let (trace, bundle, fleet, cost) = chaos_day_parts();
+    let config = SimConfig::default().with_transfer_cost(cost);
+
+    let mut batch_sink = CaptureSink::default();
+    let batch = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .unwrap()
+        .with_config(config)
+        .with_faults(chaos_day_faults())
+        .run_with_sink(&mut chaos_scheduler(&fleet, cost), &mut batch_sink);
+
+    let all = trace.invocations().to_vec();
+    for producers in [1usize, 2, 4] {
+        let (handles, source) = live_lanes(producers, 16);
+        let chunk = all.len().div_ceil(producers);
+        let (live, live_sink) = std::thread::scope(|scope| {
+            for (handle, part) in handles.into_iter().zip(all.chunks(chunk)) {
+                scope.spawn(move || {
+                    for &inv in part {
+                        handle.send(inv).unwrap();
+                    }
+                });
+            }
+            let mut sink = CaptureSink::default();
+            let metrics =
+                Service::try_new_regional(trace.catalog().clone(), &bundle, fleet.clone())
+                    .unwrap()
+                    .with_config(config)
+                    .with_faults(chaos_day_faults())
+                    .serve_with_sink(source, &mut chaos_scheduler(&fleet, cost), &mut sink)
+                    .unwrap();
+            (metrics, sink)
+        });
+        assert_eq!(
+            live.records, batch.records,
+            "records diverged at {producers} producers"
+        );
+        assert_eq!(live.lost_warm_mib, batch.lost_warm_mib);
+        assert_eq!(live.crash_rejected, batch.crash_rejected);
+        assert_eq!(live.stale_ci_minutes, batch.stale_ci_minutes);
+        assert_eq!(live.degraded_decisions, batch.degraded_decisions);
+        assert_eq!(live.transfer_retries, batch.transfer_retries);
+        if let Some(d) = first_divergence(&batch_sink.lines(), &live_sink.lines()) {
+            panic!("stream diverged at {producers} producers: {d:?}");
+        }
+        assert_eq!(live_sink.tip(), batch_sink.tip());
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_byte_identical_to_the_fault_free_engine() {
+    let (trace, bundle, fleet, cost) = chaos_day_parts();
+    let config = SimConfig::default().with_transfer_cost(cost);
+
+    let mut plain_sink = CaptureSink::default();
+    let plain = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .unwrap()
+        .with_config(config)
+        .run_with_sink(&mut chaos_scheduler(&fleet, cost), &mut plain_sink);
+
+    let mut faulted_sink = CaptureSink::default();
+    let faulted = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .unwrap()
+        .with_config(config)
+        .with_faults(FaultPlan::default())
+        .run_with_sink(&mut chaos_scheduler(&fleet, cost), &mut faulted_sink);
+
+    assert_eq!(plain.records, faulted.records);
+    assert_eq!(plain_sink.lines(), faulted_sink.lines());
+    assert_eq!(faulted.lost_warm_mib, 0);
+    assert_eq!(faulted.crash_rejected, 0);
+    assert_eq!(faulted.stale_ci_minutes, 0);
+    assert_eq!(faulted.degraded_decisions, 0);
+    assert_eq!(faulted.transfer_retries, 0);
+}
+
+#[test]
+fn membership_leave_of_a_crashed_node_does_not_double_drain() {
+    let (trace, bundle, fleet, cost) = chaos_day_parts();
+    let config = SimConfig::default().with_transfer_cost(cost);
+    let crash_at = 10 * MINUTE_MS;
+
+    // Crash node 1 (the fleet's fastest Tennessee node) at minute 10,
+    // then have the membership plan order the same node out at the same
+    // instant. Ties apply membership first, so the crash lands on a
+    // node the membership pass already deactivated — and the crash, not
+    // the leave, must own the warm-pool loss: the leave's priced
+    // migration drain would *transfer* residents, a crash loses them.
+    let faults = FaultPlan::default().crash(NodeId(1), crash_at, 40 * MINUTE_MS);
+    let membership = MembershipPlan::default().leave(crash_at, NodeId(1));
+
+    let crash_only = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .unwrap()
+        .with_config(config)
+        .with_faults(faults.clone())
+        .run(&mut chaos_scheduler(&fleet, cost));
+    assert!(crash_only.lost_warm_mib > 0, "node 1 must be warm by t=10m");
+
+    let mut both_sink = CaptureSink::default();
+    let both = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+        .unwrap()
+        .with_config(config)
+        .with_faults(faults)
+        .with_membership(membership)
+        .run_with_sink(&mut chaos_scheduler(&fleet, cost), &mut both_sink);
+
+    // The loss is counted exactly once. A leave that drained first
+    // would migrate the residents away and leave the crash an empty
+    // pool (lost_warm_mib == 0); a crash followed by a re-drain would
+    // double-settle. Either way this equality breaks.
+    assert_eq!(both.lost_warm_mib, crash_only.lost_warm_mib);
+
+    // And the leave's priced migration drain must not have fired at
+    // all: no Transferred events at the crash instant.
+    let needle = format!("\"t_ms\":{crash_at}");
+    assert!(
+        !both_sink
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"type\":\"Transferred\"") && l.contains(&needle)),
+        "membership leave migrated residents off a crashed node"
+    );
+}
+
+fn any_region() -> impl Strategy<Value = Region> {
+    prop_oneof![
+        Just(Region::Tennessee),
+        Just(Region::Texas),
+        Just(Region::Florida),
+        Just(Region::NewYork),
+        Just(Region::Caiso),
+    ]
+}
+
+/// Any fault whose span has zero duration, anywhere on the timeline.
+fn zero_duration_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0u32..10, 0u64..3_600_000).prop_map(|(n, t)| Fault::NodeCrash {
+            node: NodeId(n),
+            at_ms: t,
+            recover_at_ms: t,
+        }),
+        (any_region(), 0u64..3_600_000).prop_map(|(region, t)| Fault::CiOutage {
+            region,
+            from_ms: t,
+            to_ms: t,
+        }),
+        (any_region(), any_region(), 0u64..3_600_000).prop_map(|(a, b, t)| Fault::Partition {
+            regions: vec![a, b],
+            from_ms: t,
+            to_ms: t,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A plan made only of zero-duration faults is a structural no-op:
+    /// the run’s records, fault counters, full event stream, and chain
+    /// tip are bit-equal to the fault-free run.
+    #[test]
+    fn zero_duration_faults_are_noops(
+        faults in proptest::prop::collection::vec(zero_duration_fault(), 1..6),
+        seed in 0u64..1_000,
+    ) {
+        let trace = SynthTraceConfig {
+            n_functions: 6,
+            duration_min: 20,
+            seed,
+            ..Default::default()
+        }
+        .generate(&WorkloadCatalog::sebs());
+        let bundle = CiBundle::synthetic_all(30, seed);
+        let fleet = skus::fleet_five_regions().with_uniform_keepalive_budget_mib(2 * 1024);
+
+        let plan = FaultPlan::try_new(faults).expect("zero-duration spans are valid");
+        prop_assert!(plan.is_empty());
+
+        let mut base_sink = CaptureSink::default();
+        let base = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+            .unwrap()
+            .run_with_sink(&mut ChaosScheduler::new(&fleet), &mut base_sink);
+
+        let mut faulted_sink = CaptureSink::default();
+        let faulted = Simulation::try_new_regional(&trace, &bundle, fleet.clone())
+            .unwrap()
+            .with_faults(plan)
+            .run_with_sink(&mut ChaosScheduler::new(&fleet), &mut faulted_sink);
+
+        prop_assert_eq!(base.records, faulted.records);
+        prop_assert_eq!(faulted.lost_warm_mib, 0);
+        prop_assert_eq!(faulted.crash_rejected, 0);
+        prop_assert_eq!(faulted.stale_ci_minutes, 0);
+        prop_assert_eq!(faulted.degraded_decisions, 0);
+        prop_assert_eq!(faulted.transfer_retries, 0);
+        prop_assert_eq!(base.evicted_functions, faulted.evicted_functions);
+        prop_assert_eq!(base_sink.lines(), faulted_sink.lines());
+        prop_assert_eq!(base_sink.tip(), faulted_sink.tip());
+    }
+}
